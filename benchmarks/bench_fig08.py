@@ -1,0 +1,20 @@
+"""Figure 8: CPU time vs k on a small instance where SSPA is feasible.
+
+Paper: |Q|=250, |P|=25K, k in {20..320}; SSPA is 1-3 orders of magnitude
+slower than the incremental algorithms.
+"""
+
+import pytest
+
+from benchmarks.helpers import EXACT_TRIO, K_SWEEP, bench_problem, solve_once
+
+
+def fig8_problem(k):
+    return bench_problem(nq_paper=250, np_paper=25_000, k=k, scale=0.02)
+
+
+@pytest.mark.benchmark(group="fig8-cpu-vs-k")
+@pytest.mark.parametrize("k", K_SWEEP)
+@pytest.mark.parametrize("method", ("sspa",) + EXACT_TRIO)
+def bench_fig8(benchmark, method, k):
+    solve_once(benchmark, fig8_problem(k), method)

@@ -1,0 +1,17 @@
+"""Figure 9: subgraph size and total time vs capacity k (exact methods).
+
+Paper: |Q|=1K, |P|=100K; |Esub| is a small fraction of the 10^8-edge full
+graph; IDA explores the fewest edges while k·|Q| < |P|.  The per-run
+``esub`` extra-info column carries the Figure 9(a) series.
+"""
+
+import pytest
+
+from benchmarks.helpers import EXACT_TRIO, K_SWEEP, bench_problem, solve_once
+
+
+@pytest.mark.benchmark(group="fig9-vs-k")
+@pytest.mark.parametrize("k", K_SWEEP)
+@pytest.mark.parametrize("method", EXACT_TRIO)
+def bench_fig9(benchmark, method, k):
+    solve_once(benchmark, bench_problem(k=k), method)

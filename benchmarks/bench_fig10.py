@@ -1,0 +1,18 @@
+"""Figure 10: performance vs |Q| (exact methods).
+
+Paper: k=80, |P|=100K, |Q| in {0.25K..5K}; cost grows with |Q| and
+saturates once k·|Q| > |P|.
+"""
+
+import pytest
+
+from benchmarks.helpers import EXACT_TRIO, bench_problem, solve_once
+
+NQ_SWEEP = (250, 500, 1000, 2500, 5000)
+
+
+@pytest.mark.benchmark(group="fig10-vs-nq")
+@pytest.mark.parametrize("nq", NQ_SWEEP)
+@pytest.mark.parametrize("method", EXACT_TRIO)
+def bench_fig10(benchmark, method, nq):
+    solve_once(benchmark, bench_problem(nq_paper=nq), method)

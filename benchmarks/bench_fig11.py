@@ -1,0 +1,18 @@
+"""Figure 11: performance vs |P| (exact methods).
+
+Paper: k=80, |Q|=1K, |P| in {25K..200K}; the explored subgraph *shrinks*
+as P densifies (each provider's NNs get closer).
+"""
+
+import pytest
+
+from benchmarks.helpers import EXACT_TRIO, bench_problem, solve_once
+
+NP_SWEEP = (25_000, 50_000, 100_000, 150_000, 200_000)
+
+
+@pytest.mark.benchmark(group="fig11-vs-np")
+@pytest.mark.parametrize("np_paper", NP_SWEEP)
+@pytest.mark.parametrize("method", EXACT_TRIO)
+def bench_fig11(benchmark, method, np_paper):
+    solve_once(benchmark, bench_problem(np_paper=np_paper), method)

@@ -1,0 +1,18 @@
+"""Figure 12: mixed (randomized) provider capacities.
+
+Paper: k drawn uniformly from widening ranges; trends match the uniform-k
+experiment of Figure 9.
+"""
+
+import pytest
+
+from benchmarks.helpers import EXACT_TRIO, bench_problem, solve_once
+
+MIXED_K = ((10, 30), (20, 60), (40, 120), (80, 240), (160, 480))
+
+
+@pytest.mark.benchmark(group="fig12-mixed-k")
+@pytest.mark.parametrize("k_range", MIXED_K, ids=lambda r: f"{r[0]}~{r[1]}")
+@pytest.mark.parametrize("method", EXACT_TRIO)
+def bench_fig12(benchmark, method, k_range):
+    solve_once(benchmark, bench_problem(k=k_range), method)

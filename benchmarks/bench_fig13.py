@@ -1,0 +1,26 @@
+"""Figure 13: exact methods across distribution combinations.
+
+Paper: UvsU / UvsC / CvsU / CvsC at defaults; mismatched distributions
+(UvsC, CvsU) blow up the explored subgraph and runtime.
+"""
+
+import pytest
+
+from benchmarks.helpers import EXACT_TRIO, bench_problem, solve_once
+
+COMBOS = (
+    ("UvsU", "uniform", "uniform"),
+    ("UvsC", "uniform", "clustered"),
+    ("CvsU", "clustered", "uniform"),
+    ("CvsC", "clustered", "clustered"),
+)
+
+
+@pytest.mark.benchmark(group="fig13-distributions")
+@pytest.mark.parametrize("combo", COMBOS, ids=lambda c: c[0])
+@pytest.mark.parametrize("method", EXACT_TRIO)
+def bench_fig13(benchmark, method, combo):
+    _, dist_q, dist_p = combo
+    solve_once(
+        benchmark, bench_problem(dist_q=dist_q, dist_p=dist_p), method
+    )

@@ -1,0 +1,24 @@
+"""Figure 14: approximation quality and time vs the δ dial.
+
+Paper: δ in {10..160}; both error and runtime fall as δ grows; CA
+dominates SA except at the smallest δ.  The ``cost`` extra-info column is
+the Figure 14(a) quality series (divide by IDA's cost).
+"""
+
+import pytest
+
+from benchmarks.helpers import APPROX_QUAD, bench_problem, solve_once
+
+DELTA_SWEEP = (10.0, 20.0, 40.0, 80.0, 160.0)
+
+
+@pytest.mark.benchmark(group="fig14-vs-delta")
+@pytest.mark.parametrize("delta", DELTA_SWEEP, ids=lambda d: f"d{d:g}")
+@pytest.mark.parametrize("method", APPROX_QUAD)
+def bench_fig14(benchmark, method, delta):
+    solve_once(benchmark, bench_problem(), method, delta=delta)
+
+
+@pytest.mark.benchmark(group="fig14-vs-delta")
+def bench_fig14_ida_reference(benchmark):
+    solve_once(benchmark, bench_problem(), "ida")

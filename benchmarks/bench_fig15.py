@@ -1,0 +1,22 @@
+"""Figure 15: approximation methods vs capacity k.
+
+Paper: quality ratio improves as k grows (absolute costs rise while the
+fixed-δ grouping error stays put); CA more robust than SA.
+"""
+
+import pytest
+
+from benchmarks.helpers import (
+    APPROX_QUAD,
+    DELTAS,
+    K_SWEEP,
+    bench_problem,
+    solve_once,
+)
+
+
+@pytest.mark.benchmark(group="fig15-approx-vs-k")
+@pytest.mark.parametrize("k", K_SWEEP)
+@pytest.mark.parametrize("method", ("ida",) + APPROX_QUAD)
+def bench_fig15(benchmark, method, k):
+    solve_once(benchmark, bench_problem(k=k), method, delta=DELTAS.get(method))

@@ -1,0 +1,20 @@
+"""Figure 16: approximation methods vs |Q|.
+
+Paper: CA beats SA throughout; CA quality drifts down slowly as more
+providers compete around each customer group.
+"""
+
+import pytest
+
+from benchmarks.helpers import APPROX_QUAD, DELTAS, bench_problem, solve_once
+
+NQ_SWEEP = (250, 500, 1000, 2500, 5000)
+
+
+@pytest.mark.benchmark(group="fig16-approx-vs-nq")
+@pytest.mark.parametrize("nq", NQ_SWEEP)
+@pytest.mark.parametrize("method", ("ida",) + APPROX_QUAD)
+def bench_fig16(benchmark, method, nq):
+    solve_once(
+        benchmark, bench_problem(nq_paper=nq), method, delta=DELTAS.get(method)
+    )

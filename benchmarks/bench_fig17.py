@@ -1,0 +1,23 @@
+"""Figure 17: approximation methods vs |P|.
+
+Paper: SA's quality degrades as P densifies around each provider group;
+CA is only mildly affected.
+"""
+
+import pytest
+
+from benchmarks.helpers import APPROX_QUAD, DELTAS, bench_problem, solve_once
+
+NP_SWEEP = (25_000, 50_000, 100_000, 150_000, 200_000)
+
+
+@pytest.mark.benchmark(group="fig17-approx-vs-np")
+@pytest.mark.parametrize("np_paper", NP_SWEEP)
+@pytest.mark.parametrize("method", ("ida",) + APPROX_QUAD)
+def bench_fig17(benchmark, method, np_paper):
+    solve_once(
+        benchmark,
+        bench_problem(np_paper=np_paper),
+        method,
+        delta=DELTAS.get(method),
+    )

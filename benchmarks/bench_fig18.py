@@ -1,0 +1,29 @@
+"""Figure 18: approximation methods across distribution combinations.
+
+Paper: CA is fastest everywhere and near-optimal; SA and CA converge in
+quality on mismatched (UvsC / CvsU) distributions.
+"""
+
+import pytest
+
+from benchmarks.helpers import APPROX_QUAD, DELTAS, bench_problem, solve_once
+
+COMBOS = (
+    ("UvsU", "uniform", "uniform"),
+    ("UvsC", "uniform", "clustered"),
+    ("CvsU", "clustered", "uniform"),
+    ("CvsC", "clustered", "clustered"),
+)
+
+
+@pytest.mark.benchmark(group="fig18-approx-distributions")
+@pytest.mark.parametrize("combo", COMBOS, ids=lambda c: c[0])
+@pytest.mark.parametrize("method", ("ida",) + APPROX_QUAD)
+def bench_fig18(benchmark, method, combo):
+    _, dist_q, dist_p = combo
+    solve_once(
+        benchmark,
+        bench_problem(dist_q=dist_q, dist_p=dist_p),
+        method,
+        delta=DELTAS.get(method),
+    )

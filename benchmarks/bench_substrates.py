@@ -1,0 +1,102 @@
+"""Substrate micro-benchmarks and design-choice ablations.
+
+Not a paper figure — these quantify the building blocks (R-tree queries,
+ANN grouping, PUA reuse, the Theorem 2 fast path) that DESIGN.md calls out,
+so regressions in any layer are visible independently of the end-to-end
+figures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ida import IDASolver
+from repro.core.nia import NIASolver
+from repro.datagen.workloads import make_problem
+from repro.geometry.point import Point
+from repro.rtree.ann import GroupedANN
+from repro.rtree.queries import knn_search, range_search
+from repro.rtree.tree import RTree
+
+
+@pytest.fixture(scope="module")
+def tree_and_points():
+    rng = np.random.default_rng(0)
+    pts = [Point(i, rng.random(2) * 1000) for i in range(5000)]
+    return RTree.from_points(pts), pts
+
+
+@pytest.mark.benchmark(group="substrate-rtree")
+def bench_rtree_bulk_load(benchmark):
+    rng = np.random.default_rng(1)
+    pts = [Point(i, rng.random(2) * 1000) for i in range(5000)]
+    benchmark(lambda: RTree.from_points(pts))
+
+
+@pytest.mark.benchmark(group="substrate-rtree")
+def bench_range_search(benchmark, tree_and_points):
+    tree, _ = tree_and_points
+    q = Point(99999, (500.0, 500.0))
+    benchmark(lambda: range_search(tree, q, 50.0))
+
+
+@pytest.mark.benchmark(group="substrate-rtree")
+def bench_knn_search(benchmark, tree_and_points):
+    tree, _ = tree_and_points
+    q = Point(99999, (500.0, 500.0))
+    benchmark(lambda: knn_search(tree, q, 100))
+
+
+@pytest.mark.benchmark(group="substrate-ann")
+@pytest.mark.parametrize("group_size", (1, 8))
+def bench_ann_grouping_ablation(benchmark, tree_and_points, group_size):
+    """group_size=1 disables Algorithm 6's shared traversal — the I/O
+    delta is the optimization's value."""
+    tree, _ = tree_and_points
+    rng = np.random.default_rng(2)
+    providers = [Point(i, rng.random(2) * 1000) for i in range(16)]
+
+    def consume():
+        tree.cold()
+        ann = GroupedANN(tree, providers, group_size=group_size)
+        for q in providers:
+            for _ in range(50):
+                ann.next_nn(q.pid)
+        return tree.stats.faults
+
+    faults = benchmark(consume)
+    benchmark.extra_info["io_faults"] = faults
+
+
+@pytest.mark.benchmark(group="ablation-pua")
+@pytest.mark.parametrize("use_pua", (True, False), ids=["pua", "no-pua"])
+def bench_pua_ablation(benchmark, use_pua):
+    """Section 3.4.1's claim: reusing Dijkstra state across invalid paths
+    saves work (compare dijkstra_runs in extra_info)."""
+    problem = make_problem(nq=10, np_=1000, k=30, seed=3)
+    problem.rtree()
+
+    def run():
+        solver = NIASolver(problem, use_pua=use_pua)
+        solver.solve()
+        return solver.stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["dijkstra_runs"] = stats.dijkstra_runs
+
+
+@pytest.mark.benchmark(group="ablation-fast-path")
+@pytest.mark.parametrize("use_fast", (True, False), ids=["thm2", "no-thm2"])
+def bench_fast_path_ablation(benchmark, use_fast):
+    """Theorem 2's value: a slack instance (k·|Q| > |P|) solves without a
+    single Dijkstra when the fast path is on."""
+    problem = make_problem(nq=10, np_=1000, k=150, seed=4)
+    problem.rtree()
+
+    def run():
+        solver = IDASolver(problem, use_fast_path=use_fast)
+        solver.solve()
+        return solver.stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["fast_augments"] = stats.fast_path_augments
+    benchmark.extra_info["dijkstra_runs"] = stats.dijkstra_runs

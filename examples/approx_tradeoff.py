@@ -1,0 +1,55 @@
+"""SA vs CA: which approximation fits which workload?
+
+Reproduces the Section 5.3 narrative on one instance: SA groups the
+providers (cheap partitioning, concise matching still scans all of P),
+CA groups the customers (partitioning does the disk work once, concise
+matching runs in memory).  CA typically dominates on both quality and
+time — except at tiny δ where SA degenerates gracefully to exact.
+
+Run:  python examples/approx_tradeoff.py
+"""
+
+import time
+
+from repro import solve
+from repro.datagen import make_problem
+
+
+def run(problem, method, delta):
+    started = time.perf_counter()
+    matching = solve(problem, method=method, delta=delta)
+    wall = time.perf_counter() - started
+    return matching, wall
+
+
+def main() -> None:
+    problem = make_problem(nq=40, np_=3000, k=60, seed=17)
+    print(f"workload: |Q|=40, |P|=3000, k=60, gamma={problem.gamma}\n")
+
+    exact, exact_wall = None, None
+    started = time.perf_counter()
+    exact = solve(problem, method="ida")
+    exact_wall = time.perf_counter() - started
+    print(f"exact IDA : cost {exact.cost:9.0f}  wall {exact_wall:5.2f}s  "
+          f"faults {exact.stats.io.faults}")
+
+    print(f"\n{'method':>7} {'delta':>6} {'quality':>8} {'wall':>7} "
+          f"{'faults':>7} {'groups':>7}")
+    for method, deltas in (
+        ("san", (40.0, 80.0)),
+        ("sae", (40.0, 80.0)),
+        ("can", (10.0, 40.0)),
+        ("cae", (10.0, 40.0)),
+    ):
+        for delta in deltas:
+            m, wall = run(problem, method, delta)
+            print(f"{method:>7} {delta:6.0f} {m.cost / exact.cost:8.4f} "
+                  f"{wall:6.2f}s {m.stats.io.faults:7d} "
+                  f"{m.stats.extra.get('num_groups', '-'):>7}")
+
+    print("\nCA variants reach ~1.0x quality at a fraction of the exact "
+          "cost;\nSA needs small deltas (many groups) to compete.")
+
+
+if __name__ == "__main__":
+    main()

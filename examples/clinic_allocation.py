@@ -1,0 +1,55 @@
+"""Clinic allocation with a live quality/latency dial.
+
+Public clinics have fixed daily patient quotas; residents must be allocated
+to clinics.  Exact optimization (IDA) can take a while at city scale, so the
+planner exposes the paper's δ dial: the CA approximation guarantees
+``Ψ ≤ Ψ* + γ·δ`` (Theorem 4) and runs much faster.  This example sweeps δ
+and prints cost, guaranteed bound, and runtime so an operator can pick the
+trade-off.
+
+Run:  python examples/clinic_allocation.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import CCAProblem, solve
+from repro.core.approx.bounds import ca_error_bound
+from repro.datagen import build_road_network, generate_points
+
+
+def main() -> None:
+    network = build_road_network(grid=22, seed=9)
+    rng = np.random.default_rng(7)
+
+    residents = generate_points(network, 2500, "clustered", rng=rng)
+    clinics = generate_points(network, 15, "clustered", rng=rng)
+    quotas = rng.integers(120, 200, size=15).tolist()
+
+    problem = CCAProblem.from_arrays(clinics, quotas, residents)
+    print(f"{len(residents)} residents, {len(clinics)} clinics, "
+          f"total quota {sum(quotas)}, gamma = {problem.gamma}")
+
+    started = time.perf_counter()
+    exact = solve(problem, method="ida")
+    exact_s = time.perf_counter() - started
+    print(f"\nexact IDA: cost {exact.cost:10.1f}   wall {exact_s:6.2f}s")
+
+    print(f"\n{'delta':>6} {'cost':>12} {'vs opt':>8} {'bound':>12} "
+          f"{'wall':>8}")
+    for delta in (5.0, 10.0, 20.0, 40.0, 80.0):
+        started = time.perf_counter()
+        approx = solve(problem, method="can", delta=delta)
+        wall = time.perf_counter() - started
+        bound = ca_error_bound(problem.gamma, delta)
+        print(f"{delta:6.0f} {approx.cost:12.1f} "
+              f"{approx.cost / exact.cost:8.4f} "
+              f"{exact.cost + bound:12.1f} {wall:7.2f}s")
+
+    print("\n'bound' is the certified worst case Ψ* + γ·δ — the measured "
+          "cost always sits far below it.")
+
+
+if __name__ == "__main__":
+    main()

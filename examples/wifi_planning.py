@@ -1,0 +1,42 @@
+"""WiFi capacity planning: how many radios does each access point need?
+
+Inverse use of CCA: given candidate access-point sites and a measured
+client distribution, sweep the per-AP capacity k and watch coverage and
+mean link distance.  Small k leaves clients unserved; large k lets distant
+APs absorb overflow at the cost of longer links.  The |Esub| column shows
+how little of the full bipartite graph the incremental solver touches.
+
+Run:  python examples/wifi_planning.py
+"""
+
+import numpy as np
+
+from repro import CCAProblem, solve
+from repro.datagen import build_road_network, generate_points
+
+
+def main() -> None:
+    network = build_road_network(grid=18, seed=5)
+    rng = np.random.default_rng(123)
+
+    clients = generate_points(network, 1600, "clustered", rng=rng)
+    sites = generate_points(network, 10, "uniform", rng=rng)
+
+    print(f"{len(clients)} clients, {len(sites)} candidate AP sites\n")
+    print(f"{'k':>4} {'served':>7} {'coverage':>9} {'mean link':>10} "
+          f"{'|Esub|':>8} {'full graph':>11}")
+    full = len(clients) * len(sites)
+    for k in (40, 80, 160, 240):
+        problem = CCAProblem.from_arrays(sites, [k] * len(sites), clients)
+        matching = solve(problem, method="ida")
+        mean_link = matching.cost / matching.size if matching.size else 0.0
+        print(f"{k:4d} {matching.size:7d} "
+              f"{matching.size / len(clients):9.1%} {mean_link:10.2f} "
+              f"{matching.stats.esub_edges:8d} {full:11d}")
+
+    print("\nCoverage saturates once k x |sites| exceeds the client count;"
+          "\nbeyond that, extra capacity no longer changes the assignment.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim for environments whose pip cannot build wheels offline.
+
+All real metadata lives in pyproject.toml; ``python setup.py develop``
+or ``pip install -e . --no-build-isolation`` both work through it.
+"""
+from setuptools import setup
+
+setup()

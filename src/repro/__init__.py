@@ -1,0 +1,41 @@
+"""repro — Capacity Constrained Assignment in Spatial Databases.
+
+A production-grade reproduction of U, Yiu, Mouratidis & Mamoulis (SIGMOD
+2008).  Given customers ``P`` and capacitated service providers ``Q``, find
+the maximum-size matching of minimum total Euclidean distance.
+
+Quickstart::
+
+    from repro import CCAProblem, solve
+
+    problem = CCAProblem.from_arrays(
+        provider_xy=[(10, 10), (90, 90)],
+        provider_capacities=[2, 2],
+        customer_xy=[(12, 9), (11, 14), (88, 92), (95, 85)],
+    )
+    matching = solve(problem, method="ida")
+    print(matching.cost, matching.pairs)
+
+Exact solvers: ``sspa`` (baseline), ``ria``, ``nia``, ``ida``.
+Approximate: ``san``/``sae`` (provider grouping), ``can``/``cae`` (customer
+grouping), ``sm`` (greedy).  See :mod:`repro.experiments` for the paper's
+full evaluation suite.
+"""
+
+from repro.core.matching import Matching, SolverStats
+from repro.core.problem import CCAProblem, Customer, Provider
+from repro.core.solve import APPROX_METHODS, EXACT_METHODS, solve
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CCAProblem",
+    "Provider",
+    "Customer",
+    "Matching",
+    "SolverStats",
+    "solve",
+    "EXACT_METHODS",
+    "APPROX_METHODS",
+    "__version__",
+]

@@ -1,0 +1,189 @@
+"""Command-line interface.
+
+Examples::
+
+    repro-cca list
+    repro-cca table2
+    repro-cca figure fig9 --scale 0.05 --seed 0
+    repro-cca solve --nq 50 --np 5000 --k 80 --method ida
+    repro-cca generate --n 1000 --distribution clustered --out points.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.datagen.network import build_road_network
+from repro.datagen.generator import generate_points
+from repro.datagen.workloads import make_problem
+from repro.experiments.config import DEFAULT_SCALE
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.harness import run_method
+from repro.experiments.report import format_figure_report, format_table2
+
+
+def _cmd_list(_args) -> int:
+    print("Available figures (run with: repro-cca figure <id>):")
+    for fig_id, spec in sorted(FIGURES.items()):
+        print(f"  {fig_id:<6} {spec.title}")
+        print(f"         setup: {spec.paper_setup}")
+    return 0
+
+
+def _cmd_table2(_args) -> int:
+    print(format_table2())
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    started = time.perf_counter()
+    results = run_figure(args.figure_id, scale=args.scale, seed=args.seed)
+    report = format_figure_report(args.figure_id, results)
+    print(report)
+    print(f"(regenerated in {time.perf_counter() - started:.1f}s wall, "
+          f"scale={args.scale}, seed={args.seed})")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report + "\n")
+        print(f"written to {args.out}")
+    return 0
+
+
+def _cmd_all(args) -> int:
+    """Regenerate every figure; write one text + one markdown report."""
+    from repro.experiments.report import figure_to_markdown
+
+    import os
+
+    order = sorted(FIGURES, key=lambda f: int(f.replace("fig", "")))
+    out_dir = None
+    if args.out:
+        out_dir = os.path.dirname(os.path.abspath(args.out)) or "."
+    text_blocks = [format_table2(), ""]
+    md_blocks = []
+    for fig_id in order:
+        started = time.perf_counter()
+        print(f"[{fig_id}] running at scale={args.scale} ...", flush=True)
+        results = run_figure(fig_id, scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        print(f"[{fig_id}] done in {elapsed:.1f}s", flush=True)
+        text_blocks.append(format_figure_report(fig_id, results))
+        md_blocks.append(figure_to_markdown(fig_id, results))
+        if out_dir:
+            # Incremental per-figure dumps survive interruption.
+            with open(os.path.join(out_dir, f"{fig_id}.md"), "w") as fh:
+                fh.write(md_blocks[-1] + "\n")
+    text = "\n".join(text_blocks)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        with open(args.out.rsplit(".", 1)[0] + ".md", "w") as fh:
+            fh.write("\n".join(md_blocks) + "\n")
+        print(f"reports written to {args.out} (+ .md)")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    problem = make_problem(
+        nq=args.nq,
+        np_=args.np,
+        k=args.k,
+        dist_q=args.dist_q,
+        dist_p=args.dist_p,
+        seed=args.seed,
+    )
+    result = run_method(problem, args.method, sweep_label="cli")
+    print(
+        f"method={args.method} |Q|={args.nq} |P|={args.np} k={args.k} "
+        f"gamma={result.gamma}"
+    )
+    print(
+        f"cost={result.cost:.2f} matched={result.matched} "
+        f"esub={result.esub} cpu={result.cpu_s:.3f}s "
+        f"io={result.io_s:.3f}s ({result.io_faults} faults) "
+        f"total={result.total_s:.3f}s"
+    )
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    network = build_road_network(seed=args.network_seed)
+    points = generate_points(
+        network, args.n, args.distribution, seed=args.seed
+    )
+    header = "x,y"
+    if args.out:
+        np.savetxt(args.out, points, delimiter=",", header=header, comments="")
+        print(f"{len(points)} points -> {args.out}")
+    else:
+        sys.stdout.write(header + "\n")
+        np.savetxt(sys.stdout, points, delimiter=",")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cca",
+        description=(
+            "Capacity Constrained Assignment in Spatial Databases "
+            "(SIGMOD 2008) — reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible figures").set_defaults(
+        func=_cmd_list
+    )
+    sub.add_parser("table2", help="print Table 2").set_defaults(
+        func=_cmd_table2
+    )
+
+    fig = sub.add_parser("figure", help="regenerate a figure's data series")
+    fig.add_argument("figure_id", choices=sorted(FIGURES))
+    fig.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                     help="linear scale on |Q| and |P| (default %(default)s)")
+    fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument("--out", type=str, default=None,
+                     help="also write the report to this file")
+    fig.set_defaults(func=_cmd_figure)
+
+    allf = sub.add_parser("all", help="regenerate every figure")
+    allf.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    allf.add_argument("--seed", type=int, default=0)
+    allf.add_argument("--out", type=str, default=None)
+    allf.set_defaults(func=_cmd_all)
+
+    slv = sub.add_parser("solve", help="solve one synthetic instance")
+    slv.add_argument("--nq", type=int, default=50)
+    slv.add_argument("--np", type=int, default=5000)
+    slv.add_argument("--k", type=int, default=80)
+    slv.add_argument("--method", type=str, default="ida")
+    slv.add_argument("--dist-q", type=str, default="clustered")
+    slv.add_argument("--dist-p", type=str, default="clustered")
+    slv.add_argument("--seed", type=int, default=0)
+    slv.set_defaults(func=_cmd_solve)
+
+    gen = sub.add_parser("generate", help="emit a synthetic point set (CSV)")
+    gen.add_argument("--n", type=int, default=1000)
+    gen.add_argument("--distribution", type=str, default="clustered")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--network-seed", type=int, default=7)
+    gen.add_argument("--out", type=str, default=None)
+    gen.set_defaults(func=_cmd_generate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""The paper's contribution: exact and approximate CCA solvers.
+
+* :mod:`repro.core.problem` / :mod:`repro.core.matching` — the public data
+  model (providers with capacities, customers, matchings with validation).
+* :mod:`repro.core.engine` — the shared incremental SSPA engine built on
+  Theorem 1 (certified shortest paths in a growing subgraph).
+* :mod:`repro.core.ria` / :mod:`repro.core.nia` / :mod:`repro.core.ida` —
+  Algorithms 2-4.
+* :mod:`repro.core.approx` — Section 4's SA/CA approximations.
+* :mod:`repro.core.sm` — the greedy spatial-matching baseline (related work).
+* :mod:`repro.core.solve` — one-call façade.
+"""
+
+from repro.core.problem import Provider, Customer, CCAProblem
+from repro.core.matching import Matching, SolverStats
+from repro.core.solve import solve, EXACT_METHODS, APPROX_METHODS
+
+__all__ = [
+    "Provider",
+    "Customer",
+    "CCAProblem",
+    "Matching",
+    "SolverStats",
+    "solve",
+    "EXACT_METHODS",
+    "APPROX_METHODS",
+]

@@ -1,0 +1,37 @@
+"""Approximate CCA (Section 4): partition → concise matching → refinement.
+
+* :mod:`~repro.core.approx.partition` — δ-bounded grouping (Hilbert greedy
+  for providers, R-tree guided for customers).
+* :mod:`~repro.core.approx.sa` — Service-provider Approximation (§4.1).
+* :mod:`~repro.core.approx.ca` — Customer Approximation (§4.2).
+* :mod:`~repro.core.approx.refine` — NN-based and exclusive-NN refinement
+  heuristics (§4.3).
+* :mod:`~repro.core.approx.bounds` — the Theorems 3/4 error guarantees.
+"""
+
+from repro.core.approx.partition import (
+    hilbert_greedy_groups,
+    rtree_customer_partition,
+    CustomerGroup,
+)
+from repro.core.approx.sa import SAApproxSolver
+from repro.core.approx.ca import CAApproxSolver
+from repro.core.approx.refine import nn_refine, exclusive_nn_refine
+from repro.core.approx.bounds import (
+    sa_error_bound,
+    ca_error_bound,
+    quality_ratio,
+)
+
+__all__ = [
+    "hilbert_greedy_groups",
+    "rtree_customer_partition",
+    "CustomerGroup",
+    "SAApproxSolver",
+    "CAApproxSolver",
+    "nn_refine",
+    "exclusive_nn_refine",
+    "sa_error_bound",
+    "ca_error_bound",
+    "quality_ratio",
+]

@@ -1,0 +1,54 @@
+"""Quality guarantees of the approximate solvers (Section 4.4).
+
+``Err(M) = Ψ(M) − Ψ(M_CCA)`` is bounded by ``2γδ`` for SA (Theorem 3: one
+δ-hop moving each provider to its representative, one δ-hop moving it back
+during refinement) and by ``γδ`` for CA (Theorem 4: members lie within δ/2
+of their representative, again paid twice).
+"""
+
+from __future__ import annotations
+
+
+def sa_error_bound(gamma: int, delta: float) -> float:
+    """Theorem 3: Err(SA) ≤ 2·γ·δ."""
+    if gamma < 0 or delta < 0:
+        raise ValueError("gamma and delta must be non-negative")
+    return 2.0 * gamma * delta
+
+
+def ca_error_bound(gamma: int, delta: float) -> float:
+    """Theorem 4: Err(CA) ≤ γ·δ."""
+    if gamma < 0 or delta < 0:
+        raise ValueError("gamma and delta must be non-negative")
+    return float(gamma) * delta
+
+
+def quality_ratio(approx_cost: float, optimal_cost: float) -> float:
+    """Section 5.3's accuracy metric Ψ(M)/Ψ(M_CCA) (1.0 = optimal).
+
+    A zero-cost optimum with a zero-cost approximation is a perfect 1.0;
+    a zero-cost optimum with positive approximate cost is unbounded.
+    """
+    if approx_cost < 0 or optimal_cost < 0:
+        raise ValueError("costs must be non-negative")
+    if optimal_cost == 0.0:
+        return 1.0 if approx_cost == 0.0 else float("inf")
+    return approx_cost / optimal_cost
+
+
+def delta_for_target_error(
+    gamma: int, target_error: float, method: str = "ca"
+) -> float:
+    """Invert the bounds: the largest δ guaranteeing ``Err ≤ target``.
+
+    A planning helper: pick δ from an acceptable absolute cost error.
+    """
+    if gamma <= 0:
+        return float("inf")
+    if target_error < 0:
+        raise ValueError("target error must be non-negative")
+    if method == "ca":
+        return target_error / gamma
+    if method == "sa":
+        return target_error / (2.0 * gamma)
+    raise ValueError(f"unknown method {method!r}")

@@ -1,0 +1,107 @@
+"""Customer Approximation (CA) — Section 4.2.
+
+1. *Partition*: descend the customer R-tree collecting entries with MBR
+   diagonal ≤ δ (splitting oversized leaves, merging small entries into
+   hyper-entries).  This traversal is CA's only disk I/O.
+2. *Concise matching*: each group becomes one weighted representative at
+   its partition-MBR center (weight = member count); solve the provider ↔
+   representative CCA exactly with IDA, entirely in memory.
+3. *Refinement*: the concise matching dictates how many instances of each
+   provider serve each group; hand the group's member points to those
+   instances with an NN heuristic.
+
+Theorem 4: Ψ(CA) ≤ Ψ(optimal) + γ·δ (members sit within δ/2 of their
+representative).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.core.approx.partition import rtree_customer_partition
+from repro.core.approx.refine import exclusive_nn_refine, nn_refine
+from repro.core.ida import IDASolver
+from repro.core.matching import Matching, SolverStats
+from repro.core.problem import CCAProblem, Customer
+from repro.geometry.point import Point
+
+DEFAULT_CA_DELTA = 10.0
+
+_REFINERS = {"nn": nn_refine, "exclusive": exclusive_nn_refine}
+
+
+class CAApproxSolver:
+    """Approximate CCA by grouping the customers."""
+
+    def __init__(
+        self,
+        problem: CCAProblem,
+        delta: float = DEFAULT_CA_DELTA,
+        refinement: str = "nn",
+        cold_start: bool = True,
+    ):
+        if refinement not in _REFINERS:
+            raise ValueError(
+                f"unknown refinement {refinement!r}; use 'nn' or 'exclusive'"
+            )
+        self.problem = problem
+        self.delta = float(delta)
+        self.refinement = refinement
+        self.cold_start = cold_start
+        self.method = "ca" + ("n" if refinement == "nn" else "e")
+        self.stats = SolverStats(method=self.method, gamma=problem.gamma)
+
+    # ------------------------------------------------------------------
+    def solve(self) -> Matching:
+        problem = self.problem
+        tree = problem.rtree()
+        if self.cold_start:
+            tree.cold()
+        io_before = tree.stats.snapshot()
+        started = time.perf_counter()
+
+        # Phase 1: δ-partition of P via the R-tree (charged I/O).
+        groups = rtree_customer_partition(tree, self.delta)
+
+        # Phase 2: concise matching Q ↔ P' in main memory.  The
+        # representative tree is tiny; a buffer covering it entirely
+        # models the paper's "performed in main memory".
+        representatives = [
+            Customer(Point(m, g.representative_xy), g.weight)
+            for m, g in enumerate(groups)
+        ]
+        concise_problem = CCAProblem(
+            problem.providers,
+            representatives,
+            page_size=problem.page_size,
+            buffer_fraction=1.0,
+        )
+        concise_solver = IDASolver(concise_problem, use_pua=True)
+        concise = concise_solver.solve()
+        self.stats.extra["concise"] = concise_solver.stats
+        self.stats.esub_edges = concise_solver.stats.esub_edges
+        self.stats.dijkstra_runs = concise_solver.stats.dijkstra_runs
+
+        # Phase 3: per-group refinement using the member points collected
+        # during partitioning (no further I/O).
+        flows: Dict[int, List[Tuple[int, int]]] = {}
+        for provider_id, rep_id, _, units in (
+            concise_solver.net.matching_flows()
+        ):
+            flows.setdefault(rep_id, []).append((provider_id, units))
+        refine = _REFINERS[self.refinement]
+        pairs: List[Tuple[int, int, float]] = []
+        for rep_id, provider_units in flows.items():
+            group = groups[rep_id]
+            quotas = [
+                (problem.providers[i].point, units)
+                for i, units in provider_units
+            ]
+            pairs.extend(refine(quotas, group.members))
+
+        self.stats.cpu_s = time.perf_counter() - started
+        self.stats.io = tree.stats.diff(io_before)
+        self.stats.extra["num_groups"] = len(groups)
+        self.stats.extra["delta"] = self.delta
+        return Matching(pairs, stats=self.stats)

@@ -1,0 +1,177 @@
+"""Partitioning phase of the approximate solvers.
+
+Both SA and CA bound every group's MBR *diagonal* by the quality knob ``δ``
+(smaller δ ⇒ tighter groups ⇒ better approximation, per Theorems 3-4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+from repro.hilbert.curve import hilbert_key
+from repro.rtree.tree import RTree
+
+# Greedy placement only looks back this many groups along the Hilbert walk.
+# Curve locality makes farther groups near-certain misses; the window keeps
+# partitioning O(n·W) instead of O(n²) and never violates the δ bound.
+_SCAN_WINDOW = 32
+
+
+def hilbert_greedy_groups(
+    points: Sequence[Point],
+    delta: float,
+    world_lo: Sequence[float],
+    world_hi: Sequence[float],
+) -> List[List[Point]]:
+    """SA's partitioning (Section 4.1): walk points in Hilbert order and
+    append each to the first (most recent) existing group whose MBR stays
+    within diagonal δ; open a new group otherwise."""
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    ordered = sorted(
+        points,
+        key=lambda p: (hilbert_key(p.coords, world_lo, world_hi), p.pid),
+    )
+    groups: List[List[Point]] = []
+    mbrs: List[MBR] = []
+    for point in ordered:
+        point_mbr = MBR.from_point(point)
+        placed = False
+        # Most-recent-first: Hilbert neighbors cluster at the tail.
+        for idx in range(len(groups) - 1, max(len(groups) - _SCAN_WINDOW, 0) - 1, -1):
+            candidate = mbrs[idx].union(point_mbr)
+            if candidate.diagonal <= delta:
+                groups[idx].append(point)
+                mbrs[idx] = candidate
+                placed = True
+                break
+        if not placed:
+            groups.append([point])
+            mbrs.append(point_mbr)
+    return groups
+
+
+@dataclass
+class CustomerGroup:
+    """A δ-bounded customer group produced by CA's partitioning.
+
+    ``mbr`` is the *partition* rectangle whose diagonal respects δ (an
+    R-tree entry MBR, a conceptual leaf half, or a merged hyper-entry);
+    the representative sits at its center so no member is farther than
+    δ/2 from it (the Theorem 4 argument).
+    """
+
+    members: List[Point]
+    mbr: MBR
+
+    @property
+    def weight(self) -> int:
+        return len(self.members)
+
+    @property
+    def representative_xy(self) -> Tuple[float, float]:
+        center = self.mbr.center
+        return center[0], center[1]
+
+
+def rtree_customer_partition(tree: RTree, delta: float) -> List[CustomerGroup]:
+    """CA's partitioning (Section 4.2).
+
+    Descend the customer R-tree; an entry whose MBR diagonal is ≤ δ becomes
+    a group (its subtree's points are the members).  Oversized *leaves* are
+    split conceptually into equal halves along their longest dimension until
+    every part satisfies δ.  Finally, groups are merged into hyper-entries
+    (Hilbert-greedy on their MBRs) while the union diagonal stays ≤ δ.
+    """
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    if tree.root_id is None:
+        return []
+    raw: List[CustomerGroup] = []
+    root = tree.node(tree.root_id)
+    root_mbr = root.mbr()
+    if root_mbr is None:
+        return []
+    _collect(tree, tree.root_id, root_mbr, delta, raw)
+    return _merge_groups(raw, delta, root_mbr)
+
+
+def _collect(
+    tree: RTree,
+    page_id: int,
+    entry_mbr: MBR,
+    delta: float,
+    out: List[CustomerGroup],
+) -> None:
+    if entry_mbr.diagonal <= delta:
+        members = _subtree_points(tree, page_id)
+        if members:
+            out.append(CustomerGroup(members, entry_mbr))
+        return
+    node = tree.node(page_id)
+    if node.is_leaf:
+        _split_leaf(node.points, entry_mbr, delta, out)
+        return
+    for child_id, child_mbr in zip(node.children_ids, node.child_mbrs):
+        _collect(tree, child_id, child_mbr, delta, out)
+
+
+def _split_leaf(
+    points: Sequence[Point], mbr: MBR, delta: float, out: List[CustomerGroup]
+) -> None:
+    """Conceptually halve an oversized leaf MBR along its longest axis
+    until every part's diagonal is ≤ δ; members follow their coordinates."""
+    if mbr.diagonal <= delta:
+        if points:
+            out.append(CustomerGroup(list(points), mbr))
+        return
+    axis = mbr.longest_axis()
+    low_half, high_half = mbr.split_halves(axis)
+    mid = low_half.hi[axis]
+    low_points = [p for p in points if p.coords[axis] < mid]
+    high_points = [p for p in points if p.coords[axis] >= mid]
+    _split_leaf(low_points, low_half, delta, out)
+    _split_leaf(high_points, high_half, delta, out)
+
+
+def _subtree_points(tree: RTree, page_id: int) -> List[Point]:
+    out: List[Point] = []
+    stack = [page_id]
+    while stack:
+        node = tree.node(stack.pop())
+        if node.is_leaf:
+            out.extend(node.points)
+        else:
+            stack.extend(node.children_ids)
+    return out
+
+
+def _merge_groups(
+    groups: List[CustomerGroup], delta: float, world: MBR
+) -> List[CustomerGroup]:
+    """The extra merging step: combine groups into hyper-entries while the
+    merged MBR diagonal stays within δ (reduces |S| without violating δ)."""
+    order = sorted(
+        range(len(groups)),
+        key=lambda idx: hilbert_key(
+            groups[idx].mbr.center, world.lo, world.hi
+        ),
+    )
+    merged: List[CustomerGroup] = []
+    for idx in order:
+        group = groups[idx]
+        placed = False
+        for pos in range(len(merged) - 1, max(len(merged) - _SCAN_WINDOW, 0) - 1, -1):
+            candidate = merged[pos].mbr.union(group.mbr)
+            if candidate.diagonal <= delta:
+                merged[pos] = CustomerGroup(
+                    merged[pos].members + group.members, candidate
+                )
+                placed = True
+                break
+        if not placed:
+            merged.append(CustomerGroup(list(group.members), group.mbr))
+    return merged

@@ -1,0 +1,87 @@
+"""Refinement phase heuristics (Section 4.3).
+
+Both SA and CA reduce to many small sub-problems: assign a customer set
+``P''`` to providers ``Q''`` where each provider has a known number of
+instances (quota).  Running an exact solver per sub-problem would negate the
+approximation speedup, so the paper proposes two cheap heuristics; both
+operate purely in memory on the (small) group members.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple
+
+from repro.geometry.distance import dist
+from repro.geometry.point import Point
+
+
+def nn_refine(
+    providers: Sequence[Tuple[Point, int]],
+    customers: Sequence[Point],
+) -> List[Tuple[int, int, float]]:
+    """NN-based refinement: providers take turns (round-robin), each
+    claiming its nearest remaining customer until its quota is exhausted.
+
+    ``providers`` are (point, quota) pairs.  Returns (q_pid, p_pid, dist)
+    triples; ``min(Σ quota, |customers|)`` pairs are produced.
+    """
+    pairs: List[Tuple[int, int, float]] = []
+    remaining = {p.pid: p for p in customers}
+    # Per-provider candidate streams: lazily sorted distance lists.
+    streams = []
+    for q_point, quota in providers:
+        if quota <= 0:
+            continue
+        candidates = sorted(
+            ((dist(q_point, p), p.pid) for p in customers),
+            key=lambda t: (t[0], t[1]),
+        )
+        streams.append([q_point, quota, candidates, 0])
+
+    progressed = True
+    while remaining and progressed:
+        progressed = False
+        for stream in streams:
+            q_point, quota, candidates, cursor = stream
+            if quota == 0:
+                continue
+            while cursor < len(candidates):
+                d, pid = candidates[cursor]
+                cursor += 1
+                if pid in remaining:
+                    pairs.append((q_point.pid, pid, d))
+                    del remaining[pid]
+                    stream[1] = quota - 1
+                    progressed = True
+                    break
+            stream[3] = cursor
+    return pairs
+
+
+def exclusive_nn_refine(
+    providers: Sequence[Tuple[Point, int]],
+    customers: Sequence[Point],
+) -> List[Tuple[int, int, float]]:
+    """Exclusive-NN refinement: repeatedly commit the globally closest
+    (provider-with-quota, unassigned-customer) pair."""
+    quotas = {}
+    points = {}
+    heap: List[Tuple[float, int, int]] = []
+    for q_point, quota in providers:
+        if quota <= 0:
+            continue
+        quotas[q_point.pid] = quota
+        points[q_point.pid] = q_point
+        for p in customers:
+            heapq.heappush(heap, (dist(q_point, p), q_point.pid, p.pid))
+    taken = set()
+    pairs: List[Tuple[int, int, float]] = []
+    while heap:
+        d, q_pid, p_pid = heapq.heappop(heap)
+        if p_pid in taken or quotas.get(q_pid, 0) == 0:
+            continue
+        pairs.append((q_pid, p_pid, d))
+        taken.add(p_pid)
+        quotas[q_pid] -= 1
+    return pairs

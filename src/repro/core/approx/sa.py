@@ -1,0 +1,124 @@
+"""Service-provider Approximation (SA) — Section 4.1.
+
+1. *Partition*: group providers along the Hilbert curve with MBR diagonal
+   ≤ δ.
+2. *Concise matching*: replace each group by one representative at the
+   capacity-weighted centroid, with capacity Σ q.k, and solve that smaller
+   CCA exactly with IDA over the full customer R-tree.
+3. *Refinement*: within each group, distribute the customers that the
+   concise matching assigned to the representative among the group's real
+   providers (NN-based or exclusive-NN heuristic).
+
+Theorem 3: Ψ(SA) ≤ Ψ(optimal) + 2·γ·δ.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.core.approx.partition import hilbert_greedy_groups
+from repro.core.approx.refine import exclusive_nn_refine, nn_refine
+from repro.core.ida import IDASolver
+from repro.core.matching import Matching, SolverStats
+from repro.core.problem import CCAProblem, Provider
+from repro.geometry.point import Point
+
+DEFAULT_SA_DELTA = 40.0
+
+_REFINERS = {"nn": nn_refine, "exclusive": exclusive_nn_refine}
+
+
+class SAApproxSolver:
+    """Approximate CCA by grouping the service providers."""
+
+    def __init__(
+        self,
+        problem: CCAProblem,
+        delta: float = DEFAULT_SA_DELTA,
+        refinement: str = "nn",
+        cold_start: bool = True,
+    ):
+        if refinement not in _REFINERS:
+            raise ValueError(
+                f"unknown refinement {refinement!r}; use 'nn' or 'exclusive'"
+            )
+        self.problem = problem
+        self.delta = float(delta)
+        self.refinement = refinement
+        self.cold_start = cold_start
+        self.method = "sa" + ("n" if refinement == "nn" else "e")
+        self.stats = SolverStats(method=self.method, gamma=problem.gamma)
+
+    # ------------------------------------------------------------------
+    def solve(self) -> Matching:
+        problem = self.problem
+        tree = problem.rtree()
+        if self.cold_start:
+            tree.cold()
+        io_before = tree.stats.snapshot()
+        started = time.perf_counter()
+
+        # Phase 1: partition Q (in memory — no I/O).
+        world = problem.world_mbr()
+        groups = hilbert_greedy_groups(
+            [q.point for q in problem.providers],
+            self.delta,
+            world.lo,
+            world.hi,
+        )
+        representatives = [self._representative(m, g) for m, g in enumerate(groups)]
+
+        # Phase 2: concise matching between Q' and the full P (via IDA on
+        # the shared disk-resident R-tree: this is SA's I/O cost).
+        concise_problem = CCAProblem(
+            representatives,
+            problem.customers,
+            page_size=problem.page_size,
+            buffer_fraction=problem.buffer_fraction,
+        )
+        concise_problem.attach_rtree(tree)
+        concise_solver = IDASolver(concise_problem, use_pua=True)
+        concise_solver.cold_start = False  # keep cumulative I/O accounting
+        concise = concise_solver.solve()
+        self.stats.extra["concise"] = concise_solver.stats
+        self.stats.esub_edges = concise_solver.stats.esub_edges
+        self.stats.dijkstra_runs = concise_solver.stats.dijkstra_runs
+        self.stats.nn_requests = concise_solver.stats.nn_requests
+
+        # Phase 3: per-group refinement (members and coordinates are in
+        # memory; no further index I/O).
+        assigned: Dict[int, List[int]] = {}
+        for rep_id, customer_id, _ in concise.pairs:
+            assigned.setdefault(rep_id, []).append(customer_id)
+        refine = _REFINERS[self.refinement]
+        pairs: List[Tuple[int, int, float]] = []
+        for rep_id, customer_ids in assigned.items():
+            members = groups[rep_id]
+            quotas = [
+                (point, problem.providers[point.pid].capacity)
+                for point in members
+            ]
+            customers = [problem.customers[j].point for j in customer_ids]
+            pairs.extend(refine(quotas, customers))
+
+        self.stats.cpu_s = time.perf_counter() - started
+        self.stats.io = tree.stats.diff(io_before)
+        self.stats.extra["num_groups"] = len(groups)
+        self.stats.extra["delta"] = self.delta
+        return Matching(pairs, stats=self.stats)
+
+    # ------------------------------------------------------------------
+    def _representative(self, rep_id: int, members: List[Point]) -> Provider:
+        """Capacity-weighted centroid with the group's summed capacity."""
+        capacities = [
+            self.problem.providers[p.pid].capacity for p in members
+        ]
+        total = sum(capacities)
+        if total > 0:
+            x = sum(p.x * k for p, k in zip(members, capacities)) / total
+            y = sum(p.y * k for p, k in zip(members, capacities)) / total
+        else:
+            x = sum(p.x for p in members) / len(members)
+            y = sum(p.y for p in members) / len(members)
+        return Provider(Point(rep_id, (x, y)), total)

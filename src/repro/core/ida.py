@@ -1,0 +1,269 @@
+"""Incremental On-demand Algorithm (IDA) — Section 3.3, Algorithm 4.
+
+IDA refines NIA with two ideas:
+
+1. **Full-provider keys** (Definition 2): once provider ``q`` is full,
+   reaching it costs a real detour through its matched customers, so any
+   path through a pending edge ``(q, pm)`` costs at least (reach cost of
+   ``q``) + ``dist(q, pm)``.  The pending edge's heap key becomes
+   ``R_est(q) + dist`` where ``R_est`` is the best *known* real reach
+   distance, refreshed from Dijkstra's settled labels (Algorithm 4
+   lines 10-12).
+
+   We track reach costs in **real** (un-reduced) units rather than the
+   paper's literal reduced ``q.α`` values: real source distances are
+   monotone non-decreasing across successive-shortest-path iterations (the
+   classical SSP lemma), so a recorded value can never overestimate later
+   reality; and the provider's own potential cancels out of the bound,
+   leaving a certification test that needs no ``τmax`` slack at all:
+
+       ``sp_reduced + τ_s ≤ min over pending (R_est(q) + dist)``
+
+   (Derivation: a path through an unseen edge has reduced cost ≥
+   ``α_cur(q) + dist − τ_q + τ_pm`` with ``τ_pm ≥ 0``, and
+   ``α_cur(q) = R_cur(q) − τ_s + τ_q ≥ R_est(q) − τ_s + τ_q``.)
+
+   Labels are adopted only when they sit below the current certification
+   bound — labels above it were computed on ``Esub`` and may overestimate
+   the full-graph distance.
+
+2. **Theorem 2 fast path** (Definition 3): while no provider is full, the
+   globally shortest s→t path is simply the shortest pending edge with a
+   non-full customer, so augmentations need no Dijkstra at all.  Edges
+   popped onto *full* customers are inserted into ``Esub`` and skipped.
+
+   The fast path maintains potentials in O(log) amortized per step using a
+   *lazy offset*: every fast augmentation of cost ``a`` advances the source
+   and all provider potentials by ``a`` uniformly; a full customer that a
+   real Dijkstra would have settled first settles when its (static) minimum
+   in-edge length drops below the accumulated offset — afterwards its label
+   is identically 0 and its potential advances with the same offset.  The
+   offsets are materialized into the network when the fast phase ends.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.engine import CERT_EPS
+from repro.core.nia import NIASolver
+from repro.core.pua import path_update
+from repro.core.problem import CCAProblem
+from repro.flow.dijkstra import DijkstraState, INF
+from repro.flow.graph import S_NODE, T_NODE
+from repro.geometry.point import Point
+
+
+class IDASolver(NIASolver):
+    """Exact CCA with full-provider pruning and the Theorem 2 fast path."""
+
+    method = "ida"
+
+    def __init__(
+        self,
+        problem: CCAProblem,
+        use_pua: bool = True,
+        ann_group_size: int = 8,
+        use_fast_path: bool = True,
+    ):
+        super().__init__(
+            problem, use_pua=use_pua, ann_group_size=ann_group_size
+        )
+        self.use_fast_path = use_fast_path
+        self._fast_mode = use_fast_path
+        # Best known real reach distance per provider (0 while non-full:
+        # the zero-cost source edge reaches it directly).
+        self._real_est: List[float] = []
+        # Lazy fast-phase potential bookkeeping.
+        self._offset = 0.0
+        self._unjoined: List[Tuple[float, int]] = []  # (min in-edge len, j)
+        self._in_unjoined: Dict[int, float] = {}  # j -> min in-edge length
+        self._joined: Dict[int, float] = {}  # j -> join_offset
+        self._materialized = True
+        # Partially-used multi-unit edge still eligible for fast augments
+        # (only arises with weighted customers, i.e. CA concise matching).
+        self._pending: Optional[Tuple[int, int, float]] = None
+
+    def _initialize(self) -> None:
+        # Keys read _real_est, so it must exist before the base class
+        # en-heaps the initial frontiers.
+        self._real_est = [0.0] * len(self.problem.providers)
+        super()._initialize()
+
+    # ------------------------------------------------------------------
+    # IDA heap keys: real reach estimate + edge length
+    # ------------------------------------------------------------------
+    def _key(self, provider: int, distance: float) -> float:
+        return self._real_est[provider] + distance
+
+    def _certified(self, state: DijkstraState, bound: float) -> bool:
+        """sp_real = sp_reduced + τ_s against the real-unit heap bound
+        (tighter than the generic ``bound − τmax`` test; see module doc)."""
+        if state.sp_cost == INF:
+            return False
+        if bound == INF:
+            return True
+        return state.sp_cost + self.net.tau_s <= bound + CERT_EPS
+
+    def _refresh_keys(self, state: DijkstraState) -> None:
+        """Algorithm 4 lines 10-12: adopt newly-settled reach costs of
+        full providers and re-queue their pending edges.
+
+        Only labels below the current certification bound are trusted —
+        they are provably full-graph-exact; larger labels may be ``Esub``
+        artifacts.  Must run *before* the potentials move (the labels are
+        expressed in the current potential basis).
+        """
+        net = self.net
+        bound_reduced = self._top_key() - net.tau_s
+        real_est = self._real_est
+        tau_s = net.tau_s
+        q_tau = net.q_tau
+        q_used = net.q_used
+        q_cap = net.q_cap
+        for provider in range(net.nq):
+            if q_used[provider] < q_cap[provider]:
+                continue
+            alpha = state.settled_alpha(provider)
+            if alpha is None or alpha > bound_reduced + CERT_EPS:
+                continue
+            real = alpha + tau_s - q_tau[provider]
+            if real > real_est[provider] + 1e-12:
+                real_est[provider] = real
+                self._push_current(provider)
+
+    # ------------------------------------------------------------------
+    # per-attempt hooks (Algorithm 4 defers the en-heap until after the
+    # Dijkstra run so the new edge carries an up-to-date key)
+    # ------------------------------------------------------------------
+    def _after_insert(
+        self,
+        provider: int,
+        customer: int,
+        distance: float,
+        state: Optional[DijkstraState],
+    ) -> None:
+        if self.use_pua and state is not None:
+            path_update(state, self.net, provider, customer, distance)
+
+    def _post_dijkstra(
+        self, state: DijkstraState, popped: Optional[Tuple[int, Point, float]]
+    ) -> None:
+        self._refresh_keys(state)
+        if popped is not None:
+            self._advance_frontier(popped[0])  # lines 13-14
+
+    def _pre_augment(self, state: DijkstraState) -> None:
+        """Providers often become full at augmentation; re-key from the
+        augmenting run's labels while the potential basis still matches
+        (cf. the Figure 4(b) example)."""
+        self._refresh_keys(state)
+
+    # ------------------------------------------------------------------
+    # the iteration: fast path while no provider is full
+    # ------------------------------------------------------------------
+    def _iteration(self) -> None:
+        if self._fast_mode:
+            if self._fast_iteration():
+                return
+            # Supply exhausted or a provider filled up — leave fast mode.
+            self._leave_fast_mode()
+        super()._iteration()
+
+    def _fast_iteration(self) -> bool:
+        """Theorem 2: augment one unit without Dijkstra.  Returns False
+        when the fast phase must end (handled by the caller); True after
+        a successful augmentation."""
+        net = self.net
+        self._materialized = False
+        while True:
+            if self._pending is not None:
+                # A partially-used edge is still the global minimum (every
+                # heap key is at least its length): keep pushing units.
+                provider, customer, d = self._pending
+            else:
+                popped = self._pop_edge()
+                if popped is None:
+                    return False
+                provider, point, d = popped
+                customer = point.pid
+                if net.add_edge(provider, customer, d):
+                    self.stats.edges_inserted += 1
+                self._advance_frontier(provider)
+                if net.customer_full(customer):
+                    self._note_skip(customer, d)
+                    continue
+
+            # sp = {e(s, q), e(q, p), e(p, t)} with cost d − τ_Q; in lazy
+            # form all provider potentials equal the offset, so the reduced
+            # cost is d − offset (p's potential is 0: never settled early).
+            alpha_min = d - self._offset
+            if alpha_min < -1e-6:
+                raise AssertionError("fast path produced a negative cost")
+            alpha_min = max(alpha_min, 0.0)
+            net.apply_path(
+                [S_NODE, provider, net.customer_node(customer), T_NODE]
+            )
+            new_offset = self._offset + alpha_min
+            # Settle every full customer whose label would have beaten
+            # alpha_min (its static min in-edge length < new offset).
+            while self._unjoined and self._unjoined[0][0] < new_offset:
+                key, j = heapq.heappop(self._unjoined)
+                if self._in_unjoined.get(j) != key:
+                    continue  # stale heap entry
+                del self._in_unjoined[j]
+                self._joined[j] = key
+            self._offset = new_offset
+            self.stats.fast_path_augments += 1
+
+            residual = net.edge_residual(provider, customer) > 0
+            p_full = net.customer_full(customer)
+            if p_full and residual:
+                # The leftover forward capacity is now an in-edge of a full
+                # customer: account for its (lazy) settlement like a skip.
+                self._note_skip(customer, d)
+            if net.provider_full(provider):
+                self._pending = None
+                self._leave_fast_mode()
+                return True
+            self._pending = (
+                (provider, customer, d) if residual and not p_full else None
+            )
+            return True
+
+    def _note_skip(self, customer: int, distance: float) -> None:
+        """Track an Esub in-edge of a full customer for lazy settlement."""
+        if customer in self._joined:
+            return  # already settled once; its label is 0 forever after
+        current = self._in_unjoined.get(customer)
+        if current is None or distance < current:
+            self._in_unjoined[customer] = distance
+            heapq.heappush(self._unjoined, (distance, customer))
+
+    def _leave_fast_mode(self) -> None:
+        if self._materialized:
+            self._fast_mode = False
+            return
+        net = self.net
+        net.tau_s += self._offset
+        for i in range(net.nq):
+            net.q_tau[i] += self._offset
+        for j, join_offset in self._joined.items():
+            net.p_tau[j] += self._offset - join_offset
+        self._offset = 0.0
+        self._joined.clear()
+        self._in_unjoined.clear()
+        self._unjoined.clear()
+        self._pending = None
+        self._materialized = True
+        self._fast_mode = False
+
+    # ------------------------------------------------------------------
+    def solve(self):
+        matching = super().solve()
+        # A solve that finished entirely inside the fast phase still owes
+        # the materialization (so the network's potentials are inspectable).
+        if not self._materialized:
+            self._leave_fast_mode()
+        return matching

@@ -1,0 +1,103 @@
+"""Matchings and solver statistics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.storage.iostats import IOStats
+
+
+@dataclass
+class SolverStats:
+    """Everything Section 5 measures, per solve.
+
+    ``esub_edges`` is the paper's "size of subgraph" metric; ``io`` carries
+    page-fault counts convertible to charged I/O seconds; ``cpu_s`` is
+    wall-clock compute time of the solver itself.
+    """
+
+    method: str = ""
+    gamma: int = 0
+    esub_edges: int = 0
+    dijkstra_runs: int = 0
+    dijkstra_pops: int = 0
+    invalid_paths: int = 0
+    fast_path_augments: int = 0
+    edges_inserted: int = 0
+    range_searches: int = 0
+    nn_requests: int = 0
+    cpu_s: float = 0.0
+    io: IOStats = field(default_factory=IOStats)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def io_s(self) -> float:
+        return self.io.io_time_s
+
+    @property
+    def total_s(self) -> float:
+        """CPU + charged I/O, the paper's "total time"."""
+        return self.cpu_s + self.io_s
+
+
+@dataclass
+class Matching:
+    """A CCA matching ``M``: (provider_id, customer_id, distance) triples."""
+
+    pairs: List[Tuple[int, int, float]]
+    stats: Optional[SolverStats] = None
+
+    @property
+    def cost(self) -> float:
+        """Ψ(M) — Equation 1."""
+        return sum(d for _, _, d in self.pairs)
+
+    @property
+    def size(self) -> int:
+        return len(self.pairs)
+
+    def assignment_of(self, customer_id: int) -> Optional[int]:
+        """Provider assigned to a customer, or None."""
+        for q, p, _ in self.pairs:
+            if p == customer_id:
+                return q
+        return None
+
+    def customers_of(self, provider_id: int) -> List[int]:
+        return [p for q, p, _ in self.pairs if q == provider_id]
+
+    def validate(self, problem) -> None:
+        """Assert the three CCA requirements of Section 1 (validity and
+        maximality; optimality is checked against oracles in the tests)."""
+        provider_load = Counter(q for q, _, _ in self.pairs)
+        customer_load = Counter(p for _, p, _ in self.pairs)
+        for i, count in provider_load.items():
+            cap = problem.providers[i].capacity
+            if count > cap:
+                raise AssertionError(
+                    f"provider {i} assigned {count} > capacity {cap}"
+                )
+        for j, count in customer_load.items():
+            weight = problem.customers[j].weight
+            if count > weight:
+                raise AssertionError(
+                    f"customer {j} assigned {count} > weight {weight}"
+                )
+        if len(self.pairs) != problem.gamma:
+            raise AssertionError(
+                f"matching size {len(self.pairs)} != gamma {problem.gamma}"
+            )
+        for i, j, d in self.pairs:
+            actual = problem.distance(i, j)
+            if abs(actual - d) > 1e-6:
+                raise AssertionError(
+                    f"pair ({i},{j}) stores distance {d}, actual {actual}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __repr__(self) -> str:
+        return f"Matching(size={self.size}, cost={self.cost:.3f})"

@@ -1,0 +1,163 @@
+"""Nearest Neighbor Incremental Algorithm (NIA) — Section 3.2, Algorithm 3.
+
+NIA replaces RIA's bulk range queries with an edge-at-a-time supply: a
+min-heap ``H`` holds, for every provider, its next undiscovered
+nearest-neighbor edge, keyed by length.  Each attempt moves the globally
+shortest pending edge into ``Esub``, refills the provider's slot from its
+incremental NN stream (shared-I/O grouped ANN, Section 3.4.2), and re-runs
+(or PUA-resumes, Section 3.4.1) the shortest-path search.  ``TopKey(H)``
+*is* ``φ(E − Esub)``, so Theorem 1 certifies paths directly against it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.core.engine import IncrementalCCASolver
+from repro.core.pua import path_update
+from repro.core.problem import CCAProblem
+from repro.flow.dijkstra import DijkstraState, INF
+from repro.geometry.distance import dist
+from repro.geometry.point import Point
+from repro.rtree.ann import GroupedANN
+
+DEFAULT_ANN_GROUP_SIZE = 8
+
+
+class NIASolver(IncrementalCCASolver):
+    """Exact CCA via incremental nearest-neighbor edge supply."""
+
+    method = "nia"
+
+    def __init__(
+        self,
+        problem: CCAProblem,
+        use_pua: bool = True,
+        ann_group_size: int = DEFAULT_ANN_GROUP_SIZE,
+    ):
+        super().__init__(problem, use_pua=use_pua)
+        self.ann_group_size = ann_group_size
+        self._heap: List[Tuple[float, int, int]] = []  # (key, version, i)
+        self._version: List[int] = []
+        self._frontier: List[Optional[Tuple[Point, float]]] = []
+
+    # ------------------------------------------------------------------
+    # heap keys — NIA uses plain edge lengths; IDA overrides.
+    # ------------------------------------------------------------------
+    def _key(self, provider: int, distance: float) -> float:
+        return distance
+
+    # ------------------------------------------------------------------
+    # edge supply
+    # ------------------------------------------------------------------
+    def _initialize(self) -> None:
+        nq = len(self.problem.providers)
+        self._version = [0] * nq
+        self._frontier = [None] * nq
+        self.ann = GroupedANN(
+            self.tree,
+            [q.point for q in self.problem.providers],
+            group_size=self.ann_group_size,
+        )
+        for i in range(nq):
+            # A zero-capacity provider can never appear in the matching;
+            # giving it no frontier keeps it out of Esub entirely (and
+            # preserves IDA's Theorem 2 premise, since such a provider is
+            # "full" from the start yet owns no edges).
+            if self.problem.providers[i].capacity > 0:
+                self._advance_frontier(i)
+
+    def _advance_frontier(self, provider: int) -> None:
+        """Fetch the provider's next NN and en-heap its edge (one pending
+        edge per provider at all times)."""
+        q_point = self.problem.providers[provider].point
+        p = self.ann.next_nn(q_point.pid)
+        self.stats.nn_requests += 1
+        if p is None:
+            self._frontier[provider] = None  # NN stream exhausted
+            return
+        d = dist(q_point, p)
+        self._frontier[provider] = (p, d)
+        self._push_current(provider)
+
+    def _push_current(self, provider: int) -> None:
+        """(Re-)queue the provider's pending edge under its current key."""
+        entry = self._frontier[provider]
+        if entry is None:
+            return
+        _, d = entry
+        self._version[provider] += 1
+        heapq.heappush(
+            self._heap,
+            (self._key(provider, d), self._version[provider], provider),
+        )
+
+    def _pop_edge(self) -> Optional[Tuple[int, Point, float]]:
+        """De-heap the valid top edge; None when the supply is exhausted."""
+        while self._heap:
+            _, version, provider = heapq.heappop(self._heap)
+            if version != self._version[provider]:
+                continue  # superseded by a key refresh
+            point, d = self._frontier[provider]
+            self._frontier[provider] = None
+            return provider, point, d
+        return None
+
+    def _top_key(self) -> float:
+        """TopKey(H): the certification bound φ/Φ(E − Esub)."""
+        while self._heap:
+            key, version, provider = self._heap[0]
+            if version == self._version[provider]:
+                return key
+            heapq.heappop(self._heap)
+        return INF
+
+    # ------------------------------------------------------------------
+    # per-attempt hooks (IDA overrides both)
+    # ------------------------------------------------------------------
+    def _after_insert(
+        self,
+        provider: int,
+        customer: int,
+        distance: float,
+        state: Optional[DijkstraState],
+    ) -> None:
+        """NIA en-heaps the next NN immediately (Algorithm 3 lines 9-10)."""
+        self._advance_frontier(provider)
+        if self.use_pua and state is not None:
+            path_update(state, self.net, provider, customer, distance)
+
+    def _post_dijkstra(
+        self, state: DijkstraState, popped: Optional[Tuple[int, Point, float]]
+    ) -> None:
+        """No key maintenance in NIA (keys are static lengths)."""
+
+    def _pre_augment(self, state: DijkstraState) -> None:
+        """No key maintenance in NIA."""
+
+    # ------------------------------------------------------------------
+    # one CCA iteration (Algorithm 3 lines 6-17)
+    # ------------------------------------------------------------------
+    def _iteration(self) -> None:
+        state: Optional[DijkstraState] = None
+        while True:
+            popped = self._pop_edge()
+            if popped is not None:
+                provider, point, d = popped
+                if self.net.add_edge(provider, point.pid, d):
+                    self.stats.edges_inserted += 1
+                self._after_insert(provider, point.pid, d, state)
+            if state is None or not self.use_pua:
+                state = self._fresh_state()
+            reachable = state.run()
+            self._post_dijkstra(state, popped)
+            if reachable and self._certified(state, self._top_key()):
+                self._pre_augment(state)
+                self._augment(state)
+                return
+            self.stats.invalid_paths += 1
+            if popped is None and not reachable:
+                raise RuntimeError(
+                    "edge supply exhausted but the sink is unreachable"
+                )

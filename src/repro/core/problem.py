@@ -1,0 +1,173 @@
+"""Problem definition: service providers, customers, and CCA instances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.distance import dist
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+from repro.rtree.tree import RTree
+from repro.storage.page import DEFAULT_PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class Provider:
+    """A service provider ``q`` with capacity ``q.k`` (Section 1)."""
+
+    point: Point
+    capacity: int
+
+    def __post_init__(self):
+        if self.capacity < 0:
+            raise ValueError("provider capacity must be non-negative")
+
+    @property
+    def pid(self) -> int:
+        return self.point.pid
+
+
+@dataclass(frozen=True)
+class Customer:
+    """A customer ``p``; ``weight > 1`` only occurs for CA representatives."""
+
+    point: Point
+    weight: int = 1
+
+    def __post_init__(self):
+        if self.weight < 0:
+            raise ValueError("customer weight must be non-negative")
+
+    @property
+    def pid(self) -> int:
+        return self.point.pid
+
+
+class CCAProblem:
+    """A capacity-constrained assignment instance.
+
+    Provider/customer ids must equal their list positions — the solvers use
+    ids as array indices.  Use :meth:`from_arrays` to build instances from
+    raw coordinates (it assigns ids for you).
+    """
+
+    def __init__(
+        self,
+        providers: Sequence[Provider],
+        customers: Sequence[Customer],
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_fraction: float = 0.01,
+    ):
+        self.providers: List[Provider] = list(providers)
+        self.customers: List[Customer] = list(customers)
+        for i, q in enumerate(self.providers):
+            if q.pid != i:
+                raise ValueError(
+                    f"provider at position {i} has id {q.pid}; ids must be "
+                    "consecutive from 0 (use CCAProblem.from_arrays)"
+                )
+        for j, p in enumerate(self.customers):
+            if p.pid != j:
+                raise ValueError(
+                    f"customer at position {j} has id {p.pid}; ids must be "
+                    "consecutive from 0 (use CCAProblem.from_arrays)"
+                )
+        self.page_size = page_size
+        self.buffer_fraction = buffer_fraction
+        self._rtree: Optional[RTree] = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        provider_xy: Sequence[Tuple[float, float]],
+        provider_capacities: Sequence[int],
+        customer_xy: Sequence[Tuple[float, float]],
+        customer_weights: Optional[Sequence[int]] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_fraction: float = 0.01,
+    ) -> "CCAProblem":
+        """Build an instance from coordinate arrays."""
+        provider_xy = np.asarray(provider_xy, dtype=float)
+        customer_xy = np.asarray(customer_xy, dtype=float)
+        if len(provider_xy) != len(provider_capacities):
+            raise ValueError("provider coordinates/capacities length mismatch")
+        if customer_weights is None:
+            customer_weights = [1] * len(customer_xy)
+        if len(customer_xy) != len(customer_weights):
+            raise ValueError("customer coordinates/weights length mismatch")
+        providers = [
+            Provider(Point(i, xy), int(k))
+            for i, (xy, k) in enumerate(zip(provider_xy, provider_capacities))
+        ]
+        customers = [
+            Customer(Point(j, xy), int(w))
+            for j, (xy, w) in enumerate(zip(customer_xy, customer_weights))
+        ]
+        return cls(
+            providers,
+            customers,
+            page_size=page_size,
+            buffer_fraction=buffer_fraction,
+        )
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def gamma(self) -> int:
+        """Required matching size γ = min(Σ weights, Σ capacities)."""
+        return min(
+            sum(p.weight for p in self.customers),
+            sum(q.capacity for q in self.providers),
+        )
+
+    @property
+    def capacities(self) -> List[int]:
+        return [q.capacity for q in self.providers]
+
+    @property
+    def weights(self) -> List[int]:
+        return [p.weight for p in self.customers]
+
+    def distance(self, i: int, j: int) -> float:
+        """dist(q_i, p_j)."""
+        return dist(self.providers[i].point, self.customers[j].point)
+
+    def world_mbr(self) -> MBR:
+        """Tight MBR over all points (RIA's expansion ceiling)."""
+        points = [q.point for q in self.providers] + [
+            p.point for p in self.customers
+        ]
+        if not points:
+            return MBR((0.0, 0.0), (1.0, 1.0))
+        return MBR.from_points(points)
+
+    # ------------------------------------------------------------------
+    # the disk-resident index over P
+    # ------------------------------------------------------------------
+    def rtree(self, rebuild: bool = False) -> RTree:
+        """The (lazily built, cached) R-tree over the customer set."""
+        if self._rtree is None or rebuild:
+            self._rtree = RTree.from_points(
+                [p.point for p in self.customers],
+                page_size=self.page_size,
+                buffer_fraction=self.buffer_fraction,
+            )
+        return self._rtree
+
+    def attach_rtree(self, tree: RTree) -> None:
+        """Share an existing index (the approximate solvers reuse the main
+        tree for concise matching instead of rebuilding it)."""
+        self._rtree = tree
+
+    def __repr__(self) -> str:
+        return (
+            f"CCAProblem(|Q|={len(self.providers)}, "
+            f"|P|={len(self.customers)}, gamma={self.gamma})"
+        )

@@ -1,0 +1,82 @@
+"""One-call façade over every solver in the repository."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.approx.ca import CAApproxSolver
+from repro.core.approx.sa import SAApproxSolver
+from repro.core.baseline import SSPASolver
+from repro.core.ida import IDASolver
+from repro.core.matching import Matching
+from repro.core.nia import NIASolver
+from repro.core.problem import CCAProblem
+from repro.core.ria import RIASolver
+from repro.core.sm import SMSolver
+
+EXACT_METHODS = ("sspa", "ria", "nia", "ida")
+APPROX_METHODS = ("san", "sae", "can", "cae", "sm")
+
+
+def solve(
+    problem: CCAProblem,
+    method: str = "ida",
+    *,
+    theta: float = 0.8,
+    delta: Optional[float] = None,
+    use_pua: bool = True,
+    use_fast_path: bool = True,
+    ann_group_size: int = 8,
+) -> Matching:
+    """Solve a CCA instance.
+
+    Parameters
+    ----------
+    method:
+        One of ``sspa`` / ``ria`` / ``nia`` / ``ida`` (exact), ``san`` /
+        ``sae`` / ``can`` / ``cae`` (SA/CA approximation with NN-based or
+        exclusive-NN refinement), or ``sm`` (greedy spatial-matching
+        baseline).
+    theta:
+        RIA's range increment θ.
+    delta:
+        SA/CA partition diagonal δ (defaults: 40 for SA, 10 for CA, the
+        paper's sweet spots).
+    use_pua / use_fast_path / ann_group_size:
+        Optimization toggles for NIA/IDA (Section 3.3-3.4), exposed for
+        ablation studies.
+    """
+    method = method.lower()
+    if method == "sspa":
+        return SSPASolver(problem).solve()
+    if method == "ria":
+        return RIASolver(problem, theta=theta).solve()
+    if method == "nia":
+        return NIASolver(
+            problem, use_pua=use_pua, ann_group_size=ann_group_size
+        ).solve()
+    if method == "ida":
+        return IDASolver(
+            problem,
+            use_pua=use_pua,
+            ann_group_size=ann_group_size,
+            use_fast_path=use_fast_path,
+        ).solve()
+    if method in ("san", "sae"):
+        return SAApproxSolver(
+            problem,
+            delta=40.0 if delta is None else delta,
+            refinement="nn" if method == "san" else "exclusive",
+        ).solve()
+    if method in ("can", "cae"):
+        return CAApproxSolver(
+            problem,
+            delta=10.0 if delta is None else delta,
+            refinement="nn" if method == "can" else "exclusive",
+        ).solve()
+    if method == "sm":
+        return SMSolver(problem, ann_group_size=ann_group_size).solve()
+    raise ValueError(
+        f"unknown method {method!r}; expected one of "
+        f"{EXACT_METHODS + APPROX_METHODS}"
+    )

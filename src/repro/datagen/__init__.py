@@ -1,0 +1,36 @@
+"""Workload generation (Section 5.1).
+
+The paper generates both point sets on the San Francisco road map with the
+Brinkhoff moving-objects generator: points lie on network edges, 80% of them
+concentrated in 10 dense clusters and 20% spread uniformly, normalized to a
+``[0, 1000]²`` space.  Neither the map nor the generator binary is
+redistributable here, so :mod:`repro.datagen.network` synthesizes a road
+network with the same role (a connected, locally-structured edge set) and
+:mod:`repro.datagen.generator` reproduces the point-placement protocol on
+top of it.  All randomness is seeded.
+"""
+
+from repro.datagen.network import RoadNetwork, build_road_network
+from repro.datagen.generator import (
+    generate_points,
+    clustered_points,
+    uniform_points,
+)
+from repro.datagen.workloads import (
+    make_problem,
+    make_capacities,
+    WORLD_LO,
+    WORLD_HI,
+)
+
+__all__ = [
+    "RoadNetwork",
+    "build_road_network",
+    "generate_points",
+    "clustered_points",
+    "uniform_points",
+    "make_problem",
+    "make_capacities",
+    "WORLD_LO",
+    "WORLD_HI",
+]

@@ -1,0 +1,112 @@
+"""Point placement on the road network (the [15]-style generator).
+
+Two distributions, as in Section 5.1:
+
+* ``uniform`` (U) — points uniformly along the network's edges (edge picked
+  proportionally to its length, position uniform along it);
+* ``clustered`` (C) — 80% of the points in 10 dense clusters around random
+  network nodes (Gaussian spread, snapped to the nearest edge), the
+  remaining 20% uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.datagen.network import RoadNetwork
+
+DEFAULT_CLUSTERS = 10
+DEFAULT_CLUSTER_FRACTION = 0.8
+DEFAULT_CLUSTER_SIGMA = 30.0
+
+
+def uniform_points(
+    network: RoadNetwork, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``n`` points uniformly distributed over the network's edges."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if n == 0:
+        return np.empty((0, 2))
+    probabilities = network.edge_lengths / network.edge_lengths.sum()
+    edge_idx = rng.choice(network.num_edges, size=n, p=probabilities)
+    fractions = rng.random(n)
+    a = network.node_xy[network.edges[edge_idx, 0]]
+    b = network.node_xy[network.edges[edge_idx, 1]]
+    return a + fractions[:, None] * (b - a)
+
+
+def clustered_points(
+    network: RoadNetwork,
+    n: int,
+    rng: np.random.Generator,
+    clusters: int = DEFAULT_CLUSTERS,
+    cluster_fraction: float = DEFAULT_CLUSTER_FRACTION,
+    sigma: float = DEFAULT_CLUSTER_SIGMA,
+    centers: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """80/20 clustered placement snapped to the nearest network edge.
+
+    ``centers`` pins the cluster centers; the Section 5.1 protocol draws
+    *both* point sets over the same dense districts of the map, so the
+    workload factory passes one shared center set for Q and P.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if not 0.0 <= cluster_fraction <= 1.0:
+        raise ValueError("cluster_fraction must lie in [0, 1]")
+    if n == 0:
+        return np.empty((0, 2))
+    n_clustered = int(round(n * cluster_fraction))
+    n_uniform = n - n_clustered
+
+    parts = []
+    if n_clustered:
+        if centers is None:
+            centers = network.node_xy[
+                rng.choice(network.num_nodes, size=clusters, replace=False)
+            ]
+        else:
+            centers = np.asarray(centers, dtype=float)
+            clusters = len(centers)
+        assignment = rng.integers(0, clusters, size=n_clustered)
+        targets = centers[assignment] + rng.normal(
+            0.0, sigma, (n_clustered, 2)
+        )
+        # Snap each Gaussian draw onto the road skeleton: nearest edge
+        # midpoint, then a uniform position on that edge.
+        tree = cKDTree(network.edge_midpoints)
+        _, nearest_edge = tree.query(targets)
+        fractions = rng.random(n_clustered)
+        a = network.node_xy[network.edges[nearest_edge, 0]]
+        b = network.node_xy[network.edges[nearest_edge, 1]]
+        parts.append(a + fractions[:, None] * (b - a))
+    if n_uniform:
+        parts.append(uniform_points(network, n_uniform, rng))
+    out = np.concatenate(parts, axis=0)
+    rng.shuffle(out)
+    return out
+
+
+def generate_points(
+    network: RoadNetwork,
+    n: int,
+    distribution: str = "clustered",
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    **kwargs,
+) -> np.ndarray:
+    """Dispatch on distribution code: 'uniform'/'U' or 'clustered'/'C'."""
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    dist = distribution.lower()
+    if dist in ("u", "uniform"):
+        return uniform_points(network, n, rng)
+    if dist in ("c", "clustered"):
+        return clustered_points(network, n, rng, **kwargs)
+    raise ValueError(
+        f"unknown distribution {distribution!r}; use 'uniform' or 'clustered'"
+    )

@@ -1,0 +1,160 @@
+"""Synthetic road network (substitute for the San Francisco map [3]).
+
+The network is a jittered grid over ``[0, 1000]²`` with random edge
+deletions (dead ends, irregular blocks) and a sprinkle of diagonal
+shortcuts (arterials).  What the CCA workload needs from a road map is (a)
+points constrained to a 1-D edge skeleton and (b) spatial density that can
+be locally skewed; both survive this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+WORLD_SIZE = 1000.0
+
+
+@dataclass
+class RoadNetwork:
+    """Node coordinates plus an edge list with cached lengths."""
+
+    node_xy: np.ndarray  # shape (n, 2)
+    edges: np.ndarray  # shape (m, 2) int node indices
+    edge_lengths: np.ndarray  # shape (m,)
+    edge_midpoints: np.ndarray  # shape (m, 2)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_xy)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def total_length(self) -> float:
+        return float(self.edge_lengths.sum())
+
+    def point_on_edge(self, edge_index: int, fraction: float) -> Tuple[float, float]:
+        """Coordinates at ``fraction`` ∈ [0, 1] along an edge."""
+        a, b = self.edges[edge_index]
+        xy = self.node_xy[a] + fraction * (self.node_xy[b] - self.node_xy[a])
+        return float(xy[0]), float(xy[1])
+
+    def to_networkx(self):
+        """Export as a networkx graph (weights = Euclidean lengths)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        for idx, (x, y) in enumerate(self.node_xy):
+            graph.add_node(idx, x=float(x), y=float(y))
+        for (a, b), length in zip(self.edges, self.edge_lengths):
+            graph.add_edge(int(a), int(b), weight=float(length))
+        return graph
+
+
+def build_road_network(
+    grid: int = 24,
+    seed: int = 7,
+    jitter: float = 0.25,
+    drop_fraction: float = 0.12,
+    shortcut_fraction: float = 0.05,
+    world_size: float = WORLD_SIZE,
+) -> RoadNetwork:
+    """Build the synthetic network.
+
+    Parameters
+    ----------
+    grid:
+        Nodes per side (``grid²`` intersections).
+    jitter:
+        Node displacement as a fraction of the cell size.
+    drop_fraction:
+        Fraction of grid edges removed (keeping the graph connected).
+    shortcut_fraction:
+        Extra diagonal edges, as a fraction of the grid edge count.
+    """
+    if grid < 2:
+        raise ValueError("grid must be at least 2")
+    rng = np.random.default_rng(seed)
+    cell = world_size / (grid - 1)
+
+    xs, ys = np.meshgrid(np.arange(grid), np.arange(grid))
+    node_xy = np.stack([xs.ravel() * cell, ys.ravel() * cell], axis=1)
+    node_xy = node_xy + rng.normal(0.0, jitter * cell, node_xy.shape)
+    node_xy = np.clip(node_xy, 0.0, world_size)
+
+    def node_id(col: int, row: int) -> int:
+        return row * grid + col
+
+    edge_set: List[Tuple[int, int]] = []
+    for row in range(grid):
+        for col in range(grid):
+            if col + 1 < grid:
+                edge_set.append((node_id(col, row), node_id(col + 1, row)))
+            if row + 1 < grid:
+                edge_set.append((node_id(col, row), node_id(col, row + 1)))
+
+    # Random deletions, keeping connectivity via a spanning-tree check.
+    edges = _drop_edges_keep_connected(
+        edge_set, grid * grid, drop_fraction, rng
+    )
+
+    # Diagonal shortcuts.
+    num_shortcuts = int(len(edge_set) * shortcut_fraction)
+    existing = set(map(tuple, edges))
+    for _ in range(num_shortcuts):
+        row = rng.integers(0, grid - 1)
+        col = rng.integers(0, grid - 1)
+        a = node_id(col, row)
+        b = node_id(col + 1, row + 1)
+        if (a, b) not in existing:
+            edges.append((a, b))
+            existing.add((a, b))
+
+    edge_arr = np.asarray(edges, dtype=int)
+    vec = node_xy[edge_arr[:, 1]] - node_xy[edge_arr[:, 0]]
+    lengths = np.hypot(vec[:, 0], vec[:, 1])
+    midpoints = (node_xy[edge_arr[:, 0]] + node_xy[edge_arr[:, 1]]) / 2.0
+    return RoadNetwork(node_xy, edge_arr, lengths, midpoints)
+
+
+def _drop_edges_keep_connected(
+    edge_set: List[Tuple[int, int]],
+    num_nodes: int,
+    drop_fraction: float,
+    rng: np.random.Generator,
+) -> List[Tuple[int, int]]:
+    """Remove ~drop_fraction of edges but never disconnect the graph.
+
+    A union-find over a random edge order selects a spanning skeleton that
+    must stay; the remainder is eligible for deletion.
+    """
+    parent = list(range(num_nodes))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    order = rng.permutation(len(edge_set))
+    skeleton = set()
+    for idx in order:
+        a, b = edge_set[idx]
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+            skeleton.add(idx)
+
+    deletable = [i for i in range(len(edge_set)) if i not in skeleton]
+    num_drop = min(int(len(edge_set) * drop_fraction), len(deletable))
+    drop = set(
+        rng.choice(deletable, size=num_drop, replace=False).tolist()
+        if num_drop
+        else []
+    )
+    return [e for i, e in enumerate(edge_set) if i not in drop]

@@ -1,0 +1,83 @@
+"""Ready-made CCA instances for the Section 5 experiments."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.problem import CCAProblem
+from repro.datagen.generator import generate_points
+from repro.datagen.network import RoadNetwork, build_road_network
+
+WORLD_LO = (0.0, 0.0)
+WORLD_HI = (1000.0, 1000.0)
+
+KSpec = Union[int, Tuple[int, int]]
+
+
+@lru_cache(maxsize=4)
+def _shared_network(grid: int, seed: int) -> RoadNetwork:
+    return build_road_network(grid=grid, seed=seed)
+
+
+def make_capacities(
+    nq: int, k: KSpec, rng: np.random.Generator
+) -> Sequence[int]:
+    """Fixed capacity ``k`` or per-provider uniform draw from ``(lo, hi)``
+    (the Figure 12 "mixed k" setting)."""
+    if isinstance(k, tuple):
+        lo, hi = k
+        if lo < 0 or hi < lo:
+            raise ValueError("capacity range must satisfy 0 <= lo <= hi")
+        return rng.integers(lo, hi + 1, size=nq).tolist()
+    if k < 0:
+        raise ValueError("capacity must be non-negative")
+    return [int(k)] * nq
+
+
+def make_problem(
+    nq: int,
+    np_: int,
+    k: KSpec = 80,
+    dist_q: str = "clustered",
+    dist_p: str = "clustered",
+    seed: int = 0,
+    network_grid: int = 24,
+    network_seed: int = 7,
+    page_size: int = 1024,
+    buffer_fraction: float = 0.01,
+) -> CCAProblem:
+    """Build a Section-5-style CCA instance.
+
+    ``dist_q``/``dist_p`` choose the provider/customer distributions
+    ('uniform'/'clustered'), reproducing the UvsU..CvsC grid of Figures 13
+    and 18.  The road network is cached across calls (same grid/seed).
+    """
+    network = _shared_network(network_grid, network_seed)
+    rng = np.random.default_rng(seed)
+    # Both sets cluster over the SAME dense districts (Section 5.1 places
+    # Q and P on one map): one shared center draw per instance.
+    centers_rng = np.random.default_rng((seed, network_seed, 77))
+    centers = network.node_xy[
+        centers_rng.choice(network.num_nodes, size=10, replace=False)
+    ]
+
+    def points_for(count, distribution):
+        if distribution.lower() in ("c", "clustered"):
+            return generate_points(
+                network, count, distribution, rng=rng, centers=centers
+            )
+        return generate_points(network, count, distribution, rng=rng)
+
+    provider_xy = points_for(nq, dist_q)
+    customer_xy = points_for(np_, dist_p)
+    capacities = make_capacities(nq, k, rng)
+    return CCAProblem.from_arrays(
+        provider_xy,
+        capacities,
+        customer_xy,
+        page_size=page_size,
+        buffer_fraction=buffer_fraction,
+    )

@@ -1,0 +1,38 @@
+"""The Section 5 evaluation suite.
+
+Every table and figure of the paper's experimental section maps to a
+:class:`~repro.experiments.figures.FigureSpec`; the harness sweeps the
+figure's parameter, runs the figure's methods, and prints the same series
+the paper plots (subgraph size, CPU time, charged I/O time, matching
+quality).  Paper-scale inputs (|P| = 100K) are impractical in pure Python,
+so specs are evaluated at a documented linear ``scale`` that preserves the
+``k·|Q| ⋚ |P|`` regime driving every reported trend.
+"""
+
+from repro.experiments.config import (
+    PAPER_DEFAULTS,
+    PARAMETER_TABLE,
+    DEFAULT_SCALE,
+    BENCH_SCALE,
+    default_theta,
+)
+from repro.experiments.metrics import MethodResult
+from repro.experiments.harness import run_method, run_sweep
+from repro.experiments.figures import FIGURES, FigureSpec, run_figure
+from repro.experiments.report import format_figure_report, format_table2
+
+__all__ = [
+    "PAPER_DEFAULTS",
+    "PARAMETER_TABLE",
+    "DEFAULT_SCALE",
+    "BENCH_SCALE",
+    "default_theta",
+    "MethodResult",
+    "run_method",
+    "run_sweep",
+    "FIGURES",
+    "FigureSpec",
+    "run_figure",
+    "format_figure_report",
+    "format_table2",
+]

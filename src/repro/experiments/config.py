@@ -1,0 +1,51 @@
+"""Experiment configuration (Table 2 and scaling rules)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+# Paper defaults (Section 5.1 / Table 2), in paper units.
+PAPER_DEFAULTS: Dict = {
+    "nq": 1000,
+    "np": 100_000,
+    "k": 80,
+    "theta": 0.8,  # fine-tuned for |P| = 100K
+    "sa_delta": 40.0,
+    "ca_delta": 10.0,
+    "page_size": 1024,
+    "buffer_fraction": 0.01,
+    "io_penalty_s": 0.010,
+}
+
+# Table 2 verbatim: parameter, default, investigated range.
+PARAMETER_TABLE = [
+    ("|Q| (in thousands)", "1", "0.25, 0.5, 1, 2.5, 5"),
+    ("|P| (in thousands)", "100", "25, 50, 100, 150, 200"),
+    ("Capacity k", "80", "20, 40, 80, 160, 320"),
+    ("Diagonal delta", "SA: 40, CA: 10", "10, 20, 40, 80, 160"),
+]
+
+# Linear scale-down applied to |Q| and |P| (k, θ-equivalents, and δ are
+# left in paper units).  0.05 ⇒ |Q| = 50, |P| = 5000.
+DEFAULT_SCALE = 0.05
+# Benches run at a further reduced scale so the suite finishes in minutes
+# on a single core (|Q| = 10, |P| = 1000 at the paper defaults).
+BENCH_SCALE = 0.01
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale a paper-size cardinality, with a floor."""
+    return max(minimum, int(round(value * scale)))
+
+
+def default_theta(np_actual: int) -> float:
+    """RIA's θ, re-tuned to the actual customer density.
+
+    The paper fine-tunes θ = 0.8 at |P| = 100K in a 1000² world.  Expected
+    NN distance scales as |P|^-1/2, so we keep θ at the same *fraction* of
+    it: θ(|P|) = 250 / sqrt(|P|), which reproduces 0.79 at 100K.
+    """
+    if np_actual <= 0:
+        raise ValueError("customer count must be positive")
+    return 250.0 / math.sqrt(np_actual)

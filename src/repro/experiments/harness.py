@@ -1,0 +1,94 @@
+"""Run solvers on workloads and collect the paper's metrics."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.problem import CCAProblem
+from repro.core.solve import solve
+from repro.experiments.config import PAPER_DEFAULTS, default_theta
+from repro.experiments.metrics import MethodResult
+
+
+def run_method(
+    problem: CCAProblem,
+    method: str,
+    figure: str = "",
+    sweep_label: str = "",
+    optimal_cost: Optional[float] = None,
+    theta: Optional[float] = None,
+    delta: Optional[float] = None,
+    io_penalty_s: float = PAPER_DEFAULTS["io_penalty_s"],
+) -> MethodResult:
+    """Solve ``problem`` with ``method`` and record a result row."""
+    if theta is None:
+        theta = default_theta(len(problem.customers))
+    matching = solve(problem, method, theta=theta, delta=delta)
+    stats = matching.stats
+    stats.io.io_penalty_s = io_penalty_s
+    result = MethodResult(
+        figure=figure,
+        sweep_label=sweep_label,
+        method=method,
+        esub=stats.esub_edges,
+        cpu_s=stats.cpu_s,
+        io_faults=stats.io.faults,
+        io_s=stats.io.io_time_s,
+        cost=matching.cost,
+        matched=matching.size,
+        gamma=stats.gamma,
+        extra=dict(stats.extra),
+    )
+    if optimal_cost is not None and optimal_cost > 0:
+        result.quality = matching.cost / optimal_cost
+    return result
+
+
+def run_sweep(
+    problems: Dict[str, CCAProblem],
+    methods: Iterable[str],
+    figure: str = "",
+    quality_reference: Optional[str] = None,
+    theta: Optional[float] = None,
+    deltas: Optional[Dict[str, float]] = None,
+    io_penalty_s: float = PAPER_DEFAULTS["io_penalty_s"],
+) -> List[MethodResult]:
+    """Run every method on every sweep point.
+
+    ``quality_reference`` names an exact method whose cost becomes the
+    Ψ(M_CCA) denominator for the other methods' quality ratios (the
+    Section 5.3 protocol: quality is always measured against IDA's
+    optimum).
+    """
+    deltas = deltas or {}
+    results: List[MethodResult] = []
+    for sweep_label, problem in problems.items():
+        optimal_cost: Optional[float] = None
+        if quality_reference is not None:
+            ref = run_method(
+                problem,
+                quality_reference,
+                figure=figure,
+                sweep_label=sweep_label,
+                theta=theta,
+                io_penalty_s=io_penalty_s,
+            )
+            optimal_cost = ref.cost
+            ref.quality = 1.0
+            results.append(ref)
+        for method in methods:
+            if method == quality_reference:
+                continue
+            results.append(
+                run_method(
+                    problem,
+                    method,
+                    figure=figure,
+                    sweep_label=sweep_label,
+                    optimal_cost=optimal_cost,
+                    theta=theta,
+                    delta=deltas.get(method),
+                    io_penalty_s=io_penalty_s,
+                )
+            )
+    return results

@@ -1,0 +1,52 @@
+"""Per-run measurement records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class MethodResult:
+    """One (method, sweep-value) cell of a figure.
+
+    Mirrors exactly what Section 5 plots: subgraph size (``esub``),
+    CPU seconds, charged I/O seconds (faults × 10 ms), their sum, plus the
+    matching cost and — when an exact reference is available — the quality
+    ratio Ψ(M)/Ψ(M_CCA).
+    """
+
+    figure: str
+    sweep_label: str
+    method: str
+    esub: int = 0
+    cpu_s: float = 0.0
+    io_faults: int = 0
+    io_s: float = 0.0
+    cost: float = 0.0
+    matched: int = 0
+    gamma: int = 0
+    quality: Optional[float] = None
+    extra: Dict = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        return self.cpu_s + self.io_s
+
+    def as_row(self) -> Dict:
+        row = {
+            "figure": self.figure,
+            "sweep": self.sweep_label,
+            "method": self.method,
+            "esub": self.esub,
+            "cpu_s": round(self.cpu_s, 4),
+            "io_faults": self.io_faults,
+            "io_s": round(self.io_s, 4),
+            "total_s": round(self.total_s, 4),
+            "cost": round(self.cost, 2),
+            "matched": self.matched,
+            "gamma": self.gamma,
+        }
+        if self.quality is not None:
+            row["quality"] = round(self.quality, 4)
+        return row

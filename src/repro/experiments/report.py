@@ -1,0 +1,132 @@
+"""ASCII/markdown rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import PARAMETER_TABLE
+from repro.experiments.figures import FIGURES
+from repro.experiments.metrics import MethodResult
+
+
+def _unique_in_order(values: Sequence[str]) -> List[str]:
+    seen = {}
+    for v in values:
+        seen.setdefault(v, None)
+    return list(seen)
+
+
+def _pivot(
+    results: List[MethodResult], metric: str
+) -> Dict[str, Dict[str, str]]:
+    """sweep label -> method -> formatted metric."""
+    table: Dict[str, Dict[str, str]] = {}
+    for r in results:
+        value = getattr(r, metric)
+        if value is None:
+            text = "-"
+        elif metric == "esub":
+            text = str(value)
+        elif metric == "quality":
+            text = f"{value:.4f}"
+        else:
+            text = f"{value:.3f}"
+        table.setdefault(r.sweep_label, {})[r.method] = text
+    return table
+
+
+def _render_pivot(
+    title: str, results: List[MethodResult], metric: str
+) -> str:
+    table = _pivot(results, metric)
+    sweeps = _unique_in_order([r.sweep_label for r in results])
+    methods = _unique_in_order([r.method for r in results])
+    header = ["sweep"] + methods
+    rows = [[s] + [table.get(s, {}).get(m, "-") for m in methods] for s in sweeps]
+    widths = [
+        max(len(header[c]), *(len(row[c]) for row in rows)) if rows else len(header[c])
+        for c in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_figure_report(
+    fig_id: str,
+    results: List[MethodResult],
+    metrics: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a figure's series as stacked pivot tables (one per metric)."""
+    spec = FIGURES[fig_id.lower()]
+    if metrics is None:
+        has_quality = any(r.quality is not None for r in results)
+        metrics = ["esub", "cpu_s", "io_s", "total_s"]
+        if has_quality:
+            metrics = ["quality"] + metrics
+    blocks = [
+        f"== {spec.fig_id}: {spec.title} ==",
+        f"paper setup   : {spec.paper_setup}",
+        f"expected shape: {spec.expected_shape}",
+        "",
+    ]
+    for metric in metrics:
+        blocks.append(_render_pivot(f"-- {metric} --", results, metric))
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def format_table2() -> str:
+    """Render the paper's Table 2 (system parameters)."""
+    header = ("Parameter", "Default", "Range")
+    rows = [header] + [tuple(r) for r in PARAMETER_TABLE]
+    widths = [max(len(r[c]) for r in rows) for c in range(3)]
+    lines = ["== Table 2: system parameters =="]
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def figure_to_markdown(fig_id: str, results: List[MethodResult]) -> str:
+    """A figure's full markdown section (all metrics) for EXPERIMENTS.md."""
+    spec = FIGURES[fig_id.lower()]
+    has_quality = any(r.quality is not None for r in results)
+    metrics = ["esub", "cpu_s", "io_s", "total_s"]
+    if has_quality:
+        metrics = ["quality"] + metrics
+    parts = [
+        f"### {spec.fig_id}: {spec.title}",
+        "",
+        f"*Paper setup*: {spec.paper_setup}",
+        "",
+        f"*Expected shape (paper)*: {spec.expected_shape}",
+        "",
+    ]
+    for metric in metrics:
+        parts.append(f"**{metric}**")
+        parts.append("")
+        parts.append(results_to_markdown(fig_id, results, metric))
+        parts.append("")
+    return "\n".join(parts)
+
+
+def results_to_markdown(
+    fig_id: str, results: List[MethodResult], metric: str
+) -> str:
+    """One metric as a GitHub-markdown table (EXPERIMENTS.md fodder)."""
+    table = _pivot(results, metric)
+    sweeps = _unique_in_order([r.sweep_label for r in results])
+    methods = _unique_in_order([r.method for r in results])
+    lines = [
+        "| sweep | " + " | ".join(methods) + " |",
+        "|---" * (len(methods) + 1) + "|",
+    ]
+    for s in sweeps:
+        cells = [table.get(s, {}).get(m, "-") for m in methods]
+        lines.append("| " + s + " | " + " | ".join(cells) + " |")
+    return "\n".join(lines)

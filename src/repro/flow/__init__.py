@@ -1,0 +1,27 @@
+"""Min-cost-flow substrate for CCA.
+
+Implements the flow-graph reduction of Section 2.1 (source → providers →
+customers → sink), the potential-based successive-shortest-path machinery of
+Section 2.2 (Algorithm 1), and reference oracles used to validate every
+solver in the repository.
+"""
+
+from repro.flow.graph import CCAFlowNetwork, S_NODE, T_NODE
+from repro.flow.dijkstra import DijkstraState
+from repro.flow.sspa import sspa_solve
+from repro.flow.reference import (
+    oracle_lsa,
+    oracle_networkx,
+    oracle_cost,
+)
+
+__all__ = [
+    "CCAFlowNetwork",
+    "S_NODE",
+    "T_NODE",
+    "DijkstraState",
+    "sspa_solve",
+    "oracle_lsa",
+    "oracle_networkx",
+    "oracle_cost",
+]

@@ -1,0 +1,223 @@
+"""Potential-aware, resumable Dijkstra over the residual network.
+
+One :class:`DijkstraState` instance lives for one CCA *iteration* (one
+attempted augmentation).  It supports:
+
+* :meth:`run` — pop until the sink settles (early termination);
+* external α decreases via :meth:`improve` — the hook the Path Update
+  Algorithm (Section 3.4.1) uses after an edge insertion, followed by
+  another :meth:`run` that resumes from the live heap instead of
+  restarting.
+
+Settled nodes whose α later improves are simply un-settled and re-queued,
+which keeps resumption correct without any special-casing.
+
+Storage is flat arrays indexed by ``node + 2`` (sink ``-2`` → 0, source
+``-1`` → 1, providers/customers shifted up) — the innermost loop of every
+solver runs here, and array indexing beats dict lookups by a large factor
+in CPython.  Reduced-cost formulas from :class:`CCAFlowNetwork` are inlined
+for the same reason; tiny negative reduced costs are floating-point noise
+and clamp to 0 (genuinely negative ones are impossible while only
+Theorem-1-certified paths are augmented, and the flow-network unit tests
+assert against them).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.flow.graph import CCAFlowNetwork, S_NODE, T_NODE
+
+INF = float("inf")
+_OFF = 2  # node id -> array index offset
+
+
+class DijkstraState:
+    """Shortest-path computation state for a single CCA iteration."""
+
+    __slots__ = (
+        "net",
+        "_alpha",
+        "_prev",
+        "_settled",
+        "_settled_order",
+        "_heap",
+        "pops",
+    )
+
+    def __init__(self, net: CCAFlowNetwork):
+        self.net = net
+        size = net.nq + net.np + _OFF
+        self._alpha = [INF] * size
+        self._prev = [-3] * size  # -3 = unreached
+        self._settled = [False] * size
+        self._settled_order: List[int] = []  # indices, may hold stale dups
+        self._heap: List[Tuple[float, int]] = []
+        self.pops = 0  # settled-pop counter (work metric)
+        self._alpha[S_NODE + _OFF] = 0.0
+        heapq.heappush(self._heap, (0.0, S_NODE + _OFF))
+
+    # ------------------------------------------------------------------
+    # public views (node-id addressed)
+    # ------------------------------------------------------------------
+    def alpha_of(self, node: int) -> float:
+        """Current label of ``node`` (INF when unreached)."""
+        return self._alpha[node + _OFF]
+
+    def is_settled(self, node: int) -> bool:
+        return self._settled[node + _OFF]
+
+    def settled_alpha(self, node: int) -> Optional[float]:
+        """α of ``node`` if it is currently settled, else None."""
+        idx = node + _OFF
+        return self._alpha[idx] if self._settled[idx] else None
+
+    def settled_items(self) -> Iterator[Tuple[int, float]]:
+        """(node, α) for every currently settled node."""
+        seen = set()
+        for idx in self._settled_order:
+            if self._settled[idx] and idx not in seen:
+                seen.add(idx)
+                yield idx - _OFF, self._alpha[idx]
+
+    # ------------------------------------------------------------------
+    # relaxation primitives
+    # ------------------------------------------------------------------
+    def improve(self, node: int, alpha: float, prev: int) -> bool:
+        """Offer a shorter path to ``node``; re-queues (and un-settles) it
+        when the offer wins.  Returns True if α improved."""
+        idx = node + _OFF
+        if alpha >= self._alpha[idx]:
+            return False
+        self._alpha[idx] = alpha
+        self._prev[idx] = prev + _OFF
+        self._settled[idx] = False
+        heapq.heappush(self._heap, (alpha, idx))
+        return True
+
+    def _relax_out(self, idx: int, base: float) -> None:
+        """Relax every residual out-edge of the node at array index
+        ``idx`` (the solver's innermost loop — everything inlined)."""
+        net = self.net
+        alpha = self._alpha
+        prev = self._prev
+        settled = self._settled
+        heap = self._heap
+        push = heapq.heappush
+        nq = net.nq
+        if idx == S_NODE + _OFF:
+            tau_s = net.tau_s
+            q_tau = net.q_tau
+            q_used = net.q_used
+            q_cap = net.q_cap
+            for i in range(nq):
+                if q_used[i] < q_cap[i]:
+                    w = q_tau[i] - tau_s
+                    a = base + (w if w > 0.0 else 0.0)
+                    t = i + _OFF
+                    if a < alpha[t]:
+                        alpha[t] = a
+                        prev[t] = idx
+                        settled[t] = False
+                        push(heap, (a, t))
+            return
+        node = idx - _OFF
+        if node < nq:  # provider: forward bipartite edges
+            q_tau_i = net.q_tau[node]
+            p_tau = net.p_tau
+            base_off = nq + _OFF
+            for j, d in net.forward[node].items():
+                w = d - q_tau_i + p_tau[j]
+                a = base + (w if w > 0.0 else 0.0)
+                t = base_off + j
+                if a < alpha[t]:
+                    alpha[t] = a
+                    prev[t] = idx
+                    settled[t] = False
+                    push(heap, (a, t))
+            return
+        # customer: residual reverse edges, plus the sink edge if open
+        j = node - nq
+        p_tau_j = net.p_tau[j]
+        q_tau = net.q_tau
+        for i, d in net.backward[j].items():
+            w = q_tau[i] - d - p_tau_j
+            a = base + (w if w > 0.0 else 0.0)
+            t = i + _OFF
+            if a < alpha[t]:
+                alpha[t] = a
+                prev[t] = idx
+                settled[t] = False
+                push(heap, (a, t))
+        if net.p_used[j] < net.p_cap[j]:
+            w = -p_tau_j
+            a = base + (w if w > 0.0 else 0.0)
+            t = T_NODE + _OFF
+            if a < alpha[t]:
+                alpha[t] = a
+                prev[t] = idx
+                push(heap, (a, t))
+
+    # ------------------------------------------------------------------
+    # the main loop
+    # ------------------------------------------------------------------
+    def run(self) -> bool:
+        """Pop until the sink settles.  Returns False if t is unreachable
+        in the current Esub (the caller then expands the subgraph)."""
+        heap = self._heap
+        alpha = self._alpha
+        settled = self._settled
+        t_idx = T_NODE + _OFF
+        while heap:
+            a, idx = heapq.heappop(heap)
+            if a > alpha[idx] or settled[idx]:
+                continue  # stale entry or already settled
+            if idx == t_idx:
+                # Leave t un-settled so a later resume can improve it.
+                heapq.heappush(heap, (a, idx))
+                return True
+            settled[idx] = True
+            self._settled_order.append(idx)
+            self.pops += 1
+            self._relax_out(idx, a)
+        return alpha[t_idx] < INF
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def sp_cost(self) -> float:
+        """α of the sink — the shortest path's (reduced) cost, which
+        equals ``vmin.α`` in the paper since w(vmin, t) = 0."""
+        return self._alpha[T_NODE + _OFF]
+
+    def path_nodes(self) -> List[int]:
+        """The s→t path found by the last successful :meth:`run`."""
+        if self._alpha[T_NODE + _OFF] == INF:
+            raise RuntimeError("no path to the sink has been found")
+        path = [T_NODE + _OFF]
+        idx = T_NODE + _OFF
+        s_idx = S_NODE + _OFF
+        while idx != s_idx:
+            idx = self._prev[idx]
+            if idx < 0:
+                raise RuntimeError("broken predecessor chain")
+            path.append(idx)
+        path.reverse()
+        return [idx - _OFF for idx in path]
+
+    def settled_alpha_for_update(self) -> Dict[int, float]:
+        """Settled nodes (plus t) and their α, for the potential update.
+
+        Only nodes with ``α ≤ α_min`` settle before t pops, so the whole
+        settled set qualifies for Algorithm 1's lines 8-9.
+        """
+        out = dict(self.settled_items())
+        out[T_NODE] = self.sp_cost
+        return out
+
+    def provider_alpha(self, i: int) -> Optional[float]:
+        """Settled α of provider ``i`` in this iteration (IDA's key
+        input), or None if the provider was not settled."""
+        return self.settled_alpha(i)

@@ -1,0 +1,312 @@
+"""The CCA residual flow network with node potentials.
+
+Node encoding (integers throughout, for heap speed):
+
+* ``S_NODE = -1`` — source ``s``; edge ``(s, q_i)`` has cost 0, capacity
+  ``q_i.k`` (provider capacity).
+* provider ``i`` — node id ``i`` for ``0 <= i < nq``.
+* customer ``j`` — node id ``nq + j``; edge ``(p_j, t)`` has cost 0 and
+  capacity ``p_j.w`` (1 in the exact problem; the representative weight in
+  CA's concise matching).
+* ``T_NODE = -2`` — sink ``t``.
+
+Bipartite edges ``(q_i, p_j)`` cost ``dist(q_i, p_j)``.  In the exact
+problem their capacity is 1 (a pair appears at most once in ``M``); in CA's
+concise matching a provider may serve several units of one representative,
+so the capacity generalizes to ``min(q_i.k, p_j.w)``.  The residual
+adjacency keeps an edge in ``forward[i]`` while it has spare capacity and in
+``backward[j]`` while it carries flow (both, when partially used).  The
+matching is the set of positive-flow bipartite edges (Section 2.2).
+
+Potentials follow the paper's convention: the *reduced* cost of an edge is
+``w(u, v) = dist(u, v) − u.τ + v.τ``, and after augmenting a shortest path
+of cost ``α_min`` every node settled with ``α ≤ α_min`` gets
+``τ := τ − α + α_min``.  Because only globally-certified shortest paths are
+augmented (Theorem 1), the potentials remain feasible for the *complete*
+bipartite edge set, so newly discovered edges always enter with non-negative
+reduced cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+S_NODE = -1
+T_NODE = -2
+
+
+class CCAFlowNetwork:
+    """Residual network over a (sub)set of the bipartite edges.
+
+    The network starts with *no* bipartite edges; incremental solvers add
+    them via :meth:`add_edge` and SSPA adds the complete set.
+    """
+
+    def __init__(
+        self,
+        provider_capacities: Sequence[int],
+        customer_weights: Sequence[int],
+    ):
+        if any(k < 0 for k in provider_capacities):
+            raise ValueError("provider capacities must be non-negative")
+        if any(w < 0 for w in customer_weights):
+            raise ValueError("customer weights must be non-negative")
+        self.nq = len(provider_capacities)
+        self.np = len(customer_weights)
+        self.q_cap = list(provider_capacities)
+        self.p_cap = list(customer_weights)
+        self.q_used = [0] * self.nq
+        self.p_used = [0] * self.np
+        self.q_tau = [0.0] * self.nq
+        self.p_tau = [0.0] * self.np
+        self.tau_s = 0.0
+        # forward[i]: {j: dist} — edges with spare capacity.
+        # backward[j]: {i: dist} — edges carrying flow (matched units).
+        self.forward: List[Dict[int, float]] = [dict() for _ in range(self.nq)]
+        self.backward: List[Dict[int, float]] = [
+            dict() for _ in range(self.np)
+        ]
+        # Canonical edge registry: (i, j) -> [distance, capacity, flow].
+        self.edges: Dict[Tuple[int, int], List] = {}
+        self.matched = 0
+        self.augmentations = 0
+
+    # ------------------------------------------------------------------
+    # problem-level quantities
+    # ------------------------------------------------------------------
+    @property
+    def gamma(self) -> int:
+        """Required matching size γ = min(Σ p.w, Σ q.k)."""
+        return min(sum(self.p_cap), sum(self.q_cap))
+
+    def provider_node(self, i: int) -> int:
+        return i
+
+    def customer_node(self, j: int) -> int:
+        return self.nq + j
+
+    def is_provider(self, node: int) -> bool:
+        return 0 <= node < self.nq
+
+    def is_customer(self, node: int) -> bool:
+        return node >= self.nq
+
+    def customer_index(self, node: int) -> int:
+        return node - self.nq
+
+    # ------------------------------------------------------------------
+    # state predicates (Definitions 2 and 3)
+    # ------------------------------------------------------------------
+    def provider_full(self, i: int) -> bool:
+        """Definition 2: e(s, q_i) used q_i.k times."""
+        return self.q_used[i] >= self.q_cap[i]
+
+    def customer_full(self, j: int) -> bool:
+        """Definition 3 (generalized to weights): e(p_j, t) saturated."""
+        return self.p_used[j] >= self.p_cap[j]
+
+    def any_provider_full(self) -> bool:
+        return any(self.q_used[i] >= self.q_cap[i] for i in range(self.nq))
+
+    # ------------------------------------------------------------------
+    # Esub maintenance
+    # ------------------------------------------------------------------
+    def add_edge(self, i: int, j: int, distance: float) -> bool:
+        """Insert bipartite edge (q_i, p_j) into Esub.
+
+        Capacity is ``min(q_i.k, p_j.w)``; zero-capacity edges are useless
+        and rejected.  Returns False if the edge is already present.
+        """
+        if distance < 0:
+            raise ValueError("edge length must be non-negative")
+        if (i, j) in self.edges:
+            return False
+        capacity = min(self.q_cap[i], self.p_cap[j])
+        if capacity == 0:
+            return False
+        self.edges[(i, j)] = [distance, capacity, 0]
+        self.forward[i][j] = distance
+        return True
+
+    def has_edge(self, i: int, j: int) -> bool:
+        return (i, j) in self.edges
+
+    def edge_flow(self, i: int, j: int) -> int:
+        entry = self.edges.get((i, j))
+        return 0 if entry is None else entry[2]
+
+    def edge_residual(self, i: int, j: int) -> int:
+        entry = self.edges.get((i, j))
+        return 0 if entry is None else entry[1] - entry[2]
+
+    @property
+    def edge_count(self) -> int:
+        """|Esub| — the paper's memory metric (distinct discovered edges)."""
+        return len(self.edges)
+
+    # ------------------------------------------------------------------
+    # reduced costs (the Dijkstra adjacency)
+    # ------------------------------------------------------------------
+    def reduced_cost_sq(self, i: int) -> float:
+        """w(s, q_i) = 0 − τ_s + τ_qi."""
+        return _nonneg(self.q_tau[i] - self.tau_s)
+
+    def reduced_cost_qp(self, i: int, j: int, distance: float) -> float:
+        """w(q_i, p_j) = dist − τ_qi + τ_pj."""
+        return _nonneg(distance - self.q_tau[i] + self.p_tau[j])
+
+    def reduced_cost_pq(self, j: int, i: int, distance: float) -> float:
+        """w(p_j, q_i) = −dist − τ_pj + τ_qi (residual reverse edge)."""
+        return _nonneg(-distance - self.p_tau[j] + self.q_tau[i])
+
+    def reduced_cost_pt(self, j: int) -> float:
+        """w(p_j, t) = 0 − τ_pj; always 0 for non-full customers."""
+        return _nonneg(-self.p_tau[j])
+
+    def out_edges(self, node: int) -> Iterable[Tuple[int, float]]:
+        """Residual out-edges of ``node`` as (target, reduced_cost).
+
+        Edges out of ``s`` and into ``t`` are produced by the Dijkstra
+        driver itself (they depend on residual capacities tracked here).
+        """
+        if self.is_provider(node):
+            i = node
+            q_tau = self.q_tau[i]
+            p_tau = self.p_tau
+            nq = self.nq
+            for j, d in self.forward[i].items():
+                yield nq + j, _nonneg(d - q_tau + p_tau[j])
+        else:
+            j = self.customer_index(node)
+            p_tau = self.p_tau[j]
+            for i, d in self.backward[j].items():
+                yield i, _nonneg(-d - p_tau + self.q_tau[i])
+
+    def source_edges(self) -> Iterable[Tuple[int, float]]:
+        """(q_i, w(s, q_i)) for every provider with residual capacity."""
+        tau_s = self.tau_s
+        for i in range(self.nq):
+            if self.q_used[i] < self.q_cap[i]:
+                yield i, _nonneg(self.q_tau[i] - tau_s)
+
+    def sink_edge_open(self, j: int) -> bool:
+        return self.p_used[j] < self.p_cap[j]
+
+    # ------------------------------------------------------------------
+    # augmentation (Algorithm 1 lines 4-11)
+    # ------------------------------------------------------------------
+    def apply_path(self, path_nodes: Sequence[int]) -> None:
+        """Push one unit of flow along an s→t path (reversing residuals).
+
+        This is the flow half of an augmentation; :meth:`augment` adds the
+        potential update.  IDA's Theorem-2 fast path calls this directly
+        and maintains potentials itself via lazy offsets.
+        """
+        if path_nodes[0] != S_NODE or path_nodes[-1] != T_NODE:
+            raise ValueError("augmenting path must run from s to t")
+        for u, v in zip(path_nodes, path_nodes[1:]):
+            if u == S_NODE:
+                self.q_used[v] += 1
+                if self.q_used[v] > self.q_cap[v]:
+                    raise RuntimeError(f"provider {v} over capacity")
+            elif v == T_NODE:
+                j = self.customer_index(u)
+                self.p_used[j] += 1
+                if self.p_used[j] > self.p_cap[j]:
+                    raise RuntimeError(f"customer {j} over capacity")
+            elif self.is_provider(u):
+                self._push_unit(u, self.customer_index(v))
+            else:
+                self._pull_unit(v, self.customer_index(u))
+        self.matched += 1
+        self.augmentations += 1
+
+    def _push_unit(self, i: int, j: int) -> None:
+        entry = self.edges[(i, j)]
+        d, capacity, flow = entry
+        if flow >= capacity:
+            raise RuntimeError(f"edge ({i},{j}) over capacity")
+        entry[2] = flow + 1
+        self.backward[j][i] = d
+        if entry[2] >= capacity:
+            self.forward[i].pop(j, None)
+
+    def _pull_unit(self, i: int, j: int) -> None:
+        entry = self.edges[(i, j)]
+        d, _, flow = entry
+        if flow <= 0:
+            raise RuntimeError(f"edge ({i},{j}) has no flow to cancel")
+        entry[2] = flow - 1
+        self.forward[i][j] = d
+        if entry[2] == 0:
+            self.backward[j].pop(i, None)
+
+    def augment(
+        self,
+        path_nodes: Sequence[int],
+        alpha_min: float,
+        settled_alpha: Dict[int, float],
+    ) -> None:
+        """Reverse the path's edges and update the potentials.
+
+        ``path_nodes`` runs from ``S_NODE`` to ``T_NODE`` inclusive.
+        ``settled_alpha`` maps every node settled by the Dijkstra run (with
+        ``α ≤ alpha_min``) to its ``α``; their potentials are advanced
+        (Algorithm 1 lines 8-9).
+        """
+        self.apply_path(path_nodes)
+        for node, alpha in settled_alpha.items():
+            delta = alpha_min - alpha
+            if delta < 0:
+                continue  # settled at exactly alpha_min under fp noise
+            if node == S_NODE:
+                self.tau_s += delta
+            elif node == T_NODE:
+                continue  # α == α_min by construction
+            elif self.is_provider(node):
+                self.q_tau[node] += delta
+            else:
+                self.p_tau[self.customer_index(node)] += delta
+
+    @property
+    def tau_max(self) -> float:
+        """max{q_i.τ} — Theorem 1's certification slack.
+
+        Only provider potentials matter: unseen edges all originate at
+        providers, and customer potentials are non-negative (they only
+        *help* the bound).
+        """
+        return max(self.q_tau) if self.q_tau else 0.0
+
+    # ------------------------------------------------------------------
+    # result extraction
+    # ------------------------------------------------------------------
+    def matching_flows(self) -> List[Tuple[int, int, float, int]]:
+        """Positive-flow edges as (provider, customer, distance, units)."""
+        return [
+            (i, j, entry[0], entry[2])
+            for (i, j), entry in self.edges.items()
+            if entry[2] > 0
+        ]
+
+    def matching_pairs(self) -> List[Tuple[int, int, float]]:
+        """Matched (provider, customer, distance) triples, one per unit."""
+        out = []
+        for i, j, d, units in self.matching_flows():
+            out.extend([(i, j, d)] * units)
+        return out
+
+    def matching_cost(self) -> float:
+        """Ψ(M): summed distances of matched units (Equation 1)."""
+        return sum(
+            entry[0] * entry[2] for entry in self.edges.values()
+        )
+
+
+def _nonneg(x: float) -> float:
+    """Clamp float noise; a genuinely negative reduced cost is a bug."""
+    if x < 0.0:
+        if x < -1e-6:
+            raise AssertionError(f"negative reduced cost {x}")
+        return 0.0
+    return x

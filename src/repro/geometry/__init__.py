@@ -1,0 +1,28 @@
+"""Geometry primitives used across the CCA reproduction.
+
+The paper works with two-dimensional Euclidean points, minimum bounding
+rectangles (MBRs, the R-tree building block), and a handful of distance
+functions (point-point, point-rectangle ``mindist``/``maxdist``, and
+rectangle-rectangle ``mindist``).  Everything here is dimension-generic but
+optimized for the 2-D case the paper evaluates.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.mbr import MBR
+from repro.geometry.distance import (
+    dist,
+    dist_squared,
+    mindist_point_mbr,
+    maxdist_point_mbr,
+    mindist_mbr_mbr,
+)
+
+__all__ = [
+    "Point",
+    "MBR",
+    "dist",
+    "dist_squared",
+    "mindist_point_mbr",
+    "maxdist_point_mbr",
+    "mindist_mbr_mbr",
+]

@@ -1,0 +1,64 @@
+"""Distance functions.
+
+``mindist`` between a query point (or a group MBR) and an R-tree entry MBR is
+the pruning key of best-first nearest-neighbor search [Hjaltason & Samet] and
+of the incremental all-nearest-neighbor procedure (Algorithm 6).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+
+
+def dist(a: Point, b: Point) -> float:
+    """Euclidean distance between two points (Ψ's per-pair cost, Eq. 1)."""
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a.coords, b.coords)))
+
+
+def dist_squared(a: Point, b: Point) -> float:
+    """Squared Euclidean distance (cheaper comparator for ties/sorting)."""
+    return sum((x - y) ** 2 for x, y in zip(a.coords, b.coords))
+
+
+def mindist_point_mbr(point: Point, mbr: MBR) -> float:
+    """Smallest possible distance from ``point`` to any point inside ``mbr``."""
+    total = 0.0
+    for c, lo, hi in zip(point.coords, mbr.lo, mbr.hi):
+        if c < lo:
+            d = lo - c
+        elif c > hi:
+            d = c - hi
+        else:
+            d = 0.0
+        total += d * d
+    return math.sqrt(total)
+
+
+def maxdist_point_mbr(point: Point, mbr: MBR) -> float:
+    """Largest possible distance from ``point`` to any point inside ``mbr``.
+
+    Used by the annular range search of RIA to skip subtrees that lie
+    entirely inside the inner radius.
+    """
+    total = 0.0
+    for c, lo, hi in zip(point.coords, mbr.lo, mbr.hi):
+        d = max(abs(c - lo), abs(c - hi))
+        total += d * d
+    return math.sqrt(total)
+
+
+def mindist_mbr_mbr(a: MBR, b: MBR) -> float:
+    """Smallest distance between any two points of two MBRs (Algorithm 6)."""
+    total = 0.0
+    for alo, ahi, blo, bhi in zip(a.lo, a.hi, b.lo, b.hi):
+        if ahi < blo:
+            d = blo - ahi
+        elif bhi < alo:
+            d = alo - bhi
+        else:
+            d = 0.0
+        total += d * d
+    return math.sqrt(total)

@@ -1,0 +1,148 @@
+"""Minimum bounding rectangles.
+
+MBRs are the unit of grouping in the R-tree (Section 2.3 of the paper) and in
+the approximate algorithms' partitioning phases (Section 4), where the group
+*diagonal* is compared against the quality knob ``δ``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+from repro.geometry.point import Point
+
+
+class MBR:
+    """An axis-aligned minimum bounding (hyper-)rectangle.
+
+    Stored as ``lo`` and ``hi`` coordinate tuples with ``lo[i] <= hi[i]``.
+    MBRs are immutable; combination operations return new rectangles.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float]):
+        lo_t = tuple(float(c) for c in lo)
+        hi_t = tuple(float(c) for c in hi)
+        if len(lo_t) != len(hi_t):
+            raise ValueError("lo/hi dimensionality mismatch")
+        if any(l > h for l, h in zip(lo_t, hi_t)):
+            raise ValueError(f"inverted MBR bounds: lo={lo_t} hi={hi_t}")
+        self.lo: Tuple[float, ...] = lo_t
+        self.hi: Tuple[float, ...] = hi_t
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_point(cls, point: Point) -> "MBR":
+        """Degenerate MBR covering a single point."""
+        return cls(point.coords, point.coords)
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "MBR":
+        """Tight MBR of a non-empty point collection."""
+        points = list(points)
+        if not points:
+            raise ValueError("cannot bound an empty point set")
+        dim = points[0].dim
+        lo = [min(p[i] for p in points) for i in range(dim)]
+        hi = [max(p[i] for p in points) for i in range(dim)]
+        return cls(lo, hi)
+
+    @classmethod
+    def union_all(cls, mbrs: Iterable["MBR"]) -> "MBR":
+        """Tight MBR of a non-empty MBR collection."""
+        mbrs = list(mbrs)
+        if not mbrs:
+            raise ValueError("cannot union an empty MBR set")
+        dim = len(mbrs[0].lo)
+        lo = [min(m.lo[i] for m in mbrs) for i in range(dim)]
+        hi = [max(m.hi[i] for m in mbrs) for i in range(dim)]
+        return cls(lo, hi)
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the main diagonal (the δ criterion of Section 4)."""
+        return math.sqrt(sum((h - l) ** 2 for l, h in zip(self.lo, self.hi)))
+
+    @property
+    def center(self) -> Tuple[float, ...]:
+        return tuple((l + h) / 2.0 for l, h in zip(self.lo, self.hi))
+
+    @property
+    def area(self) -> float:
+        product = 1.0
+        for l, h in zip(self.lo, self.hi):
+            product *= h - l
+        return product
+
+    @property
+    def margin(self) -> float:
+        """Sum of side lengths (used by split heuristics)."""
+        return sum(h - l for l, h in zip(self.lo, self.hi))
+
+    def side(self, axis: int) -> float:
+        return self.hi[axis] - self.lo[axis]
+
+    def longest_axis(self) -> int:
+        """Axis with the largest extent (CA leaf splitting, Section 4.2)."""
+        return max(range(self.dim), key=self.side)
+
+    # ------------------------------------------------------------------
+    # predicates and combinators
+    # ------------------------------------------------------------------
+    def contains_point(self, point: Point) -> bool:
+        return all(
+            l <= c <= h for l, c, h in zip(self.lo, point.coords, self.hi)
+        )
+
+    def contains_mbr(self, other: "MBR") -> bool:
+        return all(
+            sl <= ol and oh <= sh
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def intersects(self, other: "MBR") -> bool:
+        return all(
+            sl <= oh and ol <= sh
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def union(self, other: "MBR") -> "MBR":
+        return MBR(
+            tuple(min(a, b) for a, b in zip(self.lo, other.lo)),
+            tuple(max(a, b) for a, b in zip(self.hi, other.hi)),
+        )
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area increase if ``other`` were merged in (Guttman's criterion)."""
+        return self.union(other).area - self.area
+
+    def split_halves(self, axis: int) -> Tuple["MBR", "MBR"]:
+        """Split into two equal halves along ``axis`` (CA leaf handling)."""
+        mid = (self.lo[axis] + self.hi[axis]) / 2.0
+        lo_hi = list(self.hi)
+        lo_hi[axis] = mid
+        hi_lo = list(self.lo)
+        hi_lo[axis] = mid
+        return MBR(self.lo, lo_hi), MBR(hi_lo, self.hi)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MBR):
+            return NotImplemented
+        return self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"MBR(lo={self.lo}, hi={self.hi})"

@@ -1,0 +1,73 @@
+"""Immutable spatial points with identity.
+
+A :class:`Point` carries an integer id so that datasets can be stored as
+plain coordinate arrays while algorithms refer to points by id.  Points are
+hashable on their id, which the matching structures rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Sequence, Tuple
+
+
+class Point:
+    """A point in d-dimensional Euclidean space with an integer identity.
+
+    Parameters
+    ----------
+    pid:
+        Integer identifier, unique within its dataset.
+    coords:
+        Coordinate tuple; any sequence of floats is accepted.
+    """
+
+    __slots__ = ("pid", "coords")
+
+    def __init__(self, pid: int, coords: Sequence[float]):
+        self.pid = int(pid)
+        self.coords: Tuple[float, ...] = tuple(float(c) for c in coords)
+        if not self.coords:
+            raise ValueError("a point needs at least one coordinate")
+
+    @property
+    def x(self) -> float:
+        """First coordinate (convenience for the 2-D case)."""
+        return self.coords[0]
+
+    @property
+    def y(self) -> float:
+        """Second coordinate (convenience for the 2-D case)."""
+        return self.coords[1]
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the point."""
+        return len(self.coords)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.sqrt(
+            sum((a - b) ** 2 for a, b in zip(self.coords, other.coords))
+        )
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.coords)
+
+    def __len__(self) -> int:
+        return len(self.coords)
+
+    def __getitem__(self, i: int) -> float:
+        return self.coords[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        return self.pid == other.pid and self.coords == other.coords
+
+    def __hash__(self) -> int:
+        return hash((self.pid, self.coords))
+
+    def __repr__(self) -> str:
+        coord_text = ", ".join(f"{c:g}" for c in self.coords)
+        return f"Point(id={self.pid}, ({coord_text}))"

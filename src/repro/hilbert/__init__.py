@@ -1,0 +1,15 @@
+"""Hilbert space-filling curve.
+
+The paper uses Hilbert ordering twice: to group service providers for the
+incremental all-nearest-neighbor search (Section 3.4.2) and to order
+providers in SA partitioning (Section 4.1).
+"""
+
+from repro.hilbert.curve import (
+    hilbert_d2xy,
+    hilbert_xy2d,
+    hilbert_key,
+    hilbert_sort,
+)
+
+__all__ = ["hilbert_d2xy", "hilbert_xy2d", "hilbert_key", "hilbert_sort"]

@@ -1,0 +1,97 @@
+"""2-D Hilbert curve encoding/decoding.
+
+Classic iterative rotate-and-fold implementation.  ``hilbert_key`` maps a
+point in a bounded world to its curve position so nearby points receive
+nearby keys — the property the paper exploits for provider grouping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.geometry.point import Point
+
+DEFAULT_ORDER = 16
+
+
+def _rotate(n: int, x: int, y: int, rx: int, ry: int) -> Tuple[int, int]:
+    """Rotate/flip a quadrant so the curve orientation is preserved."""
+    if ry == 0:
+        if rx == 1:
+            x = n - 1 - x
+            y = n - 1 - y
+        x, y = y, x
+    return x, y
+
+
+def hilbert_xy2d(order: int, x: int, y: int) -> int:
+    """Map grid cell ``(x, y)`` on a ``2^order`` grid to its curve index."""
+    n = 1 << order
+    if not (0 <= x < n and 0 <= y < n):
+        raise ValueError(f"cell ({x}, {y}) outside 2^{order} grid")
+    d = 0
+    s = n // 2
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        x, y = _rotate(s, x, y, rx, ry)
+        s //= 2
+    return d
+
+
+def hilbert_d2xy(order: int, d: int) -> Tuple[int, int]:
+    """Inverse of :func:`hilbert_xy2d`."""
+    n = 1 << order
+    if not (0 <= d < n * n):
+        raise ValueError(f"index {d} outside curve of order {order}")
+    x = y = 0
+    t = d
+    s = 1
+    while s < n:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        x, y = _rotate(s, x, y, rx, ry)
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s *= 2
+    return x, y
+
+
+def hilbert_key(
+    coords: Sequence[float],
+    world_lo: Sequence[float],
+    world_hi: Sequence[float],
+    order: int = DEFAULT_ORDER,
+) -> int:
+    """Curve position of a real-valued 2-D point within a bounding world.
+
+    Coordinates are quantized onto a ``2^order`` grid.  Points outside the
+    world are clamped, which keeps the ordering total.
+    """
+    if len(coords) < 2:
+        raise ValueError("hilbert_key requires 2-D coordinates")
+    n = 1 << order
+    cells = []
+    for c, lo, hi in zip(coords[:2], world_lo[:2], world_hi[:2]):
+        span = hi - lo
+        if span <= 0:
+            cells.append(0)
+            continue
+        cell = int((c - lo) / span * n)
+        cells.append(min(max(cell, 0), n - 1))
+    return hilbert_xy2d(order, cells[0], cells[1])
+
+
+def hilbert_sort(
+    points: Iterable[Point],
+    world_lo: Sequence[float],
+    world_hi: Sequence[float],
+    order: int = DEFAULT_ORDER,
+) -> List[Point]:
+    """Return ``points`` sorted by Hilbert curve position (ties by id)."""
+    return sorted(
+        points,
+        key=lambda p: (hilbert_key(p.coords, world_lo, world_hi, order), p.pid),
+    )

@@ -1,0 +1,33 @@
+"""Disk-based R-tree over the customer set ``P``.
+
+The paper assumes ``P`` is indexed by an R-tree (Section 2.3) stored on disk
+with 1 KB pages behind an LRU buffer.  This package provides:
+
+* :class:`~repro.rtree.tree.RTree` — Guttman insert/delete plus STR bulk
+  loading, page-backed via :mod:`repro.storage`;
+* range / annular-range search (RIA's edge supply);
+* best-first kNN and an incremental NN iterator [Hjaltason & Samet 1999]
+  (NIA/IDA's edge supply);
+* the grouped incremental all-nearest-neighbor search of Algorithm 6.
+"""
+
+from repro.rtree.node import RTreeNode
+from repro.rtree.tree import RTree
+from repro.rtree.queries import (
+    range_search,
+    annular_range_search,
+    knn_search,
+    IncrementalNN,
+)
+from repro.rtree.ann import ANNGroup, GroupedANN
+
+__all__ = [
+    "RTreeNode",
+    "RTree",
+    "range_search",
+    "annular_range_search",
+    "knn_search",
+    "IncrementalNN",
+    "ANNGroup",
+    "GroupedANN",
+]

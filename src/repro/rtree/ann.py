@@ -1,0 +1,152 @@
+"""Incremental all-nearest-neighbor (ANN) search — Algorithm 6.
+
+NIA/IDA issue many interleaved incremental-NN streams, one per service
+provider.  Running them independently re-reads the same R-tree pages over
+and over.  Algorithm 6 groups nearby providers (by Hilbert order), keeps a
+*single* shared heap ``Hm`` of R-tree entries per group — keyed by
+``mindist(MBR(Gm), MBR(e))`` — and fans every de-heaped point out into each
+member's candidate heap ``res_i``.  A provider's next NN is its ``res_i``
+top once that candidate is at least as close as every unexplored entry.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+from repro.geometry.distance import dist, mindist_mbr_mbr
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+from repro.hilbert.curve import hilbert_key
+from repro.rtree.tree import RTree
+
+
+class ANNGroup:
+    """One provider group with its shared entry heap and candidate heaps."""
+
+    _NODE, _POINT = 0, 1
+
+    def __init__(self, tree: RTree, providers: Sequence[Point]):
+        if not providers:
+            raise ValueError("an ANN group needs at least one provider")
+        self.tree = tree
+        self.providers = list(providers)
+        self.mbr = MBR.from_points(self.providers)
+        self._counter = itertools.count()
+        self._heap: list = []  # Hm: (mindist, kind, tiebreak, obj)
+        self._res: Dict[int, list] = {
+            q.pid: [] for q in self.providers
+        }  # per-provider candidate heaps: (dist, tiebreak, point)
+        if tree.root_id is not None:
+            root_mbr = tree.root_mbr()
+            if root_mbr is not None:
+                self._push_entry(
+                    mindist_mbr_mbr(self.mbr, root_mbr),
+                    self._NODE,
+                    tree.root_id,
+                )
+
+    def _push_entry(self, key: float, kind: int, obj) -> None:
+        heapq.heappush(self._heap, (key, kind, next(self._counter), obj))
+
+    def _expand_once(self) -> None:
+        """De-heap the top Hm entry (Algorithm 6 lines 2-7)."""
+        key, kind, _, obj = heapq.heappop(self._heap)
+        if kind == self._POINT:
+            for q in self.providers:
+                heapq.heappush(
+                    self._res[q.pid],
+                    (dist(q, obj), next(self._counter), obj),
+                )
+            return
+        node = self.tree.node(obj)
+        if node.is_leaf:
+            for p in node.points:
+                self._push_entry(
+                    mindist_mbr_mbr(self.mbr, MBR.from_point(p)),
+                    self._POINT,
+                    p,
+                )
+        else:
+            for child_id, child_mbr in zip(
+                node.children_ids, node.child_mbrs
+            ):
+                self._push_entry(
+                    mindist_mbr_mbr(self.mbr, child_mbr),
+                    self._NODE,
+                    child_id,
+                )
+
+    def next_nn(self, provider_pid: int) -> Optional[Point]:
+        """The next unreported NN of one member, or None when exhausted."""
+        res = self._res[provider_pid]
+        while True:
+            candidate_key = res[0][0] if res else float("inf")
+            frontier_key = self._heap[0][0] if self._heap else float("inf")
+            if candidate_key <= frontier_key:
+                break
+            if not self._heap:
+                break
+            self._expand_once()
+        if not res:
+            return None
+        _, _, point = heapq.heappop(res)
+        return point
+
+
+def group_providers_by_hilbert(
+    providers: Sequence[Point],
+    world_lo: Sequence[float],
+    world_hi: Sequence[float],
+    group_size: int,
+) -> List[List[Point]]:
+    """Chunk providers into groups of ``group_size`` along the Hilbert curve
+    (Section 3.4.2: "we form service provider groups based on their Hilbert
+    space-filling curve ordering")."""
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    ordered = sorted(
+        providers,
+        key=lambda q: (hilbert_key(q.coords, world_lo, world_hi), q.pid),
+    )
+    return [
+        ordered[i : i + group_size]
+        for i in range(0, len(ordered), group_size)
+    ]
+
+
+class GroupedANN:
+    """Facade NIA/IDA use: ``next_nn(pid)`` with group-shared I/O.
+
+    With ``group_size=1`` this degenerates to independent incremental NN
+    streams (the un-optimized variant, kept for ablation benches).
+    """
+
+    def __init__(
+        self,
+        tree: RTree,
+        providers: Sequence[Point],
+        group_size: int = 8,
+    ):
+        self.tree = tree
+        root_mbr = tree.root_mbr()
+        if root_mbr is not None and providers:
+            world = MBR.from_points(list(providers)).union(root_mbr)
+        elif providers:
+            world = MBR.from_points(list(providers))
+        else:
+            world = MBR((0.0, 0.0), (1.0, 1.0))
+        groups = group_providers_by_hilbert(
+            providers, world.lo, world.hi, group_size
+        )
+        self._group_of: Dict[int, ANNGroup] = {}
+        self.groups: List[ANNGroup] = []
+        for member_points in groups:
+            group = ANNGroup(tree, member_points)
+            self.groups.append(group)
+            for q in member_points:
+                self._group_of[q.pid] = group
+
+    def next_nn(self, provider_pid: int) -> Optional[Point]:
+        return self._group_of[provider_pid].next_nn(provider_pid)

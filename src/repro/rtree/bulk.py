@@ -1,0 +1,100 @@
+"""Sort-Tile-Recursive (STR) bulk loading.
+
+STR produces well-clustered leaves in O(n log n): sort by x, cut into
+vertical slabs, sort each slab by y, and tile into leaves; repeat on the
+resulting nodes' MBR centers for the upper levels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+from repro.rtree.node import RTreeNode
+from repro.storage.page import PageManager
+
+
+def _even_chunks(items: Sequence, capacity: int) -> List[List]:
+    """Split into ≤-capacity chunks of near-equal size (avoids a tiny
+    trailing chunk, keeping leaves reasonably filled)."""
+    n = len(items)
+    num = math.ceil(n / capacity)
+    base = n // num
+    extra = n % num
+    out = []
+    start = 0
+    for g in range(num):
+        size = base + (1 if g < extra else 0)
+        out.append(list(items[start : start + size]))
+        start += size
+    return out
+
+
+def _tile(items: Sequence, key_x, key_y, capacity: int) -> List[List]:
+    """Partition ``items`` into groups of ≤ capacity via STR tiling."""
+    n = len(items)
+    num_groups = math.ceil(n / capacity)
+    num_slabs = math.ceil(math.sqrt(num_groups))
+    slab_size = num_slabs * capacity
+
+    by_x = sorted(items, key=key_x)
+    groups: List[List] = []
+    for s in range(0, n, slab_size):
+        slab = sorted(by_x[s : s + slab_size], key=key_y)
+        groups.extend(_even_chunks(slab, capacity))
+    return groups
+
+
+def str_bulk_load(
+    manager: PageManager, points: Sequence[Point]
+) -> Tuple[int, int, List[int]]:
+    """Build a packed R-tree; returns (root_page_id, height, all_page_ids).
+
+    Height is 1 for a tree that is a single leaf.
+    """
+    if not points:
+        raise ValueError("cannot bulk-load an empty point set")
+    leaf_cap = manager.leaf_capacity()
+    dir_cap = manager.dir_capacity()
+    page_ids: List[int] = []
+
+    groups = _tile(
+        list(points),
+        key_x=lambda p: (p.coords[0], p.coords[1], p.pid),
+        key_y=lambda p: (p.coords[1], p.coords[0], p.pid),
+        capacity=leaf_cap,
+    )
+    level: List[Tuple[int, MBR]] = []
+    for group in groups:
+        page = manager.allocate()
+        node = RTreeNode(page.page_id, is_leaf=True)
+        node.points = list(group)
+        page.payload = node
+        page_ids.append(page.page_id)
+        level.append((page.page_id, node.mbr()))
+
+    height = 1
+    while len(level) > 1:
+        centers = {pid: m.center for pid, m in level}
+        groups = _tile(
+            level,
+            key_x=lambda e: (centers[e[0]][0], centers[e[0]][1], e[0]),
+            key_y=lambda e: (centers[e[0]][1], centers[e[0]][0], e[0]),
+            capacity=dir_cap,
+        )
+        next_level: List[Tuple[int, MBR]] = []
+        for group in groups:
+            page = manager.allocate()
+            node = RTreeNode(page.page_id, is_leaf=False)
+            for child_id, child_mbr in group:
+                node.add_child(child_id, child_mbr)
+            page.payload = node
+            page_ids.append(page.page_id)
+            next_level.append((page.page_id, node.mbr()))
+        level = next_level
+        height += 1
+
+    root_id = level[0][0]
+    return root_id, height, page_ids

@@ -1,0 +1,59 @@
+"""R-tree node structure (one node == one disk page)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+
+
+class RTreeNode:
+    """A leaf (points) or directory node (child page ids + child MBRs)."""
+
+    __slots__ = ("page_id", "is_leaf", "points", "children_ids", "child_mbrs")
+
+    def __init__(self, page_id: int, is_leaf: bool):
+        self.page_id = page_id
+        self.is_leaf = is_leaf
+        self.points: List[Point] = []
+        self.children_ids: List[int] = []
+        self.child_mbrs: List[MBR] = []
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.points) if self.is_leaf else len(self.children_ids)
+
+    def mbr(self) -> Optional[MBR]:
+        """Tight bounding rectangle of this node's entries (None if empty)."""
+        if self.is_leaf:
+            if not self.points:
+                return None
+            return MBR.from_points(self.points)
+        if not self.child_mbrs:
+            return None
+        return MBR.union_all(self.child_mbrs)
+
+    def add_point(self, point: Point) -> None:
+        if not self.is_leaf:
+            raise TypeError("cannot add a point to a directory node")
+        self.points.append(point)
+
+    def add_child(self, child_id: int, child_mbr: MBR) -> None:
+        if self.is_leaf:
+            raise TypeError("cannot add a child to a leaf node")
+        self.children_ids.append(child_id)
+        self.child_mbrs.append(child_mbr)
+
+    def remove_child(self, child_id: int) -> None:
+        idx = self.children_ids.index(child_id)
+        del self.children_ids[idx]
+        del self.child_mbrs[idx]
+
+    def set_child_mbr(self, child_id: int, child_mbr: MBR) -> None:
+        idx = self.children_ids.index(child_id)
+        self.child_mbrs[idx] = child_mbr
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "dir"
+        return f"RTreeNode(page={self.page_id}, {kind}, n={self.entry_count})"

@@ -1,0 +1,157 @@
+"""Spatial queries over the R-tree.
+
+* :func:`range_search` / :func:`annular_range_search` — RIA's bulk edge
+  supply (Algorithm 2 lines 3 and 14).
+* :func:`knn_search` — best-first K nearest neighbors [7].
+* :class:`IncrementalNN` — a resumable best-first NN stream: each call to
+  :meth:`IncrementalNN.next` returns the next closest customer, the primitive
+  NIA and IDA consume (Algorithm 3 lines 4/9).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional
+
+from repro.geometry.distance import (
+    dist,
+    maxdist_point_mbr,
+    mindist_point_mbr,
+)
+from repro.geometry.point import Point
+from repro.rtree.tree import RTree
+
+
+def range_search(tree: RTree, query: Point, radius: float) -> List[Point]:
+    """All indexed points within ``radius`` of ``query`` (inclusive)."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    if tree.root_id is None:
+        return []
+    out: List[Point] = []
+    stack = [tree.root_id]
+    while stack:
+        node = tree.node(stack.pop())
+        if node.is_leaf:
+            for p in node.points:
+                if dist(query, p) <= radius:
+                    out.append(p)
+        else:
+            for child_id, child_mbr in zip(
+                node.children_ids, node.child_mbrs
+            ):
+                if mindist_point_mbr(query, child_mbr) <= radius:
+                    stack.append(child_id)
+    return out
+
+
+def annular_range_search(
+    tree: RTree, query: Point, inner: float, outer: float
+) -> List[Point]:
+    """Points ``p`` with ``inner < dist(query, p) <= outer``.
+
+    This is RIA's ring expansion: after growing ``T`` by ``θ`` it fetches
+    only the new ring, pruning subtrees that lie entirely inside the inner
+    radius (``maxdist <= inner``) or entirely outside the outer one.
+    """
+    if inner < 0 or outer < inner:
+        raise ValueError("need 0 <= inner <= outer")
+    if tree.root_id is None:
+        return []
+    out: List[Point] = []
+    stack = [tree.root_id]
+    while stack:
+        node = tree.node(stack.pop())
+        if node.is_leaf:
+            for p in node.points:
+                d = dist(query, p)
+                if inner < d <= outer:
+                    out.append(p)
+        else:
+            for child_id, child_mbr in zip(
+                node.children_ids, node.child_mbrs
+            ):
+                if mindist_point_mbr(query, child_mbr) > outer:
+                    continue
+                if maxdist_point_mbr(query, child_mbr) <= inner:
+                    continue
+                stack.append(child_id)
+    return out
+
+
+def knn_search(tree: RTree, query: Point, k: int) -> List[Point]:
+    """The ``k`` nearest indexed points, closest first."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    stream = IncrementalNN(tree, query)
+    out: List[Point] = []
+    while len(out) < k:
+        nxt = stream.next()
+        if nxt is None:
+            break
+        out.append(nxt)
+    return out
+
+
+class IncrementalNN:
+    """Best-first incremental nearest-neighbor iterator [7].
+
+    Maintains a min-heap of R-tree entries keyed by ``mindist`` (points keyed
+    by their exact distance); every :meth:`next` call pops heap entries,
+    expanding directory nodes, until a point surfaces.  Guarantees points are
+    reported in non-decreasing distance order.
+    """
+
+    _NODE, _POINT = 0, 1
+
+    def __init__(self, tree: RTree, query: Point):
+        self.tree = tree
+        self.query = query
+        self._counter = itertools.count()
+        self._heap: list = []
+        self.reported = 0
+        if tree.root_id is not None:
+            root_mbr = tree.root_mbr()
+            if root_mbr is not None:
+                self._push(
+                    mindist_point_mbr(query, root_mbr),
+                    self._NODE,
+                    tree.root_id,
+                )
+
+    def _push(self, key: float, kind: int, obj) -> None:
+        heapq.heappush(self._heap, (key, kind, next(self._counter), obj))
+
+    def peek_key(self) -> Optional[float]:
+        """Lower bound on the distance of the next unreported point."""
+        return self._heap[0][0] if self._heap else None
+
+    def next(self) -> Optional[Point]:
+        """The next nearest point, or None when the stream is exhausted."""
+        while self._heap:
+            key, kind, _, obj = heapq.heappop(self._heap)
+            if kind == self._POINT:
+                self.reported += 1
+                return obj
+            node = self.tree.node(obj)
+            if node.is_leaf:
+                for p in node.points:
+                    self._push(dist(self.query, p), self._POINT, p)
+            else:
+                for child_id, child_mbr in zip(
+                    node.children_ids, node.child_mbrs
+                ):
+                    self._push(
+                        mindist_point_mbr(self.query, child_mbr),
+                        self._NODE,
+                        child_id,
+                    )
+        return None
+
+    def __iter__(self):
+        while True:
+            p = self.next()
+            if p is None:
+                return
+            yield p

@@ -1,0 +1,428 @@
+"""The R-tree proper: page-backed structure with Guttman maintenance.
+
+All node accesses on the *query* path go through the LRU buffer pool so page
+faults are charged exactly as in the paper's setup.  Construction (bulk load
+or repeated inserts) happens before measurements; call :meth:`RTree.cold`
+or :meth:`RTree.reset_io` before a measured workload.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+from repro.rtree.bulk import str_bulk_load
+from repro.rtree.node import RTreeNode
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.iostats import IOStats
+from repro.storage.page import DEFAULT_PAGE_SIZE, PageManager
+
+MIN_FILL_FRACTION = 0.4
+
+
+class RTree:
+    """A disk-simulated R-tree over 2-D points.
+
+    Parameters
+    ----------
+    page_size:
+        Bytes per page (paper: 1024); determines node fan-out.
+    buffer_fraction:
+        LRU buffer capacity as a fraction of the tree's page count
+        (paper: 0.01).  The buffer is resized on :meth:`cold`.
+    """
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_fraction: float = 0.01,
+        buffer_capacity: Optional[int] = None,
+    ):
+        self.manager = PageManager(page_size=page_size)
+        self.buffer_fraction = buffer_fraction
+        self._fixed_buffer_capacity = buffer_capacity
+        self.stats = IOStats()
+        self.buffer = LRUBufferPool(
+            self.manager, capacity=buffer_capacity or 64, stats=self.stats
+        )
+        self.root_id: Optional[int] = None
+        self.height = 0
+        self.size = 0
+        self.leaf_cap = self.manager.leaf_capacity()
+        self.dir_cap = self.manager.dir_capacity()
+        self.min_leaf = max(1, int(self.leaf_cap * MIN_FILL_FRACTION))
+        self.min_dir = max(2, int(self.dir_cap * MIN_FILL_FRACTION))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(
+        cls,
+        points: Sequence[Point],
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_fraction: float = 0.01,
+        buffer_capacity: Optional[int] = None,
+    ) -> "RTree":
+        """Bulk-load a tree (STR) and start it cold (empty buffer)."""
+        tree = cls(
+            page_size=page_size,
+            buffer_fraction=buffer_fraction,
+            buffer_capacity=buffer_capacity,
+        )
+        if points:
+            tree.root_id, tree.height, _ = str_bulk_load(tree.manager, points)
+            tree.size = len(points)
+        tree.cold()
+        return tree
+
+    def cold(self) -> None:
+        """Empty the buffer, resize it to the configured fraction of the
+        tree, and zero the I/O counters — the measured starting state."""
+        capacity = self._fixed_buffer_capacity
+        if capacity is None:
+            capacity = LRUBufferPool.capacity_for_tree(
+                max(len(self.manager), 1), self.buffer_fraction
+            )
+        self.buffer = LRUBufferPool(self.manager, capacity, stats=self.stats)
+        self.stats.reset()
+
+    def reset_io(self) -> None:
+        """Zero the I/O counters without evicting the buffer."""
+        self.stats.reset()
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.manager)
+
+    # ------------------------------------------------------------------
+    # node access (the charged path)
+    # ------------------------------------------------------------------
+    def node(self, page_id: int) -> RTreeNode:
+        """Read a node through the buffer pool (counts faults)."""
+        return self.buffer.access(page_id).payload
+
+    def root(self) -> Optional[RTreeNode]:
+        if self.root_id is None:
+            return None
+        return self.node(self.root_id)
+
+    def root_mbr(self) -> Optional[MBR]:
+        root = self.root()
+        return None if root is None else root.mbr()
+
+    # ------------------------------------------------------------------
+    # insertion (Guttman, quadratic split)
+    # ------------------------------------------------------------------
+    def insert(self, point: Point) -> None:
+        """Insert one point (quadratic-split Guttman R-tree)."""
+        if self.root_id is None:
+            page = self.manager.allocate()
+            node = RTreeNode(page.page_id, is_leaf=True)
+            node.add_point(point)
+            page.payload = node
+            self.root_id = page.page_id
+            self.height = 1
+            self.size = 1
+            return
+
+        path = self._descend_for_insert(point)
+        leaf = path[-1][0]
+        leaf.add_point(point)
+        self.size += 1
+        self._handle_overflow_and_adjust(path)
+
+    def _descend_for_insert(
+        self, point: Point
+    ) -> List[Tuple[RTreeNode, int]]:
+        """Path of (node, child-index-taken); leaf has child index -1."""
+        path: List[Tuple[RTreeNode, int]] = []
+        node = self.node(self.root_id)
+        while not node.is_leaf:
+            idx = self._choose_subtree(node, point)
+            path.append((node, idx))
+            node = self.node(node.children_ids[idx])
+        path.append((node, -1))
+        return path
+
+    @staticmethod
+    def _choose_subtree(node: RTreeNode, point: Point) -> int:
+        """Least-enlargement child, ties by smaller area (Guttman)."""
+        point_mbr = MBR.from_point(point)
+        best_idx = 0
+        best = (float("inf"), float("inf"))
+        for i, child_mbr in enumerate(node.child_mbrs):
+            candidate = (child_mbr.enlargement(point_mbr), child_mbr.area)
+            if candidate < best:
+                best = candidate
+                best_idx = i
+        return best_idx
+
+    def _handle_overflow_and_adjust(
+        self, path: List[Tuple[RTreeNode, int]]
+    ) -> None:
+        """Split overflowing nodes bottom-up and refresh ancestor MBRs."""
+        split_result: Optional[Tuple[int, MBR]] = None
+        for depth in range(len(path) - 1, -1, -1):
+            node, _ = path[depth]
+            if split_result is not None:
+                node.add_child(*split_result)
+                split_result = None
+            cap = self.leaf_cap if node.is_leaf else self.dir_cap
+            if node.entry_count > cap:
+                split_result = self._split(node)
+            if depth > 0:
+                parent, _ = path[depth - 1]
+                parent.set_child_mbr(node.page_id, node.mbr())
+        if split_result is not None:
+            self._grow_root(split_result)
+
+    def _grow_root(self, split_result: Tuple[int, MBR]) -> None:
+        old_root = self.node(self.root_id)
+        page = self.manager.allocate()
+        new_root = RTreeNode(page.page_id, is_leaf=False)
+        new_root.add_child(old_root.page_id, old_root.mbr())
+        new_root.add_child(*split_result)
+        page.payload = new_root
+        self.root_id = page.page_id
+        self.height += 1
+
+    def _split(self, node: RTreeNode) -> Tuple[int, MBR]:
+        """Quadratic split; mutates ``node`` and returns the new sibling."""
+        if node.is_leaf:
+            entries = [(MBR.from_point(p), p) for p in node.points]
+        else:
+            entries = list(zip(node.child_mbrs, node.children_ids))
+        group_a, group_b = _quadratic_split(
+            entries, self.min_leaf if node.is_leaf else self.min_dir
+        )
+
+        page = self.manager.allocate()
+        sibling = RTreeNode(page.page_id, is_leaf=node.is_leaf)
+        page.payload = sibling
+        if node.is_leaf:
+            node.points = [item for _, item in group_a]
+            sibling.points = [item for _, item in group_b]
+        else:
+            node.children_ids = [item for _, item in group_a]
+            node.child_mbrs = [m for m, _ in group_a]
+            sibling.children_ids = [item for _, item in group_b]
+            sibling.child_mbrs = [m for m, _ in group_b]
+        return sibling.page_id, sibling.mbr()
+
+    # ------------------------------------------------------------------
+    # deletion (Guttman condense-tree with reinsertion)
+    # ------------------------------------------------------------------
+    def delete(self, point: Point) -> bool:
+        """Remove one point; returns False if it was not found."""
+        if self.root_id is None:
+            return False
+        path = self._find_leaf(self.root_id, point, [])
+        if path is None:
+            return False
+        leaf = path[-1]
+        leaf.points = [
+            p
+            for p in leaf.points
+            if not (p.pid == point.pid and p.coords == point.coords)
+        ]
+        self.size -= 1
+        self._condense(path)
+        return True
+
+    def _find_leaf(
+        self, page_id: int, point: Point, path: List[RTreeNode]
+    ) -> Optional[List[RTreeNode]]:
+        node = self.node(page_id)
+        path = path + [node]
+        if node.is_leaf:
+            for p in node.points:
+                if p.pid == point.pid and p.coords == point.coords:
+                    return path
+            return None
+        point_mbr = MBR.from_point(point)
+        for child_id, child_mbr in zip(node.children_ids, node.child_mbrs):
+            if child_mbr.contains_mbr(point_mbr):
+                found = self._find_leaf(child_id, point, path)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, path: List[RTreeNode]) -> None:
+        orphans: List[Point] = []
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            min_fill = self.min_leaf if node.is_leaf else self.min_dir
+            if node.entry_count < min_fill:
+                parent.remove_child(node.page_id)
+                orphans.extend(self._collect_points(node))
+                self.manager.free(node.page_id)
+                self.buffer.invalidate(node.page_id)
+            else:
+                parent.set_child_mbr(node.page_id, node.mbr())
+        root = path[0]
+        if not root.is_leaf and root.entry_count == 1:
+            old_id = self.root_id
+            self.root_id = root.children_ids[0]
+            self.height -= 1
+            self.manager.free(old_id)
+            self.buffer.invalidate(old_id)
+        elif root.entry_count == 0 and root.is_leaf:
+            self.manager.free(root.page_id)
+            self.buffer.invalidate(root.page_id)
+            self.root_id = None
+            self.height = 0
+        self.size -= len(orphans)
+        for orphan in orphans:
+            self.insert(orphan)
+
+    def _collect_points(self, node: RTreeNode) -> List[Point]:
+        if node.is_leaf:
+            return list(node.points)
+        out: List[Point] = []
+        for child_id in node.children_ids:
+            child = self.node(child_id)
+            out.extend(self._collect_points(child))
+            self.manager.free(child_id)
+            self.buffer.invalidate(child_id)
+        return out
+
+    # ------------------------------------------------------------------
+    # iteration / integrity
+    # ------------------------------------------------------------------
+    def all_points(self) -> List[Point]:
+        """Every indexed point (goes through the buffer; test helper)."""
+        if self.root_id is None:
+            return []
+        out: List[Point] = []
+        stack = [self.root_id]
+        while stack:
+            node = self.node(stack.pop())
+            if node.is_leaf:
+                out.extend(node.points)
+            else:
+                stack.extend(node.children_ids)
+        return out
+
+    def check_integrity(self, strict_fill: bool = False) -> None:
+        """Validate MBR containment, capacities, and uniform leaf depth.
+
+        ``strict_fill`` additionally enforces the Guttman minimum fill on
+        non-root nodes — guaranteed for insert/delete-built trees, but not
+        for STR bulk loads (their trailing groups may be small).
+        """
+        if self.root_id is None:
+            if self.size != 0:
+                raise AssertionError("empty tree with non-zero size")
+            return
+        leaf_depths = set()
+        count = self._check_node(
+            self.root_id, None, 1, leaf_depths, True, strict_fill
+        )
+        if count != self.size:
+            raise AssertionError(f"size mismatch: {count} vs {self.size}")
+        if len(leaf_depths) != 1:
+            raise AssertionError(f"leaves at different depths: {leaf_depths}")
+        if leaf_depths.pop() != self.height:
+            raise AssertionError("height bookkeeping out of date")
+
+    def _check_node(
+        self, page_id, expected_mbr, depth, leaf_depths, is_root, strict_fill
+    ):
+        node = self.node(page_id)
+        mbr = node.mbr()
+        if expected_mbr is not None and mbr != expected_mbr:
+            raise AssertionError(
+                f"stored child MBR differs from actual at page {page_id}"
+            )
+        cap = self.leaf_cap if node.is_leaf else self.dir_cap
+        if node.entry_count > cap:
+            raise AssertionError(f"page {page_id} overflows ({node})")
+        if not is_root:
+            min_fill = self.min_leaf if node.is_leaf else self.min_dir
+            if strict_fill and node.entry_count < min_fill:
+                raise AssertionError(f"page {page_id} underflows ({node})")
+            if node.entry_count < 1:
+                raise AssertionError(f"page {page_id} is empty ({node})")
+        if node.is_leaf:
+            leaf_depths.add(depth)
+            return len(node.points)
+        total = 0
+        for child_id, child_mbr in zip(node.children_ids, node.child_mbrs):
+            total += self._check_node(
+                child_id, child_mbr, depth + 1, leaf_depths, False,
+                strict_fill,
+            )
+        return total
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return (
+            f"RTree(n={self.size}, pages={self.num_pages}, "
+            f"height={self.height}, leaf_cap={self.leaf_cap})"
+        )
+
+
+def _quadratic_split(entries, min_fill: int):
+    """Guttman's quadratic split of (mbr, item) pairs into two groups."""
+    if len(entries) < 2:
+        raise ValueError("cannot split fewer than two entries")
+
+    # Seed pair: the two entries wasting the most area together.
+    worst = -1.0
+    seed_a = 0
+    seed_b = 1
+    for i in range(len(entries)):
+        for j in range(i + 1, len(entries)):
+            waste = (
+                entries[i][0].union(entries[j][0]).area
+                - entries[i][0].area
+                - entries[j][0].area
+            )
+            if waste > worst:
+                worst = waste
+                seed_a, seed_b = i, j
+
+    group_a = [entries[seed_a]]
+    group_b = [entries[seed_b]]
+    mbr_a = entries[seed_a][0]
+    mbr_b = entries[seed_b][0]
+    remaining = [
+        e for idx, e in enumerate(entries) if idx not in (seed_a, seed_b)
+    ]
+
+    while remaining:
+        # Force-assign to satisfy minimum fill.
+        if len(group_a) + len(remaining) == min_fill:
+            for e in remaining:
+                group_a.append(e)
+                mbr_a = mbr_a.union(e[0])
+            break
+        if len(group_b) + len(remaining) == min_fill:
+            for e in remaining:
+                group_b.append(e)
+                mbr_b = mbr_b.union(e[0])
+            break
+        # Pick the entry with the strongest preference.
+        best_idx = 0
+        best_diff = -1.0
+        for idx, (mbr, _) in enumerate(remaining):
+            d1 = mbr_a.union(mbr).area - mbr_a.area
+            d2 = mbr_b.union(mbr).area - mbr_b.area
+            if abs(d1 - d2) > best_diff:
+                best_diff = abs(d1 - d2)
+                best_idx = idx
+        entry = remaining.pop(best_idx)
+        d1 = mbr_a.union(entry[0]).area - mbr_a.area
+        d2 = mbr_b.union(entry[0]).area - mbr_b.area
+        if (d1, mbr_a.area, len(group_a)) <= (d2, mbr_b.area, len(group_b)):
+            group_a.append(entry)
+            mbr_a = mbr_a.union(entry[0])
+        else:
+            group_b.append(entry)
+            mbr_b = mbr_b.union(entry[0])
+    return group_a, group_b

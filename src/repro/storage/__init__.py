@@ -1,0 +1,21 @@
+"""Simulated disk substrate.
+
+The paper keeps the customer set ``P`` on disk behind an R-tree with 1 KB
+pages and an LRU buffer sized at 1% of the tree, and charges 10 ms per page
+fault.  We reproduce that accounting with a page manager (one page per R-tree
+node, with real serialization for persistence) and an LRU buffer pool that
+counts hits and faults.
+"""
+
+from repro.storage.iostats import IOStats, DEFAULT_IO_PENALTY_S
+from repro.storage.page import Page, PageManager, DEFAULT_PAGE_SIZE
+from repro.storage.buffer import LRUBufferPool
+
+__all__ = [
+    "IOStats",
+    "DEFAULT_IO_PENALTY_S",
+    "Page",
+    "PageManager",
+    "DEFAULT_PAGE_SIZE",
+    "LRUBufferPool",
+]

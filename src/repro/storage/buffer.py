@@ -1,0 +1,98 @@
+"""LRU buffer pool.
+
+Every logical page access in the R-tree goes through
+:meth:`LRUBufferPool.access`.  A miss counts as a page fault and charges the
+configured I/O penalty via :class:`~repro.storage.iostats.IOStats`.  The
+paper sizes the buffer at 1% of the tree (Section 5.1); we expose that as
+``capacity_for_tree``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.storage.iostats import IOStats
+from repro.storage.page import Page, PageManager
+
+MIN_BUFFER_PAGES = 4
+
+
+class LRUBufferPool:
+    """A fixed-capacity LRU cache of pages with fault accounting."""
+
+    def __init__(
+        self,
+        manager: PageManager,
+        capacity: int,
+        stats: Optional[IOStats] = None,
+    ):
+        if capacity < 1:
+            raise ValueError("buffer capacity must be >= 1 page")
+        self.manager = manager
+        self.capacity = capacity
+        self.stats = stats if stats is not None else IOStats()
+        self._resident: "OrderedDict[int, Page]" = OrderedDict()
+
+    @staticmethod
+    def capacity_for_tree(num_pages: int, fraction: float = 0.01) -> int:
+        """Paper sizing rule: buffer = ``fraction`` of the tree's pages."""
+        return max(MIN_BUFFER_PAGES, int(num_pages * fraction))
+
+    # ------------------------------------------------------------------
+    # the single hot operation
+    # ------------------------------------------------------------------
+    def access(self, page_id: int) -> Page:
+        """Fetch a page, updating recency and fault counters."""
+        self.stats.reads += 1
+        page = self._resident.get(page_id)
+        if page is not None:
+            self._resident.move_to_end(page_id)
+            return page
+        self.stats.faults += 1
+        page = self.manager.get(page_id)
+        self._admit(page)
+        return page
+
+    def _admit(self, page: Page) -> None:
+        while len(self._resident) >= self.capacity:
+            _, evicted = self._resident.popitem(last=False)
+            if evicted.dirty:
+                self.stats.writes += 1
+                evicted.dirty = False
+        self._resident[page.page_id] = page
+
+    # ------------------------------------------------------------------
+    # management
+    # ------------------------------------------------------------------
+    def pin_warm(self, page_id: int) -> None:
+        """Place a page in the buffer without charging a fault.
+
+        Used when building a tree in memory: construction I/O is not part of
+        the measured workload, matching the paper's setup where indexes are
+        pre-built.
+        """
+        page = self.manager.get(page_id)
+        self._admit(page)
+
+    def invalidate(self, page_id: int) -> None:
+        self._resident.pop(page_id, None)
+
+    def clear(self) -> None:
+        self._resident.clear()
+
+    @property
+    def resident_ids(self):
+        return list(self._resident)
+
+    def is_resident(self, page_id: int) -> bool:
+        return page_id in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUBufferPool(capacity={self.capacity}, "
+            f"resident={len(self._resident)}, {self.stats!r})"
+        )

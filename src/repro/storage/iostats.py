@@ -1,0 +1,71 @@
+"""I/O accounting.
+
+``IOStats`` is the single place where page faults are converted into charged
+I/O time.  The paper (Section 5.1) charges 10 ms per page fault, citing the
+standard textbook figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+DEFAULT_IO_PENALTY_S = 0.010
+
+
+@dataclass
+class IOStats:
+    """Counters for buffer-pool traffic.
+
+    Attributes
+    ----------
+    reads:
+        Logical page requests.
+    faults:
+        Requests that missed the buffer (simulated disk reads).
+    writes:
+        Pages written back to the simulated disk.
+    io_penalty_s:
+        Charged seconds per fault (paper default: 10 ms).
+    """
+
+    reads: int = 0
+    faults: int = 0
+    writes: int = 0
+    io_penalty_s: float = field(default=DEFAULT_IO_PENALTY_S)
+
+    @property
+    def hits(self) -> int:
+        return self.reads - self.faults
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.reads if self.reads else 0.0
+
+    @property
+    def io_time_s(self) -> float:
+        """Charged I/O time in seconds (faults × penalty)."""
+        return self.faults * self.io_penalty_s
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.faults = 0
+        self.writes = 0
+
+    def snapshot(self) -> "IOStats":
+        """A frozen copy (useful to diff before/after a query)."""
+        return IOStats(self.reads, self.faults, self.writes, self.io_penalty_s)
+
+    def diff(self, before: "IOStats") -> "IOStats":
+        """Counters accumulated since ``before`` was snapshotted."""
+        return IOStats(
+            self.reads - before.reads,
+            self.faults - before.faults,
+            self.writes - before.writes,
+            self.io_penalty_s,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"IOStats(reads={self.reads}, faults={self.faults}, "
+            f"writes={self.writes}, io_time={self.io_time_s:.3f}s)"
+        )

@@ -1,0 +1,177 @@
+"""Pages and the page manager (the simulated disk).
+
+Each R-tree node occupies exactly one page.  Pages hold an opaque payload
+object plus an optional serialized form; :class:`PageManager` is the "disk":
+a dict of page-id → page with allocation, free-list reuse, and byte-level
+serialization helpers used by the persistence tests.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+DEFAULT_PAGE_SIZE = 1024
+
+# Serialized entry layouts (2-D):
+#   leaf entry:     point id (q), x (d), y (d)                -> 24 bytes
+#   internal entry: child page id (q), lox, loy, hix, hiy (d) -> 40 bytes
+_LEAF_ENTRY = struct.Struct("<qdd")
+_DIR_ENTRY = struct.Struct("<qdddd")
+_HEADER = struct.Struct("<qii")  # page id, is_leaf, entry count
+
+LEAF_ENTRY_BYTES = _LEAF_ENTRY.size
+DIR_ENTRY_BYTES = _DIR_ENTRY.size
+HEADER_BYTES = _HEADER.size
+
+
+class PageOverflowError(RuntimeError):
+    """Raised when a node no longer fits in its page."""
+
+
+@dataclass
+class Page:
+    """One disk page.
+
+    ``payload`` is the live object (an R-tree node); ``raw`` is its
+    serialized image, produced on demand by :meth:`PageManager.serialize`.
+    """
+
+    page_id: int
+    payload: Any = None
+    raw: Optional[bytes] = None
+    dirty: bool = False
+
+
+@dataclass
+class PageManager:
+    """The simulated disk: allocates, stores, and serializes pages."""
+
+    page_size: int = DEFAULT_PAGE_SIZE
+    _pages: Dict[int, Page] = field(default_factory=dict)
+    _free: List[int] = field(default_factory=list)
+    _next_id: int = 0
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def allocate(self, payload: Any = None) -> Page:
+        """Allocate a fresh page (reusing freed ids first)."""
+        if self._free:
+            pid = self._free.pop()
+        else:
+            pid = self._next_id
+            self._next_id += 1
+        page = Page(page_id=pid, payload=payload, dirty=True)
+        self._pages[pid] = page
+        return page
+
+    def free(self, page_id: int) -> None:
+        """Return a page to the free list."""
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} is not allocated")
+        del self._pages[page_id]
+        self._free.append(page_id)
+
+    def get(self, page_id: int) -> Page:
+        """Fetch a page from "disk" (no fault accounting here — the buffer
+        pool owns that)."""
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise KeyError(f"page {page_id} is not allocated") from None
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def page_ids(self) -> List[int]:
+        return list(self._pages)
+
+    # ------------------------------------------------------------------
+    # capacity maths (how many entries fit on a page)
+    # ------------------------------------------------------------------
+    def leaf_capacity(self) -> int:
+        """Number of point entries fitting on one page."""
+        cap = (self.page_size - HEADER_BYTES) // LEAF_ENTRY_BYTES
+        if cap < 2:
+            raise ValueError(f"page size {self.page_size} too small for a leaf")
+        return cap
+
+    def dir_capacity(self) -> int:
+        """Number of child entries fitting on one internal page."""
+        cap = (self.page_size - HEADER_BYTES) // DIR_ENTRY_BYTES
+        if cap < 2:
+            raise ValueError(
+                f"page size {self.page_size} too small for a directory node"
+            )
+        return cap
+
+    # ------------------------------------------------------------------
+    # serialization (persistence-grade; not on the hot query path)
+    # ------------------------------------------------------------------
+    def serialize(self, page: Page) -> bytes:
+        """Serialize a page's R-tree node payload into its on-disk image.
+
+        The payload must expose ``is_leaf``, and either ``points`` (leaf)
+        or ``children_ids``/``child_mbrs`` (internal).
+        """
+        node = page.payload
+        if node is None:
+            raise ValueError(f"page {page.page_id} has no payload")
+        parts = []
+        if node.is_leaf:
+            entries = node.points
+            parts.append(_HEADER.pack(page.page_id, 1, len(entries)))
+            for p in entries:
+                parts.append(_LEAF_ENTRY.pack(p.pid, p.coords[0], p.coords[1]))
+        else:
+            ids = node.children_ids
+            mbrs = node.child_mbrs
+            parts.append(_HEADER.pack(page.page_id, 0, len(ids)))
+            for cid, m in zip(ids, mbrs):
+                parts.append(
+                    _DIR_ENTRY.pack(cid, m.lo[0], m.lo[1], m.hi[0], m.hi[1])
+                )
+        raw = b"".join(parts)
+        if len(raw) > self.page_size:
+            raise PageOverflowError(
+                f"page {page.page_id}: {len(raw)} bytes > page size "
+                f"{self.page_size}"
+            )
+        page.raw = raw.ljust(self.page_size, b"\x00")
+        page.dirty = False
+        return page.raw
+
+    def deserialize_header(self, raw: bytes):
+        """Decode (page_id, is_leaf, count) from a page image."""
+        page_id, is_leaf, count = _HEADER.unpack_from(raw, 0)
+        return page_id, bool(is_leaf), count
+
+    def deserialize_leaf_entries(self, raw: bytes):
+        """Decode [(pid, x, y), ...] from a leaf page image."""
+        _, is_leaf, count = _HEADER.unpack_from(raw, 0)
+        if not is_leaf:
+            raise ValueError("not a leaf page")
+        out = []
+        off = HEADER_BYTES
+        for _ in range(count):
+            out.append(_LEAF_ENTRY.unpack_from(raw, off))
+            off += LEAF_ENTRY_BYTES
+        return out
+
+    def deserialize_dir_entries(self, raw: bytes):
+        """Decode [(child_id, lox, loy, hix, hiy), ...] from a dir page."""
+        _, is_leaf, count = _HEADER.unpack_from(raw, 0)
+        if is_leaf:
+            raise ValueError("not a directory page")
+        out = []
+        off = HEADER_BYTES
+        for _ in range(count):
+            out.append(_DIR_ENTRY.unpack_from(raw, off))
+            off += DIR_ENTRY_BYTES
+        return out

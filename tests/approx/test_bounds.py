@@ -1,0 +1,63 @@
+"""Unit tests for the error-bound helpers (Theorems 3-4)."""
+
+import pytest
+
+from repro.core.approx.bounds import (
+    ca_error_bound,
+    delta_for_target_error,
+    quality_ratio,
+    sa_error_bound,
+)
+
+
+class TestBounds:
+    def test_formulas(self):
+        assert sa_error_bound(10, 4.0) == 80.0
+        assert ca_error_bound(10, 4.0) == 40.0
+
+    def test_zero_gamma(self):
+        assert sa_error_bound(0, 100.0) == 0.0
+        assert ca_error_bound(0, 100.0) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            sa_error_bound(-1, 1.0)
+        with pytest.raises(ValueError):
+            ca_error_bound(1, -1.0)
+
+
+class TestQualityRatio:
+    def test_normal_case(self):
+        assert quality_ratio(110.0, 100.0) == pytest.approx(1.1)
+
+    def test_perfect(self):
+        assert quality_ratio(100.0, 100.0) == 1.0
+
+    def test_zero_optimal(self):
+        assert quality_ratio(0.0, 0.0) == 1.0
+        assert quality_ratio(1.0, 0.0) == float("inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            quality_ratio(-1.0, 1.0)
+
+
+class TestDeltaPlanner:
+    def test_inversion_roundtrip(self):
+        gamma = 50
+        target = 123.0
+        d_ca = delta_for_target_error(gamma, target, "ca")
+        assert ca_error_bound(gamma, d_ca) == pytest.approx(target)
+        d_sa = delta_for_target_error(gamma, target, "sa")
+        assert sa_error_bound(gamma, d_sa) == pytest.approx(target)
+
+    def test_zero_gamma_unbounded(self):
+        assert delta_for_target_error(0, 10.0) == float("inf")
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            delta_for_target_error(1, 1.0, "xx")
+
+    def test_negative_target(self):
+        with pytest.raises(ValueError):
+            delta_for_target_error(1, -1.0)

@@ -1,0 +1,107 @@
+"""Partitioning-phase tests (Figures 6 and 7 scenarios)."""
+
+import numpy as np
+import pytest
+
+from repro.core.approx.partition import (
+    hilbert_greedy_groups,
+    rtree_customer_partition,
+)
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+from repro.rtree.tree import RTree
+
+
+def random_points(n, seed=0, world=1000.0):
+    rng = np.random.default_rng(seed)
+    return [Point(i, rng.random(2) * world) for i in range(n)]
+
+
+class TestHilbertGreedy:
+    @pytest.mark.parametrize("delta", [5.0, 40.0, 200.0])
+    def test_all_group_diagonals_bounded(self, delta):
+        pts = random_points(200, seed=1)
+        groups = hilbert_greedy_groups(pts, delta, (0, 0), (1000, 1000))
+        for g in groups:
+            assert MBR.from_points(g).diagonal <= delta + 1e-9
+
+    def test_partition_is_complete_and_disjoint(self):
+        pts = random_points(150, seed=2)
+        groups = hilbert_greedy_groups(pts, 60.0, (0, 0), (1000, 1000))
+        ids = [p.pid for g in groups for p in g]
+        assert sorted(ids) == list(range(150))
+
+    def test_larger_delta_fewer_groups(self):
+        pts = random_points(300, seed=3)
+        small = hilbert_greedy_groups(pts, 20.0, (0, 0), (1000, 1000))
+        large = hilbert_greedy_groups(pts, 300.0, (0, 0), (1000, 1000))
+        assert len(large) < len(small)
+
+    def test_zero_delta_singletons(self):
+        pts = random_points(30, seed=4)
+        groups = hilbert_greedy_groups(pts, 0.0, (0, 0), (1000, 1000))
+        assert len(groups) == 30
+
+    def test_colocated_points_group_together_at_zero_delta(self):
+        pts = [Point(i, (5.0, 5.0)) for i in range(4)]
+        groups = hilbert_greedy_groups(pts, 0.0, (0, 0), (10, 10))
+        assert len(groups) == 1
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_greedy_groups([], -1.0, (0, 0), (1, 1))
+
+
+class TestRTreePartition:
+    @pytest.mark.parametrize("delta", [15.0, 60.0, 400.0])
+    def test_groups_cover_all_points_with_bounded_mbr(self, delta):
+        pts = random_points(500, seed=5)
+        tree = RTree.from_points(pts)
+        groups = rtree_customer_partition(tree, delta)
+        ids = sorted(p.pid for g in groups for p in g.members)
+        assert ids == list(range(500))
+        for g in groups:
+            assert g.mbr.diagonal <= delta + 1e-9
+            assert g.weight == len(g.members)
+            # Members must lie inside the partition rectangle.
+            for p in g.members:
+                assert g.mbr.contains_point(p)
+
+    def test_representative_within_half_delta_of_members(self):
+        # The Theorem 4 geometric fact.
+        pts = random_points(400, seed=6)
+        tree = RTree.from_points(pts)
+        delta = 50.0
+        for g in rtree_customer_partition(tree, delta):
+            rx, ry = g.representative_xy
+            for p in g.members:
+                d = ((p.x - rx) ** 2 + (p.y - ry) ** 2) ** 0.5
+                assert d <= delta / 2 + 1e-9
+
+    def test_small_delta_splits_leaves(self):
+        # δ far below leaf MBR size forces the conceptual halving path.
+        pts = random_points(300, seed=7)
+        tree = RTree.from_points(pts)
+        groups = rtree_customer_partition(tree, 8.0)
+        assert len(groups) > tree.num_pages
+
+    def test_huge_delta_single_group(self):
+        pts = random_points(100, seed=8)
+        tree = RTree.from_points(pts)
+        groups = rtree_customer_partition(tree, 10_000.0)
+        assert len(groups) == 1
+        assert groups[0].weight == 100
+
+    def test_empty_tree(self):
+        assert rtree_customer_partition(RTree(), 10.0) == []
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(ValueError):
+            rtree_customer_partition(RTree(), 0.0)
+
+    def test_partition_incurs_io(self):
+        pts = random_points(800, seed=9)
+        tree = RTree.from_points(pts)
+        tree.cold()
+        rtree_customer_partition(tree, 30.0)
+        assert tree.stats.faults > 0

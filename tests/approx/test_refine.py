@@ -1,0 +1,82 @@
+"""Refinement-phase heuristics tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.approx.refine import exclusive_nn_refine, nn_refine
+from repro.geometry.distance import dist
+from repro.geometry.point import Point
+
+
+def setup_case(nq=3, np_=10, seed=0, quota=3):
+    rng = np.random.default_rng(seed)
+    providers = [
+        (Point(100 + i, rng.random(2) * 100), quota) for i in range(nq)
+    ]
+    customers = [Point(j, rng.random(2) * 100) for j in range(np_)]
+    return providers, customers
+
+
+@pytest.mark.parametrize("refine", [nn_refine, exclusive_nn_refine])
+class TestCommonContract:
+    def test_respects_quotas(self, refine):
+        providers, customers = setup_case(quota=2)
+        pairs = refine(providers, customers)
+        from collections import Counter
+
+        loads = Counter(q for q, _, _ in pairs)
+        assert all(v <= 2 for v in loads.values())
+
+    def test_customers_assigned_once(self, refine):
+        providers, customers = setup_case()
+        pairs = refine(providers, customers)
+        assigned = [p for _, p, _ in pairs]
+        assert len(assigned) == len(set(assigned))
+
+    def test_size_is_min_of_quota_and_customers(self, refine):
+        providers, customers = setup_case(nq=2, np_=10, quota=3)
+        assert len(refine(providers, customers)) == 6  # quota-bound
+        providers, customers = setup_case(nq=3, np_=5, quota=9)
+        assert len(refine(providers, customers)) == 5  # customer-bound
+
+    def test_distances_reported_correctly(self, refine):
+        providers, customers = setup_case()
+        by_id = {p.pid: p for p in customers}
+        q_by_id = {q.pid: q for q, _ in providers}
+        for q, p, d in refine(providers, customers):
+            assert d == pytest.approx(dist(q_by_id[q], by_id[p]))
+
+    def test_zero_quota_provider_unused(self, refine):
+        providers, customers = setup_case(nq=2, quota=0)
+        assert refine(providers, customers) == []
+
+    def test_empty_customers(self, refine):
+        providers, _ = setup_case()
+        assert refine(providers, []) == []
+
+
+class TestDifferences:
+    def test_exclusive_first_pair_is_globally_closest(self):
+        providers, customers = setup_case(seed=3)
+        pairs = exclusive_nn_refine(providers, customers)
+        best = min(
+            dist(q, p) for q, _ in providers for p in customers
+        )
+        assert min(d for _, _, d in pairs) == pytest.approx(best)
+
+    def test_nn_round_robin_spreads_assignments(self):
+        # Two providers, four customers all nearer to provider A: round-
+        # robin still gives B its turns (within quota).
+        a = (Point(100, (0.0, 0.0)), 2)
+        b = (Point(101, (100.0, 0.0)), 2)
+        customers = [
+            Point(0, (1.0, 0.0)),
+            Point(1, (2.0, 0.0)),
+            Point(2, (3.0, 0.0)),
+            Point(3, (4.0, 0.0)),
+        ]
+        pairs = nn_refine([a, b], customers)
+        loads = {100: 0, 101: 0}
+        for q, _, _ in pairs:
+            loads[q] += 1
+        assert loads == {100: 2, 101: 2}

@@ -1,0 +1,97 @@
+"""SA / CA end-to-end tests with the Theorem 3/4 guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.core.approx.bounds import ca_error_bound, sa_error_bound
+from repro.core.approx.ca import CAApproxSolver
+from repro.core.approx.sa import SAApproxSolver
+from repro.core.solve import solve
+from tests.conftest import random_problem
+
+
+def optimal_cost(prob):
+    return solve(prob, "ida").cost
+
+
+class TestSA:
+    @pytest.mark.parametrize("refinement", ["nn", "exclusive"])
+    @pytest.mark.parametrize("delta", [10.0, 50.0, 150.0])
+    def test_valid_and_within_bound(self, refinement, delta):
+        rng = np.random.default_rng(17)
+        prob = random_problem(rng, nq=6, np_=60, cap_hi=4, world=500.0)
+        m = SAApproxSolver(prob, delta=delta, refinement=refinement).solve()
+        m.validate(prob)
+        err = m.cost - optimal_cost(prob)
+        assert err <= sa_error_bound(prob.gamma, delta) + 1e-6
+
+    def test_tiny_delta_is_nearly_exact(self):
+        rng = np.random.default_rng(18)
+        prob = random_problem(rng, nq=5, np_=50, cap_hi=3, world=500.0)
+        m = SAApproxSolver(prob, delta=1e-9).solve()
+        # Every provider is its own group: result must be optimal.
+        assert m.cost == pytest.approx(optimal_cost(prob), abs=1e-5)
+
+    def test_groups_reported_in_stats(self):
+        rng = np.random.default_rng(19)
+        prob = random_problem(rng, nq=8, np_=40, cap_hi=2, world=200.0)
+        solver = SAApproxSolver(prob, delta=100.0)
+        solver.solve()
+        assert 1 <= solver.stats.extra["num_groups"] <= 8
+
+    def test_invalid_refinement_rejected(self, small_problem):
+        with pytest.raises(ValueError):
+            SAApproxSolver(small_problem, refinement="best")
+
+
+class TestCA:
+    @pytest.mark.parametrize("refinement", ["nn", "exclusive"])
+    @pytest.mark.parametrize("delta", [5.0, 25.0, 100.0])
+    def test_valid_and_within_bound(self, refinement, delta):
+        rng = np.random.default_rng(20)
+        prob = random_problem(rng, nq=5, np_=80, cap_hi=5, world=500.0)
+        m = CAApproxSolver(prob, delta=delta, refinement=refinement).solve()
+        m.validate(prob)
+        err = m.cost - optimal_cost(prob)
+        assert err <= ca_error_bound(prob.gamma, delta) + 1e-6
+
+    def test_ca_bound_tighter_than_sa(self):
+        assert ca_error_bound(10, 5.0) == pytest.approx(
+            sa_error_bound(10, 5.0) / 2
+        )
+
+    def test_concise_stats_captured(self):
+        rng = np.random.default_rng(21)
+        prob = random_problem(rng, nq=4, np_=60, cap_hi=3, world=400.0)
+        solver = CAApproxSolver(prob, delta=30.0)
+        solver.solve()
+        assert solver.stats.extra["num_groups"] >= 1
+        assert "concise" in solver.stats.extra
+
+    def test_partial_coverage_when_capacity_short(self):
+        # Σk < |P|: some customers stay unassigned, matching has size γ.
+        rng = np.random.default_rng(22)
+        prob = random_problem(rng, nq=2, np_=50, cap_hi=3, world=300.0)
+        m = CAApproxSolver(prob, delta=20.0).solve()
+        m.validate(prob)  # validates |M| == gamma
+        assert m.size == prob.gamma < 50
+
+
+class TestQualityTrends:
+    def test_quality_improves_with_smaller_delta(self):
+        # Statistical trend on one workload — smaller δ must not be worse
+        # (allowing small noise).
+        rng = np.random.default_rng(23)
+        prob = random_problem(rng, nq=8, np_=120, cap_hi=4, world=800.0)
+        opt = optimal_cost(prob)
+        coarse = CAApproxSolver(prob, delta=200.0).solve().cost
+        fine = CAApproxSolver(prob, delta=10.0).solve().cost
+        assert fine <= coarse * 1.05
+        assert fine >= opt - 1e-9
+
+    def test_sa_and_ca_costs_at_least_optimal(self):
+        rng = np.random.default_rng(24)
+        prob = random_problem(rng, nq=5, np_=70, cap_hi=4, world=600.0)
+        opt = optimal_cost(prob)
+        for method in ("san", "sae", "can", "cae"):
+            assert solve(prob, method).cost >= opt - 1e-9

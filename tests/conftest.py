@@ -1,0 +1,81 @@
+"""Shared fixtures and instance factories for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import CCAProblem
+from repro.geometry.point import Point
+
+
+def random_problem(
+    rng: np.random.Generator,
+    nq: int = None,
+    np_: int = None,
+    cap_hi: int = 5,
+    world: float = 100.0,
+    weights_hi: int = 1,
+) -> CCAProblem:
+    """A random CCA instance small enough for the scipy oracle."""
+    if nq is None:
+        nq = int(rng.integers(2, 7))
+    if np_ is None:
+        np_ = int(rng.integers(5, 40))
+    caps = rng.integers(0, cap_hi + 1, nq).tolist()
+    if sum(caps) == 0:
+        caps[0] = 1
+    weights = (
+        [1] * np_
+        if weights_hi <= 1
+        else rng.integers(1, weights_hi + 1, np_).tolist()
+    )
+    qxy = rng.random((nq, 2)) * world
+    pxy = rng.random((np_, 2)) * world
+    return CCAProblem.from_arrays(qxy, caps, pxy, customer_weights=weights)
+
+
+def grid_points(n: int, spacing: float = 10.0, start_id: int = 0):
+    """Deterministic n×n grid of points (brute-force query baselines)."""
+    pts = []
+    pid = start_id
+    for row in range(n):
+        for col in range(n):
+            pts.append(Point(pid, (col * spacing, row * spacing)))
+            pid += 1
+    return pts
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_problem():
+    """The running example of Figure 1-ish: 3 providers, 12 customers."""
+    provider_xy = [(20.0, 70.0), (50.0, 35.0), (80.0, 75.0)]
+    capacities = [3, 5, 3]
+    customer_xy = [
+        (5.0, 95.0), (15.0, 75.0), (25.0, 80.0), (22.0, 62.0),
+        (40.0, 40.0), (45.0, 25.0), (55.0, 30.0), (60.0, 42.0),
+        (52.0, 48.0), (75.0, 70.0), (85.0, 68.0), (82.0, 85.0),
+    ]
+    return CCAProblem.from_arrays(provider_xy, capacities, customer_xy)
+
+
+@pytest.fixture
+def paper_figure2_problem():
+    """The exact worked example of Figures 2-3.
+
+    q1.k = 1, q2.k = 2; dist(q1,p1)=7, dist(q1,p2)=3, dist(q2,p1)=10,
+    dist(q2,p2)=4.  Placement solving those four distance constraints:
+    q1=(0,0), p1=(-7,0), p2=(3,0), q2=(2.2, sqrt(15.36)).
+
+    The optimal matching is {(q1,p1), (q2,p2)} with Ψ = 11 (the paper's
+    SSPA trace ends with exactly those reversed edges).
+    """
+    provider_xy = [(0.0, 0.0), (2.2, 15.36 ** 0.5)]
+    capacities = [1, 2]
+    customer_xy = [(-7.0, 0.0), (3.0, 0.0)]
+    return CCAProblem.from_arrays(provider_xy, capacities, customer_xy)

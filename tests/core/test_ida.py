@@ -1,0 +1,111 @@
+"""IDA (Algorithm 4) tests: full-provider keys and the Theorem 2 fast path."""
+
+import numpy as np
+import pytest
+
+from repro.core.ida import IDASolver
+from repro.core.nia import NIASolver
+from repro.core.problem import CCAProblem
+from repro.flow.reference import oracle_cost, oracle_lsa
+from tests.conftest import random_problem
+
+
+def oracle(prob):
+    return oracle_cost(
+        oracle_lsa(prob.capacities, prob.weights, prob.distance)
+    )
+
+
+class TestCorrectness:
+    def test_small_fixture_optimal(self, small_problem):
+        m = IDASolver(small_problem).solve()
+        m.validate(small_problem)
+        assert m.cost == pytest.approx(oracle(small_problem), abs=1e-6)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_instances(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        prob = random_problem(rng)
+        m = IDASolver(prob).solve()
+        m.validate(prob)
+        assert m.cost == pytest.approx(oracle(prob), abs=1e-6)
+
+    @pytest.mark.parametrize("fast", [True, False])
+    @pytest.mark.parametrize("pua", [True, False])
+    def test_all_toggle_combinations(self, fast, pua, rng):
+        prob = random_problem(rng, nq=6, np_=70, cap_hi=4)
+        m = IDASolver(prob, use_pua=pua, use_fast_path=fast).solve()
+        m.validate(prob)
+        assert m.cost == pytest.approx(oracle(prob), abs=1e-6)
+
+    def test_weighted_customers(self, rng):
+        # The CA concise-matching case: customers with multi-unit weights.
+        prob = random_problem(rng, nq=5, np_=25, cap_hi=6, weights_hi=4)
+        m = IDASolver(prob).solve()
+        m.validate(prob)
+        assert m.cost == pytest.approx(oracle(prob), abs=1e-6)
+
+    def test_weighted_customers_many_seeds(self):
+        for seed in range(5):
+            rng = np.random.default_rng(300 + seed)
+            prob = random_problem(rng, cap_hi=8, weights_hi=5)
+            m = IDASolver(prob).solve()
+            m.validate(prob)
+            assert m.cost == pytest.approx(oracle(prob), abs=1e-6), seed
+
+
+class TestFastPath:
+    def test_slack_instance_runs_entirely_fast(self, rng):
+        # Abundant capacity: no provider ever fills, so every augmentation
+        # uses Theorem 2 and no Dijkstra ever runs.
+        prob = random_problem(rng, nq=4, np_=50, cap_hi=0, world=100.0)
+        prob = CCAProblem.from_arrays(
+            [q.point.coords for q in prob.providers],
+            [50] * 4,
+            [p.point.coords for p in prob.customers],
+        )
+        m = IDASolver(prob).solve()
+        assert m.stats.fast_path_augments == m.stats.gamma
+        assert m.stats.dijkstra_runs == 0
+        assert m.cost == pytest.approx(oracle(prob), abs=1e-6)
+
+    def test_fast_path_disabled_still_optimal(self, rng):
+        prob = random_problem(rng, nq=4, np_=60, cap_hi=5)
+        m = IDASolver(prob, use_fast_path=False).solve()
+        assert m.stats.fast_path_augments == 0
+        assert m.cost == pytest.approx(oracle(prob), abs=1e-6)
+
+    def test_fast_path_stops_at_first_full_provider(self, rng):
+        # Tight capacity: providers fill quickly, so only a prefix of
+        # augmentations can be fast.
+        prob = random_problem(rng, nq=3, np_=100, cap_hi=2)
+        m = IDASolver(prob).solve()
+        assert 0 < m.stats.fast_path_augments <= m.stats.gamma
+        assert m.cost == pytest.approx(oracle(prob), abs=1e-6)
+
+    def test_potentials_materialized_after_solve(self, rng):
+        prob = random_problem(rng, nq=3, np_=30, cap_hi=30)
+        solver = IDASolver(prob)
+        solver.solve()
+        assert solver._materialized
+        assert solver.net.tau_s > 0.0
+
+
+class TestPruning:
+    def test_ida_explores_no_more_than_nia_when_tight(self):
+        # k·|Q| < |P|: full-provider keys must prune edge discovery.
+        rng = np.random.default_rng(7)
+        xy_q = rng.random((8, 2)) * 1000
+        xy_p = rng.random((400, 2)) * 1000
+        prob_a = CCAProblem.from_arrays(xy_q, [10] * 8, xy_p)
+        prob_b = CCAProblem.from_arrays(xy_q, [10] * 8, xy_p)
+        ida = IDASolver(prob_a).solve()
+        nia = NIASolver(prob_b).solve()
+        assert ida.cost == pytest.approx(nia.cost, abs=1e-6)
+        assert ida.stats.esub_edges <= nia.stats.esub_edges
+
+    def test_real_estimates_monotone_nonnegative(self, rng):
+        prob = random_problem(rng, nq=5, np_=80, cap_hi=3)
+        solver = IDASolver(prob)
+        solver.solve()
+        assert all(r >= 0 for r in solver._real_est)

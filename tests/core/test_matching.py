@@ -1,0 +1,66 @@
+"""Unit tests for Matching and SolverStats."""
+
+import pytest
+
+from repro.core.matching import Matching, SolverStats
+from repro.core.problem import CCAProblem
+
+
+@pytest.fixture
+def prob():
+    return CCAProblem.from_arrays(
+        [(0.0, 0.0), (10.0, 0.0)], [1, 2],
+        [(1.0, 0.0), (9.0, 0.0), (11.0, 0.0)],
+    )
+
+
+class TestMatching:
+    def test_cost_and_size(self):
+        m = Matching([(0, 0, 1.0), (1, 1, 1.0), (1, 2, 1.0)])
+        assert m.cost == pytest.approx(3.0)
+        assert m.size == 3
+        assert len(m) == 3
+
+    def test_lookups(self):
+        m = Matching([(0, 0, 1.0), (1, 1, 1.0), (1, 2, 1.0)])
+        assert m.assignment_of(1) == 1
+        assert m.assignment_of(99) is None
+        assert sorted(m.customers_of(1)) == [1, 2]
+
+    def test_validate_accepts_valid(self, prob):
+        m = Matching([(0, 0, 1.0), (1, 1, 1.0), (1, 2, 1.0)])
+        m.validate(prob)
+
+    def test_validate_rejects_provider_overload(self, prob):
+        m = Matching([(0, 0, 1.0), (0, 1, 9.0), (1, 2, 1.0)])
+        with pytest.raises(AssertionError, match="provider 0"):
+            m.validate(prob)
+
+    def test_validate_rejects_duplicate_customer(self, prob):
+        m = Matching([(0, 0, 1.0), (1, 0, 9.0), (1, 2, 1.0)])
+        with pytest.raises(AssertionError, match="customer 0"):
+            m.validate(prob)
+
+    def test_validate_rejects_wrong_size(self, prob):
+        m = Matching([(0, 0, 1.0)])
+        with pytest.raises(AssertionError, match="size"):
+            m.validate(prob)
+
+    def test_validate_rejects_wrong_distance(self, prob):
+        m = Matching([(0, 0, 42.0), (1, 1, 1.0), (1, 2, 1.0)])
+        with pytest.raises(AssertionError, match="distance"):
+            m.validate(prob)
+
+
+class TestSolverStats:
+    def test_total_time_combines_cpu_and_io(self):
+        s = SolverStats(cpu_s=1.0)
+        s.io.faults = 100  # 1 s at 10 ms each
+        assert s.io_s == pytest.approx(1.0)
+        assert s.total_s == pytest.approx(2.0)
+
+    def test_defaults(self):
+        s = SolverStats(method="x", gamma=5)
+        assert s.esub_edges == 0
+        assert s.invalid_paths == 0
+        assert s.extra == {}

@@ -1,0 +1,72 @@
+"""NIA (Algorithm 3) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.nia import NIASolver
+from repro.flow.reference import oracle_cost, oracle_lsa
+from tests.conftest import random_problem
+
+
+def oracle(prob):
+    return oracle_cost(
+        oracle_lsa(prob.capacities, prob.weights, prob.distance)
+    )
+
+
+class TestCorrectness:
+    def test_small_fixture_optimal(self, small_problem):
+        m = NIASolver(small_problem).solve()
+        m.validate(small_problem)
+        assert m.cost == pytest.approx(oracle(small_problem), abs=1e-6)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        prob = random_problem(rng)
+        m = NIASolver(prob).solve()
+        m.validate(prob)
+        assert m.cost == pytest.approx(oracle(prob), abs=1e-6)
+
+    @pytest.mark.parametrize("use_pua", [True, False])
+    def test_pua_toggle_same_result(self, use_pua, rng):
+        prob = random_problem(rng, nq=5, np_=60, cap_hi=4)
+        m = NIASolver(prob, use_pua=use_pua).solve()
+        m.validate(prob)
+        assert m.cost == pytest.approx(oracle(prob), abs=1e-6)
+
+    @pytest.mark.parametrize("group_size", [1, 3, 16])
+    def test_ann_group_size_irrelevant_to_result(self, group_size, rng):
+        prob = random_problem(rng, nq=6, np_=80, cap_hi=3)
+        m = NIASolver(prob, ann_group_size=group_size).solve()
+        assert m.cost == pytest.approx(oracle(prob), abs=1e-6)
+
+
+class TestMechanics:
+    def test_one_pending_edge_per_provider(self, rng):
+        prob = random_problem(rng, nq=5, np_=50, cap_hi=2)
+        solver = NIASolver(prob)
+        solver.solve()
+        # After completion each provider has at most one frontier entry.
+        live = [f for f in solver._frontier if f is not None]
+        assert len(live) <= len(prob.providers)
+
+    def test_subgraph_much_smaller_than_full(self, rng):
+        prob = random_problem(rng, nq=6, np_=300, cap_hi=3)
+        m = NIASolver(prob).solve()
+        full = len(prob.providers) * len(prob.customers)
+        assert m.stats.esub_edges < full / 3
+
+    def test_pua_reduces_dijkstra_restarts(self, rng):
+        prob = random_problem(rng, nq=6, np_=200, cap_hi=10)
+        with_pua = NIASolver(prob).solve()
+        prob2 = random_problem(
+            np.random.default_rng(12345), nq=6, np_=200, cap_hi=10
+        )
+        without = NIASolver(prob2, use_pua=False).solve()
+        assert with_pua.stats.dijkstra_runs < without.stats.dijkstra_runs
+
+    def test_nn_requests_counted(self, rng):
+        prob = random_problem(rng, nq=4, np_=40, cap_hi=2)
+        m = NIASolver(prob).solve()
+        assert m.stats.nn_requests >= m.stats.edges_inserted

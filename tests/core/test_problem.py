@@ -1,0 +1,99 @@
+"""Unit tests for the CCA problem data model."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import CCAProblem, Customer, Provider
+from repro.geometry.point import Point
+
+
+class TestDataClasses:
+    def test_provider_fields(self):
+        q = Provider(Point(0, (1.0, 2.0)), 5)
+        assert q.pid == 0
+        assert q.capacity == 5
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Provider(Point(0, (0.0, 0.0)), -1)
+
+    def test_customer_default_weight(self):
+        p = Customer(Point(3, (0.0, 0.0)))
+        assert p.weight == 1
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Customer(Point(0, (0.0, 0.0)), -2)
+
+
+class TestProblem:
+    def test_from_arrays_assigns_ids(self):
+        prob = CCAProblem.from_arrays(
+            [(0.0, 0.0), (10.0, 10.0)], [1, 2], [(1.0, 1.0), (2.0, 2.0)]
+        )
+        assert [q.pid for q in prob.providers] == [0, 1]
+        assert [p.pid for p in prob.customers] == [0, 1]
+
+    def test_misnumbered_ids_rejected(self):
+        with pytest.raises(ValueError):
+            CCAProblem([Provider(Point(5, (0, 0)), 1)], [])
+        with pytest.raises(ValueError):
+            CCAProblem([], [Customer(Point(1, (0, 0)))])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CCAProblem.from_arrays([(0, 0)], [1, 2], [(1, 1)])
+        with pytest.raises(ValueError):
+            CCAProblem.from_arrays(
+                [(0, 0)], [1], [(1, 1)], customer_weights=[1, 1]
+            )
+
+    def test_gamma(self):
+        prob = CCAProblem.from_arrays(
+            [(0, 0)], [3], [(1, 1), (2, 2)]
+        )
+        assert prob.gamma == 2  # min(2 customers, capacity 3)
+        prob2 = CCAProblem.from_arrays(
+            [(0, 0)], [1], [(1, 1), (2, 2)]
+        )
+        assert prob2.gamma == 1
+
+    def test_gamma_with_weights(self):
+        prob = CCAProblem.from_arrays(
+            [(0, 0)], [10], [(1, 1), (2, 2)], customer_weights=[3, 4]
+        )
+        assert prob.gamma == 7
+
+    def test_distance(self):
+        prob = CCAProblem.from_arrays([(0, 0)], [1], [(3.0, 4.0)])
+        assert prob.distance(0, 0) == pytest.approx(5.0)
+
+    def test_world_mbr(self):
+        prob = CCAProblem.from_arrays(
+            [(-5.0, 0.0)], [1], [(10.0, 20.0), (0.0, -1.0)]
+        )
+        world = prob.world_mbr()
+        assert world.lo == (-5.0, -1.0)
+        assert world.hi == (10.0, 20.0)
+
+    def test_rtree_cached_and_rebuilt(self):
+        rng = np.random.default_rng(0)
+        prob = CCAProblem.from_arrays(
+            [(0, 0)], [1], rng.random((50, 2)) * 100
+        )
+        t1 = prob.rtree()
+        assert prob.rtree() is t1
+        t2 = prob.rtree(rebuild=True)
+        assert t2 is not t1
+        assert len(t2) == 50
+
+    def test_attach_rtree(self):
+        prob = CCAProblem.from_arrays([(0, 0)], [1], [(1.0, 1.0)])
+        other = CCAProblem.from_arrays([(0, 0)], [1], [(1.0, 1.0)])
+        tree = prob.rtree()
+        other.attach_rtree(tree)
+        assert other.rtree() is tree
+
+    def test_repr(self):
+        prob = CCAProblem.from_arrays([(0, 0)], [2], [(1, 1)])
+        assert "|Q|=1" in repr(prob) and "|P|=1" in repr(prob)

@@ -1,0 +1,95 @@
+"""PUA (Algorithm 5) tests: Dijkstra state repair after edge insertion."""
+
+import numpy as np
+import pytest
+
+from repro.core.pua import path_update
+from repro.flow.dijkstra import DijkstraState, INF
+from repro.flow.graph import CCAFlowNetwork
+
+
+def fresh_cost(net):
+    state = DijkstraState(net)
+    state.run()
+    return state.sp_cost
+
+
+class TestRepair:
+    def test_unreached_provider_is_noop(self):
+        net = CCAFlowNetwork([1, 1], [1, 1])
+        net.add_edge(0, 0, 1.0)
+        # q1 is full before the search starts, so Dijkstra never labels it.
+        net.q_used[1] = 1
+        state = DijkstraState(net)
+        state.run()
+        assert state.alpha_of(1) == INF
+        net.add_edge(1, 1, 0.5)
+        assert not path_update(state, net, 1, 1, 0.5)
+
+    def test_improvement_detected_and_applied(self):
+        net = CCAFlowNetwork([1, 1], [1], )
+        net.add_edge(0, 0, 9.0)
+        state = DijkstraState(net)
+        state.run()
+        assert state.sp_cost == pytest.approx(9.0)
+        net.add_edge(1, 0, 2.0)
+        assert path_update(state, net, 1, 0, 2.0)
+        state.run()
+        assert state.sp_cost == pytest.approx(2.0)
+
+    def test_non_improving_edge_changes_nothing(self):
+        net = CCAFlowNetwork([1, 1], [1])
+        net.add_edge(0, 0, 2.0)
+        state = DijkstraState(net)
+        state.run()
+        net.add_edge(1, 0, 50.0)
+        assert not path_update(state, net, 1, 0, 50.0)
+        state.run()
+        assert state.sp_cost == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_repaired_equals_fresh_on_random_growth(self, seed):
+        """Insert edges one by one; the PUA-repaired state must always
+        agree with a from-scratch Dijkstra."""
+        rng = np.random.default_rng(seed)
+        nq, np_ = 5, 15
+        net = CCAFlowNetwork([2] * nq, [1] * np_)
+        dists = rng.random((nq, np_)) * 100
+        order = [(i, j) for i in range(nq) for j in range(np_)]
+        rng.shuffle(order)
+        state = DijkstraState(net)
+        state.run()
+        for i, j in order[:40]:
+            d = float(dists[i, j])
+            net.add_edge(i, j, d)
+            path_update(state, net, i, j, d)
+            state.run()
+            fresh = DijkstraState(net)
+            fresh.run()
+            assert state.sp_cost == pytest.approx(fresh.sp_cost), (i, j)
+
+    def test_repair_after_partial_matching(self):
+        # Augment a few paths, then grow Esub mid-iteration and compare
+        # repaired vs fresh searches in the residual graph.
+        rng = np.random.default_rng(9)
+        nq, np_ = 4, 10
+        net = CCAFlowNetwork([1] * nq, [1] * np_)
+        dists = rng.random((nq, np_)) * 100
+        for i in range(nq):
+            for j in range(0, np_, 2):
+                net.add_edge(i, j, float(dists[i, j]))
+        for _ in range(2):
+            s = DijkstraState(net)
+            assert s.run()
+            net.augment(s.path_nodes(), s.sp_cost, s.settled_alpha_for_update())
+        state = DijkstraState(net)
+        state.run()
+        for i in range(nq):
+            for j in range(1, np_, 2):
+                d = float(dists[i, j])
+                net.add_edge(i, j, d)
+                path_update(state, net, i, j, d)
+                state.run()
+                fresh = DijkstraState(net)
+                fresh.run()
+                assert state.sp_cost == pytest.approx(fresh.sp_cost)

@@ -1,0 +1,75 @@
+"""RIA (Algorithm 2) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.ria import RIASolver
+from repro.flow.reference import oracle_cost, oracle_lsa
+from tests.conftest import random_problem
+
+
+class TestCorrectness:
+    def test_small_fixture_optimal(self, small_problem):
+        m = RIASolver(small_problem, theta=5.0).solve()
+        m.validate(small_problem)
+        expected = oracle_cost(
+            oracle_lsa(
+                small_problem.capacities,
+                small_problem.weights,
+                small_problem.distance,
+            )
+        )
+        assert m.cost == pytest.approx(expected, abs=1e-6)
+
+    @pytest.mark.parametrize("theta", [0.5, 3.0, 20.0, 500.0])
+    def test_theta_does_not_change_result(self, small_problem, theta):
+        m = RIASolver(small_problem, theta=theta).solve()
+        expected = oracle_cost(
+            oracle_lsa(
+                small_problem.capacities,
+                small_problem.weights,
+                small_problem.distance,
+            )
+        )
+        assert m.cost == pytest.approx(expected, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        prob = random_problem(rng)
+        m = RIASolver(prob, theta=7.0).solve()
+        m.validate(prob)
+        expected = oracle_cost(
+            oracle_lsa(prob.capacities, prob.weights, prob.distance)
+        )
+        assert m.cost == pytest.approx(expected, abs=1e-6)
+
+    def test_invalid_theta_rejected(self, small_problem):
+        with pytest.raises(ValueError):
+            RIASolver(small_problem, theta=0.0)
+
+
+class TestMechanics:
+    def test_subgraph_smaller_than_full(self, rng):
+        prob = random_problem(rng, nq=5, np_=200, cap_hi=3)
+        m = RIASolver(prob, theta=10.0).solve()
+        full = len(prob.providers) * len(prob.customers)
+        assert 0 < m.stats.esub_edges < full
+
+    def test_small_theta_means_more_range_searches(self, rng):
+        prob = random_problem(rng, nq=4, np_=150, cap_hi=3)
+        fine = RIASolver(prob, theta=2.0).solve()
+        prob2 = random_problem(np.random.default_rng(12345), nq=4, np_=150, cap_hi=3)
+        coarse = RIASolver(prob2, theta=50.0).solve()
+        assert fine.stats.range_searches > coarse.stats.range_searches
+        assert fine.cost == pytest.approx(coarse.cost, abs=1e-6)
+
+    def test_io_is_charged(self, rng):
+        prob = random_problem(rng, nq=4, np_=300, cap_hi=4, world=1000.0)
+        m = RIASolver(prob, theta=20.0).solve()
+        assert m.stats.io.faults > 0
+        assert m.stats.io_s == pytest.approx(m.stats.io.faults * 0.010)
+
+    def test_expansions_needed_helper(self):
+        assert RIASolver.expansions_needed(100.0, 10.0) == 10
+        assert RIASolver.expansions_needed(101.0, 10.0) == 11

@@ -1,0 +1,63 @@
+"""SM greedy baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.sm import SMSolver
+from repro.core.solve import solve
+from tests.conftest import random_problem
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_valid_maximal_matching(self, seed):
+        rng = np.random.default_rng(400 + seed)
+        prob = random_problem(rng)
+        m = SMSolver(prob).solve()
+        m.validate(prob)
+
+    def test_never_better_than_optimal(self, rng):
+        prob = random_problem(rng, nq=5, np_=40, cap_hi=3)
+        greedy = SMSolver(prob).solve()
+        optimal = solve(prob, "ida")
+        assert greedy.cost >= optimal.cost - 1e-9
+
+    def test_greedy_first_pair_is_global_closest(self, rng):
+        prob = random_problem(rng, nq=4, np_=30, cap_hi=2)
+        m = SMSolver(prob).solve()
+        all_d = min(
+            prob.distance(i, j)
+            for i in range(len(prob.providers))
+            for j in range(len(prob.customers))
+        )
+        assert min(d for _, _, d in m.pairs) == pytest.approx(all_d)
+
+    def test_greedy_is_suboptimal_on_adversarial_chain(self):
+        # Classic chain: greedy grabs the middle pair and forces a long
+        # edge; the optimal matching avoids it.
+        from repro.core.problem import CCAProblem
+
+        prob = CCAProblem.from_arrays(
+            [(0.0, 0.0), (10.0, 0.0)],
+            [1, 1],
+            [(4.0, 0.0), (-9.0, 0.0)],
+        )
+        greedy = SMSolver(prob).solve()
+        optimal = solve(prob, "ida")
+        # greedy: q1-p0 (4) then q2-p1 (19) = 23 ; optimal: 9 + 6 = 15.
+        assert greedy.cost > optimal.cost
+
+    def test_weighted_customers(self, rng):
+        prob = random_problem(rng, nq=3, np_=15, cap_hi=5, weights_hi=3)
+        m = SMSolver(prob).solve()
+        m.validate(prob)
+
+    def test_zero_capacity_provider_ignored(self):
+        from repro.core.problem import CCAProblem
+
+        prob = CCAProblem.from_arrays(
+            [(0.0, 0.0), (5.0, 5.0)], [0, 2], [(1.0, 1.0), (6.0, 6.0)]
+        )
+        m = SMSolver(prob).solve()
+        m.validate(prob)
+        assert all(q == 1 for q, _, _ in m.pairs)

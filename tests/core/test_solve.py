@@ -1,0 +1,51 @@
+"""The solve() façade and cross-method agreement on the fixture."""
+
+import pytest
+
+from repro.core.solve import APPROX_METHODS, EXACT_METHODS, solve
+from repro.flow.reference import oracle_cost, oracle_lsa
+
+
+class TestFacade:
+    def test_unknown_method_rejected(self, small_problem):
+        with pytest.raises(ValueError, match="unknown method"):
+            solve(small_problem, "magic")
+
+    def test_method_case_insensitive(self, small_problem):
+        a = solve(small_problem, "IDA")
+        b = solve(small_problem, "ida")
+        assert a.cost == pytest.approx(b.cost)
+
+    @pytest.mark.parametrize("method", EXACT_METHODS)
+    def test_exact_methods_agree(self, small_problem, method):
+        expected = oracle_cost(
+            oracle_lsa(
+                small_problem.capacities,
+                small_problem.weights,
+                small_problem.distance,
+            )
+        )
+        m = solve(small_problem, method)
+        m.validate(small_problem)
+        assert m.cost == pytest.approx(expected, abs=1e-6)
+
+    @pytest.mark.parametrize("method", APPROX_METHODS)
+    def test_approx_methods_valid(self, small_problem, method):
+        m = solve(small_problem, method, delta=30.0)
+        m.validate(small_problem)
+        assert m.stats is not None
+
+    def test_stats_method_label(self, small_problem):
+        assert solve(small_problem, "ida").stats.method == "ida"
+        assert solve(small_problem, "san").stats.method == "san"
+        assert solve(small_problem, "cae").stats.method == "cae"
+
+    def test_figure1_style_assignment(self, small_problem):
+        """The Figure 1 narrative: the Voronoi assignment violates
+        capacities; CCA respects them while minimizing cost."""
+        m = solve(small_problem, "ida")
+        loads = {i: 0 for i in range(3)}
+        for q, _, _ in m.pairs:
+            loads[q] += 1
+        assert loads[0] <= 3 and loads[1] <= 5 and loads[2] <= 3
+        assert m.size == small_problem.gamma == 11

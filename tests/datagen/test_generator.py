@@ -1,0 +1,116 @@
+"""Point-placement generator tests (the Section 5.1 protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.generator import (
+    clustered_points,
+    generate_points,
+    uniform_points,
+)
+from repro.datagen.network import build_road_network
+
+NET = build_road_network(grid=12, seed=0)
+
+
+def on_network(points, tol=1e-6):
+    """Fraction of points lying on some network edge segment."""
+    hits = 0
+    a = NET.node_xy[NET.edges[:, 0]]
+    b = NET.node_xy[NET.edges[:, 1]]
+    ab = b - a
+    ab_len2 = (ab ** 2).sum(axis=1)
+    for p in points:
+        ap = p[None, :] - a
+        t = np.clip((ap * ab).sum(axis=1) / np.maximum(ab_len2, 1e-12), 0, 1)
+        closest = a + t[:, None] * ab
+        d = np.hypot(*(p[None, :] - closest).T)
+        if d.min() < tol:
+            hits += 1
+    return hits / len(points)
+
+
+class TestUniform:
+    def test_count_and_bounds(self):
+        rng = np.random.default_rng(1)
+        pts = uniform_points(NET, 200, rng)
+        assert pts.shape == (200, 2)
+        assert pts.min() >= 0.0 and pts.max() <= 1000.0
+
+    def test_points_lie_on_network(self):
+        rng = np.random.default_rng(2)
+        pts = uniform_points(NET, 100, rng)
+        assert on_network(pts) == 1.0
+
+    def test_zero_points(self):
+        rng = np.random.default_rng(3)
+        assert uniform_points(NET, 0, rng).shape == (0, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_points(NET, -1, np.random.default_rng(0))
+
+    def test_spatial_spread(self):
+        # Uniform points should cover most of the world's quadrants.
+        rng = np.random.default_rng(4)
+        pts = uniform_points(NET, 400, rng)
+        qx = pts[:, 0] > 500
+        qy = pts[:, 1] > 500
+        counts = [
+            ((qx == a) & (qy == b)).sum() for a in (0, 1) for b in (0, 1)
+        ]
+        assert min(counts) > 30
+
+
+class TestClustered:
+    def test_points_lie_on_network(self):
+        rng = np.random.default_rng(5)
+        pts = clustered_points(NET, 150, rng)
+        assert on_network(pts) == 1.0
+
+    def test_clustering_is_denser_than_uniform(self):
+        # Average nearest-neighbor distance must be clearly smaller for
+        # the clustered distribution.
+        from scipy.spatial import cKDTree
+
+        rng = np.random.default_rng(6)
+        clustered = clustered_points(NET, 400, rng)
+        uniform = uniform_points(NET, 400, np.random.default_rng(6))
+
+        def mean_nn(pts):
+            d, _ = cKDTree(pts).query(pts, k=2)
+            return d[:, 1].mean()
+
+        # Empirically the ratio is ~0.65; assert with safety margin.
+        assert mean_nn(clustered) < 0.85 * mean_nn(uniform)
+
+    def test_cluster_fraction_zero_is_uniform_like(self):
+        rng = np.random.default_rng(7)
+        pts = clustered_points(NET, 100, rng, cluster_fraction=0.0)
+        assert pts.shape == (100, 2)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            clustered_points(NET, 10, np.random.default_rng(0),
+                             cluster_fraction=1.5)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("name", ["uniform", "U", "u"])
+    def test_uniform_aliases(self, name):
+        pts = generate_points(NET, 20, name, seed=0)
+        assert pts.shape == (20, 2)
+
+    @pytest.mark.parametrize("name", ["clustered", "C", "c"])
+    def test_clustered_aliases(self, name):
+        pts = generate_points(NET, 20, name, seed=0)
+        assert pts.shape == (20, 2)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            generate_points(NET, 10, "zipf", seed=0)
+
+    def test_seed_reproducibility(self):
+        a = generate_points(NET, 50, "clustered", seed=9)
+        b = generate_points(NET, 50, "clustered", seed=9)
+        assert np.array_equal(a, b)

@@ -1,0 +1,73 @@
+"""Synthetic road network tests."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.network import build_road_network
+
+
+class TestConstruction:
+    def test_default_shape(self):
+        net = build_road_network(grid=10, seed=1)
+        assert net.num_nodes == 100
+        assert net.num_edges > 100
+        assert net.node_xy.shape == (100, 2)
+        assert net.edge_lengths.shape == (net.num_edges,)
+
+    def test_world_bounds(self):
+        net = build_road_network(grid=12, seed=2)
+        assert net.node_xy.min() >= 0.0
+        assert net.node_xy.max() <= 1000.0
+
+    def test_deterministic_by_seed(self):
+        a = build_road_network(grid=8, seed=3)
+        b = build_road_network(grid=8, seed=3)
+        assert np.array_equal(a.node_xy, b.node_xy)
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_different_seeds_differ(self):
+        a = build_road_network(grid=8, seed=3)
+        b = build_road_network(grid=8, seed=4)
+        assert not np.array_equal(a.node_xy, b.node_xy)
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ValueError):
+            build_road_network(grid=1)
+
+
+class TestConnectivity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_connected_after_drops(self, seed):
+        net = build_road_network(grid=10, seed=seed, drop_fraction=0.3)
+        graph = net.to_networkx()
+        import networkx as nx
+
+        assert nx.is_connected(graph)
+
+    def test_drop_fraction_reduces_edges(self):
+        dense = build_road_network(grid=10, seed=5, drop_fraction=0.0,
+                                   shortcut_fraction=0.0)
+        sparse = build_road_network(grid=10, seed=5, drop_fraction=0.25,
+                                    shortcut_fraction=0.0)
+        assert sparse.num_edges < dense.num_edges
+
+
+class TestGeometry:
+    def test_edge_lengths_match_coordinates(self):
+        net = build_road_network(grid=6, seed=6)
+        for (a, b), length in zip(net.edges, net.edge_lengths):
+            expected = np.hypot(*(net.node_xy[a] - net.node_xy[b]))
+            assert length == pytest.approx(expected)
+
+    def test_point_on_edge_interpolates(self):
+        net = build_road_network(grid=6, seed=7)
+        a, b = net.edges[0]
+        x0, y0 = net.point_on_edge(0, 0.0)
+        x1, y1 = net.point_on_edge(0, 1.0)
+        assert (x0, y0) == pytest.approx(tuple(net.node_xy[a]))
+        assert (x1, y1) == pytest.approx(tuple(net.node_xy[b]))
+        xm, ym = net.point_on_edge(0, 0.5)
+        assert (xm, ym) == pytest.approx(tuple(net.edge_midpoints[0]))
+
+    def test_total_length_positive(self):
+        assert build_road_network(grid=5, seed=8).total_length > 0

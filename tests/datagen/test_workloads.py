@@ -1,0 +1,64 @@
+"""Workload factory tests."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.workloads import make_capacities, make_problem
+
+
+class TestCapacities:
+    def test_fixed(self):
+        rng = np.random.default_rng(0)
+        assert make_capacities(5, 80, rng) == [80] * 5
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        caps = make_capacities(200, (10, 30), rng)
+        assert len(caps) == 200
+        assert all(10 <= c <= 30 for c in caps)
+        assert len(set(caps)) > 1
+
+    def test_invalid(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            make_capacities(3, -1, rng)
+        with pytest.raises(ValueError):
+            make_capacities(3, (5, 2), rng)
+
+
+class TestMakeProblem:
+    def test_shape_and_gamma(self):
+        prob = make_problem(nq=10, np_=200, k=5, seed=1)
+        assert len(prob.providers) == 10
+        assert len(prob.customers) == 200
+        assert prob.gamma == 50
+
+    def test_seed_reproducibility(self):
+        a = make_problem(nq=5, np_=50, k=3, seed=7)
+        b = make_problem(nq=5, np_=50, k=3, seed=7)
+        assert [q.point.coords for q in a.providers] == [
+            q.point.coords for q in b.providers
+        ]
+        assert [p.point.coords for p in a.customers] == [
+            p.point.coords for p in b.customers
+        ]
+
+    def test_distribution_combinations(self):
+        for dq in ("uniform", "clustered"):
+            for dp in ("uniform", "clustered"):
+                prob = make_problem(
+                    nq=4, np_=30, k=2, dist_q=dq, dist_p=dp, seed=2
+                )
+                assert len(prob.customers) == 30
+
+    def test_world_is_normalized(self):
+        prob = make_problem(nq=5, np_=100, k=2, seed=3)
+        world = prob.world_mbr()
+        assert world.lo[0] >= 0.0 and world.hi[0] <= 1000.0
+        assert world.lo[1] >= 0.0 and world.hi[1] <= 1000.0
+
+    def test_mixed_capacities(self):
+        prob = make_problem(nq=50, np_=100, k=(10, 30), seed=4)
+        caps = prob.capacities
+        assert all(10 <= c <= 30 for c in caps)
+        assert len(set(caps)) > 1

@@ -1,0 +1,62 @@
+"""CLI tests (argument parsing and end-to-end micro runs)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "fig18" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestEndToEnd:
+    def test_solve_command(self, capsys):
+        rc = main([
+            "solve", "--nq", "3", "--np", "80", "--k", "4",
+            "--method", "ida", "--seed", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cost=" in out and "gamma=12" in out
+
+    def test_figure_command_micro(self, capsys, tmp_path):
+        out_file = tmp_path / "fig9.txt"
+        rc = main([
+            "figure", "fig9", "--scale", "0.002", "--seed", "0",
+            "--out", str(out_file),
+        ])
+        assert rc == 0
+        assert out_file.exists()
+        assert "esub" in out_file.read_text()
+
+    def test_generate_to_csv(self, capsys, tmp_path):
+        out_file = tmp_path / "pts.csv"
+        rc = main([
+            "generate", "--n", "25", "--distribution", "uniform",
+            "--seed", "3", "--out", str(out_file),
+        ])
+        assert rc == 0
+        lines = out_file.read_text().strip().splitlines()
+        assert lines[0] == "x,y"
+        assert len(lines) == 26
+
+    def test_generate_stdout(self, capsys):
+        rc = main(["generate", "--n", "5", "--distribution", "clustered"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("x,y")

@@ -1,0 +1,48 @@
+"""Experiment configuration tests."""
+
+import math
+
+import pytest
+
+from repro.experiments.config import (
+    PAPER_DEFAULTS,
+    PARAMETER_TABLE,
+    default_theta,
+    scaled,
+)
+
+
+class TestPaperDefaults:
+    def test_table2_values(self):
+        # The canonical Section 5.1 settings.
+        assert PAPER_DEFAULTS["nq"] == 1000
+        assert PAPER_DEFAULTS["np"] == 100_000
+        assert PAPER_DEFAULTS["k"] == 80
+        assert PAPER_DEFAULTS["theta"] == 0.8
+        assert PAPER_DEFAULTS["sa_delta"] == 40.0
+        assert PAPER_DEFAULTS["ca_delta"] == 10.0
+        assert PAPER_DEFAULTS["io_penalty_s"] == 0.010
+
+    def test_parameter_table_rows(self):
+        assert len(PARAMETER_TABLE) == 4
+        names = [row[0] for row in PARAMETER_TABLE]
+        assert any("|Q|" in n for n in names)
+        assert any("|P|" in n for n in names)
+
+
+class TestScaling:
+    def test_scaled_rounds_and_floors(self):
+        assert scaled(1000, 0.05) == 50
+        assert scaled(250, 0.001) == 1
+        assert scaled(250, 0.001, minimum=5) == 5
+
+    def test_theta_matches_paper_at_full_scale(self):
+        # 250/sqrt(100000) ≈ 0.79 — the paper's fine-tuned 0.8.
+        assert default_theta(100_000) == pytest.approx(0.8, abs=0.02)
+
+    def test_theta_grows_for_sparser_data(self):
+        assert default_theta(1000) > default_theta(100_000)
+
+    def test_theta_invalid(self):
+        with pytest.raises(ValueError):
+            default_theta(0)

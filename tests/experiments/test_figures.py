@@ -1,0 +1,57 @@
+"""Figure catalog smoke tests at micro scale."""
+
+import pytest
+
+from repro.experiments.figures import FIGURES, run_figure
+
+MICRO = 0.002  # |Q|=2, |P|=200 — just exercises the machinery
+
+
+class TestCatalog:
+    def test_all_eleven_figures_present(self):
+        assert sorted(FIGURES) == [f"fig{i}" for i in range(10, 19)] + [
+            "fig8", "fig9",
+        ]
+
+    def test_specs_documented(self):
+        for spec in FIGURES.values():
+            assert spec.title
+            assert spec.paper_setup
+            assert spec.expected_shape
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            run_figure("fig99")
+
+
+class TestMicroRuns:
+    @pytest.mark.parametrize("fig_id", ["fig9", "fig13"])
+    def test_exact_figures_produce_full_grid(self, fig_id):
+        results = run_figure(fig_id, scale=MICRO, seed=0)
+        methods = {r.method for r in results}
+        assert methods == {"ria", "nia", "ida"}
+        sweeps = {r.sweep_label for r in results}
+        assert len(sweeps) in (4, 5)
+        # Exact methods must agree on cost per sweep point.
+        by_sweep = {}
+        for r in results:
+            by_sweep.setdefault(r.sweep_label, []).append(r.cost)
+        for label, costs in by_sweep.items():
+            assert max(costs) - min(costs) < 1e-6, label
+
+    def test_fig8_includes_sspa(self):
+        results = run_figure("fig8", scale=0.01, seed=0)
+        assert "sspa" in {r.method for r in results}
+
+    def test_fig14_delta_sweep(self):
+        results = run_figure("fig14", scale=MICRO, seed=0)
+        labels = {r.sweep_label for r in results}
+        assert "d=10" in labels and "d=160" in labels
+        approx = [r for r in results if r.method != "ida"]
+        assert all(r.quality is not None for r in approx)
+        assert all(r.quality >= 1.0 - 1e-9 for r in approx)
+
+    def test_fig15_quality_reference(self):
+        results = run_figure("fig15", scale=MICRO, seed=0)
+        ida_rows = [r for r in results if r.method == "ida"]
+        assert all(r.quality == 1.0 for r in ida_rows)

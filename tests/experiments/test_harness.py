@@ -1,0 +1,62 @@
+"""Harness tests on miniature workloads."""
+
+import pytest
+
+from repro.datagen.workloads import make_problem
+from repro.experiments.harness import run_method, run_sweep
+
+
+@pytest.fixture(scope="module")
+def tiny_problem():
+    return make_problem(nq=3, np_=60, k=5, seed=0)
+
+
+class TestRunMethod:
+    def test_exact_row(self, tiny_problem):
+        r = run_method(tiny_problem, "ida", figure="t", sweep_label="x")
+        assert r.method == "ida"
+        assert r.matched == r.gamma == tiny_problem.gamma
+        assert r.esub > 0
+        assert r.cost > 0
+        assert r.total_s == pytest.approx(r.cpu_s + r.io_s)
+
+    def test_quality_computed_against_reference(self, tiny_problem):
+        ref = run_method(tiny_problem, "ida")
+        approx = run_method(
+            tiny_problem, "can", optimal_cost=ref.cost, delta=20.0
+        )
+        assert approx.quality is not None
+        assert approx.quality >= 1.0 - 1e-9
+
+    def test_io_penalty_configurable(self, tiny_problem):
+        r = run_method(tiny_problem, "ria", io_penalty_s=0.5)
+        assert r.io_s == pytest.approx(r.io_faults * 0.5)
+
+    def test_as_row_keys(self, tiny_problem):
+        row = run_method(tiny_problem, "nia").as_row()
+        for key in ("method", "esub", "cpu_s", "io_s", "total_s", "cost"):
+            assert key in row
+
+
+class TestRunSweep:
+    def test_sweep_shape(self):
+        problems = {
+            "a": make_problem(nq=2, np_=40, k=4, seed=1),
+            "b": make_problem(nq=2, np_=40, k=8, seed=1),
+        }
+        results = run_sweep(problems, ("ria", "nia"), figure="t")
+        assert len(results) == 4
+        assert {r.sweep_label for r in results} == {"a", "b"}
+
+    def test_quality_reference_inserted_once(self):
+        problems = {"a": make_problem(nq=2, np_=40, k=4, seed=2)}
+        results = run_sweep(
+            problems, ("ida", "can"), figure="t", quality_reference="ida",
+            deltas={"can": 30.0},
+        )
+        methods = [r.method for r in results]
+        assert methods.count("ida") == 1
+        ida = next(r for r in results if r.method == "ida")
+        can = next(r for r in results if r.method == "can")
+        assert ida.quality == 1.0
+        assert can.quality >= 1.0 - 1e-9

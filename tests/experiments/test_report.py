@@ -1,0 +1,71 @@
+"""Report rendering tests."""
+
+from repro.experiments.metrics import MethodResult
+from repro.experiments.report import (
+    figure_to_markdown,
+    format_figure_report,
+    format_table2,
+    results_to_markdown,
+)
+
+
+def sample_results():
+    rows = []
+    for sweep in ("k=20", "k=40"):
+        for method in ("ria", "nia", "ida"):
+            rows.append(
+                MethodResult(
+                    figure="fig9",
+                    sweep_label=sweep,
+                    method=method,
+                    esub=100,
+                    cpu_s=0.5,
+                    io_faults=10,
+                    io_s=0.1,
+                    cost=42.0,
+                    matched=5,
+                    gamma=5,
+                )
+            )
+    return rows
+
+
+class TestTextReport:
+    def test_table2_renders(self):
+        text = format_table2()
+        assert "Capacity k" in text
+        assert "20, 40, 80, 160, 320" in text
+
+    def test_figure_report_contains_metrics_and_methods(self):
+        text = format_figure_report("fig9", sample_results())
+        assert "fig9" in text
+        for token in ("esub", "cpu_s", "io_s", "total_s", "ria", "nia",
+                      "ida", "k=20", "k=40"):
+            assert token in text
+
+    def test_quality_metric_included_when_present(self):
+        rows = sample_results()
+        for r in rows:
+            r.quality = 1.25
+        text = format_figure_report("fig9", rows)
+        assert "quality" in text
+        assert "1.2500" in text
+
+    def test_missing_cells_render_dash(self):
+        rows = sample_results()[:5]  # drop one cell
+        text = format_figure_report("fig9", rows)
+        assert "-" in text
+
+
+class TestMarkdown:
+    def test_metric_table_shape(self):
+        md = results_to_markdown("fig9", sample_results(), "esub")
+        lines = md.splitlines()
+        assert lines[0].startswith("| sweep |")
+        assert len(lines) == 2 + 2  # header, separator, two sweeps
+
+    def test_full_figure_markdown(self):
+        md = figure_to_markdown("fig9", sample_results())
+        assert md.startswith("### fig9")
+        assert "**esub**" in md
+        assert "*Expected shape (paper)*" in md

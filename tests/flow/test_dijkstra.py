@@ -1,0 +1,155 @@
+"""Unit tests for the resumable potential-aware Dijkstra."""
+
+import pytest
+
+from repro.flow.dijkstra import DijkstraState, INF
+from repro.flow.graph import CCAFlowNetwork, S_NODE, T_NODE
+
+
+def net_with_edges(caps, weights, edges):
+    net = CCAFlowNetwork(caps, weights)
+    for i, j, d in edges:
+        net.add_edge(i, j, d)
+    return net
+
+
+class TestBasicSearch:
+    def test_single_edge_path(self):
+        net = net_with_edges([1], [1], [(0, 0, 5.0)])
+        state = DijkstraState(net)
+        assert state.run()
+        assert state.sp_cost == pytest.approx(5.0)
+        assert state.path_nodes() == [S_NODE, 0, net.customer_node(0), T_NODE]
+
+    def test_picks_cheapest_provider(self):
+        net = net_with_edges([1, 1], [1], [(0, 0, 5.0), (1, 0, 3.0)])
+        state = DijkstraState(net)
+        assert state.run()
+        assert state.sp_cost == pytest.approx(3.0)
+        assert state.path_nodes()[1] == 1
+
+    def test_unreachable_sink(self):
+        net = CCAFlowNetwork([1], [1])  # no bipartite edges
+        state = DijkstraState(net)
+        assert not state.run()
+        assert state.sp_cost == INF
+        with pytest.raises(RuntimeError):
+            state.path_nodes()
+
+    def test_full_provider_not_entered_from_source(self):
+        net = net_with_edges([1, 1], [1, 1], [(0, 0, 1.0), (0, 1, 1.0), (1, 1, 9.0)])
+        net.apply_path([S_NODE, 0, net.customer_node(0), T_NODE])  # q0 full
+        state = DijkstraState(net)
+        assert state.run()
+        # Only q1's edge is usable from s now.
+        assert state.path_nodes()[1] == 1
+
+    def test_full_customer_blocks_sink_edge(self):
+        net = net_with_edges([2], [1, 1], [(0, 0, 1.0), (0, 1, 4.0)])
+        net.apply_path([S_NODE, 0, net.customer_node(0), T_NODE])  # p0 full
+        state = DijkstraState(net)
+        assert state.run()
+        assert state.sp_cost == pytest.approx(4.0)
+        assert state.path_nodes()[2] == net.customer_node(1)
+
+    def test_reassignment_through_reverse_edge(self):
+        # q0 matched to p0; q1 can only reach p0; path must reassign.
+        net = net_with_edges(
+            [1, 1], [1, 1], [(0, 0, 1.0), (0, 1, 10.0), (1, 0, 2.0)]
+        )
+        state = DijkstraState(net)
+        state.run()
+        net.augment(
+            state.path_nodes(), state.sp_cost, state.settled_alpha_for_update()
+        )
+        state2 = DijkstraState(net)
+        assert state2.run()
+        path = state2.path_nodes()
+        assert path == [
+            S_NODE, 1, net.customer_node(0), 0, net.customer_node(1), T_NODE,
+        ]
+
+
+class TestResumption:
+    def test_improve_unsettles_and_requeues(self):
+        net = net_with_edges([1, 1], [1], [(0, 0, 5.0)])
+        state = DijkstraState(net)
+        assert state.run()
+        assert state.sp_cost == pytest.approx(5.0)
+        # Insert a cheaper edge from q1 and repair manually.
+        net.add_edge(1, 0, 2.0)
+        assert state.improve(net.customer_node(0), 2.0, 1)
+        assert state.run()
+        assert state.sp_cost == pytest.approx(2.0)
+        assert state.path_nodes()[1] == 1
+
+    def test_improve_rejects_worse_offers(self):
+        net = net_with_edges([1], [1], [(0, 0, 5.0)])
+        state = DijkstraState(net)
+        state.run()
+        assert not state.improve(net.customer_node(0), 9.0, 0)
+
+    def test_resume_noop_when_nothing_improved(self):
+        net = net_with_edges([1], [1, 1], [(0, 0, 1.0), (0, 1, 2.0)])
+        state = DijkstraState(net)
+        state.run()
+        cost = state.sp_cost
+        pops = state.pops
+        assert state.run()  # immediate: sink entry still on the heap
+        assert state.sp_cost == cost
+        assert state.pops == pops
+
+    def test_resumed_equals_fresh(self):
+        # Build incrementally with resume; compare against a fresh run.
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        nq, np_ = 4, 12
+        caps = [2] * nq
+        net = CCAFlowNetwork(caps, [1] * np_)
+        dists = rng.random((nq, np_)) * 100
+        state = DijkstraState(net)
+        edges = [(i, j) for i in range(nq) for j in range(np_)]
+        rng.shuffle(edges)
+        for idx, (i, j) in enumerate(edges):
+            net.add_edge(i, j, float(dists[i, j]))
+            base = state.alpha_of(i)
+            if base < INF:
+                state.improve(
+                    net.customer_node(j),
+                    base + net.reduced_cost_qp(i, j, float(dists[i, j])),
+                    i,
+                )
+            state.run()
+            fresh = DijkstraState(net)
+            fresh.run()
+            assert state.sp_cost == pytest.approx(fresh.sp_cost)
+
+
+class TestAccounting:
+    def test_settled_items_unique(self):
+        net = net_with_edges(
+            [1, 1], [1, 1], [(0, 0, 1.0), (1, 0, 1.5), (1, 1, 2.0)]
+        )
+        state = DijkstraState(net)
+        state.run()
+        nodes = [n for n, _ in state.settled_items()]
+        assert len(nodes) == len(set(nodes))
+
+    def test_settled_alpha_for_update_includes_sink(self):
+        net = net_with_edges([1], [1], [(0, 0, 5.0)])
+        state = DijkstraState(net)
+        state.run()
+        out = state.settled_alpha_for_update()
+        assert out[T_NODE] == pytest.approx(5.0)
+        assert out[S_NODE] == 0.0
+
+    def test_settled_alphas_bounded_by_sp_cost(self):
+        net = net_with_edges(
+            [2, 2], [1, 1, 1],
+            [(0, 0, 3.0), (0, 1, 8.0), (1, 1, 2.0), (1, 2, 9.0)],
+        )
+        state = DijkstraState(net)
+        state.run()
+        for node, alpha in state.settled_items():
+            assert alpha <= state.sp_cost + 1e-9

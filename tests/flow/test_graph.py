@@ -1,0 +1,166 @@
+"""Unit tests for the residual CCA flow network."""
+
+import pytest
+
+from repro.flow.graph import CCAFlowNetwork, S_NODE, T_NODE
+
+
+def simple_net():
+    """2 providers (k=1, k=2), 2 customers (w=1 each)."""
+    return CCAFlowNetwork([1, 2], [1, 1])
+
+
+class TestConstruction:
+    def test_gamma(self):
+        assert simple_net().gamma == 2
+        assert CCAFlowNetwork([5, 5], [1] * 3).gamma == 3
+        assert CCAFlowNetwork([1], [1] * 10).gamma == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CCAFlowNetwork([-1], [1])
+        with pytest.raises(ValueError):
+            CCAFlowNetwork([1], [-1])
+
+    def test_node_addressing(self):
+        net = simple_net()
+        assert net.provider_node(1) == 1
+        assert net.customer_node(0) == 2
+        assert net.is_provider(0) and net.is_provider(1)
+        assert not net.is_provider(2)
+        assert net.is_customer(2)
+        assert net.customer_index(3) == 1
+
+
+class TestEdges:
+    def test_add_edge(self):
+        net = simple_net()
+        assert net.add_edge(0, 0, 5.0)
+        assert net.has_edge(0, 0)
+        assert net.edge_count == 1
+        assert not net.add_edge(0, 0, 5.0)  # duplicate
+        assert net.edge_count == 1
+
+    def test_zero_capacity_edge_rejected(self):
+        net = CCAFlowNetwork([0, 1], [1])
+        assert not net.add_edge(0, 0, 5.0)  # provider capacity 0
+        assert net.add_edge(1, 0, 5.0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            simple_net().add_edge(0, 0, -1.0)
+
+    def test_edge_capacity_is_min_of_sides(self):
+        net = CCAFlowNetwork([3], [5])
+        net.add_edge(0, 0, 1.0)
+        assert net.edge_residual(0, 0) == 3  # min(3, 5)
+
+
+class TestAugmentation:
+    def test_direct_path_flips_edge(self):
+        net = simple_net()
+        net.add_edge(0, 0, 5.0)
+        net.apply_path([S_NODE, 0, net.customer_node(0), T_NODE])
+        assert net.q_used[0] == 1
+        assert net.p_used[0] == 1
+        assert net.provider_full(0)
+        assert net.customer_full(0)
+        assert net.edge_flow(0, 0) == 1
+        assert net.matching_pairs() == [(0, 0, 5.0)]
+        assert net.matching_cost() == pytest.approx(5.0)
+
+    def test_reassignment_path(self):
+        # Path s -> q2 -> p0 -> q1 -> p1 -> t  reassigns p0 from q1 to q2.
+        net = simple_net()
+        net.add_edge(0, 0, 5.0)
+        net.add_edge(1, 0, 2.0)
+        net.add_edge(0, 1, 7.0)
+        net.apply_path([S_NODE, 0, net.customer_node(0), T_NODE])
+        net.apply_path(
+            [S_NODE, 1, net.customer_node(0), 0, net.customer_node(1), T_NODE]
+        )
+        pairs = sorted(net.matching_pairs())
+        assert pairs == [(0, 1, 7.0), (1, 0, 2.0)]
+        assert net.q_used == [1, 1]
+
+    def test_over_capacity_detected(self):
+        net = CCAFlowNetwork([1], [1, 1])
+        net.add_edge(0, 0, 1.0)
+        net.add_edge(0, 1, 1.0)
+        net.apply_path([S_NODE, 0, net.customer_node(0), T_NODE])
+        with pytest.raises(RuntimeError):
+            net.apply_path([S_NODE, 0, net.customer_node(1), T_NODE])
+
+    def test_path_must_span_s_to_t(self):
+        net = simple_net()
+        net.add_edge(0, 0, 1.0)
+        with pytest.raises(ValueError):
+            net.apply_path([0, net.customer_node(0), T_NODE])
+
+    def test_multi_unit_edge_partial_flow(self):
+        net = CCAFlowNetwork([3], [2])
+        net.add_edge(0, 0, 4.0)
+        cnode = net.customer_node(0)
+        net.apply_path([S_NODE, 0, cnode, T_NODE])
+        # Partially used: both residual directions exist.
+        assert net.edge_flow(0, 0) == 1
+        assert net.edge_residual(0, 0) == 1
+        assert 0 in net.forward[0]
+        assert 0 in net.backward[0]
+        net.apply_path([S_NODE, 0, cnode, T_NODE])
+        assert net.edge_flow(0, 0) == 2
+        assert 0 not in net.forward[0]  # saturated
+        assert net.matching_cost() == pytest.approx(8.0)
+        assert len(net.matching_pairs()) == 2
+
+    def test_cancel_unit_restores_forward(self):
+        net = CCAFlowNetwork([1, 1], [1, 1])
+        net.add_edge(0, 0, 1.0)
+        net.add_edge(1, 0, 1.0)
+        net.add_edge(0, 1, 1.0)
+        c0, c1 = net.customer_node(0), net.customer_node(1)
+        net.apply_path([S_NODE, 0, c0, T_NODE])
+        net.apply_path([S_NODE, 1, c0, 0, c1, T_NODE])
+        assert net.edge_flow(0, 0) == 0
+        assert 0 in net.forward[0]
+        assert 0 not in net.backward[0]
+
+
+class TestPotentials:
+    def test_initial_taus_zero(self):
+        net = simple_net()
+        assert net.tau_s == 0.0
+        assert net.tau_max == 0.0
+        assert net.reduced_cost_sq(0) == 0.0
+
+    def test_augment_updates_potentials(self):
+        net = simple_net()
+        net.add_edge(0, 0, 5.0)
+        settled = {S_NODE: 0.0, 0: 0.0, 1: 0.0, net.customer_node(0): 5.0}
+        net.augment(
+            [S_NODE, 0, net.customer_node(0), T_NODE], 5.0, settled
+        )
+        assert net.tau_s == pytest.approx(5.0)
+        assert net.q_tau == pytest.approx([5.0, 5.0])
+        # Settled exactly at alpha_min: customer potential unchanged.
+        assert net.p_tau[0] == 0.0
+        assert net.tau_max == pytest.approx(5.0)
+
+    def test_reduced_costs_follow_convention(self):
+        net = simple_net()
+        net.q_tau[0] = 4.0
+        net.p_tau[1] = 1.0
+        assert net.reduced_cost_qp(0, 1, 4.0) == pytest.approx(4.0 - 4.0 + 1.0)
+        assert net.reduced_cost_pq(1, 0, 2.5) == pytest.approx(-2.5 - 1.0 + 4.0)
+        assert net.reduced_cost_pt(0) == 0.0
+
+    def test_truly_negative_reduced_cost_is_a_bug(self):
+        net = simple_net()
+        net.q_tau[0] = 100.0
+        with pytest.raises(AssertionError):
+            net.reduced_cost_qp(0, 0, 1.0)
+
+    def test_float_noise_clamped(self):
+        net = simple_net()
+        net.q_tau[0] = 1.0 + 1e-12
+        assert net.reduced_cost_qp(0, 0, 1.0) == 0.0

@@ -1,0 +1,59 @@
+"""The two oracles must agree with each other (and be exact)."""
+
+import numpy as np
+import pytest
+
+from repro.flow.reference import oracle_cost, oracle_lsa, oracle_networkx
+
+
+def euclid(pts_q, pts_p):
+    def d(i, j):
+        return float(np.hypot(*(pts_q[i] - pts_p[j])))
+
+    return d
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_lsa_equals_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        nq = int(rng.integers(2, 5))
+        np_ = int(rng.integers(3, 12))
+        caps = rng.integers(1, 4, nq).tolist()
+        d = euclid(rng.random((nq, 2)) * 100, rng.random((np_, 2)) * 100)
+        cost_lsa = oracle_cost(oracle_lsa(caps, [1] * np_, d))
+        cost_nx = oracle_cost(oracle_networkx(caps, [1] * np_, d))
+        assert cost_lsa == pytest.approx(cost_nx, abs=1e-3)
+
+    def test_weighted_customers_agree(self):
+        rng = np.random.default_rng(11)
+        caps = [4, 2]
+        weights = [2, 3, 1]
+        d = euclid(rng.random((2, 2)) * 50, rng.random((3, 2)) * 50)
+        cost_lsa = oracle_cost(oracle_lsa(caps, weights, d))
+        cost_nx = oracle_cost(oracle_networkx(caps, weights, d))
+        assert cost_lsa == pytest.approx(cost_nx, abs=1e-3)
+
+
+class TestBehaviour:
+    def test_known_tiny_instance(self):
+        # One provider (k=1), two customers at distances 1 and 9.
+        d = {(0, 0): 1.0, (0, 1): 9.0}
+        pairs = oracle_lsa([1], [1, 1], lambda i, j: d[(i, j)])
+        assert pairs == [(0, 0, 1.0)]
+
+    def test_matching_size_is_gamma(self):
+        d = lambda i, j: 1.0
+        assert len(oracle_lsa([2, 2], [1] * 10, d)) == 4
+        assert len(oracle_lsa([9], [1] * 3, d)) == 3
+
+    def test_empty_sides(self):
+        assert oracle_lsa([], [1, 1], lambda i, j: 1.0) == []
+        assert oracle_lsa([0], [1], lambda i, j: 1.0) == []
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            oracle_lsa([10**5], [1] * (10**3), lambda i, j: 1.0)
+
+    def test_oracle_cost_sums(self):
+        assert oracle_cost([(0, 0, 1.5), (1, 2, 2.5)]) == pytest.approx(4.0)

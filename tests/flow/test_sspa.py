@@ -1,0 +1,101 @@
+"""SSPA baseline tests, including the paper's Figure 2/3 worked example."""
+
+import numpy as np
+import pytest
+
+from repro.flow.reference import oracle_cost, oracle_lsa
+from repro.flow.sspa import sspa_solve
+
+
+class TestPaperExample:
+    """Figure 2: q1.k=1, q2.k=2; d(q1,p1)=7, d(q1,p2)=3, d(q2,p1)=10,
+    d(q2,p2)=4.  SSPA's trace (Figure 3) finds sp1 = {s,q1,p2,t} of cost 3,
+    then sp2 = {s,q2,p2,q1,p1,t}, ending with M = {(q1,p1), (q2,p2)}."""
+
+    DIST = {(0, 0): 7.0, (0, 1): 3.0, (1, 0): 10.0, (1, 1): 4.0}
+
+    def solve(self):
+        return sspa_solve([1, 2], [1, 1], lambda i, j: self.DIST[(i, j)])
+
+    def test_final_matching(self):
+        pairs, _ = self.solve()
+        assert sorted((i, j) for i, j, _ in pairs) == [(0, 0), (1, 1)]
+
+    def test_final_cost_is_eleven(self):
+        pairs, net = self.solve()
+        assert net.matching_cost() == pytest.approx(11.0)
+
+    def test_gamma_iterations(self):
+        _, net = self.solve()
+        assert net.augmentations == 2
+        assert net.matched == 2
+
+    def test_figure3_potentials_after_completion(self):
+        # Figure 3(d) shows τ(s) = 8 after both augmentations: sp1 has
+        # reduced cost 3; sp2 = {s,q2,p2,q1,p1,t} has real cost
+        # 0+4-3+7+0 = 8 and reduced cost 8 − τ_s = 5, so τ_s = 3 + 5 = 8.
+        _, net = self.solve()
+        assert net.tau_s == pytest.approx(8.0)
+        assert all(t >= 0 for t in net.q_tau)
+        assert all(t >= 0 for t in net.p_tau)
+
+    def test_first_path_cost_is_three(self):
+        costs = []
+        from repro.flow.dijkstra import DijkstraState
+        from repro.flow.graph import CCAFlowNetwork
+
+        net = CCAFlowNetwork([1, 2], [1, 1])
+        for (i, j), d in self.DIST.items():
+            net.add_edge(i, j, d)
+        state = DijkstraState(net)
+        assert state.run()
+        assert state.sp_cost == pytest.approx(3.0)  # sp1 = {s, q1, p2, t}
+        assert state.path_nodes() == [-1, 0, net.customer_node(1), -2]
+
+
+class TestRandomInstances:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_lsa_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        nq = int(rng.integers(2, 6))
+        np_ = int(rng.integers(4, 25))
+        caps = rng.integers(0, 5, nq).tolist()
+        if sum(caps) == 0:
+            caps[0] = 2
+        pts_q = rng.random((nq, 2)) * 100
+        pts_p = rng.random((np_, 2)) * 100
+
+        def d(i, j):
+            return float(np.hypot(*(pts_q[i] - pts_p[j])))
+
+        pairs, net = sspa_solve(caps, [1] * np_, d)
+        expected = oracle_cost(oracle_lsa(caps, [1] * np_, d))
+        assert net.matching_cost() == pytest.approx(expected, abs=1e-6)
+        assert len(pairs) == min(sum(caps), np_)
+
+    def test_weighted_customers(self):
+        rng = np.random.default_rng(42)
+        caps = [3, 4]
+        weights = [2, 1, 3]
+        pts_q = rng.random((2, 2)) * 50
+        pts_p = rng.random((3, 2)) * 50
+
+        def d(i, j):
+            return float(np.hypot(*(pts_q[i] - pts_p[j])))
+
+        pairs, net = sspa_solve(caps, weights, d)
+        expected = oracle_cost(oracle_lsa(caps, weights, d))
+        assert net.matching_cost() == pytest.approx(expected, abs=1e-6)
+        assert net.matched == min(sum(caps), sum(weights))
+
+    def test_progress_callback(self):
+        seen = []
+        sspa_solve(
+            [1], [1], lambda i, j: 1.0, progress=lambda a, b: seen.append((a, b))
+        )
+        assert seen == [(1, 1)]
+
+    def test_zero_gamma(self):
+        pairs, net = sspa_solve([0], [1], lambda i, j: 1.0)
+        assert pairs == []
+        assert net.matched == 0

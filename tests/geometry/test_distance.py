@@ -1,0 +1,87 @@
+"""Unit tests for repro.geometry.distance."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import (
+    dist,
+    dist_squared,
+    maxdist_point_mbr,
+    mindist_mbr_mbr,
+    mindist_point_mbr,
+)
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+
+
+class TestPointPoint:
+    def test_dist_matches_squared(self):
+        a, b = Point(0, (1.0, 2.0)), Point(1, (4.0, 6.0))
+        assert dist(a, b) == pytest.approx(math.sqrt(dist_squared(a, b)))
+        assert dist(a, b) == pytest.approx(5.0)
+
+    def test_symmetry_random(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            a = Point(0, rng.random(2) * 100)
+            b = Point(1, rng.random(2) * 100)
+            assert dist(a, b) == pytest.approx(dist(b, a))
+
+
+class TestPointMBR:
+    def setup_method(self):
+        self.mbr = MBR((0.0, 0.0), (10.0, 10.0))
+
+    def test_inside_is_zero(self):
+        assert mindist_point_mbr(Point(0, (5.0, 5.0)), self.mbr) == 0.0
+
+    def test_outside_axis(self):
+        assert mindist_point_mbr(Point(0, (15.0, 5.0)), self.mbr) == 5.0
+
+    def test_outside_corner(self):
+        d = mindist_point_mbr(Point(0, (13.0, 14.0)), self.mbr)
+        assert d == pytest.approx(5.0)
+
+    def test_maxdist_corner(self):
+        d = maxdist_point_mbr(Point(0, (5.0, 5.0)), self.mbr)
+        assert d == pytest.approx(math.hypot(5.0, 5.0))
+
+    def test_mindist_lower_bounds_all_contained_points(self):
+        rng = np.random.default_rng(1)
+        q = Point(99, (25.0, -7.0))
+        for _ in range(50):
+            inside = Point(0, rng.random(2) * 10)
+            assert mindist_point_mbr(q, self.mbr) <= dist(q, inside) + 1e-12
+
+    def test_maxdist_upper_bounds_all_contained_points(self):
+        rng = np.random.default_rng(2)
+        q = Point(99, (25.0, -7.0))
+        for _ in range(50):
+            inside = Point(0, rng.random(2) * 10)
+            assert maxdist_point_mbr(q, self.mbr) >= dist(q, inside) - 1e-12
+
+
+class TestMBRMBR:
+    def test_overlapping_is_zero(self):
+        assert mindist_mbr_mbr(MBR((0, 0), (2, 2)), MBR((1, 1), (3, 3))) == 0.0
+
+    def test_separated_on_one_axis(self):
+        assert mindist_mbr_mbr(
+            MBR((0, 0), (1, 1)), MBR((4, 0), (5, 1))
+        ) == pytest.approx(3.0)
+
+    def test_diagonal_separation(self):
+        d = mindist_mbr_mbr(MBR((0, 0), (1, 1)), MBR((4, 5), (6, 7)))
+        assert d == pytest.approx(5.0)
+
+    def test_lower_bounds_point_pairs(self):
+        rng = np.random.default_rng(3)
+        a = MBR((0.0, 0.0), (2.0, 3.0))
+        b = MBR((7.0, 1.0), (9.0, 4.0))
+        bound = mindist_mbr_mbr(a, b)
+        for _ in range(50):
+            pa = Point(0, (rng.uniform(0, 2), rng.uniform(0, 3)))
+            pb = Point(1, (rng.uniform(7, 9), rng.uniform(1, 4)))
+            assert bound <= dist(pa, pb) + 1e-12

@@ -1,0 +1,92 @@
+"""Unit tests for repro.geometry.mbr."""
+
+import math
+
+import pytest
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+
+
+class TestConstruction:
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            MBR((1.0, 0.0), (0.0, 1.0))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MBR((0.0,), (1.0, 1.0))
+
+    def test_from_point_is_degenerate(self):
+        m = MBR.from_point(Point(0, (3.0, 4.0)))
+        assert m.lo == m.hi == (3.0, 4.0)
+        assert m.area == 0.0
+        assert m.diagonal == 0.0
+
+    def test_from_points(self):
+        m = MBR.from_points(
+            [Point(0, (0.0, 5.0)), Point(1, (2.0, 1.0)), Point(2, (1.0, 9.0))]
+        )
+        assert m.lo == (0.0, 1.0)
+        assert m.hi == (2.0, 9.0)
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MBR.from_points([])
+
+    def test_union_all(self):
+        m = MBR.union_all([MBR((0, 0), (1, 1)), MBR((2, -1), (3, 0.5))])
+        assert m.lo == (0.0, -1.0)
+        assert m.hi == (3.0, 1.0)
+
+
+class TestDerived:
+    def test_diagonal(self):
+        m = MBR((0.0, 0.0), (3.0, 4.0))
+        assert m.diagonal == pytest.approx(5.0)
+
+    def test_center_area_margin(self):
+        m = MBR((0.0, 0.0), (4.0, 2.0))
+        assert m.center == (2.0, 1.0)
+        assert m.area == 8.0
+        assert m.margin == 6.0
+
+    def test_longest_axis(self):
+        assert MBR((0, 0), (4, 2)).longest_axis() == 0
+        assert MBR((0, 0), (2, 4)).longest_axis() == 1
+
+    def test_split_halves(self):
+        lo, hi = MBR((0.0, 0.0), (4.0, 2.0)).split_halves(0)
+        assert lo.hi[0] == 2.0 and hi.lo[0] == 2.0
+        assert lo.lo == (0.0, 0.0) and hi.hi == (4.0, 2.0)
+
+
+class TestPredicates:
+    def test_contains_point_inclusive(self):
+        m = MBR((0.0, 0.0), (1.0, 1.0))
+        assert m.contains_point(Point(0, (0.0, 0.0)))
+        assert m.contains_point(Point(0, (1.0, 1.0)))
+        assert not m.contains_point(Point(0, (1.0001, 0.5)))
+
+    def test_contains_mbr(self):
+        outer = MBR((0, 0), (10, 10))
+        assert outer.contains_mbr(MBR((1, 1), (2, 2)))
+        assert not MBR((1, 1), (2, 2)).contains_mbr(outer)
+
+    def test_intersects(self):
+        a = MBR((0, 0), (2, 2))
+        assert a.intersects(MBR((1, 1), (3, 3)))
+        assert a.intersects(MBR((2, 2), (3, 3)))  # edge touch counts
+        assert not a.intersects(MBR((2.1, 2.1), (3, 3)))
+
+    def test_union_and_enlargement(self):
+        a = MBR((0, 0), (1, 1))
+        b = MBR((2, 2), (3, 3))
+        u = a.union(b)
+        assert u.lo == (0.0, 0.0) and u.hi == (3.0, 3.0)
+        assert a.enlargement(b) == pytest.approx(9.0 - 1.0)
+        assert a.enlargement(MBR((0.2, 0.2), (0.8, 0.8))) == 0.0
+
+    def test_equality_and_hash(self):
+        assert MBR((0, 0), (1, 1)) == MBR((0, 0), (1, 1))
+        assert len({MBR((0, 0), (1, 1)), MBR((0, 0), (1, 1))}) == 1

@@ -1,0 +1,62 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Point(3, (1.0, 2.0))
+        assert p.pid == 3
+        assert p.x == 1.0
+        assert p.y == 2.0
+        assert p.dim == 2
+
+    def test_coords_coerced_to_float(self):
+        p = Point(0, (1, 2))
+        assert isinstance(p.coords[0], float)
+
+    def test_empty_coords_rejected(self):
+        with pytest.raises(ValueError):
+            Point(0, ())
+
+    def test_higher_dimensions_supported(self):
+        p = Point(0, (1.0, 2.0, 3.0))
+        assert p.dim == 3
+        assert p[2] == 3.0
+
+
+class TestBehaviour:
+    def test_distance_to(self):
+        a = Point(0, (0.0, 0.0))
+        b = Point(1, (3.0, 4.0))
+        assert a.distance_to(b) == pytest.approx(5.0)
+        assert b.distance_to(a) == pytest.approx(5.0)
+
+    def test_distance_to_self_is_zero(self):
+        a = Point(0, (2.5, -1.5))
+        assert a.distance_to(a) == 0.0
+
+    def test_iteration_and_indexing(self):
+        p = Point(0, (7.0, 9.0))
+        assert list(p) == [7.0, 9.0]
+        assert len(p) == 2
+        assert p[0] == 7.0
+
+    def test_equality_requires_id_and_coords(self):
+        assert Point(1, (1.0, 2.0)) == Point(1, (1.0, 2.0))
+        assert Point(1, (1.0, 2.0)) != Point(2, (1.0, 2.0))
+        assert Point(1, (1.0, 2.0)) != Point(1, (1.0, 2.5))
+
+    def test_hashable(self):
+        s = {Point(1, (1.0, 2.0)), Point(1, (1.0, 2.0)), Point(2, (0.0, 0.0))}
+        assert len(s) == 2
+
+    def test_not_equal_to_other_types(self):
+        assert Point(1, (1.0, 2.0)) != (1.0, 2.0)
+
+    def test_repr_mentions_id(self):
+        assert "id=5" in repr(Point(5, (0.0, 0.0)))

@@ -1,0 +1,137 @@
+"""The repository's load-bearing invariant:
+
+    Ψ(SSPA) = Ψ(RIA) = Ψ(NIA) = Ψ(IDA) = Ψ(scipy oracle)
+
+across capacity regimes, distributions, and degenerate corners.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.solve import solve
+from repro.core.problem import CCAProblem
+from repro.datagen.workloads import make_problem
+from repro.flow.reference import oracle_cost, oracle_lsa
+from tests.conftest import random_problem
+
+EXACT = ("sspa", "ria", "nia", "ida")
+
+
+def assert_all_exact_agree(prob):
+    expected = oracle_cost(
+        oracle_lsa(prob.capacities, prob.weights, prob.distance)
+    )
+    for method in EXACT:
+        m = solve(prob, method)
+        m.validate(prob)
+        assert m.cost == pytest.approx(expected, abs=1e-6), method
+    return expected
+
+
+class TestRegimes:
+    def test_tight_capacity(self):
+        """k·|Q| << |P|: all providers end full."""
+        rng = np.random.default_rng(1)
+        prob = random_problem(rng, nq=4, np_=60, cap_hi=2)
+        assert_all_exact_agree(prob)
+
+    def test_slack_capacity(self):
+        """k·|Q| >> |P|: every customer is served."""
+        prob = CCAProblem.from_arrays(
+            np.random.default_rng(2).random((3, 2)) * 100,
+            [40, 40, 40],
+            np.random.default_rng(3).random((25, 2)) * 100,
+        )
+        assert_all_exact_agree(prob)
+
+    def test_exact_balance(self):
+        """Σk == |P|: every provider AND every customer saturated."""
+        prob = CCAProblem.from_arrays(
+            np.random.default_rng(4).random((4, 2)) * 100,
+            [5, 5, 5, 5],
+            np.random.default_rng(5).random((20, 2)) * 100,
+        )
+        expected = assert_all_exact_agree(prob)
+        assert expected > 0
+
+    def test_single_provider(self):
+        rng = np.random.default_rng(6)
+        prob = random_problem(rng, nq=1, np_=30, cap_hi=7)
+        assert_all_exact_agree(prob)
+
+    def test_single_customer(self):
+        rng = np.random.default_rng(7)
+        prob = random_problem(rng, nq=5, np_=1, cap_hi=3)
+        assert_all_exact_agree(prob)
+
+
+class TestDistributions:
+    @pytest.mark.parametrize("dq", ["uniform", "clustered"])
+    @pytest.mark.parametrize("dp", ["uniform", "clustered"])
+    def test_distribution_grid(self, dq, dp):
+        prob = make_problem(
+            nq=4, np_=120, k=8, dist_q=dq, dist_p=dp, seed=11
+        )
+        assert_all_exact_agree(prob)
+
+
+class TestDegenerate:
+    def test_colocated_points(self):
+        """Many zero-distance edges (points on top of each other)."""
+        prob = CCAProblem.from_arrays(
+            [(5.0, 5.0), (5.0, 5.0)],
+            [2, 2],
+            [(5.0, 5.0)] * 3 + [(6.0, 6.0)],
+        )
+        expected = assert_all_exact_agree(prob)
+        assert expected == pytest.approx(2**0.5)
+
+    def test_zero_capacity_mixed_in(self):
+        prob = CCAProblem.from_arrays(
+            [(0.0, 0.0), (10.0, 10.0), (20.0, 20.0)],
+            [0, 3, 0],
+            np.random.default_rng(8).random((10, 2)) * 30,
+        )
+        assert_all_exact_agree(prob)
+        m = solve(prob, "ida")
+        assert all(q == 1 for q, _, _ in m.pairs)
+
+    def test_all_zero_capacity_gives_empty_matching(self):
+        prob = CCAProblem.from_arrays(
+            [(0.0, 0.0)], [0], [(1.0, 1.0), (2.0, 2.0)]
+        )
+        for method in EXACT:
+            m = solve(prob, method)
+            assert m.size == 0
+            assert m.cost == 0.0
+
+    def test_collinear_points(self):
+        prob = CCAProblem.from_arrays(
+            [(float(i * 10), 0.0) for i in range(3)],
+            [2, 2, 2],
+            [(float(j), 0.0) for j in range(12)],
+        )
+        assert_all_exact_agree(prob)
+
+    def test_weighted_customers_all_methods(self):
+        rng = np.random.default_rng(9)
+        prob = random_problem(rng, nq=4, np_=15, cap_hi=6, weights_hi=4)
+        assert_all_exact_agree(prob)
+
+
+class TestDeterminism:
+    def test_same_seed_same_everything(self):
+        a = make_problem(nq=4, np_=80, k=6, seed=33)
+        b = make_problem(nq=4, np_=80, k=6, seed=33)
+        ma = solve(a, "ida")
+        mb = solve(b, "ida")
+        assert ma.cost == mb.cost
+        assert sorted(ma.pairs) == sorted(mb.pairs)
+        assert ma.stats.esub_edges == mb.stats.esub_edges
+        assert ma.stats.io.faults == mb.stats.io.faults
+
+    def test_approx_deterministic(self):
+        a = make_problem(nq=6, np_=90, k=5, seed=34)
+        b = make_problem(nq=6, np_=90, k=5, seed=34)
+        assert solve(a, "can").cost == solve(b, "can").cost
+        assert solve(a, "sae").cost == solve(b, "sae").cost

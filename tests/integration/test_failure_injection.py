@@ -1,0 +1,120 @@
+"""Failure injection and hostile configurations."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import CCAProblem
+from repro.core.solve import solve
+from repro.rtree.tree import RTree
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.page import PageManager
+from tests.conftest import random_problem
+
+
+class TestHostileStorage:
+    def test_one_page_buffer_still_correct(self):
+        """Pathological thrashing must not change results, only I/O."""
+        rng = np.random.default_rng(1)
+        xy_q = rng.random((3, 2)) * 100
+        xy_p = rng.random((80, 2)) * 100
+        normal = CCAProblem.from_arrays(xy_q, [4] * 3, xy_p)
+        tiny = CCAProblem.from_arrays(xy_q, [4] * 3, xy_p)
+        tiny.rtree()._fixed_buffer_capacity = 1
+        tiny.rtree().cold()
+        m_normal = solve(normal, "ida")
+        m_tiny = solve(tiny, "ida")
+        assert m_tiny.cost == pytest.approx(m_normal.cost, abs=1e-6)
+        assert m_tiny.stats.io.faults >= m_normal.stats.io.faults
+
+    def test_tiny_pages_deep_tree(self):
+        rng = np.random.default_rng(2)
+        prob = CCAProblem.from_arrays(
+            rng.random((3, 2)) * 100,
+            [5] * 3,
+            rng.random((120, 2)) * 100,
+            page_size=128,  # ~4 entries per leaf
+        )
+        assert prob.rtree().height >= 3
+        m = solve(prob, "ida")
+        m.validate(prob)
+
+    def test_absurd_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            PageManager(page_size=16).leaf_capacity()
+
+
+class TestHostileProblems:
+    def test_empty_customers(self):
+        prob = CCAProblem.from_arrays([(0.0, 0.0)], [5], np.empty((0, 2)))
+        for method in ("sspa", "ria", "nia", "ida", "sm"):
+            m = solve(prob, method)
+            assert m.size == 0
+
+    def test_empty_providers(self):
+        prob = CCAProblem.from_arrays(
+            np.empty((0, 2)), [], [(1.0, 1.0), (2.0, 2.0)]
+        )
+        for method in ("sspa", "nia", "ida", "sm"):
+            m = solve(prob, method)
+            assert m.size == 0
+
+    def test_both_empty(self):
+        prob = CCAProblem.from_arrays(np.empty((0, 2)), [], np.empty((0, 2)))
+        assert solve(prob, "ida").size == 0
+
+    def test_identical_distances_everywhere(self):
+        # All customers equidistant from all providers: ties everywhere.
+        prob = CCAProblem.from_arrays(
+            [(0.0, 0.0), (0.0, 0.0)],
+            [2, 2],
+            [(3.0, 4.0), (3.0, 4.0), (3.0, 4.0), (3.0, 4.0)],
+        )
+        m = solve(prob, "ida")
+        m.validate(prob)
+        assert m.cost == pytest.approx(4 * 5.0)
+
+    def test_huge_capacities_do_not_overflow(self):
+        rng = np.random.default_rng(3)
+        prob = CCAProblem.from_arrays(
+            rng.random((2, 2)) * 100,
+            [10**9, 10**9],
+            rng.random((20, 2)) * 100,
+        )
+        m = solve(prob, "ida")
+        assert m.size == 20
+
+    def test_extreme_coordinates(self):
+        prob = CCAProblem.from_arrays(
+            [(1e8, 1e8), (-1e8, -1e8)],
+            [2, 2],
+            [(1e8 + 1, 1e8), (1e8, 1e8 + 2), (-1e8 - 3, -1e8), (-1e8, -1e8 - 4)],
+        )
+        m = solve(prob, "ida")
+        m.validate(prob)
+        assert m.cost == pytest.approx(10.0)
+
+
+class TestApproxCorners:
+    def test_sa_with_one_provider(self):
+        rng = np.random.default_rng(4)
+        prob = random_problem(rng, nq=1, np_=40, cap_hi=5)
+        m = solve(prob, "san", delta=50.0)
+        m.validate(prob)
+
+    def test_ca_delta_larger_than_world(self):
+        rng = np.random.default_rng(5)
+        prob = random_problem(rng, nq=3, np_=50, cap_hi=4)
+        m = solve(prob, "can", delta=10_000.0)
+        m.validate(prob)  # one giant group; still a valid matching
+
+    def test_sm_with_exhausted_supply(self):
+        # More capacity than customers: SM must stop at |P| pairs.
+        rng = np.random.default_rng(6)
+        prob = random_problem(rng, nq=3, np_=10, cap_hi=0)
+        prob = CCAProblem.from_arrays(
+            [q.point.coords for q in prob.providers],
+            [100] * 3,
+            [p.point.coords for p in prob.customers],
+        )
+        m = solve(prob, "sm")
+        assert m.size == 10

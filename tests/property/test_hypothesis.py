@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.approx.bounds import ca_error_bound, sa_error_bound
+from repro.core.approx.partition import hilbert_greedy_groups
+from repro.core.problem import CCAProblem
+from repro.core.solve import solve
+from repro.flow.reference import oracle_cost, oracle_lsa
+from repro.geometry.distance import (
+    dist,
+    maxdist_point_mbr,
+    mindist_mbr_mbr,
+    mindist_point_mbr,
+)
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+from repro.hilbert.curve import hilbert_d2xy, hilbert_xy2d
+
+FAST = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+coord = st.floats(
+    min_value=0.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+xy = st.tuples(coord, coord)
+
+
+# ----------------------------------------------------------------------
+# geometry
+# ----------------------------------------------------------------------
+@FAST
+@given(a=xy, b=xy, c=xy)
+def test_triangle_inequality(a, b, c):
+    pa, pb, pc = Point(0, a), Point(1, b), Point(2, c)
+    assert dist(pa, pc) <= dist(pa, pb) + dist(pb, pc) + 1e-9
+
+
+@FAST
+@given(q=xy, pts=st.lists(xy, min_size=1, max_size=20))
+def test_mindist_maxdist_bracket_members(q, pts):
+    query = Point(99, q)
+    members = [Point(i, p) for i, p in enumerate(pts)]
+    box = MBR.from_points(members)
+    lo = mindist_point_mbr(query, box)
+    hi = maxdist_point_mbr(query, box)
+    for m in members:
+        d = dist(query, m)
+        assert lo <= d + 1e-9
+        assert d <= hi + 1e-9
+
+
+@FAST
+@given(a=st.lists(xy, min_size=1, max_size=10),
+       b=st.lists(xy, min_size=1, max_size=10))
+def test_mbr_mindist_lower_bounds_cross_pairs(a, b):
+    pa = [Point(i, p) for i, p in enumerate(a)]
+    pb = [Point(i, p) for i, p in enumerate(b)]
+    bound = mindist_mbr_mbr(MBR.from_points(pa), MBR.from_points(pb))
+    best = min(dist(x, y) for x in pa for y in pb)
+    assert bound <= best + 1e-9
+
+
+# ----------------------------------------------------------------------
+# hilbert curve
+# ----------------------------------------------------------------------
+@FAST
+@given(order=st.integers(1, 8), d=st.integers(0, 2**16 - 1))
+def test_hilbert_roundtrip(order, d):
+    n2 = (1 << order) ** 2
+    d = d % n2
+    x, y = hilbert_d2xy(order, d)
+    assert hilbert_xy2d(order, x, y) == d
+
+
+# ----------------------------------------------------------------------
+# exact solvers vs oracle
+# ----------------------------------------------------------------------
+instance = st.tuples(
+    st.lists(xy, min_size=1, max_size=5),                    # providers
+    st.lists(st.integers(0, 4), min_size=1, max_size=5),     # capacities
+    st.lists(xy, min_size=1, max_size=18),                   # customers
+)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=instance, method=st.sampled_from(["ria", "nia", "ida"]))
+def test_exact_solvers_match_oracle(data, method):
+    q_xy, caps, p_xy = data
+    caps = (caps * len(q_xy))[: len(q_xy)]
+    prob = CCAProblem.from_arrays(q_xy, caps, p_xy)
+    expected = oracle_cost(
+        oracle_lsa(prob.capacities, prob.weights, prob.distance)
+    )
+    m = solve(prob, method)
+    m.validate(prob)
+    assert math.isclose(m.cost, expected, abs_tol=1e-6)
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    data=instance,
+    weights=st.lists(st.integers(1, 3), min_size=1, max_size=18),
+)
+def test_weighted_instances_match_oracle(data, weights):
+    q_xy, caps, p_xy = data
+    caps = [max(c, 1) for c in (caps * len(q_xy))[: len(q_xy)]]
+    w = (weights * len(p_xy))[: len(p_xy)]
+    prob = CCAProblem.from_arrays(q_xy, caps, p_xy, customer_weights=w)
+    expected = oracle_cost(
+        oracle_lsa(prob.capacities, prob.weights, prob.distance)
+    )
+    m = solve(prob, "ida")
+    m.validate(prob)
+    assert math.isclose(m.cost, expected, abs_tol=1e-6)
+
+
+# ----------------------------------------------------------------------
+# approximation guarantees
+# ----------------------------------------------------------------------
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    data=instance,
+    delta=st.floats(min_value=1.0, max_value=300.0),
+    method=st.sampled_from(["san", "sae", "can", "cae"]),
+)
+def test_approx_error_bounds_hold(data, delta, method):
+    q_xy, caps, p_xy = data
+    caps = [max(c, 1) for c in (caps * len(q_xy))[: len(q_xy)]]
+    prob = CCAProblem.from_arrays(q_xy, caps, p_xy)
+    optimal = solve(prob, "ida").cost
+    m = solve(prob, method, delta=delta)
+    m.validate(prob)
+    bound_fn = sa_error_bound if method.startswith("sa") else ca_error_bound
+    assert m.cost - optimal <= bound_fn(prob.gamma, delta) + 1e-6
+
+
+# ----------------------------------------------------------------------
+# partitioning
+# ----------------------------------------------------------------------
+@FAST
+@given(pts=st.lists(xy, min_size=1, max_size=40),
+       delta=st.floats(min_value=0.0, max_value=500.0))
+def test_hilbert_groups_respect_delta(pts, delta):
+    points = [Point(i, p) for i, p in enumerate(pts)]
+    groups = hilbert_greedy_groups(points, delta, (0, 0), (1000, 1000))
+    covered = sorted(p.pid for g in groups for p in g)
+    assert covered == list(range(len(points)))
+    for g in groups:
+        assert MBR.from_points(g).diagonal <= delta + 1e-9

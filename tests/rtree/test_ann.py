@@ -1,0 +1,93 @@
+"""Tests for the grouped incremental ANN search (Algorithm 6)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import dist
+from repro.geometry.point import Point
+from repro.rtree.ann import ANNGroup, GroupedANN, group_providers_by_hilbert
+from repro.rtree.tree import RTree
+
+
+def make_world(n_customers=300, n_providers=12, seed=0):
+    rng = np.random.default_rng(seed)
+    customers = [Point(i, rng.random(2) * 1000) for i in range(n_customers)]
+    providers = [Point(i, rng.random(2) * 1000) for i in range(n_providers)]
+    return customers, providers, RTree.from_points(customers)
+
+
+class TestGrouping:
+    def test_groups_cover_all_providers(self):
+        _, providers, _ = make_world()
+        groups = group_providers_by_hilbert(
+            providers, (0, 0), (1000, 1000), group_size=5
+        )
+        flat = [q.pid for g in groups for q in g]
+        assert sorted(flat) == sorted(q.pid for q in providers)
+        assert all(len(g) <= 5 for g in groups)
+
+    def test_group_size_one(self):
+        _, providers, _ = make_world()
+        groups = group_providers_by_hilbert(
+            providers, (0, 0), (1000, 1000), group_size=1
+        )
+        assert len(groups) == len(providers)
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            group_providers_by_hilbert([], (0, 0), (1, 1), group_size=0)
+
+    def test_empty_group_rejected(self):
+        _, _, tree = make_world()
+        with pytest.raises(ValueError):
+            ANNGroup(tree, [])
+
+
+class TestStreamCorrectness:
+    @pytest.mark.parametrize("group_size", [1, 4, 12])
+    def test_each_provider_sees_sorted_complete_stream(self, group_size):
+        customers, providers, tree = make_world(n_customers=120)
+        ann = GroupedANN(tree, providers, group_size=group_size)
+        for q in providers[:5]:
+            seen = []
+            while True:
+                p = ann.next_nn(q.pid)
+                if p is None:
+                    break
+                seen.append(p)
+            dists = [dist(q, p) for p in seen]
+            assert dists == sorted(dists)
+            assert {p.pid for p in seen} == {c.pid for c in customers}
+
+    def test_interleaved_requests_stay_correct(self):
+        customers, providers, tree = make_world(n_customers=150, seed=3)
+        ann = GroupedANN(tree, providers, group_size=6)
+        brute = {
+            q.pid: sorted(dist(q, c) for c in customers) for q in providers
+        }
+        cursors = {q.pid: 0 for q in providers}
+        rng = np.random.default_rng(4)
+        for _ in range(300):
+            q = providers[int(rng.integers(0, len(providers)))]
+            p = ann.next_nn(q.pid)
+            idx = cursors[q.pid]
+            assert p is not None
+            assert dist(q, p) == pytest.approx(brute[q.pid][idx])
+            cursors[q.pid] += 1
+
+    def test_grouping_reduces_io_versus_singletons(self):
+        customers, providers, tree = make_world(n_customers=800, seed=5)
+        # Draw the first 20 NNs of every provider with singleton groups.
+        tree.cold()
+        single = GroupedANN(tree, providers, group_size=1)
+        for q in providers:
+            for _ in range(20):
+                single.next_nn(q.pid)
+        singleton_faults = tree.stats.faults
+        tree.cold()
+        grouped = GroupedANN(tree, providers, group_size=len(providers))
+        for q in providers:
+            for _ in range(20):
+                grouped.next_nn(q.pid)
+        grouped_faults = tree.stats.faults
+        assert grouped_faults <= singleton_faults

@@ -1,0 +1,82 @@
+"""Unit tests for STR bulk loading."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.rtree.bulk import str_bulk_load
+from repro.rtree.tree import RTree
+from repro.storage.page import PageManager
+
+
+def random_points(n, seed=0, world=1000.0):
+    rng = np.random.default_rng(seed)
+    return [Point(i, rng.random(2) * world) for i in range(n)]
+
+
+class TestStructure:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            str_bulk_load(PageManager(), [])
+
+    def test_single_point_is_a_leaf_root(self):
+        pm = PageManager()
+        root_id, height, pages = str_bulk_load(pm, random_points(1))
+        assert height == 1
+        assert len(pages) == 1
+        assert pm.get(root_id).payload.is_leaf
+
+    def test_all_points_present(self):
+        tree = RTree.from_points(random_points(500))
+        assert sorted(p.pid for p in tree.all_points()) == list(range(500))
+
+    def test_heights_grow_with_cardinality(self):
+        small = RTree.from_points(random_points(30))
+        large = RTree.from_points(random_points(5000))
+        assert small.height <= large.height
+        assert large.height >= 2
+
+    def test_integrity_of_bulk_loaded_tree(self):
+        for n in (1, 2, 41, 42, 43, 500, 2000):
+            tree = RTree.from_points(random_points(n, seed=n))
+            tree.check_integrity()
+
+    def test_leaves_respect_capacity(self):
+        pm = PageManager(page_size=256)
+        cap = pm.leaf_capacity()
+        root_id, _, pages = str_bulk_load(pm, random_points(200))
+        for pid in pages:
+            node = pm.get(pid).payload
+            if node.is_leaf:
+                assert 0 < len(node.points) <= cap
+
+    def test_duplicate_coordinates_supported(self):
+        pts = [Point(i, (5.0, 5.0)) for i in range(100)]
+        tree = RTree.from_points(pts)
+        assert len(tree.all_points()) == 100
+        tree.check_integrity()
+
+
+class TestPacking:
+    def test_str_produces_near_minimal_leaf_count(self):
+        pm = PageManager(page_size=1024)
+        cap = pm.leaf_capacity()
+        n = cap * 7
+        root_id, height, pages = str_bulk_load(pm, random_points(n))
+        leaves = [p for p in pages if pm.get(p).payload.is_leaf]
+        assert len(leaves) == 7  # perfectly packed
+
+    def test_spatial_locality_of_leaves(self):
+        # STR leaves over uniform data tile the space with little overlap:
+        # their total area stays close to (and not far above) the world
+        # area, unlike a random grouping whose leaf MBRs overlap heavily.
+        tree = RTree.from_points(random_points(2000, seed=3))
+        total_area = 0.0
+        stack = [tree.root_id]
+        while stack:
+            node = tree.node(stack.pop())
+            if node.is_leaf:
+                total_area += node.mbr().area
+            else:
+                stack.extend(node.children_ids)
+        assert total_area < 1.3 * (1000.0 * 1000.0)

@@ -1,0 +1,118 @@
+"""Query correctness against brute force."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import dist
+from repro.geometry.point import Point
+from repro.rtree.queries import (
+    IncrementalNN,
+    annular_range_search,
+    knn_search,
+    range_search,
+)
+from repro.rtree.tree import RTree
+
+
+def make_dataset(n=400, seed=0, world=1000.0):
+    rng = np.random.default_rng(seed)
+    pts = [Point(i, rng.random(2) * world) for i in range(n)]
+    return pts, RTree.from_points(pts)
+
+
+PTS, TREE = make_dataset()
+QUERIES = [Point(1000 + i, xy) for i, xy in enumerate(
+    [(500.0, 500.0), (0.0, 0.0), (999.0, 1.0), (250.0, 750.0)]
+)]
+
+
+class TestRange:
+    @pytest.mark.parametrize("radius", [0.0, 25.0, 120.0, 2000.0])
+    @pytest.mark.parametrize("q", QUERIES, ids=lambda q: f"q{q.pid}")
+    def test_matches_brute_force(self, q, radius):
+        expected = {p.pid for p in PTS if dist(q, p) <= radius}
+        got = {p.pid for p in range_search(TREE, q, radius)}
+        assert got == expected
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            range_search(TREE, QUERIES[0], -1.0)
+
+    def test_empty_tree(self):
+        assert range_search(RTree(), QUERIES[0], 10.0) == []
+
+
+class TestAnnular:
+    @pytest.mark.parametrize("ring", [(0.0, 50.0), (50.0, 130.0), (130.0, 131.0)])
+    @pytest.mark.parametrize("q", QUERIES, ids=lambda q: f"q{q.pid}")
+    def test_matches_brute_force(self, q, ring):
+        inner, outer = ring
+        expected = {p.pid for p in PTS if inner < dist(q, p) <= outer}
+        got = {p.pid for p in annular_range_search(TREE, q, inner, outer)}
+        assert got == expected
+
+    def test_ring_union_equals_range(self):
+        q = QUERIES[0]
+        rings = [(0.0, 40.0), (40.0, 80.0), (80.0, 120.0)]
+        union = set()
+        for inner, outer in rings:
+            union |= {p.pid for p in annular_range_search(TREE, q, inner, outer)}
+        full = {p.pid for p in range_search(TREE, q, 120.0)}
+        # The first ring excludes dist=0 points only if the query point
+        # coincides with a data point; include radius-0 matches.
+        union |= {p.pid for p in PTS if dist(q, p) == 0.0}
+        assert union == full
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            annular_range_search(TREE, QUERIES[0], 10.0, 5.0)
+
+
+class TestKNN:
+    @pytest.mark.parametrize("k", [0, 1, 7, 50, 400, 500])
+    def test_matches_brute_force(self, k):
+        q = QUERIES[0]
+        expected = sorted(PTS, key=lambda p: (dist(q, p), p.pid))[:k]
+        got = knn_search(TREE, q, k)
+        assert len(got) == min(k, len(PTS))
+        # Distances must agree position by position (ids may tie-swap).
+        for e, g in zip(expected, got):
+            assert dist(q, g) == pytest.approx(dist(q, e))
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            knn_search(TREE, QUERIES[0], -1)
+
+
+class TestIncrementalNN:
+    def test_stream_is_sorted_and_complete(self):
+        q = QUERIES[2]
+        stream = IncrementalNN(TREE, q)
+        out = list(stream)
+        assert len(out) == len(PTS)
+        dists = [dist(q, p) for p in out]
+        assert dists == sorted(dists)
+        assert {p.pid for p in out} == {p.pid for p in PTS}
+
+    def test_peek_key_lower_bounds_next(self):
+        q = QUERIES[0]
+        stream = IncrementalNN(TREE, q)
+        for _ in range(30):
+            key = stream.peek_key()
+            p = stream.next()
+            assert key is not None
+            assert key <= dist(q, p) + 1e-9
+
+    def test_exhaustion_returns_none(self):
+        pts, tree = make_dataset(n=5, seed=2)
+        stream = IncrementalNN(tree, QUERIES[0])
+        for _ in range(5):
+            assert stream.next() is not None
+        assert stream.next() is None
+        assert stream.next() is None
+
+    def test_empty_tree_stream(self):
+        stream = IncrementalNN(RTree(), QUERIES[0])
+        assert stream.next() is None

@@ -1,0 +1,118 @@
+"""Unit tests for R-tree maintenance (insert / delete / integrity)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.rtree.tree import RTree
+
+
+def random_points(n, seed=0, world=1000.0):
+    rng = np.random.default_rng(seed)
+    return [Point(i, rng.random(2) * world) for i in range(n)]
+
+
+class TestInsert:
+    def test_insert_into_empty(self):
+        tree = RTree()
+        tree.insert(Point(0, (1.0, 2.0)))
+        assert len(tree) == 1
+        assert tree.height == 1
+        tree.check_integrity(strict_fill=True)
+
+    def test_insert_many_keeps_integrity(self):
+        tree = RTree(page_size=256)  # small fan-out forces deep trees
+        for p in random_points(400, seed=1):
+            tree.insert(p)
+        assert len(tree) == 400
+        assert tree.height >= 3
+        tree.check_integrity(strict_fill=True)
+        assert sorted(p.pid for p in tree.all_points()) == list(range(400))
+
+    def test_incremental_matches_bulk_content(self):
+        pts = random_points(300, seed=2)
+        incremental = RTree()
+        for p in pts:
+            incremental.insert(p)
+        bulk = RTree.from_points(pts)
+        assert sorted(p.pid for p in incremental.all_points()) == sorted(
+            p.pid for p in bulk.all_points()
+        )
+
+    def test_root_split_grows_height(self):
+        tree = RTree(page_size=256)
+        cap = tree.leaf_cap
+        for p in random_points(cap + 1, seed=3):
+            tree.insert(p)
+        assert tree.height == 2
+        tree.check_integrity(strict_fill=True)
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        pts = random_points(100, seed=4)
+        tree = RTree.from_points(pts)
+        assert tree.delete(pts[42])
+        assert len(tree) == 99
+        assert 42 not in {p.pid for p in tree.all_points()}
+        tree.check_integrity(strict_fill=True)
+
+    def test_delete_missing_returns_false(self):
+        pts = random_points(10, seed=5)
+        tree = RTree.from_points(pts)
+        assert not tree.delete(Point(999, (12345.0, 12345.0)))
+        assert len(tree) == 10
+
+    def test_delete_all_empties_tree(self):
+        pts = random_points(60, seed=6)
+        tree = RTree(page_size=256)
+        for p in pts:
+            tree.insert(p)
+        for p in pts:
+            assert tree.delete(p)
+        assert len(tree) == 0
+        assert tree.root_id is None
+
+    def test_heavy_churn_keeps_integrity(self):
+        rng = np.random.default_rng(7)
+        pts = random_points(200, seed=7)
+        tree = RTree(page_size=256)
+        live = []
+        for p in pts:
+            tree.insert(p)
+            live.append(p)
+            if len(live) > 50 and rng.random() < 0.4:
+                victim = live.pop(int(rng.integers(0, len(live))))
+                assert tree.delete(victim)
+        tree.check_integrity(strict_fill=True)
+        assert sorted(p.pid for p in tree.all_points()) == sorted(
+            p.pid for p in live
+        )
+
+
+class TestColdAndIO:
+    def test_cold_resets_counters_and_buffer(self):
+        tree = RTree.from_points(random_points(500, seed=8))
+        tree.all_points()
+        assert tree.stats.reads > 0
+        tree.cold()
+        assert tree.stats.reads == 0
+        assert len(tree.buffer) == 0
+
+    def test_buffer_sized_at_one_percent(self):
+        tree = RTree.from_points(random_points(5000, seed=9))
+        expected = max(4, int(tree.num_pages * 0.01))
+        assert tree.buffer.capacity == expected
+
+    def test_access_charges_faults(self):
+        tree = RTree.from_points(random_points(500, seed=10))
+        tree.cold()
+        tree.all_points()
+        assert tree.stats.faults > 0
+        assert tree.stats.faults <= tree.num_pages + tree.stats.reads
+
+    def test_fixed_buffer_capacity_override(self):
+        tree = RTree.from_points(
+            random_points(500, seed=11), buffer_capacity=7
+        )
+        assert tree.buffer.capacity == 7

@@ -1,0 +1,55 @@
+"""Unit tests for I/O accounting."""
+
+import pytest
+
+from repro.storage.iostats import DEFAULT_IO_PENALTY_S, IOStats
+
+
+class TestCounters:
+    def test_defaults(self):
+        s = IOStats()
+        assert s.reads == s.faults == s.writes == 0
+        assert s.io_penalty_s == DEFAULT_IO_PENALTY_S
+
+    def test_hits_and_ratio(self):
+        s = IOStats(reads=10, faults=3)
+        assert s.hits == 7
+        assert s.hit_ratio == pytest.approx(0.7)
+
+    def test_hit_ratio_no_reads(self):
+        assert IOStats().hit_ratio == 0.0
+
+    def test_io_time_charges_penalty_per_fault(self):
+        s = IOStats(reads=100, faults=25)
+        assert s.io_time_s == pytest.approx(25 * 0.010)
+
+    def test_custom_penalty(self):
+        s = IOStats(reads=10, faults=10, io_penalty_s=0.002)
+        assert s.io_time_s == pytest.approx(0.02)
+
+
+class TestSnapshots:
+    def test_snapshot_is_independent(self):
+        s = IOStats(reads=5, faults=2)
+        snap = s.snapshot()
+        s.reads += 10
+        assert snap.reads == 5
+
+    def test_diff(self):
+        s = IOStats(reads=5, faults=2, writes=1)
+        before = s.snapshot()
+        s.reads += 7
+        s.faults += 3
+        delta = s.diff(before)
+        assert delta.reads == 7
+        assert delta.faults == 3
+        assert delta.writes == 0
+
+    def test_reset(self):
+        s = IOStats(reads=5, faults=2, writes=1)
+        s.reset()
+        assert (s.reads, s.faults, s.writes) == (0, 0, 0)
+
+    def test_repr_contains_key_numbers(self):
+        text = repr(IOStats(reads=5, faults=2))
+        assert "reads=5" in text and "faults=2" in text

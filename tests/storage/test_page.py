@@ -1,0 +1,117 @@
+"""Unit tests for the page manager (simulated disk)."""
+
+import pytest
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+from repro.rtree.node import RTreeNode
+from repro.storage.page import (
+    DIR_ENTRY_BYTES,
+    HEADER_BYTES,
+    LEAF_ENTRY_BYTES,
+    PageManager,
+    PageOverflowError,
+)
+
+
+class TestAllocation:
+    def test_sequential_ids(self):
+        pm = PageManager()
+        assert [pm.allocate().page_id for _ in range(3)] == [0, 1, 2]
+
+    def test_free_and_reuse(self):
+        pm = PageManager()
+        a = pm.allocate()
+        b = pm.allocate()
+        pm.free(a.page_id)
+        assert a.page_id not in pm
+        c = pm.allocate()
+        assert c.page_id == a.page_id  # freed id recycled
+        assert len(pm) == 2
+        assert b.page_id in pm
+
+    def test_double_free_rejected(self):
+        pm = PageManager()
+        p = pm.allocate()
+        pm.free(p.page_id)
+        with pytest.raises(KeyError):
+            pm.free(p.page_id)
+
+    def test_get_missing_rejected(self):
+        with pytest.raises(KeyError):
+            PageManager().get(99)
+
+
+class TestCapacities:
+    def test_leaf_capacity_formula(self):
+        pm = PageManager(page_size=1024)
+        assert pm.leaf_capacity() == (1024 - HEADER_BYTES) // LEAF_ENTRY_BYTES
+
+    def test_dir_capacity_formula(self):
+        pm = PageManager(page_size=1024)
+        assert pm.dir_capacity() == (1024 - HEADER_BYTES) // DIR_ENTRY_BYTES
+
+    def test_tiny_page_rejected(self):
+        with pytest.raises(ValueError):
+            PageManager(page_size=32).leaf_capacity()
+
+
+class TestSerialization:
+    def test_leaf_roundtrip(self):
+        pm = PageManager()
+        page = pm.allocate()
+        node = RTreeNode(page.page_id, is_leaf=True)
+        node.points = [Point(7, (1.5, 2.5)), Point(9, (-3.0, 4.0))]
+        page.payload = node
+        raw = pm.serialize(page)
+        assert len(raw) == pm.page_size
+        pid, is_leaf, count = pm.deserialize_header(raw)
+        assert (pid, is_leaf, count) == (page.page_id, True, 2)
+        entries = pm.deserialize_leaf_entries(raw)
+        assert entries == [(7, 1.5, 2.5), (9, -3.0, 4.0)]
+
+    def test_dir_roundtrip(self):
+        pm = PageManager()
+        page = pm.allocate()
+        node = RTreeNode(page.page_id, is_leaf=False)
+        node.add_child(3, MBR((0.0, 1.0), (2.0, 3.0)))
+        node.add_child(5, MBR((-1.0, -1.0), (0.0, 0.0)))
+        page.payload = node
+        raw = pm.serialize(page)
+        entries = pm.deserialize_dir_entries(raw)
+        assert entries == [(3, 0.0, 1.0, 2.0, 3.0), (5, -1.0, -1.0, 0.0, 0.0)]
+
+    def test_wrong_kind_decode_rejected(self):
+        pm = PageManager()
+        page = pm.allocate()
+        node = RTreeNode(page.page_id, is_leaf=True)
+        node.points = [Point(0, (0.0, 0.0))]
+        page.payload = node
+        raw = pm.serialize(page)
+        with pytest.raises(ValueError):
+            pm.deserialize_dir_entries(raw)
+
+    def test_overflow_detected(self):
+        pm = PageManager(page_size=128)
+        page = pm.allocate()
+        node = RTreeNode(page.page_id, is_leaf=True)
+        node.points = [Point(i, (float(i), 0.0)) for i in range(50)]
+        page.payload = node
+        with pytest.raises(PageOverflowError):
+            pm.serialize(page)
+
+    def test_serialize_clears_dirty(self):
+        pm = PageManager()
+        page = pm.allocate()
+        node = RTreeNode(page.page_id, is_leaf=True)
+        node.points = [Point(0, (0.0, 0.0))]
+        page.payload = node
+        assert page.dirty
+        pm.serialize(page)
+        assert not page.dirty
+
+    def test_empty_payload_rejected(self):
+        pm = PageManager()
+        page = pm.allocate()
+        with pytest.raises(ValueError):
+            pm.serialize(page)
