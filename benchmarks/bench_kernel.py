@@ -1,0 +1,177 @@
+"""Flow-kernel benchmark: dict vs array backend on the Fig. 10 workload.
+
+Measures two things per sweep point, for both flow backends:
+
+* **end-to-end** — a full IDA solve (R-tree ANN supply + certification +
+  flow kernel).  At small scales this is index-bound, so the backends
+  roughly tie.
+* **kernel replay** — the pure flow-kernel work: rebuild the residual
+  network from the solve's frozen Esub edge set and run the successive
+  shortest path loop (γ potential-aware Dijkstras + augmentations) to
+  completion.  This isolates the Dijkstra inner loop the array kernel
+  exists for.
+
+Both backends must produce bit-identical matching costs; the script
+asserts it and records the speedups in ``BENCH_kernel.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py \
+        [--out BENCH_kernel.json] [--scale 0.05] [--seed 0] [--points 3]
+
+The Fig. 10 sweep is |Q| ∈ {250, 500, 1000, 2500, 5000} (paper units) at
+k = 80, |P| = 100K, scaled linearly.  ``--points`` truncates the sweep
+(default 3, i.e. up to the paper-default |Q| = 1000 point) so the script
+finishes in minutes; the truncation is recorded in the JSON rather than
+silently hidden.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import time
+
+from repro.core.ida import IDASolver
+from repro.datagen.workloads import make_problem
+from repro.experiments.config import PAPER_DEFAULTS, scaled
+from repro.flow.backend import BACKENDS, get_backend
+
+NQ_SWEEP_PAPER = (250, 500, 1000, 2500, 5000)
+BACKEND_ORDER = ("dict", "array")
+
+
+def _replay(backend_name, caps, weights, edges):
+    """SSP to completion over a frozen Esub — the kernel-only workload."""
+    backend = get_backend(backend_name)
+    started = time.perf_counter()
+    net = backend.network(caps, weights)
+    for i, j, d in edges:
+        net.add_edge(i, j, d)
+    gamma = net.gamma
+    pops = 0
+    while net.matched < gamma:
+        state = backend.dijkstra(net)
+        if not state.run():
+            raise RuntimeError("kernel replay: sink unreachable in Esub")
+        net.augment_with_state(state.path_nodes(), state.sp_cost, state)
+        pops += state.pops
+    elapsed = time.perf_counter() - started
+    return elapsed, net.matching_cost(), pops
+
+
+def bench_point(nq_paper, scale, seed):
+    nq = scaled(nq_paper, scale, minimum=2)
+    np_ = scaled(PAPER_DEFAULTS["np"], scale, minimum=50)
+    k = PAPER_DEFAULTS["k"]
+    row = {
+        "nq_paper": nq_paper,
+        "nq": nq,
+        "np": np_,
+        "k": k,
+        "end_to_end_s": {},
+        "kernel_s": {},
+    }
+    edges = None
+    reference = None
+    for name in BACKEND_ORDER:
+        problem = make_problem(nq=nq, np_=np_, k=k, seed=seed)
+        problem.rtree()  # index construction is setup, not measured work
+        started = time.perf_counter()
+        solver = IDASolver(problem, backend=name)
+        matching = solver.solve()
+        row["end_to_end_s"][name] = time.perf_counter() - started
+        signature = (matching.cost, solver.stats.esub_edges)
+        if reference is None:
+            reference = signature
+            edges = solver.net.edge_triples()
+            caps = [q.capacity for q in problem.providers]
+            weights = [c.weight for c in problem.customers]
+            row["cost"] = matching.cost
+            row["esub"] = solver.stats.esub_edges
+        elif signature != reference:
+            raise AssertionError(
+                f"backend divergence at nq={nq}: {signature} != {reference}"
+            )
+    replay_cost = None
+    replay_pops = None
+    row["kernel_pops"] = {}
+    for name in BACKEND_ORDER:
+        elapsed, cost, pops = _replay(name, caps, weights, edges)
+        row["kernel_s"][name] = elapsed
+        row["kernel_pops"][name] = pops
+        if replay_cost is None:
+            replay_cost, replay_pops = cost, pops
+        elif cost != replay_cost or pops != replay_pops:
+            raise AssertionError(
+                f"kernel replay divergence at nq={nq}: "
+                f"cost {cost} vs {replay_cost}, pops {pops} vs {replay_pops}"
+            )
+    row["kernel_speedup"] = row["kernel_s"]["dict"] / row["kernel_s"]["array"]
+    row["end_to_end_speedup"] = (
+        row["end_to_end_s"]["dict"] / row["end_to_end_s"]["array"]
+    )
+    return row
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_kernel.json")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="linear scale on |Q| and |P| (default 0.05)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--points", type=int, default=3,
+                        help="how many Fig. 10 sweep points to run "
+                             "(default 3 = up to the paper-default |Q|)")
+    args = parser.parse_args(argv)
+
+    sweep = NQ_SWEEP_PAPER[: max(1, args.points)]
+    dropped = NQ_SWEEP_PAPER[len(sweep):]
+    if dropped:
+        print(f"[bench_kernel] sweep truncated for runtime: skipping "
+              f"paper |Q| in {list(dropped)} (re-run with --points 5)")
+    points = []
+    for nq_paper in sweep:
+        row = bench_point(nq_paper, args.scale, args.seed)
+        points.append(row)
+        print(
+            f"[bench_kernel] |Q|={row['nq']} |P|={row['np']}: "
+            f"kernel {row['kernel_s']['dict']:.2f}s -> "
+            f"{row['kernel_s']['array']:.2f}s "
+            f"({row['kernel_speedup']:.2f}x), end-to-end "
+            f"{row['end_to_end_speedup']:.2f}x"
+        )
+
+    report = {
+        "workload": "fig10 (performance vs |Q|; k=80, |P|=100K paper units)",
+        "backends": list(BACKEND_ORDER),
+        "scale": args.scale,
+        "seed": args.seed,
+        "sweep_paper_nq": list(sweep),
+        "sweep_dropped_paper_nq": list(dropped),
+        "points": points,
+        "kernel_speedup_geomean": geomean(
+            [p["kernel_speedup"] for p in points]
+        ),
+        "kernel_speedup_max": max(p["kernel_speedup"] for p in points),
+        "end_to_end_speedup_geomean": geomean(
+            [p["end_to_end_speedup"] for p in points]
+        ),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(
+        f"[bench_kernel] kernel speedup geomean "
+        f"{report['kernel_speedup_geomean']:.2f}x (max "
+        f"{report['kernel_speedup_max']:.2f}x) -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,14 @@ from repro.experiments.harness import run_method
 EXACT_TRIO = ("ria", "nia", "ida")
 APPROX_QUAD = ("san", "sae", "can", "cae")
 K_SWEEP = (20, 40, 80, 160, 320)
-DELTAS = {"san": 40.0, "sae": 40.0, "can": 10.0, "cae": 10.0}
+# The paper's δ sweet spots, from the single source of truth in
+# experiments.config (Table 2) — don't restate the literals here.
+DELTAS = {
+    "san": PAPER_DEFAULTS["sa_delta"],
+    "sae": PAPER_DEFAULTS["sa_delta"],
+    "can": PAPER_DEFAULTS["ca_delta"],
+    "cae": PAPER_DEFAULTS["ca_delta"],
+}
 
 
 @lru_cache(maxsize=64)

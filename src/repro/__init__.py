@@ -24,9 +24,11 @@ full evaluation suite.
 
 from repro.core.matching import Matching, SolverStats
 from repro.core.problem import CCAProblem, Customer, Provider
+from repro.core.session import Matcher
 from repro.core.solve import APPROX_METHODS, EXACT_METHODS, solve
+from repro.flow.backend import BACKENDS, DEFAULT_BACKEND, get_backend
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CCAProblem",
@@ -34,8 +36,12 @@ __all__ = [
     "Customer",
     "Matching",
     "SolverStats",
+    "Matcher",
     "solve",
     "EXACT_METHODS",
     "APPROX_METHODS",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "get_backend",
     "__version__",
 ]

@@ -23,6 +23,7 @@ from repro.datagen.generator import generate_points
 from repro.datagen.workloads import make_problem
 from repro.experiments.config import DEFAULT_SCALE
 from repro.experiments.figures import FIGURES, run_figure
+from repro.flow.backend import BACKENDS
 from repro.experiments.harness import run_method
 from repro.experiments.report import format_figure_report, format_table2
 
@@ -99,10 +100,12 @@ def _cmd_solve(args) -> int:
         dist_p=args.dist_p,
         seed=args.seed,
     )
-    result = run_method(problem, args.method, sweep_label="cli")
+    result = run_method(
+        problem, args.method, sweep_label="cli", backend=args.backend
+    )
     print(
-        f"method={args.method} |Q|={args.nq} |P|={args.np} k={args.k} "
-        f"gamma={result.gamma}"
+        f"method={args.method} backend={args.backend} "
+        f"|Q|={args.nq} |P|={args.np} k={args.k} gamma={result.gamma}"
     )
     print(
         f"cost={result.cost:.2f} matched={result.matched} "
@@ -165,6 +168,16 @@ def build_parser() -> argparse.ArgumentParser:
     slv.add_argument("--np", type=int, default=5000)
     slv.add_argument("--k", type=int, default=80)
     slv.add_argument("--method", type=str, default="ida")
+    slv.add_argument(
+        "--backend",
+        type=str,
+        default="dict",
+        choices=sorted(BACKENDS),
+        help="flow-kernel backend: 'dict' is the readable reference "
+             "implementation, 'array' the columnar NumPy kernel "
+             "(identical results, faster Dijkstra inner loop at scale; "
+             "default %(default)s)",
+    )
     slv.add_argument("--dist-q", type=str, default="clustered")
     slv.add_argument("--dist-p", type=str, default="clustered")
     slv.add_argument("--seed", type=int, default=0)

@@ -9,11 +9,14 @@
 * :mod:`repro.core.approx` — Section 4's SA/CA approximations.
 * :mod:`repro.core.sm` — the greedy spatial-matching baseline (related work).
 * :mod:`repro.core.solve` — one-call façade.
+* :mod:`repro.core.session` — long-lived :class:`Matcher` sessions with
+  warm-started re-solves over the flow-backend seam.
 """
 
 from repro.core.problem import Provider, Customer, CCAProblem
 from repro.core.matching import Matching, SolverStats
 from repro.core.solve import solve, EXACT_METHODS, APPROX_METHODS
+from repro.core.session import Matcher
 
 __all__ = [
     "Provider",
@@ -24,4 +27,5 @@ __all__ = [
     "solve",
     "EXACT_METHODS",
     "APPROX_METHODS",
+    "Matcher",
 ]

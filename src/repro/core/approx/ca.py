@@ -24,9 +24,10 @@ from repro.core.approx.refine import exclusive_nn_refine, nn_refine
 from repro.core.ida import IDASolver
 from repro.core.matching import Matching, SolverStats
 from repro.core.problem import CCAProblem, Customer
+from repro.experiments.config import PAPER_DEFAULTS
 from repro.geometry.point import Point
 
-DEFAULT_CA_DELTA = 10.0
+DEFAULT_CA_DELTA = PAPER_DEFAULTS["ca_delta"]
 
 _REFINERS = {"nn": nn_refine, "exclusive": exclusive_nn_refine}
 
@@ -40,6 +41,7 @@ class CAApproxSolver:
         delta: float = DEFAULT_CA_DELTA,
         refinement: str = "nn",
         cold_start: bool = True,
+        backend="dict",
     ):
         if refinement not in _REFINERS:
             raise ValueError(
@@ -49,6 +51,7 @@ class CAApproxSolver:
         self.delta = float(delta)
         self.refinement = refinement
         self.cold_start = cold_start
+        self.backend = backend
         self.method = "ca" + ("n" if refinement == "nn" else "e")
         self.stats = SolverStats(method=self.method, gamma=problem.gamma)
 
@@ -77,7 +80,9 @@ class CAApproxSolver:
             page_size=problem.page_size,
             buffer_fraction=1.0,
         )
-        concise_solver = IDASolver(concise_problem, use_pua=True)
+        concise_solver = IDASolver(
+            concise_problem, use_pua=True, backend=self.backend
+        )
         concise = concise_solver.solve()
         self.stats.extra["concise"] = concise_solver.stats
         self.stats.esub_edges = concise_solver.stats.esub_edges

@@ -22,9 +22,10 @@ from repro.core.approx.refine import exclusive_nn_refine, nn_refine
 from repro.core.ida import IDASolver
 from repro.core.matching import Matching, SolverStats
 from repro.core.problem import CCAProblem, Provider
+from repro.experiments.config import PAPER_DEFAULTS
 from repro.geometry.point import Point
 
-DEFAULT_SA_DELTA = 40.0
+DEFAULT_SA_DELTA = PAPER_DEFAULTS["sa_delta"]
 
 _REFINERS = {"nn": nn_refine, "exclusive": exclusive_nn_refine}
 
@@ -38,6 +39,7 @@ class SAApproxSolver:
         delta: float = DEFAULT_SA_DELTA,
         refinement: str = "nn",
         cold_start: bool = True,
+        backend="dict",
     ):
         if refinement not in _REFINERS:
             raise ValueError(
@@ -47,6 +49,7 @@ class SAApproxSolver:
         self.delta = float(delta)
         self.refinement = refinement
         self.cold_start = cold_start
+        self.backend = backend
         self.method = "sa" + ("n" if refinement == "nn" else "e")
         self.stats = SolverStats(method=self.method, gamma=problem.gamma)
 
@@ -78,7 +81,9 @@ class SAApproxSolver:
             buffer_fraction=problem.buffer_fraction,
         )
         concise_problem.attach_rtree(tree)
-        concise_solver = IDASolver(concise_problem, use_pua=True)
+        concise_solver = IDASolver(
+            concise_problem, use_pua=True, backend=self.backend
+        )
         concise_solver.cold_start = False  # keep cumulative I/O accounting
         concise = concise_solver.solve()
         self.stats.extra["concise"] = concise_solver.stats

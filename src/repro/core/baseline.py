@@ -20,8 +20,9 @@ class SSPASolver:
 
     method = "sspa"
 
-    def __init__(self, problem: CCAProblem):
+    def __init__(self, problem: CCAProblem, backend="dict"):
         self.problem = problem
+        self.backend = backend
         self.stats = SolverStats(method=self.method, gamma=problem.gamma)
 
     def solve(self) -> Matching:
@@ -30,6 +31,7 @@ class SSPASolver:
             self.problem.capacities,
             self.problem.weights,
             self.problem.distance,
+            backend=self.backend,
         )
         self.stats.cpu_s = time.perf_counter() - started
         self.stats.esub_edges = net.edge_count  # the *full* bipartite graph

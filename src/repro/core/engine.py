@@ -16,10 +16,11 @@ skeleton, timing/IO bookkeeping, and the augmentation step.
 from __future__ import annotations
 
 import time
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.matching import Matching, SolverStats
 from repro.core.problem import CCAProblem
+from repro.flow.backend import BackendLike, DEFAULT_BACKEND, get_backend
 from repro.flow.dijkstra import DijkstraState, INF
 from repro.flow.graph import CCAFlowNetwork
 
@@ -31,6 +32,12 @@ class IncrementalCCASolver:
 
     Subclasses implement :meth:`_initialize` (seed ``Esub``) and
     :meth:`_iteration` (produce and augment one certified shortest path).
+
+    ``backend`` selects the flow kernel (see :mod:`repro.flow.backend`).
+    ``net`` optionally seeds the solver with an existing residual network —
+    the warm-start hook used by :class:`repro.core.session.Matcher`: the
+    solver then continues augmenting from the seeded flow and potentials
+    instead of starting from zero.
     """
 
     method = "base"
@@ -40,11 +47,29 @@ class IncrementalCCASolver:
         problem: CCAProblem,
         use_pua: bool = True,
         cold_start: bool = True,
+        backend: BackendLike = DEFAULT_BACKEND,
+        net: Optional[CCAFlowNetwork] = None,
     ):
         self.problem = problem
         self.use_pua = use_pua
         self.cold_start = cold_start
-        self.net = CCAFlowNetwork(problem.capacities, problem.weights)
+        self.backend = get_backend(backend)
+        if net is None:
+            self.net = self.backend.network(
+                problem.capacities, problem.weights
+            )
+            self.warm_start = False
+        else:
+            if net.nq != len(problem.providers) or net.np != len(
+                problem.customers
+            ):
+                raise ValueError(
+                    "seeded network shape does not match the problem "
+                    f"({net.nq}x{net.np} vs {len(problem.providers)}x"
+                    f"{len(problem.customers)})"
+                )
+            self.net = net
+            self.warm_start = True
         self.tree = problem.rtree()
         self.stats = SolverStats(method=self.method, gamma=self.net.gamma)
 
@@ -83,7 +108,7 @@ class IncrementalCCASolver:
     # ------------------------------------------------------------------
     def _fresh_state(self) -> DijkstraState:
         self.stats.dijkstra_runs += 1
-        return DijkstraState(self.net)
+        return self.backend.dijkstra(self.net)
 
     def _certified(self, state: DijkstraState, bound: float) -> bool:
         """Theorem 1 test: is the found path provably globally shortest?"""
@@ -95,10 +120,8 @@ class IncrementalCCASolver:
 
     def _augment(self, state: DijkstraState) -> None:
         """Reverse the certified path and advance the potentials."""
-        self.net.augment(
-            state.path_nodes(),
-            state.sp_cost,
-            state.settled_alpha_for_update(),
+        self.net.augment_with_state(
+            state.path_nodes(), state.sp_cost, state
         )
         self.stats.dijkstra_pops += state.pops
 

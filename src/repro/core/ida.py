@@ -66,12 +66,21 @@ class IDASolver(NIASolver):
         use_pua: bool = True,
         ann_group_size: int = 8,
         use_fast_path: bool = True,
+        backend="dict",
+        net=None,
     ):
         super().__init__(
-            problem, use_pua=use_pua, ann_group_size=ann_group_size
+            problem,
+            use_pua=use_pua,
+            ann_group_size=ann_group_size,
+            backend=backend,
+            net=net,
         )
         self.use_fast_path = use_fast_path
-        self._fast_mode = use_fast_path
+        # Theorem 2's premise (no full provider) and the lazy-offset trick
+        # (all provider potentials identical) both require a pristine
+        # network, so a warm-started solve goes straight to the main loop.
+        self._fast_mode = use_fast_path and not self.warm_start
         # Best known real reach distance per provider (0 while non-full:
         # the zero-cost source edge reaches it directly).
         self._real_est: List[float] = []
@@ -143,8 +152,9 @@ class IDASolver(NIASolver):
         customer: int,
         distance: float,
         state: Optional[DijkstraState],
+        inserted: bool = True,
     ) -> None:
-        if self.use_pua and state is not None:
+        if inserted and self.use_pua and state is not None:
             path_update(state, self.net, provider, customer, distance)
 
     def _post_dijkstra(
@@ -246,9 +256,7 @@ class IDASolver(NIASolver):
             self._fast_mode = False
             return
         net = self.net
-        net.tau_s += self._offset
-        for i in range(net.nq):
-            net.q_tau[i] += self._offset
+        net.advance_source_and_providers(self._offset)
         for j, join_offset in self._joined.items():
             net.p_tau[j] += self._offset - join_offset
         self._offset = 0.0

@@ -35,8 +35,10 @@ class NIASolver(IncrementalCCASolver):
         problem: CCAProblem,
         use_pua: bool = True,
         ann_group_size: int = DEFAULT_ANN_GROUP_SIZE,
+        backend="dict",
+        net=None,
     ):
-        super().__init__(problem, use_pua=use_pua)
+        super().__init__(problem, use_pua=use_pua, backend=backend, net=net)
         self.ann_group_size = ann_group_size
         self._heap: List[Tuple[float, int, int]] = []  # (key, version, i)
         self._version: List[int] = []
@@ -122,10 +124,19 @@ class NIASolver(IncrementalCCASolver):
         customer: int,
         distance: float,
         state: Optional[DijkstraState],
+        inserted: bool = True,
     ) -> None:
-        """NIA en-heaps the next NN immediately (Algorithm 3 lines 9-10)."""
+        """NIA en-heaps the next NN immediately (Algorithm 3 lines 9-10).
+
+        ``inserted`` is False when the popped edge was already in Esub —
+        possible only in warm-started sessions, whose restarted NN streams
+        re-deliver known edges.  Those need no PUA repair (they were in
+        the adjacency when the state ran), and a *saturated* known edge
+        may legitimately carry a negative reduced cost, so repairing it
+        would trip the NegativeReducedCostError guard.
+        """
         self._advance_frontier(provider)
-        if self.use_pua and state is not None:
+        if inserted and self.use_pua and state is not None:
             path_update(state, self.net, provider, customer, distance)
 
     def _post_dijkstra(
@@ -145,9 +156,10 @@ class NIASolver(IncrementalCCASolver):
             popped = self._pop_edge()
             if popped is not None:
                 provider, point, d = popped
-                if self.net.add_edge(provider, point.pid, d):
+                inserted = self.net.add_edge(provider, point.pid, d)
+                if inserted:
                     self.stats.edges_inserted += 1
-                self._after_insert(provider, point.pid, d, state)
+                self._after_insert(provider, point.pid, d, state, inserted)
             if state is None or not self.use_pua:
                 state = self._fresh_state()
             reachable = state.run()

@@ -32,10 +32,12 @@ class RIASolver(IncrementalCCASolver):
         problem: CCAProblem,
         theta: float = DEFAULT_THETA,
         use_pua: bool = False,
+        backend="dict",
+        net=None,
     ):
         # PUA is a NIA/IDA optimization in the paper (edges arrive in bulk
         # here, so repairing is less attractive); accepted for ablation.
-        super().__init__(problem, use_pua=use_pua)
+        super().__init__(problem, use_pua=use_pua, backend=backend, net=net)
         if theta <= 0:
             raise ValueError("theta must be positive")
         self.theta = float(theta)

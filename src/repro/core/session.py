@@ -1,0 +1,232 @@
+"""Warm-start assignment sessions — the online scenario the paper never
+needed but a service does.
+
+A :class:`Matcher` keeps the residual flow network, the customer R-tree,
+and the node potentials alive across calls.  The first :meth:`assign` is a
+cold IDA solve; afterwards the caller applies *deltas* — customers arrive
+and leave, provider capacities change — and the next :meth:`assign`
+re-solves **warm**: it resumes the successive-shortest-path computation
+from the existing feasible flow and potentials, augmenting only the few
+units the deltas actually added, instead of recomputing the whole matching
+from scratch.
+
+Why this is sound
+-----------------
+SSP stays exact as long as (a) the current flow is minimum-cost for its
+value on the *current* instance and (b) the node potentials are feasible
+(every residual edge — including the reverse sink edges ``(t, p)`` — has
+non-negative reduced cost).  Each delta either re-establishes both
+invariants in O(|Q| + |Esub|) or honestly reports that it cannot:
+
+* **Customer arrival** — the new node enters at τ = 0, so feasibility of
+  its future edges requires ``τ_qi ≤ d(q_i, p_new)`` for every provider.
+  Providers above that are *lowered to exactly* ``d(q_i, p_new)``, which
+  is legal while no flow-carrying edge pins τ_qi from below
+  (``τ_q ≥ d + τ_p`` per matched customer).  A pinned provider means the
+  residual graph has a negative cycle through the new customer — the
+  provider is serving someone farther away than the arrival — i.e. the
+  old matching is genuinely no longer optimal at its own value; the
+  session then schedules a cold re-solve instead of silently returning a
+  stale matching.  Customer potentials are never touched, preserving
+  ``τ_p ≥ 0`` on matched customers (= feasibility of the ``(t, p)``
+  reversals) and ``τ_p = 0`` on unmatched ones.
+* **Customer departure** — the customer's matched units are cancelled and
+  its edges dropped.  Cancelling *reopens* the residual ``(s, q)`` edge
+  of each saturated provider that served the customer; that is safe only
+  while ``τ_q ≥ τ_s`` still holds.  A provider that saturated early has
+  a stale potential (τ_q stops advancing once its source edge closes),
+  the reopened edge would enter with negative reduced cost, and the
+  remaining flow may be suboptimal for its value — the session detects
+  this (:meth:`~repro.flow.graph.CCAFlowNetwork.can_remove_customer_warm`)
+  and falls back to a cold solve.
+* **Capacity increase** (or a decrease that stays above current usage) —
+  widens ``(s, q_i)`` and the per-edge caps.  The same reopening hazard
+  applies (to the source edge of a saturated provider, and — for
+  weighted customers — to saturated flow-carrying bipartite edges whose
+  ``min(k, w)`` cap lifts); the session checks
+  :meth:`~repro.flow.graph.CCAFlowNetwork.can_widen_provider_warm` and
+  falls back to cold when the widening is not certifiably safe.
+
+A decrease *below* current usage would require cancelling flow along
+minimum-cost reverse paths; the session detects it and falls back to a
+cold solve on the next :meth:`assign` (correct, just not incremental).
+
+Warm re-solves run IDA with the Theorem-2 fast path disabled (its lazy
+potential offsets assume a pristine network) but with the full
+NN-incremental edge supply, PUA resumption, and IDA's real-unit
+certification — so a delta of one customer costs roughly one augmentation
+rather than γ of them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.ida import IDASolver
+from repro.core.matching import Matching, SolverStats
+from repro.core.problem import CCAProblem, Customer, Provider
+from repro.flow.backend import BackendLike, DEFAULT_BACKEND, get_backend
+from repro.geometry.distance import dist
+from repro.geometry.point import Point
+
+
+class Matcher:
+    """A long-lived CCA assignment session with warm-started re-solves.
+
+    Parameters
+    ----------
+    problem:
+        The initial instance.  The Matcher takes ownership and mutates it
+        in place as deltas arrive.
+    backend:
+        Flow-kernel selector (see :mod:`repro.flow.backend`); the session
+        network is built once on this backend and kept alive.
+    use_pua / ann_group_size:
+        Passed through to the underlying IDA solver.
+    use_fast_path:
+        Whether *cold* solves may use IDA's Theorem-2 fast path.  Warm
+        re-solves never do (see module docstring).  Defaults to False so
+        cold and warm solves run the same code path, which makes their
+        Dijkstra-pop counts directly comparable.
+    """
+
+    def __init__(
+        self,
+        problem: CCAProblem,
+        *,
+        backend: BackendLike = DEFAULT_BACKEND,
+        use_pua: bool = True,
+        ann_group_size: int = 8,
+        use_fast_path: bool = False,
+    ):
+        self.problem = problem
+        self.backend = get_backend(backend)
+        self.use_pua = use_pua
+        self.ann_group_size = ann_group_size
+        self.use_fast_path = use_fast_path
+        self.tree = problem.rtree()  # built once; mutated by deltas
+        self.net = None  # session-owned residual network (after 1st solve)
+        self._needs_cold = True
+        self.assign_count = 0
+        self.last_stats: Optional[SolverStats] = None
+        self.last_was_warm = False
+        self._last_matching: Optional[Matching] = None
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def assign(self) -> Matching:
+        """Solve (or warm re-solve) the current instance to optimality."""
+        warm = self.net is not None and not self._needs_cold
+        self.last_was_warm = warm
+        solver = IDASolver(
+            self.problem,
+            use_pua=self.use_pua,
+            ann_group_size=self.ann_group_size,
+            # Warm re-solves never fast-path: the lazy potential offsets
+            # assume a pristine network (see module docstring).
+            use_fast_path=False if warm else self.use_fast_path,
+            backend=self.backend,
+            net=self.net if warm else None,
+        )
+        # The session's R-tree and buffer stay warm across calls; a
+        # measured cold start is a benchmarking concept, not a service one.
+        solver.cold_start = False
+        matching = solver.solve()
+        self.net = solver.net
+        self._needs_cold = False
+        self.assign_count += 1
+        self.last_stats = solver.stats
+        self._last_matching = matching
+        return matching
+
+    @property
+    def matching(self) -> Optional[Matching]:
+        """The most recent :meth:`assign` result (None before the first)."""
+        return self._last_matching
+
+    @property
+    def gamma(self) -> int:
+        return self.problem.gamma
+
+    # ------------------------------------------------------------------
+    # deltas
+    # ------------------------------------------------------------------
+    def add_customer(
+        self, xy: Sequence[float], weight: int = 1
+    ) -> int:
+        """A customer arrives; returns its id (valid after next assign)."""
+        if weight < 0:
+            raise ValueError("customer weight must be non-negative")
+        j = len(self.problem.customers)
+        point = Point(j, (float(xy[0]), float(xy[1])))
+        self.problem.customers.append(Customer(point, int(weight)))
+        self.tree.insert(point)
+        if self.net is not None and not self._needs_cold:
+            distances = [
+                dist(q.point, point) for q in self.problem.providers
+            ]
+            if self.net.admit_customer(int(weight), distances) is None:
+                # The arrival invalidates the current matching (see
+                # module docstring); re-solve from scratch next time.
+                self._needs_cold = True
+        return j
+
+    def remove_customer(self, customer_id: int) -> None:
+        """A customer leaves; its matched units (if any) are released."""
+        old = self.problem.customers[customer_id]
+        if old.weight == 0:
+            return  # already removed (tombstoned)
+        # Tombstone, don't renumber: provider/customer ids are positional
+        # throughout the solver stack.
+        self.problem.customers[customer_id] = Customer(old.point, 0)
+        self.tree.delete(old.point)
+        if self.net is not None and not self._needs_cold:
+            if self.net.can_remove_customer_warm(customer_id):
+                self.net.remove_customer_node(customer_id)
+            else:
+                # Releasing the flow would reopen a stale-potential source
+                # edge (negative reduced cost): the remaining matching
+                # could be suboptimal, so re-solve from scratch.
+                self._needs_cold = True
+
+    def set_provider_capacity(self, provider_id: int, capacity: int) -> None:
+        """Change a provider's capacity.
+
+        Increases (and decreases that stay above the provider's current
+        usage) are applied warm; a decrease below usage schedules a cold
+        re-solve on the next :meth:`assign`.
+        """
+        if capacity < 0:
+            raise ValueError("provider capacity must be non-negative")
+        old = self.problem.providers[provider_id]
+        self.problem.providers[provider_id] = Provider(
+            old.point, int(capacity)
+        )
+        if self.net is None or self._needs_cold:
+            return
+        if capacity >= int(
+            self.net.q_used[provider_id]
+        ) and self.net.can_widen_provider_warm(provider_id, int(capacity)):
+            self.net.set_provider_capacity(provider_id, int(capacity))
+        else:
+            # Below current usage, or the widening would reopen residual
+            # edges with negative reduced cost (stale potentials):
+            # re-solve from scratch.
+            self._needs_cold = True
+
+    # ------------------------------------------------------------------
+    def current_pairs(self) -> List[Tuple[int, int, float]]:
+        """Matched (provider, customer, distance) triples of the session
+        network (empty before the first assign)."""
+        if self.net is None:
+            return []
+        return self.net.matching_pairs()
+
+    def __repr__(self) -> str:
+        state = "cold" if (self.net is None or self._needs_cold) else "warm"
+        return (
+            f"Matcher(|Q|={len(self.problem.providers)}, "
+            f"|P|={len(self.problem.customers)}, {state}, "
+            f"assigns={self.assign_count})"
+        )

@@ -30,7 +30,14 @@ class SMSolver:
         problem: CCAProblem,
         ann_group_size: int = 8,
         cold_start: bool = True,
+        backend="dict",
     ):
+        # SM is flow-free (pure greedy over NN streams); ``backend`` is
+        # accepted for API uniformity with the other solvers and validated,
+        # but selects nothing.
+        from repro.flow.backend import get_backend
+
+        self.backend = get_backend(backend)
         self.problem = problem
         self.tree = problem.rtree()
         self.ann_group_size = ann_group_size

@@ -13,6 +13,8 @@ from repro.core.nia import NIASolver
 from repro.core.problem import CCAProblem
 from repro.core.ria import RIASolver
 from repro.core.sm import SMSolver
+from repro.experiments.config import PAPER_DEFAULTS
+from repro.flow.backend import BackendLike, DEFAULT_BACKEND
 
 EXACT_METHODS = ("sspa", "ria", "nia", "ida")
 APPROX_METHODS = ("san", "sae", "can", "cae", "sm")
@@ -27,6 +29,7 @@ def solve(
     use_pua: bool = True,
     use_fast_path: bool = True,
     ann_group_size: int = 8,
+    backend: BackendLike = DEFAULT_BACKEND,
 ) -> Matching:
     """Solve a CCA instance.
 
@@ -40,20 +43,27 @@ def solve(
     theta:
         RIA's range increment θ.
     delta:
-        SA/CA partition diagonal δ (defaults: 40 for SA, 10 for CA, the
-        paper's sweet spots).
+        SA/CA partition diagonal δ (defaults: the paper's sweet spots from
+        ``experiments.config.PAPER_DEFAULTS`` — 40 for SA, 10 for CA).
     use_pua / use_fast_path / ann_group_size:
         Optimization toggles for NIA/IDA (Section 3.3-3.4), exposed for
         ablation studies.
+    backend:
+        Flow-kernel selector (``"dict"`` reference or ``"array"``
+        columnar kernel; see :mod:`repro.flow.backend`).  Both return
+        identical matchings; ``array`` is faster at scale.
     """
     method = method.lower()
     if method == "sspa":
-        return SSPASolver(problem).solve()
+        return SSPASolver(problem, backend=backend).solve()
     if method == "ria":
-        return RIASolver(problem, theta=theta).solve()
+        return RIASolver(problem, theta=theta, backend=backend).solve()
     if method == "nia":
         return NIASolver(
-            problem, use_pua=use_pua, ann_group_size=ann_group_size
+            problem,
+            use_pua=use_pua,
+            ann_group_size=ann_group_size,
+            backend=backend,
         ).solve()
     if method == "ida":
         return IDASolver(
@@ -61,21 +71,26 @@ def solve(
             use_pua=use_pua,
             ann_group_size=ann_group_size,
             use_fast_path=use_fast_path,
+            backend=backend,
         ).solve()
     if method in ("san", "sae"):
         return SAApproxSolver(
             problem,
-            delta=40.0 if delta is None else delta,
+            delta=PAPER_DEFAULTS["sa_delta"] if delta is None else delta,
             refinement="nn" if method == "san" else "exclusive",
+            backend=backend,
         ).solve()
     if method in ("can", "cae"):
         return CAApproxSolver(
             problem,
-            delta=10.0 if delta is None else delta,
+            delta=PAPER_DEFAULTS["ca_delta"] if delta is None else delta,
             refinement="nn" if method == "can" else "exclusive",
+            backend=backend,
         ).solve()
     if method == "sm":
-        return SMSolver(problem, ann_group_size=ann_group_size).solve()
+        return SMSolver(
+            problem, ann_group_size=ann_group_size, backend=backend
+        ).solve()
     raise ValueError(
         f"unknown method {method!r}; expected one of "
         f"{EXACT_METHODS + APPROX_METHODS}"

@@ -5,7 +5,6 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.problem import CCAProblem
-from repro.core.solve import solve
 from repro.experiments.config import PAPER_DEFAULTS, default_theta
 from repro.experiments.metrics import MethodResult
 
@@ -19,11 +18,18 @@ def run_method(
     theta: Optional[float] = None,
     delta: Optional[float] = None,
     io_penalty_s: float = PAPER_DEFAULTS["io_penalty_s"],
+    backend: str = "dict",
 ) -> MethodResult:
     """Solve ``problem`` with ``method`` and record a result row."""
+    # Imported here, not at module level: repro.core.solve pulls its
+    # SA/CA delta defaults from experiments.config, so a module-level
+    # import would be circular through the package __init__.
+    from repro.core.solve import solve
+
     if theta is None:
         theta = default_theta(len(problem.customers))
-    matching = solve(problem, method, theta=theta, delta=delta)
+    matching = solve(problem, method, theta=theta, delta=delta,
+                     backend=backend)
     stats = matching.stats
     stats.io.io_penalty_s = io_penalty_s
     result = MethodResult(

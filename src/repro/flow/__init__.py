@@ -4,10 +4,26 @@ Implements the flow-graph reduction of Section 2.1 (source → providers →
 customers → sink), the potential-based successive-shortest-path machinery of
 Section 2.2 (Algorithm 1), and reference oracles used to validate every
 solver in the repository.
+
+Two interchangeable kernels live behind the :mod:`repro.flow.backend` seam:
+the dict-based reference implementation and the array-backed performance
+kernel (:mod:`repro.flow.arraykernel`).
 """
 
-from repro.flow.graph import CCAFlowNetwork, S_NODE, T_NODE
+from repro.flow.graph import (
+    CCAFlowNetwork,
+    NegativeReducedCostError,
+    S_NODE,
+    T_NODE,
+)
 from repro.flow.dijkstra import DijkstraState
+from repro.flow.arraykernel import ArrayDijkstraState, ArrayFlowNetwork
+from repro.flow.backend import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    FlowBackend,
+    get_backend,
+)
 from repro.flow.sspa import sspa_solve
 from repro.flow.reference import (
     oracle_lsa,
@@ -17,9 +33,16 @@ from repro.flow.reference import (
 
 __all__ = [
     "CCAFlowNetwork",
+    "NegativeReducedCostError",
     "S_NODE",
     "T_NODE",
     "DijkstraState",
+    "ArrayFlowNetwork",
+    "ArrayDijkstraState",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "FlowBackend",
+    "get_backend",
     "sspa_solve",
     "oracle_lsa",
     "oracle_networkx",

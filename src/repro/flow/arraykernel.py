@@ -1,0 +1,664 @@
+"""Array-backed flow kernel: columnar residual network + vectorized
+Dijkstra relaxation.
+
+The reference backend (:mod:`repro.flow.graph` + :mod:`repro.flow.dijkstra`)
+stores the residual bipartite graph as dict-of-dicts adjacency and relaxes
+edges one Python bytecode loop iteration at a time.  That is the right
+substrate for tracing the paper's algorithms, but the wrong one for the
+solver's innermost loop: at Figure-10 scales a single Dijkstra run touches
+thousands of edges, and per-edge interpreter overhead dominates.
+
+This module keeps the exact same *semantics* behind the backend seam
+(:mod:`repro.flow.backend`) while putting the hot data in flat typed
+arrays:
+
+* node potentials ``q_tau``/``p_tau`` are ``float64`` vectors, so a whole
+  adjacency's reduced costs evaluate as a handful of vector operations;
+* each provider's forward-residual adjacency lives in *compact* parallel
+  arrays (Dijkstra target index + distance) holding exactly the open
+  (``flow < cap``) edges — saturation swap-removes an edge, cancellation
+  re-appends it, mirroring the reference backend's dict membership — so
+  a wide relaxation is one masked compare-and-update over contiguous
+  memory;
+* :class:`ArrayDijkstraState` keeps labels in NumPy vectors; the
+  potential update after an augmentation
+  (:meth:`ArrayFlowNetwork.augment_with_state`) is applied straight off
+  the settled-label arrays, without a per-node Python loop.
+
+Two deliberate hybrid choices keep the kernel fast where arrays lose:
+scalar indexing into NumPy arrays costs ~4x a CPython list access, so
+(1) narrow adjacencies (fewer than :data:`SCALAR_FAN_LIMIT` edges — e.g.
+customers' backward fans, or provider fans late in an incremental solve)
+are relaxed by a plain Python loop over a tuple mirror of the same
+compact adjacency, and (2) cold columnar data (edge ``src``/``dst``/
+``dist``/``cap``/``flow``, node capacities and usage counters) stays in
+Python lists.
+
+Floating-point note: every reduced cost is evaluated with the same
+operation order as the reference backend (``(d − τ_q) + τ_p``, clamp,
+then ``+ base``), so labels — and therefore matchings, costs, and |Esub| —
+are bit-identical between backends.  The equivalence suite asserts this.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.flow.dijkstra import DijkstraState, INF, _OFF
+from repro.flow.graph import (
+    CCAFlowNetwork,
+    NegativeReducedCostError,
+    S_NODE,
+)
+
+_INITIAL_FAN = 8
+
+# Below this fan-out the Python-loop relaxation beats NumPy's fixed
+# per-call overhead (measured crossover ~30-60 edges on CPython 3.11).
+SCALAR_FAN_LIMIT = 48
+
+
+def _grown(arr: np.ndarray, needed: int) -> np.ndarray:
+    """Return ``arr`` or a doubled-capacity copy that fits ``needed``."""
+    if needed <= arr.size:
+        return arr
+    new_size = max(needed, arr.size * 2, _INITIAL_FAN)
+    out = np.empty(new_size, dtype=arr.dtype)
+    out[: arr.size] = arr
+    return out
+
+
+class ArrayFlowNetwork(CCAFlowNetwork):
+    """Columnar drop-in for :class:`CCAFlowNetwork`.
+
+    Shares all pure graph logic (node addressing, augmentation paths,
+    result extraction) with the reference network and overrides only the
+    storage-touching primitives.
+    """
+
+    def __init__(
+        self,
+        provider_capacities: Sequence[int],
+        customer_weights: Sequence[int],
+    ):
+        q_cap = [int(k) for k in provider_capacities]
+        p_cap = [int(w) for w in customer_weights]
+        if any(k < 0 for k in q_cap):
+            raise ValueError("provider capacities must be non-negative")
+        if any(w < 0 for w in p_cap):
+            raise ValueError("customer weights must be non-negative")
+        self.nq = len(q_cap)
+        self.np = len(p_cap)
+        self.q_cap = q_cap
+        self.p_cap = p_cap
+        self.q_used = [0] * self.nq
+        self.p_used = [0] * self.np
+        # Hot node data: potentials as vectors (bulk-read by relaxation),
+        # plus the providers-with-residual-capacity mask for the source
+        # relaxation (maintained incrementally).
+        self.q_tau = np.zeros(self.nq, dtype=np.float64)
+        self.p_tau = np.zeros(self.np, dtype=np.float64)
+        self.q_open = np.array([k > 0 for k in q_cap], dtype=bool)
+        self.tau_s = 0.0
+        # Edge columns: append-only Python lists (touched one edge at a
+        # time; ids are stable, removed edges become tombstones).
+        self.e_src: List[int] = []
+        self.e_dst: List[int] = []
+        self.e_dist: List[float] = []
+        self.e_cap: List[int] = []
+        self.e_flow: List[int] = []
+        self.e_dead: List[bool] = []
+        # Compact per-provider forward-residual adjacency: parallel
+        # (target, distance) arrays + a Python tuple mirror
+        # (target, customer, distance, eid) for the scalar path.
+        # Membership ⇔ the edge is open (flow < cap), exactly like the
+        # reference backend's forward dicts; _e_pos[eid] is the edge's
+        # position in its provider's adjacency (-1 when saturated/dead).
+        self._fwd_tgt: List[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(self.nq)
+        ]
+        self._fwd_dist: List[np.ndarray] = [
+            np.empty(0, dtype=np.float64) for _ in range(self.nq)
+        ]
+        self._fwd_py: List[List[Tuple[int, int, float, int]]] = [
+            [] for _ in range(self.nq)
+        ]
+        self._fwd_n: List[int] = [0] * self.nq
+        self._e_pos: List[int] = []
+        # Per-customer backward adjacency mirrored as Python-native
+        # [eid, provider, distance] entries (flow-carrying edges only,
+        # like the reference backend's dicts): backward fans are tiny.
+        self._bwd: List[List[List]] = [[] for _ in range(self.np)]
+        self._eid = {}  # (i, j) -> edge id
+        self._live = 0
+        self.matched = 0
+        self.augmentations = 0
+        self._saturated = sum(1 for k in q_cap if k <= 0)
+        self._tau_max = 0.0
+
+    # ------------------------------------------------------------------
+    # compact forward adjacency maintenance
+    # ------------------------------------------------------------------
+    def _fwd_append(self, i: int, eid: int, j: int, distance: float) -> None:
+        n = self._fwd_n[i]
+        if n >= self._fwd_tgt[i].size:
+            self._fwd_tgt[i] = _grown(self._fwd_tgt[i], n + 1)
+            self._fwd_dist[i] = _grown(self._fwd_dist[i], n + 1)
+        tgt = self.nq + j + _OFF
+        self._fwd_tgt[i][n] = tgt
+        self._fwd_dist[i][n] = distance
+        self._fwd_py[i].append((tgt, j, distance, eid))
+        self._e_pos[eid] = n
+        self._fwd_n[i] = n + 1
+
+    def _fwd_remove(self, i: int, eid: int) -> None:
+        pos = self._e_pos[eid]
+        if pos < 0:
+            return
+        n = self._fwd_n[i] - 1
+        py = self._fwd_py[i]
+        if pos != n:
+            moved = py[n]
+            py[pos] = moved
+            self._e_pos[moved[3]] = pos
+            self._fwd_tgt[i][pos] = self._fwd_tgt[i][n]
+            self._fwd_dist[i][pos] = self._fwd_dist[i][n]
+        py.pop()
+        self._fwd_n[i] = n
+        self._e_pos[eid] = -1
+
+    # ------------------------------------------------------------------
+    # Esub maintenance
+    # ------------------------------------------------------------------
+    def add_edge(self, i: int, j: int, distance: float) -> bool:
+        if distance < 0:
+            raise ValueError("edge length must be non-negative")
+        i = int(i)
+        j = int(j)
+        if (i, j) in self._eid:
+            return False
+        capacity = min(self.q_cap[i], self.p_cap[j])
+        if capacity == 0:
+            return False
+        distance = float(distance)
+        eid = len(self.e_src)
+        self.e_src.append(i)
+        self.e_dst.append(j)
+        self.e_dist.append(distance)
+        self.e_cap.append(capacity)
+        self.e_flow.append(0)
+        self.e_dead.append(False)
+        self._e_pos.append(-1)
+        self._eid[(i, j)] = eid
+        self._live += 1
+        self._fwd_append(i, eid, j, distance)
+        return True
+
+    @property
+    def n_edges(self) -> int:
+        """Total edge slots ever allocated (including dead tombstones)."""
+        return len(self.e_src)
+
+    def has_edge(self, i: int, j: int) -> bool:
+        return (int(i), int(j)) in self._eid
+
+    def edge_flow(self, i: int, j: int) -> int:
+        eid = self._eid.get((int(i), int(j)))
+        return 0 if eid is None else self.e_flow[eid]
+
+    def edge_residual(self, i: int, j: int) -> int:
+        eid = self._eid.get((int(i), int(j)))
+        if eid is None:
+            return 0
+        return self.e_cap[eid] - self.e_flow[eid]
+
+    @property
+    def edge_count(self) -> int:
+        return self._live
+
+    def out_edges(self, node: int):
+        """Residual out-edges as (target, reduced_cost) — API parity with
+        the reference network (the array Dijkstra inlines this)."""
+        from repro.flow.graph import _nonneg
+
+        if self.is_provider(node):
+            i = int(node)
+            q_tau = float(self.q_tau[i])
+            for tgt, j, d, _eid in self._fwd_py[i]:
+                yield tgt - _OFF, _nonneg(d - q_tau + float(self.p_tau[j]))
+        else:
+            j = self.customer_index(node)
+            p_tau = float(self.p_tau[j])
+            for _, i, d in self._bwd[j]:
+                yield i, _nonneg(-d - p_tau + float(self.q_tau[i]))
+
+    # ------------------------------------------------------------------
+    # flow pushes (called from the inherited apply_path)
+    # ------------------------------------------------------------------
+    def apply_path(self, path_nodes: Sequence[int]) -> None:
+        # Same as the reference implementation, plus q_open maintenance
+        # for the vectorized source relaxation.
+        super().apply_path(path_nodes)
+        first = int(path_nodes[1])
+        if self.q_used[first] >= self.q_cap[first]:
+            self.q_open[first] = False
+
+    def _push_unit(self, i: int, j: int) -> None:
+        i = int(i)
+        j = int(j)
+        eid = self._eid[(i, j)]
+        flow = self.e_flow[eid] + 1
+        if flow > self.e_cap[eid]:
+            raise RuntimeError(f"edge ({i},{j}) over capacity")
+        self.e_flow[eid] = flow
+        if flow >= self.e_cap[eid]:
+            self._fwd_remove(i, eid)
+        if flow == 1:
+            self._bwd[j].append([eid, i, self.e_dist[eid]])
+
+    def _pull_unit(self, i: int, j: int) -> None:
+        i = int(i)
+        j = int(j)
+        eid = self._eid[(i, j)]
+        flow = self.e_flow[eid] - 1
+        if flow < 0:
+            raise RuntimeError(f"edge ({i},{j}) has no flow to cancel")
+        self.e_flow[eid] = flow
+        if self._e_pos[eid] < 0:
+            self._fwd_append(i, eid, j, self.e_dist[eid])
+        if flow == 0:
+            entries = self._bwd[j]
+            for k, entry in enumerate(entries):
+                if entry[0] == eid:
+                    del entries[k]
+                    break
+
+    # ------------------------------------------------------------------
+    # potentials (vectorized overrides)
+    # ------------------------------------------------------------------
+    def augment_with_state(self, path_nodes, alpha_min, state) -> None:
+        """Vectorized Algorithm-1 potential update straight off the
+        Dijkstra state's label arrays (no per-node Python loop)."""
+        if not isinstance(state, ArrayDijkstraState):
+            self.augment(
+                path_nodes, alpha_min, state.settled_alpha_for_update()
+            )
+            return
+        self.apply_path(path_nodes)
+        idxs = np.nonzero(state._settled)[0]
+        deltas = alpha_min - state._alpha[idxs]
+        keep = deltas > 0.0
+        idxs = idxs[keep]
+        deltas = deltas[keep]
+        if state._settled[S_NODE + _OFF] and alpha_min > 0.0:
+            # s settles at α = 0, so its delta is α_min itself.
+            self.tau_s += alpha_min
+        nq = self.nq
+        prov = (idxs >= _OFF) & (idxs < _OFF + nq)
+        if prov.any():
+            pids = idxs[prov] - _OFF
+            self.q_tau[pids] += deltas[prov]
+            top = float(self.q_tau[pids].max())
+            if top > self._tau_max:
+                self._tau_max = top
+        cust = idxs >= _OFF + nq
+        if cust.any():
+            self.p_tau[idxs[cust] - (_OFF + nq)] += deltas[cust]
+
+    def advance_source_and_providers(self, offset: float) -> None:
+        if offset == 0.0:
+            return
+        self.tau_s += offset
+        self.q_tau += offset
+        self._tau_max += offset
+
+    # ------------------------------------------------------------------
+    # session deltas
+    # ------------------------------------------------------------------
+    def provider_potential_floors(self) -> List[float]:
+        floors = [0.0] * self.nq
+        p_tau = self.p_tau
+        for eid, flow in enumerate(self.e_flow):
+            if flow > 0:
+                pin = self.e_dist[eid] + float(p_tau[self.e_dst[eid]])
+                i = self.e_src[eid]
+                if pin > floors[i]:
+                    floors[i] = pin
+        return floors
+
+    def admit_customer(self, weight, provider_distances):
+        if weight < 0:
+            raise ValueError("customer weight must be non-negative")
+        d = np.asarray(provider_distances, dtype=np.float64)
+        need = self.q_tau > d
+        if need.any():
+            floors = np.asarray(self.provider_potential_floors())
+            if (floors[need] > d[need] + 1e-9).any():
+                return None  # negative cycle: warm start unsound
+            self.q_tau[need] = d[need]
+            self._tau_max = float(self.q_tau.max()) if self.nq else 0.0
+            if self.nq:
+                self.tau_s = min(self.tau_s, float(self.q_tau.min()))
+        return self.add_customer_node(weight)
+
+    def add_customer_node(self, weight: int) -> int:
+        if weight < 0:
+            raise ValueError("customer weight must be non-negative")
+        j = self.np
+        self.np += 1
+        self.p_cap.append(int(weight))
+        self.p_used.append(0)
+        self.p_tau = np.append(self.p_tau, 0.0)
+        self._bwd.append([])
+        return j
+
+    def can_remove_customer_warm(self, j: int) -> bool:
+        j = int(j)
+        tau_s = self.tau_s - 1e-9
+        for eid, _i, _d in self._bwd[j]:
+            i = self.e_src[eid]
+            if self.q_used[i] >= self.q_cap[i] and self.q_tau[i] < tau_s:
+                return False
+        return True
+
+    def remove_customer_node(self, j: int) -> int:
+        j = int(j)
+        released = 0
+        for eid, dst in enumerate(self.e_dst):
+            if dst != j or self.e_dead[eid]:
+                continue
+            i = self.e_src[eid]
+            flow = self.e_flow[eid]
+            if flow > 0:
+                if self.q_used[i] == self.q_cap[i]:
+                    self._saturated -= 1
+                    self.q_open[i] = True
+                self.q_used[i] -= flow
+                self.matched -= flow
+                released += flow
+            self._fwd_remove(i, eid)
+            self.e_flow[eid] = 0
+            self.e_cap[eid] = 0
+            self.e_dead[eid] = True
+            del self._eid[(i, j)]
+            self._live -= 1
+        self._bwd[j] = []
+        self.p_used[j] = 0
+        self.p_cap[j] = 0
+        return released
+
+    def can_widen_provider_warm(self, i: int, capacity: int) -> bool:
+        i = int(i)
+        capacity = int(capacity)
+        if capacity <= self.q_cap[i]:
+            return True  # shrinking closes edges; never breaks feasibility
+        if self.q_used[i] >= self.q_cap[i] and float(
+            self.q_tau[i]
+        ) < self.tau_s - 1e-9:
+            return False
+        q_tau_i = float(self.q_tau[i])
+        for eid, src in enumerate(self.e_src):
+            if src != i or self.e_dead[eid]:
+                continue
+            flow = self.e_flow[eid]
+            cap = self.e_cap[eid]
+            j = self.e_dst[eid]
+            if (
+                flow > 0
+                and flow >= cap
+                and min(capacity, self.p_cap[j]) > cap
+                and self.e_dist[eid] - q_tau_i + float(self.p_tau[j])
+                < -1e-9
+            ):
+                return False
+        return True
+
+    def set_provider_capacity(self, i: int, capacity: int) -> None:
+        i = int(i)
+        capacity = int(capacity)
+        if capacity < self.q_used[i]:
+            raise ValueError(
+                f"capacity {capacity} below current usage "
+                f"{self.q_used[i]}; cold re-solve required"
+            )
+        was_saturated = self.q_used[i] >= self.q_cap[i]
+        self.q_cap[i] = capacity
+        now_saturated = self.q_used[i] >= capacity
+        self._saturated += int(now_saturated) - int(was_saturated)
+        self.q_open[i] = not now_saturated
+        for eid, src in enumerate(self.e_src):
+            if src != i or self.e_dead[eid]:
+                continue
+            flow = self.e_flow[eid]
+            new_cap = max(flow, min(capacity, self.p_cap[self.e_dst[eid]]))
+            self.e_cap[eid] = new_cap
+            if flow < new_cap:
+                if self._e_pos[eid] < 0:
+                    self._fwd_append(i, eid, self.e_dst[eid], self.e_dist[eid])
+            elif self._e_pos[eid] >= 0:
+                self._fwd_remove(i, eid)
+
+    # ------------------------------------------------------------------
+    # result extraction
+    # ------------------------------------------------------------------
+    def edge_triples(self) -> List[Tuple[int, int, float]]:
+        return [
+            (self.e_src[eid], self.e_dst[eid], self.e_dist[eid])
+            for eid in range(len(self.e_src))
+            if not self.e_dead[eid]
+        ]
+
+    def matching_flows(self) -> List[Tuple[int, int, float, int]]:
+        return [
+            (self.e_src[eid], self.e_dst[eid], self.e_dist[eid], flow)
+            for eid, flow in enumerate(self.e_flow)
+            if flow > 0
+        ]
+
+    def matching_cost(self) -> float:
+        # Sequential sum in edge-insertion order so the float result is
+        # bit-identical to the reference backend's.
+        total = 0.0
+        for eid, flow in enumerate(self.e_flow):
+            total += self.e_dist[eid] * flow
+        return total
+
+
+class ArrayDijkstraState(DijkstraState):
+    """Vectorized Dijkstra over :class:`ArrayFlowNetwork` columns.
+
+    Inherits path extraction and resumption semantics from
+    :class:`DijkstraState`; replaces wide relaxations with masked array
+    updates (narrow ones stay scalar — see the module docstring).
+
+    Labels are kept in *two* synchronized representations: NumPy vectors
+    ``_alpha``/``_settled`` for the gathers in the vectorized relaxation
+    and the vectorized potential update, and Python lists
+    ``_alpha_py``/``_settled_py`` for the scalar hot spots (the pop loop
+    and narrow relaxations), where a list read is ~4x cheaper than a
+    NumPy scalar read.  Every write goes through both; the improvement
+    loops already iterate per improved node for the heap pushes, so the
+    mirror writes ride along at negligible cost.
+    """
+
+    __slots__ = ("_alpha_py", "_settled_py")
+
+    def __init__(self, net: ArrayFlowNetwork):
+        self.net = net
+        size = net.nq + net.np + _OFF
+        self._alpha = np.full(size, INF, dtype=np.float64)
+        self._alpha_py = [INF] * size
+        self._prev = [-3] * size
+        self._settled = np.zeros(size, dtype=bool)
+        self._settled_py = [False] * size
+        self._settled_order = []
+        self._heap = []
+        self.pops = 0
+        self._alpha[S_NODE + _OFF] = 0.0
+        self._alpha_py[S_NODE + _OFF] = 0.0
+        heapq.heappush(self._heap, (0.0, S_NODE + _OFF))
+
+    # ------------------------------------------------------------------
+    # label views (mirror-backed)
+    # ------------------------------------------------------------------
+    def alpha_of(self, node: int) -> float:
+        return self._alpha_py[node + _OFF]
+
+    def is_settled(self, node: int) -> bool:
+        return self._settled_py[node + _OFF]
+
+    def settled_alpha(self, node: int):
+        idx = node + _OFF
+        return self._alpha_py[idx] if self._settled_py[idx] else None
+
+    def settled_items(self):
+        seen = set()
+        for idx in self._settled_order:
+            if self._settled_py[idx] and idx not in seen:
+                seen.add(idx)
+                yield idx - _OFF, self._alpha_py[idx]
+
+    def improve(self, node: int, alpha: float, prev: int) -> bool:
+        idx = node + _OFF
+        if alpha >= self._alpha_py[idx]:
+            return False
+        alpha = float(alpha)
+        self._alpha[idx] = alpha
+        self._alpha_py[idx] = alpha
+        self._prev[idx] = prev + _OFF
+        self._settled[idx] = False
+        self._settled_py[idx] = False
+        heapq.heappush(self._heap, (alpha, idx))
+        return True
+
+    # ------------------------------------------------------------------
+    # the main loop (identical to the reference, over the list mirrors)
+    # ------------------------------------------------------------------
+    def run(self) -> bool:
+        heap = self._heap
+        alpha = self._alpha_py
+        settled = self._settled_py
+        settled_np = self._settled
+        t_idx = 0  # T_NODE + _OFF
+        while heap:
+            a, idx = heapq.heappop(heap)
+            if a > alpha[idx] or settled[idx]:
+                continue  # stale entry or already settled
+            if idx == t_idx:
+                # Leave t un-settled so a later resume can improve it.
+                heapq.heappush(heap, (a, idx))
+                return True
+            settled[idx] = True
+            settled_np[idx] = True
+            self._settled_order.append(idx)
+            self.pops += 1
+            self._relax_out(idx, a)
+        return alpha[t_idx] < INF
+
+    @property
+    def sp_cost(self) -> float:
+        return self._alpha_py[0]  # T_NODE + _OFF == 0
+
+    def _relax_out(self, idx: int, base: float) -> None:
+        net = self.net
+        alpha = self._alpha
+        alpha_py = self._alpha_py
+        prev = self._prev
+        settled = self._settled
+        settled_py = self._settled_py
+        heap = self._heap
+        push = heapq.heappush
+        nq = net.nq
+        if idx == S_NODE + _OFF:
+            if not nq:
+                return
+            # Same op order as the reference: w, clamp, then + base.
+            w = net.q_tau - net.tau_s
+            if (w < -1e-6).any() and (net.q_open & (w < -1e-6)).any():
+                i = int(np.nonzero(net.q_open & (w < -1e-6))[0][0])
+                # Corrupted residual state (see the reference kernel).
+                raise NegativeReducedCostError(
+                    f"negative reduced cost {float(w[i])} on (s, q_{i})"
+                )
+            np.maximum(w, 0.0, out=w)
+            w += base
+            ok = net.q_open & (w < alpha[_OFF : _OFF + nq])
+            upd = np.nonzero(ok)[0]
+            if upd.size:
+                targets = upd + _OFF
+                values = w[upd]
+                alpha[targets] = values
+                settled[targets] = False
+                for av, tv in zip(values.tolist(), targets.tolist()):
+                    alpha_py[tv] = av
+                    settled_py[tv] = False
+                    prev[tv] = idx
+                    push(heap, (av, tv))
+            return
+        node = idx - _OFF
+        if node < nq:  # provider: forward relaxation
+            n = net._fwd_n[node]
+            if not n:
+                return
+            if n < SCALAR_FAN_LIMIT:
+                q_tau_i = float(net.q_tau[node])
+                p_tau = net.p_tau
+                for tgt, j, d, _eid in net._fwd_py[node]:
+                    # Reference op order: (d − τ_q) + τ_p, clamp, + base.
+                    w = d - q_tau_i + p_tau[j]
+                    a = base + (w if w > 0.0 else 0.0)
+                    if a < alpha_py[tgt]:
+                        a = float(a)
+                        alpha[tgt] = a
+                        alpha_py[tgt] = a
+                        prev[tgt] = idx
+                        settled[tgt] = False
+                        settled_py[tgt] = False
+                        push(heap, (a, tgt))
+                return
+            w = net._fwd_dist[node][:n] - net.q_tau[node]
+            targets = net._fwd_tgt[node][:n]
+            w += net.p_tau[targets - (nq + _OFF)]
+            np.maximum(w, 0.0, out=w)
+            w += base
+            ok = w < alpha[targets]
+            upd_t = targets[ok]
+            if upd_t.size:
+                upd_a = w[ok]
+                alpha[upd_t] = upd_a
+                settled[upd_t] = False
+                for av, tv in zip(upd_a.tolist(), upd_t.tolist()):
+                    alpha_py[tv] = av
+                    settled_py[tv] = False
+                    prev[tv] = idx
+                    push(heap, (av, tv))
+            return
+        # Customer: backward fans are tiny (≤ weight flow edges) and
+        # mirrored as Python floats, so the scalar loop always wins.
+        j = node - nq
+        p_tau_j = float(net.p_tau[j])
+        q_tau = net.q_tau
+        for _, i, d in net._bwd[j]:
+            w = q_tau[i] - d - p_tau_j
+            a = base + (w if w > 0.0 else 0.0)
+            t = i + _OFF
+            if a < alpha_py[t]:
+                a = float(a)
+                alpha[t] = a
+                alpha_py[t] = a
+                prev[t] = idx
+                settled[t] = False
+                settled_py[t] = False
+                push(heap, (a, t))
+        if net.p_used[j] < net.p_cap[j]:
+            w = -p_tau_j
+            a = base + (w if w > 0.0 else 0.0)
+            if a < alpha_py[0]:  # T_NODE + _OFF == 0
+                a = float(a)
+                alpha[0] = a
+                alpha_py[0] = a
+                prev[0] = idx
+                push(heap, (a, 0))

@@ -27,7 +27,12 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.flow.graph import CCAFlowNetwork, S_NODE, T_NODE
+from repro.flow.graph import (
+    CCAFlowNetwork,
+    NegativeReducedCostError,
+    S_NODE,
+    T_NODE,
+)
 
 INF = float("inf")
 _OFF = 2  # node id -> array index offset
@@ -114,6 +119,14 @@ class DijkstraState:
             for i in range(nq):
                 if q_used[i] < q_cap[i]:
                     w = q_tau[i] - tau_s
+                    if w < -1e-6:
+                        # A genuinely negative source edge means the
+                        # residual state was corrupted (e.g. an unsound
+                        # warm-start delta reopened a stale edge): fail
+                        # loudly instead of silently mis-routing flow.
+                        raise NegativeReducedCostError(
+                            f"negative reduced cost {w} on (s, q_{i})"
+                        )
                     a = base + (w if w > 0.0 else 0.0)
                     t = i + _OFF
                     if a < alpha[t]:

@@ -35,6 +35,18 @@ S_NODE = -1
 T_NODE = -2
 
 
+class NegativeReducedCostError(AssertionError):
+    """A reduced cost came out genuinely negative.
+
+    The potential invariant (Theorem 1) guarantees non-negative reduced
+    costs as long as only certified shortest paths are augmented, so this
+    error always indicates a solver bug — never bad user input (those
+    raise :class:`ValueError` at construction time).  Subclasses
+    ``AssertionError`` for backward compatibility with callers that treated
+    the old bare assertion as the signal.
+    """
+
+
 class CCAFlowNetwork:
     """Residual network over a (sub)set of the bipartite edges.
 
@@ -70,6 +82,11 @@ class CCAFlowNetwork:
         self.edges: Dict[Tuple[int, int], List] = {}
         self.matched = 0
         self.augmentations = 0
+        # Incrementally tracked aggregates (avoid O(nq) rescans on the
+        # per-iteration certification path).  A zero-capacity provider is
+        # full from the start.
+        self._saturated = sum(1 for k in self.q_cap if k <= 0)
+        self._tau_max = 0.0
 
     # ------------------------------------------------------------------
     # problem-level quantities
@@ -106,7 +123,14 @@ class CCAFlowNetwork:
         return self.p_used[j] >= self.p_cap[j]
 
     def any_provider_full(self) -> bool:
-        return any(self.q_used[i] >= self.q_cap[i] for i in range(self.nq))
+        """O(1): reads the saturated-provider counter maintained by
+        :meth:`apply_path` / :meth:`set_provider_capacity`."""
+        return self._saturated > 0
+
+    @property
+    def saturated_providers(self) -> int:
+        """How many providers are currently full (Definition 2)."""
+        return self._saturated
 
     # ------------------------------------------------------------------
     # Esub maintenance
@@ -209,6 +233,8 @@ class CCAFlowNetwork:
                 self.q_used[v] += 1
                 if self.q_used[v] > self.q_cap[v]:
                     raise RuntimeError(f"provider {v} over capacity")
+                if self.q_used[v] == self.q_cap[v]:
+                    self._saturated += 1
             elif v == T_NODE:
                 j = self.customer_index(u)
                 self.p_used[j] += 1
@@ -264,9 +290,22 @@ class CCAFlowNetwork:
             elif node == T_NODE:
                 continue  # α == α_min by construction
             elif self.is_provider(node):
-                self.q_tau[node] += delta
+                tau = self.q_tau[node] + delta
+                self.q_tau[node] = tau
+                if tau > self._tau_max:
+                    self._tau_max = tau
             else:
                 self.p_tau[self.customer_index(node)] += delta
+
+    def augment_with_state(self, path_nodes, alpha_min, state) -> None:
+        """Augment using a Dijkstra state's settled set directly.
+
+        Functionally identical to ``augment(path, α_min,
+        state.settled_alpha_for_update())``; the array backend overrides
+        this with a vectorized potential update, which is why the engine
+        calls this seam instead of building the settled dict itself.
+        """
+        self.augment(path_nodes, alpha_min, state.settled_alpha_for_update())
 
     @property
     def tau_max(self) -> float:
@@ -274,13 +313,218 @@ class CCAFlowNetwork:
 
         Only provider potentials matter: unseen edges all originate at
         providers, and customer potentials are non-negative (they only
-        *help* the bound).
+        *help* the bound).  Tracked incrementally (potentials only move
+        through :meth:`augment`, :meth:`advance_source_and_providers`, and
+        :meth:`admit_customer`, all of which maintain the cache) instead
+        of rescanning ``q_tau`` on every certification check.
         """
-        return max(self.q_tau) if self.q_tau else 0.0
+        return self._tau_max
+
+    def advance_source_and_providers(self, offset: float) -> None:
+        """Uniformly advance τ_s and every provider potential by
+        ``offset`` ≥ 0 (IDA's fast-phase materialization)."""
+        if offset == 0.0:
+            return
+        self.tau_s += offset
+        q_tau = self.q_tau
+        for i in range(self.nq):
+            q_tau[i] += offset
+        self._tau_max += offset
+
+    # ------------------------------------------------------------------
+    # session deltas (warm-start support; see repro.core.session)
+    # ------------------------------------------------------------------
+    def provider_potential_floors(self) -> List[float]:
+        """Per-provider lower bound on τ_q imposed by flow-carrying edges.
+
+        A residual backward edge (p → q) for flow on (q, p) has reduced
+        cost ``−d − τ_p + τ_q``, so feasibility pins ``τ_q ≥ d + τ_p``
+        over q's matched customers.  Providers with no flow are unpinned
+        (floor 0; τ values below 0 are never needed since distances are
+        non-negative).
+        """
+        floors = [0.0] * self.nq
+        for (i, j), entry in self.edges.items():
+            if entry[2] > 0:
+                pin = entry[0] + self.p_tau[j]
+                if pin > floors[i]:
+                    floors[i] = pin
+        return floors
+
+    def admit_customer(self, weight, provider_distances):
+        """Warm-admit a new customer; returns its node id, or None when
+        the current matching can no longer be proven optimal.
+
+        The new node enters at τ = 0, so every future edge (q_i, p_new)
+        must satisfy ``d_i − τ_qi ≥ 0``.  Providers with ``τ_q > d_i``
+        get lowered to exactly ``d_i`` — legal only while no flow-carrying
+        edge pins τ_q above it (:meth:`provider_potential_floors`).  A
+        pinned provider means the residual graph would contain a negative
+        cycle through the new customer (the provider should be serving it
+        instead of a farther matched customer): the existing flow is no
+        longer minimum-cost for its value and the caller must re-solve
+        from scratch.
+        """
+        if weight < 0:
+            raise ValueError("customer weight must be non-negative")
+        need = [
+            i
+            for i in range(self.nq)
+            if self.q_tau[i] > provider_distances[i]
+        ]
+        if need:
+            floors = self.provider_potential_floors()
+            for i in need:
+                if floors[i] > provider_distances[i] + 1e-9:
+                    return None  # negative cycle: warm start unsound
+            for i in need:
+                self.q_tau[i] = provider_distances[i]
+            self._tau_max = max(self.q_tau) if self.q_tau else 0.0
+            if self.q_tau:
+                self.tau_s = min(self.tau_s, min(self.q_tau))
+        return self.add_customer_node(weight)
+
+    def add_customer_node(self, weight: int) -> int:
+        """Append a customer node with τ = 0 and no edges; returns its id.
+
+        Callers must ensure the zero potential is feasible against every
+        provider first (see :meth:`admit_customer`).
+        """
+        if weight < 0:
+            raise ValueError("customer weight must be non-negative")
+        j = self.np
+        self.np += 1
+        self.p_cap.append(weight)
+        self.p_used.append(0)
+        self.p_tau.append(0.0)
+        self.backward.append(dict())
+        return j
+
+    def can_remove_customer_warm(self, j: int) -> bool:
+        """Is removing customer ``j`` warm-start safe?
+
+        Releasing flow reopens the residual (s, q_i) edge of every
+        saturated provider that served ``j``.  A provider that saturated
+        early has a *stale* potential (τ_q stops advancing with τ_s once
+        the source edge closes), so the reopened edge would carry reduced
+        cost ``τ_q − τ_s < 0`` — a negative-cycle certificate violation:
+        the remaining flow may no longer be minimum-cost for its value
+        and the caller must re-solve from scratch.
+        """
+        for (i, _j), entry in self.edges.items():
+            if _j != j or entry[2] <= 0:
+                continue
+            if (
+                self.q_used[i] >= self.q_cap[i]
+                and self.q_tau[i] < self.tau_s - 1e-9
+            ):
+                return False
+        return True
+
+    def remove_customer_node(self, j: int) -> int:
+        """Cancel customer ``j``'s flow, drop its edges, zero its weight.
+
+        The node id stays allocated (a tombstone) so provider/customer ids
+        remain positional.  Callers wanting warm-start semantics must
+        check :meth:`can_remove_customer_warm` first — releasing flow can
+        reopen source edges with negative reduced cost (see there).
+        Returns the number of matched units released.
+        """
+        released = 0
+        incident = [key for key in self.edges if key[1] == j]
+        for key in incident:
+            i, _ = key
+            flow = self.edges[key][2]
+            if flow > 0:
+                if self.q_used[i] == self.q_cap[i]:
+                    self._saturated -= 1
+                self.q_used[i] -= flow
+                self.matched -= flow
+                released += flow
+            del self.edges[key]
+            self.forward[i].pop(j, None)
+        self.backward[j].clear()
+        self.p_used[j] = 0
+        self.p_cap[j] = 0
+        return released
+
+    def can_widen_provider_warm(self, i: int, capacity: int) -> bool:
+        """Is raising provider ``i``'s capacity warm-start safe?
+
+        Widening *reopens* residual edges, and a reopened edge is only
+        safe while its reduced cost is still non-negative:
+
+        * the (s, q_i) edge, if ``i`` is currently saturated — unsafe
+          when τ_qi went stale (``τ_qi < τ_s``; potentials stop tracking
+          the source once the edge closes);
+        * any saturated flow-carrying bipartite edge whose ``min(k, w)``
+          cap lifts (weighted customers only) — unsafe when
+          ``d − τ_q + τ_p < 0``, which is common for matched edges.
+
+        When this returns False the existing matching may no longer be
+        optimal for its value and the caller must re-solve from scratch.
+        """
+        if capacity <= self.q_cap[i]:
+            return True  # shrinking closes edges; never breaks feasibility
+        if (
+            self.q_used[i] >= self.q_cap[i]
+            and self.q_tau[i] < self.tau_s - 1e-9
+        ):
+            return False
+        for (qi, j), entry in self.edges.items():
+            if qi != i:
+                continue
+            d, cap, flow = entry
+            if (
+                flow > 0
+                and flow >= cap
+                and min(capacity, self.p_cap[j]) > cap
+                and d - self.q_tau[i] + self.p_tau[j] < -1e-9
+            ):
+                return False
+        return True
+
+    def set_provider_capacity(self, i: int, capacity: int) -> None:
+        """Change provider ``i``'s capacity to ``capacity`` ≥ ``q_used[i]``.
+
+        Increases widen the residual (s, q_i) edge and lift the per-edge
+        capacities ``min(k, w)`` of ``i``'s bipartite edges; callers
+        wanting warm-start semantics must check
+        :meth:`can_widen_provider_warm` first (reopened edges can carry
+        negative reduced cost).  Decreases below current usage would
+        require cancelling flow along min-cost paths; callers must
+        re-solve from scratch instead (the Matcher falls back to a cold
+        solve).
+        """
+        if capacity < self.q_used[i]:
+            raise ValueError(
+                f"capacity {capacity} below current usage {self.q_used[i]}; "
+                "cold re-solve required"
+            )
+        was_saturated = self.q_used[i] >= self.q_cap[i]
+        self.q_cap[i] = capacity
+        now_saturated = self.q_used[i] >= capacity
+        self._saturated += int(now_saturated) - int(was_saturated)
+        # Re-derive per-edge capacities; a lifted cap can resurrect a
+        # saturated edge into the forward residual adjacency.
+        for (qi, j), entry in self.edges.items():
+            if qi != i:
+                continue
+            new_cap = max(entry[2], min(capacity, self.p_cap[j]))
+            entry[1] = new_cap
+            if entry[2] < new_cap:
+                self.forward[i].setdefault(j, entry[0])
+            else:
+                self.forward[i].pop(j, None)
 
     # ------------------------------------------------------------------
     # result extraction
     # ------------------------------------------------------------------
+    def edge_triples(self) -> List[Tuple[int, int, float]]:
+        """Every Esub edge as (provider, customer, distance), in insertion
+        order — the input a kernel replay needs to rebuild the subgraph."""
+        return [(i, j, entry[0]) for (i, j), entry in self.edges.items()]
+
     def matching_flows(self) -> List[Tuple[int, int, float, int]]:
         """Positive-flow edges as (provider, customer, distance, units)."""
         return [
@@ -307,6 +551,6 @@ def _nonneg(x: float) -> float:
     """Clamp float noise; a genuinely negative reduced cost is a bug."""
     if x < 0.0:
         if x < -1e-6:
-            raise AssertionError(f"negative reduced cost {x}")
+            raise NegativeReducedCostError(f"negative reduced cost {x}")
         return 0.0
     return x

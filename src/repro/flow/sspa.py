@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.flow.dijkstra import DijkstraState
+from repro.flow.backend import BackendLike, DEFAULT_BACKEND, get_backend
 from repro.flow.graph import CCAFlowNetwork
 
 
@@ -25,6 +25,7 @@ def sspa_solve(
     customer_weights: Sequence[int],
     distance_fn: Callable[[int, int], float],
     progress: Optional[Callable[[int, int], None]] = None,
+    backend: BackendLike = DEFAULT_BACKEND,
 ) -> Tuple[List[Tuple[int, int, float]], CCAFlowNetwork]:
     """Solve CCA exactly on the complete bipartite graph.
 
@@ -37,28 +38,28 @@ def sspa_solve(
         and customer ``j``.
     progress:
         Optional callback ``(done, gamma)`` per augmentation.
+    backend:
+        Flow-kernel selector (``"dict"`` / ``"array"`` or a
+        :class:`~repro.flow.backend.FlowBackend`).
 
     Returns
     -------
     (pairs, network): matched triples and the final residual network.
     """
-    net = CCAFlowNetwork(provider_capacities, customer_weights)
+    kernel = get_backend(backend)
+    net = kernel.network(provider_capacities, customer_weights)
     for i in range(net.nq):
         for j in range(net.np):
             net.add_edge(i, j, distance_fn(i, j))
 
     gamma = net.gamma
     for loop in range(gamma):
-        state = DijkstraState(net)
+        state = kernel.dijkstra(net)
         if not state.run():
             raise UnsolvableError(
                 f"no augmenting path at iteration {loop + 1}/{gamma}"
             )
-        net.augment(
-            state.path_nodes(),
-            state.sp_cost,
-            state.settled_alpha_for_update(),
-        )
+        net.augment_with_state(state.path_nodes(), state.sp_cost, state)
         if progress is not None:
             progress(loop + 1, gamma)
     return net.matching_pairs(), net

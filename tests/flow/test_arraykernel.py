@@ -1,0 +1,288 @@
+"""Unit tests for the array flow kernel and the backend seam."""
+
+import pytest
+
+from repro.flow import (
+    ArrayDijkstraState,
+    ArrayFlowNetwork,
+    BACKENDS,
+    CCAFlowNetwork,
+    DEFAULT_BACKEND,
+    DijkstraState,
+    FlowBackend,
+    NegativeReducedCostError,
+    S_NODE,
+    T_NODE,
+    get_backend,
+    sspa_solve,
+)
+
+
+def simple_net():
+    """2 providers (k=1, k=2), 2 customers (w=1 each)."""
+    return ArrayFlowNetwork([1, 2], [1, 1])
+
+
+class TestBackendRegistry:
+    def test_default_is_dict(self):
+        assert DEFAULT_BACKEND == "dict"
+        assert get_backend().name == "dict"
+
+    def test_named_lookup(self):
+        assert get_backend("dict").network_cls is CCAFlowNetwork
+        assert get_backend("array").network_cls is ArrayFlowNetwork
+        assert get_backend("array").dijkstra_cls is ArrayDijkstraState
+
+    def test_instance_passthrough(self):
+        backend = BACKENDS["array"]
+        assert get_backend(backend) is backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown flow backend"):
+            get_backend("cuda")
+        with pytest.raises(ValueError):
+            get_backend(42)
+
+    def test_factories(self):
+        backend = get_backend("array")
+        net = backend.network([2], [1, 1])
+        assert isinstance(net, ArrayFlowNetwork)
+        state = backend.dijkstra(net)
+        assert isinstance(state, ArrayDijkstraState)
+        assert isinstance(state, DijkstraState)  # drop-in subtype
+
+    def test_repr_is_short(self):
+        assert repr(get_backend("array")) == "FlowBackend('array')"
+        assert isinstance(get_backend("dict"), FlowBackend)
+
+
+class TestNegativeReducedCostError:
+    def test_is_assertion_error_subclass(self):
+        assert issubclass(NegativeReducedCostError, AssertionError)
+
+    @pytest.mark.parametrize("cls", [CCAFlowNetwork, ArrayFlowNetwork])
+    def test_raised_by_both_backends(self, cls):
+        net = cls([1], [1])
+        net.q_tau[0] = 100.0
+        with pytest.raises(NegativeReducedCostError):
+            net.reduced_cost_qp(0, 0, 1.0)
+
+
+class TestArrayNetworkBasics:
+    def test_construction_validates(self):
+        with pytest.raises(ValueError):
+            ArrayFlowNetwork([-1], [1])
+        with pytest.raises(ValueError):
+            ArrayFlowNetwork([1], [-1])
+
+    def test_gamma_and_addressing(self):
+        net = simple_net()
+        assert net.gamma == 2
+        assert net.customer_node(0) == 2
+        assert net.is_provider(1) and net.is_customer(2)
+
+    def test_add_edge_semantics_match_reference(self):
+        net = simple_net()
+        assert net.add_edge(0, 0, 5.0)
+        assert not net.add_edge(0, 0, 5.0)  # duplicate
+        assert net.edge_count == 1
+        assert net.has_edge(0, 0)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1.0)
+        zero = ArrayFlowNetwork([0, 1], [1])
+        assert not zero.add_edge(0, 0, 5.0)  # zero-capacity provider
+        assert zero.add_edge(1, 0, 5.0)
+
+    def test_apply_path_and_extraction(self):
+        net = simple_net()
+        net.add_edge(0, 0, 5.0)
+        net.apply_path([S_NODE, 0, net.customer_node(0), T_NODE])
+        assert net.q_used[0] == 1 and net.p_used[0] == 1
+        assert net.provider_full(0) and net.customer_full(0)
+        assert net.edge_flow(0, 0) == 1
+        assert net.matching_pairs() == [(0, 0, 5.0)]
+        assert net.matching_cost() == pytest.approx(5.0)
+
+    def test_reassignment_path(self):
+        net = simple_net()
+        net.add_edge(0, 0, 5.0)
+        net.add_edge(1, 0, 2.0)
+        net.add_edge(0, 1, 7.0)
+        net.apply_path([S_NODE, 0, net.customer_node(0), T_NODE])
+        net.apply_path(
+            [S_NODE, 1, net.customer_node(0), 0, net.customer_node(1), T_NODE]
+        )
+        assert sorted(net.matching_pairs()) == [(0, 1, 7.0), (1, 0, 2.0)]
+        assert list(net.q_used) == [1, 1]
+
+    def test_multi_unit_edge_partial_flow(self):
+        net = ArrayFlowNetwork([3], [2])
+        net.add_edge(0, 0, 4.0)
+        cnode = net.customer_node(0)
+        net.apply_path([S_NODE, 0, cnode, T_NODE])
+        assert net.edge_flow(0, 0) == 1
+        assert net.edge_residual(0, 0) == 1
+        net.apply_path([S_NODE, 0, cnode, T_NODE])
+        assert net.edge_flow(0, 0) == 2
+        assert net.matching_cost() == pytest.approx(8.0)
+        assert len(net.matching_pairs()) == 2
+
+    def test_edge_triples_in_insertion_order(self):
+        net = simple_net()
+        net.add_edge(1, 1, 3.0)
+        net.add_edge(0, 0, 5.0)
+        assert net.edge_triples() == [(1, 1, 3.0), (0, 0, 5.0)]
+
+
+class TestSaturationCounters:
+    """The any_provider_full / tau_max satellites, on both backends."""
+
+    @pytest.mark.parametrize("cls", [CCAFlowNetwork, ArrayFlowNetwork])
+    def test_saturated_counter_tracks_brute_force(self, cls):
+        net = cls([1, 2], [1, 1, 1])
+        assert not net.any_provider_full()
+        net.add_edge(0, 0, 1.0)
+        net.add_edge(1, 1, 1.0)
+        net.apply_path([S_NODE, 0, net.customer_node(0), T_NODE])
+        assert net.any_provider_full()
+        assert net.saturated_providers == 1
+        net.apply_path([S_NODE, 1, net.customer_node(1), T_NODE])
+        assert net.saturated_providers == 1  # q1 has spare capacity
+        net.add_edge(1, 2, 1.0)
+        net.apply_path([S_NODE, 1, net.customer_node(2), T_NODE])
+        assert net.saturated_providers == 2
+
+    @pytest.mark.parametrize("cls", [CCAFlowNetwork, ArrayFlowNetwork])
+    def test_zero_capacity_provider_counts_as_full(self, cls):
+        net = cls([0, 1], [1])
+        assert net.any_provider_full()
+        assert net.saturated_providers == 1
+
+    @pytest.mark.parametrize("cls", [CCAFlowNetwork, ArrayFlowNetwork])
+    def test_tau_max_tracked_through_augment(self, cls):
+        net = cls([1, 2], [1, 1])
+        assert net.tau_max == 0.0
+        net.add_edge(0, 0, 5.0)
+        settled = {S_NODE: 0.0, 0: 0.0, 1: 0.0, net.customer_node(0): 5.0}
+        net.augment([S_NODE, 0, net.customer_node(0), T_NODE], 5.0, settled)
+        assert net.tau_max == pytest.approx(5.0)
+        assert net.tau_s == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("cls", [CCAFlowNetwork, ArrayFlowNetwork])
+    def test_tau_max_tracked_through_advance(self, cls):
+        net = cls([1, 1], [1])
+        net.advance_source_and_providers(3.5)
+        assert net.tau_max == pytest.approx(3.5)
+        assert net.tau_s == pytest.approx(3.5)
+        assert float(net.q_tau[0]) == pytest.approx(3.5)
+
+
+class TestSessionNodeOps:
+    @pytest.mark.parametrize("cls", [CCAFlowNetwork, ArrayFlowNetwork])
+    def test_add_customer_node(self, cls):
+        net = cls([2], [1])
+        j = net.add_customer_node(3)
+        assert j == 1
+        assert net.np == 2
+        assert net.gamma == 2  # min(1 + 3, 2)
+        assert net.add_edge(0, j, 1.5)
+        assert net.edge_residual(0, j) == 2  # min(k=2, w=3)
+
+    @pytest.mark.parametrize("cls", [CCAFlowNetwork, ArrayFlowNetwork])
+    def test_remove_customer_node_releases_flow(self, cls):
+        net = cls([1, 1], [1, 1])
+        net.add_edge(0, 0, 1.0)
+        net.add_edge(1, 1, 2.0)
+        net.apply_path([S_NODE, 0, net.customer_node(0), T_NODE])
+        assert net.matched == 1 and net.any_provider_full()
+        released = net.remove_customer_node(0)
+        assert released == 1
+        assert net.matched == 0
+        assert not net.provider_full(0)
+        assert not net.any_provider_full() or net.provider_full(1) is False
+        assert not net.has_edge(0, 0)
+        assert net.edge_count == 1  # q1-p1 survives
+        assert net.customer_full(0)  # weight 0 => full forever
+
+    @pytest.mark.parametrize("cls", [CCAFlowNetwork, ArrayFlowNetwork])
+    def test_set_provider_capacity_lifts_edges(self, cls):
+        net = cls([1], [3])
+        net.add_edge(0, 0, 1.0)
+        assert net.edge_residual(0, 0) == 1  # min(1, 3)
+        net.apply_path([S_NODE, 0, net.customer_node(0), T_NODE])
+        assert net.provider_full(0)
+        net.set_provider_capacity(0, 5)
+        assert not net.provider_full(0)
+        assert net.edge_residual(0, 0) == 2  # min(5, 3) - 1 unit of flow
+
+    @pytest.mark.parametrize("cls", [CCAFlowNetwork, ArrayFlowNetwork])
+    def test_set_provider_capacity_below_usage_rejected(self, cls):
+        net = cls([2], [1, 1])
+        net.add_edge(0, 0, 1.0)
+        net.apply_path([S_NODE, 0, net.customer_node(0), T_NODE])
+        with pytest.raises(ValueError, match="cold re-solve"):
+            net.set_provider_capacity(0, 0)
+
+    @pytest.mark.parametrize("cls", [CCAFlowNetwork, ArrayFlowNetwork])
+    def test_admit_customer_conflict_detection(self, cls):
+        net = cls([1], [1])
+        net.add_edge(0, 0, 2.0)
+        net.augment(
+            [S_NODE, 0, net.customer_node(0), T_NODE],
+            2.0,
+            {S_NODE: 0.0, 0: 0.0, net.customer_node(0): 2.0},
+        )
+        # Provider 0 now serves p0 at distance 2 (τ_q0 pinned ≥ 2): an
+        # arrival at distance 1 creates a negative cycle -> refuse.
+        assert net.admit_customer(1, [1.0]) is None
+        # A farther arrival is admissible and lowers no potential.
+        j = net.admit_customer(1, [10.0])
+        assert j == 1 and net.np == 2
+
+
+class TestArrayDijkstra:
+    def test_matches_reference_on_tiny_net(self):
+        def build(cls):
+            net = cls([1, 2], [1, 1])
+            net.add_edge(0, 0, 5.0)
+            net.add_edge(1, 0, 2.0)
+            net.add_edge(0, 1, 7.0)
+            net.add_edge(1, 1, 4.0)
+            return net
+
+        ref_net, arr_net = build(CCAFlowNetwork), build(ArrayFlowNetwork)
+        ref, arr = DijkstraState(ref_net), ArrayDijkstraState(arr_net)
+        assert ref.run() and arr.run()
+        assert arr.sp_cost == ref.sp_cost
+        assert arr.path_nodes() == [int(n) for n in ref.path_nodes()]
+        assert dict(arr.settled_items()) == dict(ref.settled_items())
+        assert arr.pops == ref.pops
+
+    def test_sspa_solve_backend_equivalence(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        q = rng.random((3, 2)) * 10
+        p = rng.random((9, 2)) * 10
+
+        def dfn(i, j):
+            return float(np.hypot(*(q[i] - p[j])))
+
+        pairs_d, net_d = sspa_solve([2, 2, 2], [1] * 9, dfn)
+        pairs_a, net_a = sspa_solve([2, 2, 2], [1] * 9, dfn, backend="array")
+        assert net_a.matching_cost() == net_d.matching_cost()
+        assert sorted(pairs_a) == sorted(pairs_d)
+
+    def test_resumption_after_improve(self):
+        """PUA-style resume: improve() un-settles and re-relaxes."""
+        net = ArrayFlowNetwork([1, 1], [1])
+        net.add_edge(0, 0, 5.0)
+        state = ArrayDijkstraState(net)
+        assert state.run()
+        first = float(state.sp_cost)
+        net.add_edge(1, 0, 1.0)
+        # Offer the cheaper path through q1 (its α is 0 pre-potentials).
+        assert state.improve(net.customer_node(0), 1.0, 1)
+        assert state.run()
+        assert state.sp_cost == pytest.approx(1.0)
+        assert state.sp_cost < first

@@ -119,6 +119,43 @@ class TestDegenerate:
         assert_all_exact_agree(prob)
 
 
+class TestBackendEquivalence:
+    """The flow-backend seam: dict and array kernels must be bit-identical
+    (cost, |Esub|, matched pairs) on every instance and method."""
+
+    @pytest.mark.parametrize("method", EXACT)
+    def test_exact_methods_bit_identical(self, method):
+        a = make_problem(nq=4, np_=120, k=8, seed=11)
+        b = make_problem(nq=4, np_=120, k=8, seed=11)
+        md = solve(a, method, backend="dict")
+        ma = solve(b, method, backend="array")
+        assert ma.cost == md.cost  # exact equality, not approx
+        assert ma.stats.esub_edges == md.stats.esub_edges
+        assert sorted(ma.pairs) == sorted(md.pairs)
+
+    def test_weighted_instances_bit_identical(self):
+        rng = np.random.default_rng(9)
+        qxy = rng.random((4, 2)) * 100
+        pxy = rng.random((15, 2)) * 100
+        caps = rng.integers(1, 7, 4).tolist()
+        weights = rng.integers(1, 5, 15).tolist()
+        pa = CCAProblem.from_arrays(qxy, caps, pxy, customer_weights=weights)
+        pb = CCAProblem.from_arrays(qxy, caps, pxy, customer_weights=weights)
+        md = solve(pa, "ida", backend="dict")
+        ma = solve(pb, "ida", backend="array")
+        assert ma.cost == md.cost
+        assert sorted(ma.pairs) == sorted(md.pairs)
+
+    @pytest.mark.parametrize("method", ["san", "cae"])
+    def test_approx_concise_matching_on_seam(self, method):
+        a = make_problem(nq=6, np_=90, k=5, seed=34)
+        b = make_problem(nq=6, np_=90, k=5, seed=34)
+        assert (
+            solve(a, method, backend="array").cost
+            == solve(b, method, backend="dict").cost
+        )
+
+
 class TestDeterminism:
     def test_same_seed_same_everything(self):
         a = make_problem(nq=4, np_=80, k=6, seed=33)
