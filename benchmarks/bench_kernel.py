@@ -36,7 +36,7 @@ import time
 from repro.core.ida import IDASolver
 from repro.datagen.workloads import make_problem
 from repro.experiments.config import PAPER_DEFAULTS, scaled
-from repro.flow.backend import BACKENDS, get_backend
+from repro.flow.backend import get_backend
 
 NQ_SWEEP_PAPER = (250, 500, 1000, 2500, 5000)
 BACKEND_ORDER = ("dict", "array")

@@ -1,0 +1,237 @@
+"""Sharded-engine benchmark: serial array-kernel IDA vs ``solve_sharded``.
+
+Measures, per Fig. 10 sweep point (|Q| ∈ {250, 500, 1000, 2500, 5000}
+paper units at k = 80, |P| = 100K, scaled linearly):
+
+* **serial** — one exact IDA solve on the ``array`` flow kernel (the
+  PR 1 performance baseline);
+* **sharded** — ``solve_sharded`` at ``--shards``/``--workers`` with the
+  nearest router, including planning, routing, the parallel per-shard
+  solves, warm-session boundary reconciliation, and the residual pass.
+
+Wall-clock speedup on a few-core box comes mostly from *decomposition*
+(per-shard solves are superlinearly cheaper than the monolith); on real
+multi-core hardware the worker processes stack on top of that.  The
+script records ``cpu_count`` so the numbers can be read honestly.
+
+Two correctness gates always run (CI executes them at tiny scale):
+
+* **provider-disjoint exactness** — on a separated-cluster workload
+  (``make_separated_problem``) the sharded objective must equal the
+  serial optimum;
+* **concise ≤ SA** — with the concise router the sharded objective must
+  not exceed serial SA at the same δ.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shard.py \
+        [--out BENCH_shard.json] [--scale 0.05] [--seed 0] [--points 3] \
+        [--shards 4] [--workers 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import time
+
+from repro.core.shard import solve_sharded
+from repro.core.solve import solve
+from repro.datagen.workloads import make_problem, make_separated_problem
+from repro.experiments.config import PAPER_DEFAULTS, scaled
+
+NQ_SWEEP_PAPER = (250, 500, 1000, 2500, 5000)
+
+
+def bench_point(nq_paper, scale, seed, shards, workers):
+    nq = scaled(nq_paper, scale, minimum=2)
+    np_ = scaled(PAPER_DEFAULTS["np"], scale, minimum=50)
+    k = PAPER_DEFAULTS["k"]
+
+    problem = make_problem(nq=nq, np_=np_, k=k, seed=seed)
+    problem.rtree()  # index construction is setup, not measured work
+    started = time.perf_counter()
+    serial = solve(problem, "ida", backend="array")
+    serial_s = time.perf_counter() - started
+
+    problem = make_problem(nq=nq, np_=np_, k=k, seed=seed)
+    started = time.perf_counter()
+    sharded = solve_sharded(
+        problem, shards, workers=workers, backend="array"
+    )
+    sharded_s = time.perf_counter() - started
+
+    extra = sharded.stats.extra
+    row = {
+        "nq_paper": nq_paper,
+        "nq": nq,
+        "np": np_,
+        "k": k,
+        "gamma": problem.gamma,
+        "serial_s": serial_s,
+        "sharded_s": sharded_s,
+        "speedup": serial_s / sharded_s,
+        "serial_cost": serial.cost,
+        "sharded_cost": sharded.cost,
+        "cost_ratio": sharded.cost / serial.cost if serial.cost else 1.0,
+        "shards_planned": extra["shards"],
+        "reconcile_moves": extra["reconcile_moves"],
+        "reconcile_attempted": extra["reconcile_attempted"],
+        "residual_matched": extra["residual"]["matched"],
+        "phase_s": {
+            "plan": extra["plan_s"],
+            "route": extra["route_s"],
+            "solve": extra["solve_s"],
+            "reconcile": extra["reconcile_s"],
+        },
+    }
+    if sharded.size != serial.size:
+        raise AssertionError(
+            f"sharded matching size {sharded.size} != serial {serial.size}"
+        )
+    return row
+
+
+def exactness_gate(scale, seed, workers):
+    """Provider-disjoint shardings must reproduce the serial optimum."""
+    nq_per = max(3, scaled(12, scale * 20))
+    np_per = max(30, scaled(250, scale * 20))
+    k = max(10, (np_per + nq_per - 1) // nq_per)
+    def build():
+        return make_separated_problem(
+            clusters=4, nq_per=nq_per, np_per=np_per, k=k, seed=seed
+        )
+    serial = solve(build(), "ida", backend="array")
+    sharded = solve_sharded(
+        build(), 4, workers=workers, delta=200.0, backend="array"
+    )
+    diff = abs(sharded.cost - serial.cost)
+    if diff > 1e-6 * max(1.0, serial.cost):
+        raise AssertionError(
+            "provider-disjoint exactness violated: sharded cost "
+            f"{sharded.cost} vs serial {serial.cost}"
+        )
+    return {
+        "clusters": 4,
+        "nq_per": nq_per,
+        "np_per": np_per,
+        "serial_cost": serial.cost,
+        "sharded_cost": sharded.cost,
+        "status": "pass",
+    }
+
+
+def concise_gate(scale, seed):
+    """The concise router must never lose to serial SA at the same δ."""
+    nq = scaled(250, scale, minimum=4)
+    np_ = scaled(25_000, scale, minimum=40)
+    delta = PAPER_DEFAULTS["sa_delta"]
+    sharded = solve_sharded(
+        make_problem(nq=nq, np_=np_, k=20, seed=seed),
+        3,
+        router="concise",
+        delta=delta,
+        backend="array",
+    )
+    sa = solve(
+        make_problem(nq=nq, np_=np_, k=20, seed=seed),
+        "san",
+        delta=delta,
+        backend="array",
+    )
+    if sharded.cost > sa.cost * (1 + 1e-9) + 1e-9:
+        raise AssertionError(
+            f"concise-router objective {sharded.cost} exceeds serial SA "
+            f"{sa.cost} at delta={delta}"
+        )
+    return {
+        "nq": nq,
+        "np": np_,
+        "delta": delta,
+        "sharded_cost": sharded.cost,
+        "sa_cost": sa.cost,
+        "status": "pass",
+    }
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_shard.json")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="linear scale on |Q| and |P| (default 0.05)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--points", type=int, default=3,
+                        help="how many Fig. 10 sweep points to run "
+                             "(default 3 = up to the paper-default |Q|)")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    sweep = NQ_SWEEP_PAPER[: max(1, args.points)]
+    dropped = NQ_SWEEP_PAPER[len(sweep):]
+    if dropped:
+        print(f"[bench_shard] sweep truncated for runtime: skipping "
+              f"paper |Q| in {list(dropped)} (re-run with --points 5)")
+
+    points = []
+    for nq_paper in sweep:
+        row = bench_point(
+            nq_paper, args.scale, args.seed, args.shards, args.workers
+        )
+        points.append(row)
+        print(
+            f"[bench_shard] |Q|={row['nq']} |P|={row['np']}: serial "
+            f"{row['serial_s']:.2f}s -> sharded {row['sharded_s']:.2f}s "
+            f"({row['speedup']:.2f}x, cost ratio {row['cost_ratio']:.4f})"
+        )
+
+    exactness = exactness_gate(args.scale, args.seed, args.workers)
+    print(f"[bench_shard] provider-disjoint exactness: "
+          f"{exactness['status']}")
+    concise = concise_gate(args.scale, args.seed)
+    print(f"[bench_shard] concise router <= serial SA: "
+          f"{concise['status']}")
+
+    headline = points[-1]  # largest sweep point run
+    report = {
+        "workload": "fig10 (performance vs |Q|; k=80, |P|=100K paper "
+                    "units), nearest router",
+        "serial_baseline": "ida/array",
+        "scale": args.scale,
+        "seed": args.seed,
+        "shards": args.shards,
+        "workers": args.workers,
+        "cpu_count": os.cpu_count(),
+        "sweep_paper_nq": list(sweep),
+        "sweep_dropped_paper_nq": list(dropped),
+        "points": points,
+        # Headline: the largest sweep point run — with the default
+        # --points 3 that is the paper-default Fig. 10 configuration
+        # (|Q| = 1000 paper units).
+        "headline_speedup": headline["speedup"],
+        "speedup_at_largest_point": headline["speedup"],
+        "speedup_max": max(p["speedup"] for p in points),
+        "speedup_geomean": geomean([p["speedup"] for p in points]),
+        "cost_ratio_worst": max(p["cost_ratio"] for p in points),
+        "provider_disjoint_exactness": exactness,
+        "concise_vs_sa": concise,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(
+        f"[bench_shard] speedup at largest point "
+        f"{report['speedup_at_largest_point']:.2f}x (max "
+        f"{report['speedup_max']:.2f}x, geomean "
+        f"{report['speedup_geomean']:.2f}x) -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

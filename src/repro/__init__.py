@@ -25,10 +25,11 @@ full evaluation suite.
 from repro.core.matching import Matching, SolverStats
 from repro.core.problem import CCAProblem, Customer, Provider
 from repro.core.session import Matcher
+from repro.core.shard import ShardPlan, plan_shards, solve_sharded
 from repro.core.solve import APPROX_METHODS, EXACT_METHODS, solve
 from repro.flow.backend import BACKENDS, DEFAULT_BACKEND, get_backend
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CCAProblem",
@@ -38,6 +39,9 @@ __all__ = [
     "SolverStats",
     "Matcher",
     "solve",
+    "ShardPlan",
+    "plan_shards",
+    "solve_sharded",
     "EXACT_METHODS",
     "APPROX_METHODS",
     "BACKENDS",

@@ -18,14 +18,15 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.datagen.network import build_road_network
+from repro.core.shard import ROUTERS
 from repro.datagen.generator import generate_points
+from repro.datagen.network import build_road_network
 from repro.datagen.workloads import make_problem
 from repro.experiments.config import DEFAULT_SCALE
 from repro.experiments.figures import FIGURES, run_figure
-from repro.flow.backend import BACKENDS
 from repro.experiments.harness import run_method
 from repro.experiments.report import format_figure_report, format_table2
+from repro.flow.backend import BACKENDS
 
 
 def _cmd_list(_args) -> int:
@@ -101,11 +102,24 @@ def _cmd_solve(args) -> int:
         seed=args.seed,
     )
     result = run_method(
-        problem, args.method, sweep_label="cli", backend=args.backend
+        problem,
+        args.method,
+        sweep_label="cli",
+        backend=args.backend,
+        shards=args.shards,
+        workers=args.workers,
+        router=args.router,
+    )
+    sharding = (
+        f" shards={args.shards} workers={args.workers or 1} "
+        f"router={args.router}"
+        if args.shards > 1
+        else ""
     )
     print(
         f"method={args.method} backend={args.backend} "
         f"|Q|={args.nq} |P|={args.np} k={args.k} gamma={result.gamma}"
+        f"{sharding}"
     )
     print(
         f"cost={result.cost:.2f} matched={result.matched} "
@@ -113,6 +127,16 @@ def _cmd_solve(args) -> int:
         f"io={result.io_s:.3f}s ({result.io_faults} faults) "
         f"total={result.total_s:.3f}s"
     )
+    if args.shards > 1:
+        extra = result.extra
+        print(
+            f"sharding: plan={extra['plan_s']:.3f}s "
+            f"route={extra['route_s']:.3f}s "
+            f"solve={extra['solve_s']:.3f}s "
+            f"reconcile={extra['reconcile_s']:.3f}s "
+            f"(moves={extra['reconcile_moves']}, "
+            f"residual={extra['residual']['matched']})"
+        )
     return 0
 
 
@@ -177,6 +201,31 @@ def build_parser() -> argparse.ArgumentParser:
              "implementation, 'array' the columnar NumPy kernel "
              "(identical results, faster Dijkstra inner loop at scale; "
              "default %(default)s)",
+    )
+    slv.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="split the instance into N provider-disjoint spatial shards "
+             "solved independently and reconciled (default %(default)s = "
+             "plain serial solve; exact methods only)",
+    )
+    slv.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the per-shard solves (default: solve "
+             "shards inline in one process)",
+    )
+    slv.add_argument(
+        "--router",
+        type=str,
+        default="nearest",
+        choices=sorted(ROUTERS),
+        help="customer->shard routing: 'nearest' follows the nearest "
+             "provider, 'concise' follows SA's concise matching at the "
+             "planning delta (capacity-respecting; objective provably <= "
+             "serial SA)",
     )
     slv.add_argument("--dist-q", type=str, default="clustered")
     slv.add_argument("--dist-p", type=str, default="clustered")

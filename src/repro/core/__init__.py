@@ -11,12 +11,16 @@
 * :mod:`repro.core.solve` — one-call façade.
 * :mod:`repro.core.session` — long-lived :class:`Matcher` sessions with
   warm-started re-solves over the flow-backend seam.
+* :mod:`repro.core.shard` — the sharded parallel assignment engine
+  (provider-disjoint spatial shards, worker processes, warm-session
+  boundary reconciliation).
 """
 
-from repro.core.problem import Provider, Customer, CCAProblem
 from repro.core.matching import Matching, SolverStats
-from repro.core.solve import solve, EXACT_METHODS, APPROX_METHODS
+from repro.core.problem import CCAProblem, Customer, Provider
 from repro.core.session import Matcher
+from repro.core.shard import ShardPlan, plan_shards, solve_sharded
+from repro.core.solve import APPROX_METHODS, EXACT_METHODS, solve
 
 __all__ = [
     "Provider",
@@ -28,4 +32,7 @@ __all__ = [
     "EXACT_METHODS",
     "APPROX_METHODS",
     "Matcher",
+    "ShardPlan",
+    "plan_shards",
+    "solve_sharded",
 ]

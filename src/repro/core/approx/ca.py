@@ -83,7 +83,7 @@ class CAApproxSolver:
         concise_solver = IDASolver(
             concise_problem, use_pua=True, backend=self.backend
         )
-        concise = concise_solver.solve()
+        concise_solver.solve()
         self.stats.extra["concise"] = concise_solver.stats
         self.stats.esub_edges = concise_solver.stats.esub_edges
         self.stats.dijkstra_runs = concise_solver.stats.dijkstra_runs

@@ -12,46 +12,18 @@ from typing import List, Sequence, Tuple
 from repro.geometry.mbr import MBR
 from repro.geometry.point import Point
 from repro.hilbert.curve import hilbert_key
+from repro.partitioning import SCAN_WINDOW as _SCAN_WINDOW
+from repro.partitioning import hilbert_greedy_groups
 from repro.rtree.tree import RTree
 
-# Greedy placement only looks back this many groups along the Hilbert walk.
-# Curve locality makes farther groups near-certain misses; the window keeps
-# partitioning O(n·W) instead of O(n²) and never violates the δ bound.
-_SCAN_WINDOW = 32
-
-
-def hilbert_greedy_groups(
-    points: Sequence[Point],
-    delta: float,
-    world_lo: Sequence[float],
-    world_hi: Sequence[float],
-) -> List[List[Point]]:
-    """SA's partitioning (Section 4.1): walk points in Hilbert order and
-    append each to the first (most recent) existing group whose MBR stays
-    within diagonal δ; open a new group otherwise."""
-    if delta < 0:
-        raise ValueError("delta must be non-negative")
-    ordered = sorted(
-        points,
-        key=lambda p: (hilbert_key(p.coords, world_lo, world_hi), p.pid),
-    )
-    groups: List[List[Point]] = []
-    mbrs: List[MBR] = []
-    for point in ordered:
-        point_mbr = MBR.from_point(point)
-        placed = False
-        # Most-recent-first: Hilbert neighbors cluster at the tail.
-        for idx in range(len(groups) - 1, max(len(groups) - _SCAN_WINDOW, 0) - 1, -1):
-            candidate = mbrs[idx].union(point_mbr)
-            if candidate.diagonal <= delta:
-                groups[idx].append(point)
-                mbrs[idx] = candidate
-                placed = True
-                break
-        if not placed:
-            groups.append([point])
-            mbrs.append(point_mbr)
-    return groups
+# SA's provider partitioning now lives in the shared, solver-agnostic
+# :mod:`repro.partitioning` module (the shard planner reuses it); it is
+# re-exported here so the approximate solvers keep their historical API.
+__all__ = [
+    "hilbert_greedy_groups",
+    "CustomerGroup",
+    "rtree_customer_partition",
+]
 
 
 @dataclass

@@ -24,6 +24,7 @@ from repro.core.matching import Matching, SolverStats
 from repro.core.problem import CCAProblem, Provider
 from repro.experiments.config import PAPER_DEFAULTS
 from repro.geometry.point import Point
+from repro.partitioning import capacity_weighted_centroid
 
 DEFAULT_SA_DELTA = PAPER_DEFAULTS["sa_delta"]
 
@@ -81,10 +82,10 @@ class SAApproxSolver:
             buffer_fraction=problem.buffer_fraction,
         )
         concise_problem.attach_rtree(tree)
+        # cold_start=False keeps cumulative I/O accounting on the shared tree.
         concise_solver = IDASolver(
-            concise_problem, use_pua=True, backend=self.backend
+            concise_problem, use_pua=True, cold_start=False, backend=self.backend
         )
-        concise_solver.cold_start = False  # keep cumulative I/O accounting
         concise = concise_solver.solve()
         self.stats.extra["concise"] = concise_solver.stats
         self.stats.esub_edges = concise_solver.stats.esub_edges
@@ -119,11 +120,5 @@ class SAApproxSolver:
         capacities = [
             self.problem.providers[p.pid].capacity for p in members
         ]
-        total = sum(capacities)
-        if total > 0:
-            x = sum(p.x * k for p, k in zip(members, capacities)) / total
-            y = sum(p.y * k for p, k in zip(members, capacities)) / total
-        else:
-            x = sum(p.x for p in members) / len(members)
-            y = sum(p.y for p in members) / len(members)
-        return Provider(Point(rep_id, (x, y)), total)
+        x, y = capacity_weighted_centroid(members, capacities)
+        return Provider(Point(rep_id, (x, y)), sum(capacities))

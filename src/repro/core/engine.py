@@ -72,6 +72,10 @@ class IncrementalCCASolver:
             self.warm_start = True
         self.tree = problem.rtree()
         self.stats = SolverStats(method=self.method, gamma=self.net.gamma)
+        # Provenance for multi-backend setups (the sharded engine selects
+        # a kernel per shard; per-shard stats must say which one ran).
+        self.stats.extra["backend"] = self.backend.name
+        self.stats.extra["warm_start"] = self.warm_start
 
     # ------------------------------------------------------------------
     # public entry point

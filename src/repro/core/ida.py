@@ -66,6 +66,7 @@ class IDASolver(NIASolver):
         use_pua: bool = True,
         ann_group_size: int = 8,
         use_fast_path: bool = True,
+        cold_start: bool = True,
         backend="dict",
         net=None,
     ):
@@ -73,6 +74,7 @@ class IDASolver(NIASolver):
             problem,
             use_pua=use_pua,
             ann_group_size=ann_group_size,
+            cold_start=cold_start,
             backend=backend,
             net=net,
         )
@@ -160,9 +162,19 @@ class IDASolver(NIASolver):
     def _post_dijkstra(
         self, state: DijkstraState, popped: Optional[Tuple[int, Point, float]]
     ) -> None:
-        self._refresh_keys(state)
+        # Advance the popped provider's frontier BEFORE refreshing keys
+        # (lines 13-14): while its next-NN edge is missing from the heap,
+        # TopKey is inflated, and _refresh_keys would adopt labels above
+        # the true certification bound as "full-graph exact" reach
+        # estimates.  Those overestimates later over-bound the
+        # certification test, letting a non-shortest path augment and
+        # corrupt the potentials (surfacing as NegativeReducedCostError
+        # deep inside a later PUA repair).  The new edge still gets an
+        # up-to-date key: _refresh_keys re-pushes it if the adopted reach
+        # estimate of its provider improves.
         if popped is not None:
-            self._advance_frontier(popped[0])  # lines 13-14
+            self._advance_frontier(popped[0])
+        self._refresh_keys(state)
 
     def _pre_augment(self, state: DijkstraState) -> None:
         """Providers often become full at augmentation; re-key from the

@@ -35,10 +35,17 @@ class NIASolver(IncrementalCCASolver):
         problem: CCAProblem,
         use_pua: bool = True,
         ann_group_size: int = DEFAULT_ANN_GROUP_SIZE,
+        cold_start: bool = True,
         backend="dict",
         net=None,
     ):
-        super().__init__(problem, use_pua=use_pua, backend=backend, net=net)
+        super().__init__(
+            problem,
+            use_pua=use_pua,
+            cold_start=cold_start,
+            backend=backend,
+            net=net,
+        )
         self.ann_group_size = ann_group_size
         self._heap: List[Tuple[float, int, int]] = []  # (key, version, i)
         self._version: List[int] = []

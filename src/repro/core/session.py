@@ -112,6 +112,37 @@ class Matcher:
         self.last_was_warm = False
         self._last_matching: Optional[Matching] = None
 
+    @classmethod
+    def from_solved(
+        cls,
+        problem: CCAProblem,
+        net,
+        *,
+        backend: BackendLike = DEFAULT_BACKEND,
+        **kwargs,
+    ) -> "Matcher":
+        """Adopt an already-solved residual network as a warm session.
+
+        The sharded engine's reconciliation pass uses this to turn each
+        worker's finished per-shard solve into a live session (in the
+        parent process) without paying for a cold re-solve: ``net`` must be
+        the residual network of a completed solve of exactly ``problem``,
+        on the same ``backend``.  Deltas and warm re-assigns then work as
+        if the session had performed the solve itself.
+        """
+        if net.nq != len(problem.providers) or net.np != len(
+            problem.customers
+        ):
+            raise ValueError(
+                "solved network shape does not match the problem "
+                f"({net.nq}x{net.np} vs {len(problem.providers)}x"
+                f"{len(problem.customers)})"
+            )
+        session = cls(problem, backend=backend, **kwargs)
+        session.net = net
+        session._needs_cold = False
+        return session
+
     # ------------------------------------------------------------------
     # solving
     # ------------------------------------------------------------------
@@ -126,12 +157,13 @@ class Matcher:
             # Warm re-solves never fast-path: the lazy potential offsets
             # assume a pristine network (see module docstring).
             use_fast_path=False if warm else self.use_fast_path,
+            # The session's R-tree and buffer stay warm across calls; a
+            # measured cold start is a benchmarking concept, not a
+            # service one.
+            cold_start=False,
             backend=self.backend,
             net=self.net if warm else None,
         )
-        # The session's R-tree and buffer stay warm across calls; a
-        # measured cold start is a benchmarking concept, not a service one.
-        solver.cold_start = False
         matching = solver.solve()
         self.net = solver.net
         self._needs_cold = False

@@ -12,6 +12,7 @@ from repro.core.matching import Matching
 from repro.core.nia import NIASolver
 from repro.core.problem import CCAProblem
 from repro.core.ria import RIASolver
+from repro.core.shard import SHARD_METHODS, solve_sharded
 from repro.core.sm import SMSolver
 from repro.experiments.config import PAPER_DEFAULTS
 from repro.flow.backend import BackendLike, DEFAULT_BACKEND
@@ -30,6 +31,9 @@ def solve(
     use_fast_path: bool = True,
     ann_group_size: int = 8,
     backend: BackendLike = DEFAULT_BACKEND,
+    shards: int = 1,
+    workers: Optional[int] = None,
+    router: str = "nearest",
 ) -> Matching:
     """Solve a CCA instance.
 
@@ -45,6 +49,7 @@ def solve(
     delta:
         SA/CA partition diagonal δ (defaults: the paper's sweet spots from
         ``experiments.config.PAPER_DEFAULTS`` — 40 for SA, 10 for CA).
+        With ``shards > 1`` it doubles as the shard-planning diagonal.
     use_pua / use_fast_path / ann_group_size:
         Optimization toggles for NIA/IDA (Section 3.3-3.4), exposed for
         ablation studies.
@@ -52,8 +57,33 @@ def solve(
         Flow-kernel selector (``"dict"`` reference or ``"array"``
         columnar kernel; see :mod:`repro.flow.backend`).  Both return
         identical matchings; ``array`` is faster at scale.
+    shards / workers / router:
+        ``shards > 1`` routes exact methods through the sharded parallel
+        engine (:mod:`repro.core.shard`): the instance is decomposed into
+        provider-disjoint spatial shards solved concurrently by
+        ``workers`` processes and reconciled.  ``shards=1`` (default) is
+        the plain serial solver.
     """
     method = method.lower()
+    if shards != 1:
+        if method not in SHARD_METHODS:
+            raise ValueError(
+                f"shards={shards} requires an incremental exact method "
+                f"{SHARD_METHODS}, got {method!r}"
+            )
+        return solve_sharded(
+            problem,
+            shards,
+            workers=workers,
+            method=method,
+            router=router,
+            delta=delta,
+            backend=backend,
+            use_pua=use_pua,
+            ann_group_size=ann_group_size,
+            use_fast_path=use_fast_path,
+            theta=theta,
+        )
     if method == "sspa":
         return SSPASolver(problem, backend=backend).solve()
     if method == "ria":

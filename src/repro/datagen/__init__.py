@@ -7,20 +7,28 @@ concentrated in 10 dense clusters and 20% spread uniformly, normalized to a
 redistributable here, so :mod:`repro.datagen.network` synthesizes a road
 network with the same role (a connected, locally-structured edge set) and
 :mod:`repro.datagen.generator` reproduces the point-placement protocol on
-top of it.  All randomness is seeded.
+top of it.
+
+All randomness flows through explicit ``numpy.random.Generator`` streams
+derived with SeedSequence (:func:`~repro.datagen.generator.derive_rng`,
+:func:`~repro.datagen.generator.spawn_rngs`) — no module-level RNG state —
+so generation is deterministic per call and safe under multiprocessing.
 """
 
-from repro.datagen.network import RoadNetwork, build_road_network
 from repro.datagen.generator import (
-    generate_points,
     clustered_points,
+    derive_rng,
+    generate_points,
+    spawn_rngs,
     uniform_points,
 )
+from repro.datagen.network import RoadNetwork, build_road_network
 from repro.datagen.workloads import (
-    make_problem,
-    make_capacities,
-    WORLD_LO,
     WORLD_HI,
+    WORLD_LO,
+    make_capacities,
+    make_problem,
+    make_separated_problem,
 )
 
 __all__ = [
@@ -29,8 +37,11 @@ __all__ = [
     "generate_points",
     "clustered_points",
     "uniform_points",
+    "derive_rng",
+    "spawn_rngs",
     "make_problem",
     "make_capacities",
+    "make_separated_problem",
     "WORLD_LO",
     "WORLD_HI",
 ]

@@ -11,7 +11,8 @@ Two distributions, as in Section 5.1:
 
 from __future__ import annotations
 
-from typing import Optional
+import hashlib
+from typing import List, Optional, Union
 
 import numpy as np
 from scipy.spatial import cKDTree
@@ -21,6 +22,51 @@ from repro.datagen.network import RoadNetwork
 DEFAULT_CLUSTERS = 10
 DEFAULT_CLUSTER_FRACTION = 0.8
 DEFAULT_CLUSTER_SIGMA = 30.0
+
+
+# ----------------------------------------------------------------------
+# process-safe RNG derivation
+# ----------------------------------------------------------------------
+# Every function in this package threads an explicit
+# ``numpy.random.Generator``; nothing reads or mutates NumPy's legacy
+# global RNG state.  That makes generation deterministic *per call* and
+# therefore safe under multiprocessing: a shard worker that rebuilds an
+# instance from ``(seed, key)`` gets bit-identical coordinates to the
+# parent, regardless of fork/spawn start method or scheduling order.
+
+
+def derive_rng(
+    seed: int, *key: Union[int, str]
+) -> np.random.Generator:
+    """A deterministic, collision-resistant generator for ``(seed, *key)``.
+
+    Distinct keys give statistically independent streams (SeedSequence
+    spawn-key semantics); string keys are hashed stably so call sites can
+    name their streams (``derive_rng(seed, "providers", shard)``).
+    """
+    spawn_key = tuple(
+        int.from_bytes(
+            hashlib.sha256(part.encode("utf-8")).digest()[:8], "big"
+        )
+        if isinstance(part, str)
+        else int(part)
+        for part in key
+    )
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=int(seed), spawn_key=spawn_key)
+    )
+
+
+def spawn_rngs(seed: int, n: int) -> List[np.random.Generator]:
+    """``n`` independent child generators of ``seed`` (one per shard
+    worker), via ``SeedSequence.spawn`` — the NumPy-recommended way to
+    seed parallel workers without stream overlap."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return [
+        np.random.default_rng(child)
+        for child in np.random.SeedSequence(int(seed)).spawn(n)
+    ]
 
 
 def uniform_points(

@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
+import math
 from functools import lru_cache
-from typing import Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.problem import CCAProblem
-from repro.datagen.generator import generate_points
+from repro.datagen.generator import derive_rng, generate_points
 from repro.datagen.network import RoadNetwork, build_road_network
 
 WORLD_LO = (0.0, 0.0)
@@ -48,15 +49,24 @@ def make_problem(
     network_seed: int = 7,
     page_size: int = 1024,
     buffer_fraction: float = 0.01,
+    rng: Optional[np.random.Generator] = None,
 ) -> CCAProblem:
     """Build a Section-5-style CCA instance.
 
     ``dist_q``/``dist_p`` choose the provider/customer distributions
     ('uniform'/'clustered'), reproducing the UvsU..CvsC grid of Figures 13
-    and 18.  The road network is cached across calls (same grid/seed).
+    and 18.  The road network is cached across calls (same grid/seed; the
+    cache is per-process but deterministic in its arguments, so worker
+    processes rebuild identical networks).
+
+    All randomness flows through an explicit ``numpy.random.Generator``
+    (pass ``rng`` to supply your own stream, e.g. one spawned per shard
+    worker via :func:`repro.datagen.generator.spawn_rngs`); with the
+    default ``rng=None`` the instance is a pure function of ``seed``.
     """
     network = _shared_network(network_grid, network_seed)
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     # Both sets cluster over the SAME dense districts (Section 5.1 places
     # Q and P on one map): one shared center draw per instance.
     centers_rng = np.random.default_rng((seed, network_seed, 77))
@@ -78,6 +88,67 @@ def make_problem(
         provider_xy,
         capacities,
         customer_xy,
+        page_size=page_size,
+        buffer_fraction=buffer_fraction,
+    )
+
+
+def make_separated_problem(
+    clusters: int = 4,
+    nq_per: int = 12,
+    np_per: int = 250,
+    k: int = 80,
+    spread: float = 25.0,
+    separation: float = 500.0,
+    seed: int = 0,
+    page_size: int = 1024,
+    buffer_fraction: float = 0.01,
+) -> CCAProblem:
+    """A provider-disjoint shardable workload: well-separated clusters.
+
+    Each cluster holds ``nq_per`` providers and ``np_per`` customers drawn
+    Gaussian around a grid center, with per-cluster capacity covering the
+    whole per-cluster demand (``k·nq_per ≥ np_per``) and inter-cluster
+    ``separation`` dwarfing the intra-cluster ``spread``.  Under those two
+    conditions the global optimum never matches across clusters, so the
+    sharded engine with ``shards=clusters`` must reproduce the serial
+    optimum exactly — the correctness gate ``benchmarks/bench_shard.py``
+    asserts in CI.
+
+    Per-cluster points come from independently spawned SeedSequence
+    streams (:func:`~repro.datagen.generator.derive_rng`), so the instance
+    is reproducible from ``seed`` alone in any process.
+    """
+    if clusters < 1:
+        raise ValueError("clusters must be positive")
+    if k * nq_per < np_per:
+        raise ValueError(
+            "per-cluster capacity must cover per-cluster demand "
+            f"(k*nq_per = {k * nq_per} < np_per = {np_per}); the "
+            "separated workload's exactness argument requires it"
+        )
+    cols = int(math.ceil(math.sqrt(clusters)))
+    provider_parts = []
+    customer_parts = []
+    for c in range(clusters):
+        center = np.array(
+            [
+                (c % cols) * separation + separation / 2.0,
+                (c // cols) * separation + separation / 2.0,
+            ]
+        )
+        q_rng = derive_rng(seed, "separated-providers", c)
+        p_rng = derive_rng(seed, "separated-customers", c)
+        provider_parts.append(
+            center + q_rng.normal(0.0, spread, (nq_per, 2))
+        )
+        customer_parts.append(
+            center + p_rng.normal(0.0, spread, (np_per, 2))
+        )
+    return CCAProblem.from_arrays(
+        np.concatenate(provider_parts, axis=0),
+        [int(k)] * (clusters * nq_per),
+        np.concatenate(customer_parts, axis=0),
         page_size=page_size,
         buffer_fraction=buffer_fraction,
     )

@@ -19,8 +19,15 @@ def run_method(
     delta: Optional[float] = None,
     io_penalty_s: float = PAPER_DEFAULTS["io_penalty_s"],
     backend: str = "dict",
+    shards: int = 1,
+    workers: Optional[int] = None,
+    router: str = "nearest",
 ) -> MethodResult:
-    """Solve ``problem`` with ``method`` and record a result row."""
+    """Solve ``problem`` with ``method`` and record a result row.
+
+    ``shards > 1`` routes exact methods through the sharded parallel
+    engine (``workers`` processes, ``router`` customer routing).
+    """
     # Imported here, not at module level: repro.core.solve pulls its
     # SA/CA delta defaults from experiments.config, so a module-level
     # import would be circular through the package __init__.
@@ -29,7 +36,8 @@ def run_method(
     if theta is None:
         theta = default_theta(len(problem.customers))
     matching = solve(problem, method, theta=theta, delta=delta,
-                     backend=backend)
+                     backend=backend, shards=shards, workers=workers,
+                     router=router)
     stats = matching.stats
     stats.io.io_penalty_s = io_penalty_s
     result = MethodResult(

@@ -466,6 +466,9 @@ class ArrayFlowNetwork(CCAFlowNetwork):
             total += self.e_dist[eid] * flow
         return total
 
+    # spare_capacity() is inherited from CCAFlowNetwork: q_cap/q_used are
+    # plain lists in both kernels, so the base accounting applies as-is.
+
 
 class ArrayDijkstraState(DijkstraState):
     """Vectorized Dijkstra over :class:`ArrayFlowNetwork` columns.

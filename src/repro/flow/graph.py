@@ -546,6 +546,12 @@ class CCAFlowNetwork:
             entry[0] * entry[2] for entry in self.edges.values()
         )
 
+    def spare_capacity(self) -> int:
+        """Total unused provider capacity Σ (q.k − used) — the headroom the
+        sharded engine's reconciliation pass checks before moving a
+        customer into this network's shard."""
+        return sum(self.q_cap) - sum(self.q_used)
+
 
 def _nonneg(x: float) -> float:
     """Clamp float noise; a genuinely negative reduced cost is a bug."""

@@ -27,7 +27,7 @@ class MBR:
         hi_t = tuple(float(c) for c in hi)
         if len(lo_t) != len(hi_t):
             raise ValueError("lo/hi dimensionality mismatch")
-        if any(l > h for l, h in zip(lo_t, hi_t)):
+        if any(low > high for low, high in zip(lo_t, hi_t)):
             raise ValueError(f"inverted MBR bounds: lo={lo_t} hi={hi_t}")
         self.lo: Tuple[float, ...] = lo_t
         self.hi: Tuple[float, ...] = hi_t
@@ -72,23 +72,25 @@ class MBR:
     @property
     def diagonal(self) -> float:
         """Length of the main diagonal (the δ criterion of Section 4)."""
-        return math.sqrt(sum((h - l) ** 2 for l, h in zip(self.lo, self.hi)))
+        return math.sqrt(
+            sum((h - low) ** 2 for low, h in zip(self.lo, self.hi))
+        )
 
     @property
     def center(self) -> Tuple[float, ...]:
-        return tuple((l + h) / 2.0 for l, h in zip(self.lo, self.hi))
+        return tuple((low + h) / 2.0 for low, h in zip(self.lo, self.hi))
 
     @property
     def area(self) -> float:
         product = 1.0
-        for l, h in zip(self.lo, self.hi):
-            product *= h - l
+        for low, h in zip(self.lo, self.hi):
+            product *= h - low
         return product
 
     @property
     def margin(self) -> float:
         """Sum of side lengths (used by split heuristics)."""
-        return sum(h - l for l, h in zip(self.lo, self.hi))
+        return sum(h - low for low, h in zip(self.lo, self.hi))
 
     def side(self, axis: int) -> float:
         return self.hi[axis] - self.lo[axis]
@@ -102,7 +104,7 @@ class MBR:
     # ------------------------------------------------------------------
     def contains_point(self, point: Point) -> bool:
         return all(
-            l <= c <= h for l, c, h in zip(self.lo, point.coords, self.hi)
+            low <= c <= h for low, c, h in zip(self.lo, point.coords, self.hi)
         )
 
     def contains_mbr(self, other: "MBR") -> bool:

@@ -1,0 +1,123 @@
+"""Solver-agnostic spatial partitioning primitives.
+
+The paper's approximation algorithms (Section 4) and the sharded parallel
+engine (:mod:`repro.core.shard`) decompose the plane the same way: walk
+items along the Hilbert curve and greedily grow groups whose MBR diagonal
+stays within a quality knob ``δ``, then optionally bundle adjacent groups
+into coarser units.  This module hosts those primitives so SA/CA and the
+shard planner share one implementation instead of re-deriving it.
+
+Everything here is pure geometry over :class:`~repro.geometry.point.Point`
+sequences — no solver, R-tree, or I/O dependencies — which keeps the
+functions safe to call from worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+from repro.hilbert.curve import hilbert_key
+
+# Greedy placement only looks back this many groups along the Hilbert walk.
+# Curve locality makes farther groups near-certain misses; the window keeps
+# partitioning O(n·W) instead of O(n²) and never violates the δ bound.
+SCAN_WINDOW = 32
+
+
+def hilbert_sorted(
+    points: Sequence[Point],
+    world_lo: Sequence[float],
+    world_hi: Sequence[float],
+) -> List[Point]:
+    """Points ordered along the Hilbert curve (ties broken by pid)."""
+    return sorted(
+        points,
+        key=lambda p: (hilbert_key(p.coords, world_lo, world_hi), p.pid),
+    )
+
+
+def hilbert_greedy_groups(
+    points: Sequence[Point],
+    delta: float,
+    world_lo: Sequence[float],
+    world_hi: Sequence[float],
+) -> List[List[Point]]:
+    """SA's partitioning (Section 4.1): walk points in Hilbert order and
+    append each to the first (most recent) existing group whose MBR stays
+    within diagonal δ; open a new group otherwise."""
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    ordered = hilbert_sorted(points, world_lo, world_hi)
+    groups: List[List[Point]] = []
+    mbrs: List[MBR] = []
+    for point in ordered:
+        point_mbr = MBR.from_point(point)
+        placed = False
+        # Most-recent-first: Hilbert neighbors cluster at the tail.
+        for idx in range(len(groups) - 1, max(len(groups) - SCAN_WINDOW, 0) - 1, -1):
+            candidate = mbrs[idx].union(point_mbr)
+            if candidate.diagonal <= delta:
+                groups[idx].append(point)
+                mbrs[idx] = candidate
+                placed = True
+                break
+        if not placed:
+            groups.append([point])
+            mbrs.append(point_mbr)
+    return groups
+
+
+def balanced_bundles(
+    weights: Sequence[float], num_bundles: int
+) -> List[Tuple[int, int]]:
+    """Split a sequence into ≤ ``num_bundles`` contiguous runs of roughly
+    equal total weight.
+
+    Returns half-open index ranges ``(start, end)``.  The greedy sweep
+    closes a run once its cumulative weight reaches the ideal prefix
+    quota, which keeps every run non-empty and the heaviest run within
+    one item of optimal for the contiguous-partition problem — good
+    enough for load-balancing shard capacities along the Hilbert walk.
+    """
+    if num_bundles < 1:
+        raise ValueError("num_bundles must be positive")
+    n = len(weights)
+    if n == 0:
+        return []
+    num_bundles = min(num_bundles, n)
+    total = float(sum(weights))
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    acc = 0.0
+    for idx, weight in enumerate(weights):
+        acc += float(weight)
+        bundles_left = num_bundles - len(ranges)
+        items_left = n - idx - 1
+        # Close the run at the ideal prefix quota, but never strand more
+        # runs than there are items left to seed them with.
+        quota = total * (len(ranges) + 1) / num_bundles
+        if (acc >= quota and bundles_left > 1) or items_left < bundles_left - 1:
+            ranges.append((start, idx + 1))
+            start = idx + 1
+    if start < n:
+        ranges.append((start, n))
+    return ranges
+
+
+def capacity_weighted_centroid(
+    points: Sequence[Point], capacities: Sequence[int]
+) -> Tuple[float, float]:
+    """The capacity-weighted centroid used for SA group representatives
+    (plain centroid when the group's total capacity is zero)."""
+    if not points:
+        raise ValueError("centroid of an empty group is undefined")
+    total = sum(capacities)
+    if total > 0:
+        x = sum(p.x * k for p, k in zip(points, capacities)) / total
+        y = sum(p.y * k for p, k in zip(points, capacities)) / total
+    else:
+        x = sum(p.x for p in points) / len(points)
+        y = sum(p.y for p in points) / len(points)
+    return x, y

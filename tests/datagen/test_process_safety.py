@@ -1,0 +1,118 @@
+"""Determinism of data generation under multiprocessing.
+
+The shard engine's workers may rebuild instances from ``(seed, key)``; the
+SeedSequence-based RNG derivation must give them bit-identical coordinates
+to the parent, with no reliance on inherited module or global RNG state.
+The tests use the ``spawn`` start method — the strictest case: children
+re-import everything from scratch.
+"""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.datagen.generator import derive_rng, spawn_rngs
+from repro.datagen.workloads import make_problem, make_separated_problem
+
+
+def _points_fingerprint(seed):
+    problem = make_problem(nq=6, np_=80, k=10, seed=seed, network_grid=8)
+    return (
+        [tuple(q.point.coords) for q in problem.providers],
+        [tuple(p.point.coords) for p in problem.customers],
+        [q.capacity for q in problem.providers],
+    )
+
+
+def _separated_fingerprint(seed):
+    problem = make_separated_problem(
+        clusters=2, nq_per=3, np_per=20, k=8, seed=seed
+    )
+    return (
+        [tuple(q.point.coords) for q in problem.providers],
+        [tuple(p.point.coords) for p in problem.customers],
+    )
+
+
+def _derive_fingerprint(args):
+    seed, key = args
+    return derive_rng(seed, *key).random(8).tolist()
+
+
+class TestDeriveRng:
+    def test_deterministic(self):
+        a = derive_rng(7, "providers", 3).random(16)
+        b = derive_rng(7, "providers", 3).random(16)
+        assert np.array_equal(a, b)
+
+    def test_distinct_keys_distinct_streams(self):
+        a = derive_rng(7, "providers", 0).random(16)
+        b = derive_rng(7, "providers", 1).random(16)
+        c = derive_rng(7, "customers", 0).random(16)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_spawn_rngs_independent_and_stable(self):
+        first = [rng.random(4).tolist() for rng in spawn_rngs(11, 3)]
+        second = [rng.random(4).tolist() for rng in spawn_rngs(11, 3)]
+        assert first == second
+        assert first[0] != first[1]
+
+    def test_spawn_rngs_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestSubprocessDeterminism:
+    """Workers must reproduce the parent's instances bit-for-bit."""
+
+    def _pool(self):
+        return ProcessPoolExecutor(
+            max_workers=2,
+            mp_context=multiprocessing.get_context("spawn"),
+        )
+
+    def test_make_problem_identical_across_processes(self):
+        parent = [_points_fingerprint(s) for s in (0, 1)]
+        with self._pool() as pool:
+            children = list(pool.map(_points_fingerprint, (0, 1)))
+        assert parent == children
+
+    def test_separated_problem_identical_across_processes(self):
+        parent = [_separated_fingerprint(s) for s in (0, 3)]
+        with self._pool() as pool:
+            children = list(pool.map(_separated_fingerprint, (0, 3)))
+        assert parent == children
+
+    def test_derive_rng_identical_across_processes(self):
+        jobs = [(5, ("shard", i)) for i in range(3)]
+        parent = [_derive_fingerprint(j) for j in jobs]
+        with self._pool() as pool:
+            children = list(pool.map(_derive_fingerprint, jobs))
+        assert parent == children
+
+
+class TestSeparatedWorkload:
+    def test_capacity_must_cover_demand(self):
+        with pytest.raises(ValueError):
+            make_separated_problem(clusters=2, nq_per=2, np_per=50, k=10)
+
+    def test_shapes_and_capacities(self):
+        problem = make_separated_problem(
+            clusters=3, nq_per=4, np_per=30, k=10, seed=2
+        )
+        assert len(problem.providers) == 12
+        assert len(problem.customers) == 90
+        assert all(q.capacity == 10 for q in problem.providers)
+
+    def test_clusters_are_separated(self):
+        problem = make_separated_problem(
+            clusters=2, nq_per=3, np_per=20, k=8, spread=10.0,
+            separation=400.0, seed=0,
+        )
+        xs = np.array([q.point.x for q in problem.providers])
+        # Two tight blobs around x=200 and x=600.
+        assert (np.abs(xs - 200.0) < 100.0).sum() == 3
+        assert (np.abs(xs - 600.0) < 100.0).sum() == 3

@@ -1,7 +1,5 @@
 """Experiment configuration tests."""
 
-import math
-
 import pytest
 
 from repro.experiments.config import (

@@ -43,7 +43,9 @@ class TestBehaviour:
         assert pairs == [(0, 0, 1.0)]
 
     def test_matching_size_is_gamma(self):
-        d = lambda i, j: 1.0
+        def d(i, j):
+            return 1.0
+
         assert len(oracle_lsa([2, 2], [1] * 10, d)) == 4
         assert len(oracle_lsa([9], [1] * 3, d)) == 3
 

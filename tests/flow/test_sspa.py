@@ -40,7 +40,6 @@ class TestPaperExample:
         assert all(t >= 0 for t in net.p_tau)
 
     def test_first_path_cost_is_three(self):
-        costs = []
         from repro.flow.dijkstra import DijkstraState
         from repro.flow.graph import CCAFlowNetwork
 

@@ -1,7 +1,5 @@
 """Unit tests for repro.geometry.mbr."""
 
-import math
-
 import pytest
 
 from repro.geometry.mbr import MBR

@@ -1,7 +1,5 @@
 """Unit tests for repro.geometry.point."""
 
-import math
-
 import pytest
 
 from repro.geometry.point import Point

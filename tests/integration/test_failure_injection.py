@@ -5,8 +5,6 @@ import pytest
 
 from repro.core.problem import CCAProblem
 from repro.core.solve import solve
-from repro.rtree.tree import RTree
-from repro.storage.buffer import LRUBufferPool
 from repro.storage.page import PageManager
 from tests.conftest import random_problem
 

@@ -1,7 +1,5 @@
 """Query correctness against brute force."""
 
-import math
-
 import numpy as np
 import pytest
 

@@ -1,8 +1,6 @@
 """Unit tests for R-tree maintenance (insert / delete / integrity)."""
 
 import numpy as np
-import pytest
-
 from repro.geometry.point import Point
 from repro.rtree.tree import RTree
 

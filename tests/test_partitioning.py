@@ -1,0 +1,93 @@
+"""Tests for the shared, solver-agnostic partitioning primitives."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+from repro.partitioning import (
+    balanced_bundles,
+    capacity_weighted_centroid,
+    hilbert_greedy_groups,
+    hilbert_sorted,
+)
+
+
+def random_points(n, seed=0, world=1000.0):
+    rng = np.random.default_rng(seed)
+    return [Point(i, rng.random(2) * world) for i in range(n)]
+
+
+class TestHilbertSorted:
+    def test_is_a_permutation(self):
+        pts = random_points(50, seed=4)
+        ordered = hilbert_sorted(pts, (0, 0), (1000, 1000))
+        assert sorted(p.pid for p in ordered) == list(range(50))
+
+    def test_deterministic(self):
+        pts = random_points(50, seed=4)
+        a = hilbert_sorted(pts, (0, 0), (1000, 1000))
+        b = hilbert_sorted(list(reversed(pts)), (0, 0), (1000, 1000))
+        assert [p.pid for p in a] == [p.pid for p in b]
+
+
+class TestSharedHilbertGreedy:
+    def test_same_function_as_approx_module(self):
+        # core/approx/partition re-exports the shared implementation —
+        # SA and the shard planner must partition identically.
+        from repro.core.approx import partition
+
+        assert partition.hilbert_greedy_groups is hilbert_greedy_groups
+
+    def test_groups_respect_delta(self):
+        pts = random_points(120, seed=5)
+        groups = hilbert_greedy_groups(pts, 80.0, (0, 0), (1000, 1000))
+        for g in groups:
+            assert MBR.from_points(g).diagonal <= 80.0 + 1e-9
+
+
+class TestBalancedBundles:
+    def test_contiguous_cover(self):
+        ranges = balanced_bundles([1, 2, 3, 4, 5], 3)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 5
+        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+            assert end == start
+
+    def test_bundle_count_capped_by_items(self):
+        assert len(balanced_bundles([1, 1], 5)) == 2
+        assert balanced_bundles([], 3) == []
+
+    def test_every_bundle_nonempty(self):
+        for n_items in range(1, 12):
+            for k in range(1, 8):
+                ranges = balanced_bundles([1.0] * n_items, k)
+                assert len(ranges) == min(k, n_items)
+                assert all(end > start for start, end in ranges)
+
+    def test_balances_weight(self):
+        rng = np.random.default_rng(6)
+        weights = rng.integers(1, 10, 40).tolist()
+        ranges = balanced_bundles(weights, 4)
+        sums = [sum(weights[s:e]) for s, e in ranges]
+        # Greedy contiguous balance: heaviest bundle within one max item
+        # of the ideal quarter.
+        assert max(sums) <= sum(weights) / 4 + max(weights)
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            balanced_bundles([1], 0)
+
+
+class TestCentroid:
+    def test_capacity_weighted(self):
+        pts = [Point(0, (0.0, 0.0)), Point(1, (10.0, 0.0))]
+        assert capacity_weighted_centroid(pts, [1, 3]) == (7.5, 0.0)
+
+    def test_zero_capacity_falls_back_to_mean(self):
+        pts = [Point(0, (0.0, 0.0)), Point(1, (10.0, 4.0))]
+        assert capacity_weighted_centroid(pts, [0, 0]) == (5.0, 2.0)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            capacity_weighted_centroid([], [])
