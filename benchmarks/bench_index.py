@@ -1,0 +1,222 @@
+"""Index-backend benchmark: pointer vs packed R-tree on Fig. 10's default.
+
+Measures three things at the Fig. 10 paper-default point (|Q| = 1000,
+|P| = 100K paper units, k = 80, scaled linearly):
+
+* **build** — bulk-loading the customer index (STR both ways; the packed
+  loader writes flat arrays instead of node objects).
+* **NN-stream throughput** — draining the Algorithm 6 grouped incremental
+  ANN streams round-robin across every provider, at several group sizes.
+  This is the edge-supply hot path NIA/IDA/SM sit on, and the number the
+  packed backend exists for.
+* **end-to-end IDA** — a full solve, where the flow kernel and
+  certification share the bill with the index.
+
+Correctness gates (asserted, CI-safe): both backends must report the
+**identical NN sequence**, charge identical page faults, and produce
+bit-identical IDA costs.  Speedup thresholds are *recorded* in
+``BENCH_index.json``, not asserted — shared CI runners are too noisy for
+timing gates (same policy as bench_kernel/bench_shard).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_index.py \
+        [--out BENCH_index.json] [--scale 0.05] [--seed 0] \
+        [--draws 400] [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import time
+
+from repro.core.ida import IDASolver
+from repro.datagen.workloads import make_problem
+from repro.experiments.config import PAPER_DEFAULTS, scaled
+from repro.rtree.backend import get_index_backend, index_info
+
+BACKEND_ORDER = ("pointer", "packed")
+GROUP_SIZES = (1, 8, 32)  # paper default 8, plus the ablation endpoints
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def bench_build(problem, repeats):
+    """Best-of-N bulk-load time per backend (same points, cold manager)."""
+    points = problem.customer_points()
+    out = {}
+    infos = {}
+    for name in BACKEND_ORDER:
+        backend = get_index_backend(name)
+        best = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            tree = backend.build(
+                points,
+                page_size=problem.page_size,
+                buffer_fraction=problem.buffer_fraction,
+            )
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        out[name] = best
+        infos[name] = index_info(tree)
+    if (infos["pointer"]["pages"], infos["pointer"]["height"]) != (
+        infos["packed"]["pages"],
+        infos["packed"]["height"],
+    ):
+        raise AssertionError(f"structure divergence: {infos}")
+    return out, infos["packed"]
+
+
+def bench_streams(problem, group_size, draws, repeats):
+    """Round-robin NN-stream drain; asserts identical sequences/faults."""
+    providers = [q.point for q in problem.providers]
+    row = {"group_size": group_size, "seconds": {}, "throughput": {}}
+    reference = None
+    for name in BACKEND_ORDER:
+        tree = problem.rtree(index_backend=name)
+        backend = get_index_backend(name)
+        best = None
+        for _ in range(repeats):
+            tree.cold()
+            started = time.perf_counter()
+            ann = backend.grouped_ann(tree, providers, group_size=group_size)
+            sequence = []
+            for _ in range(draws):
+                for q in providers:
+                    p = ann.next_nn(q.pid)
+                    if p is not None:
+                        sequence.append(p.pid)
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        signature = (sequence, tree.stats.faults)
+        if reference is None:
+            reference = signature
+            row["nns"] = len(sequence)
+            row["faults"] = tree.stats.faults
+        elif signature != reference:
+            raise AssertionError(
+                f"NN-stream divergence at group_size={group_size}: "
+                f"faults {tree.stats.faults} vs {reference[1]}"
+            )
+        row["seconds"][name] = best
+        row["throughput"][name] = len(sequence) / best
+    row["speedup"] = row["seconds"]["pointer"] / row["seconds"]["packed"]
+    return row
+
+
+def bench_end_to_end(problem_factory, flow_backend):
+    """Full IDA solve per index backend; asserts bit-identical results."""
+    out = {"seconds": {}}
+    reference = None
+    for name in BACKEND_ORDER:
+        problem = problem_factory()
+        problem.rtree(index_backend=name)  # setup, not measured work
+        started = time.perf_counter()
+        solver = IDASolver(problem, backend=flow_backend, index_backend=name)
+        matching = solver.solve()
+        out["seconds"][name] = time.perf_counter() - started
+        signature = (
+            matching.cost,
+            solver.stats.esub_edges,
+            solver.stats.io.faults,
+        )
+        if reference is None:
+            reference = signature
+            out["cost"] = matching.cost
+            out["esub"] = solver.stats.esub_edges
+            out["io_faults"] = solver.stats.io.faults
+        elif signature != reference:
+            raise AssertionError(
+                f"end-to-end divergence: {signature} != {reference}"
+            )
+    out["speedup"] = out["seconds"]["pointer"] / out["seconds"]["packed"]
+    return out
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_index.json")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="linear scale on |Q| and |P| (default 0.05)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--draws", type=int, default=400,
+                        help="NNs drawn per provider per stream drain "
+                             "(default %(default)s)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats, best-of (default %(default)s)")
+    parser.add_argument("--flow-backend", default="array",
+                        help="flow kernel for the end-to-end solve "
+                             "(default %(default)s, so index work is not "
+                             "drowned by the dict kernel)")
+    args = parser.parse_args(argv)
+
+    nq = scaled(PAPER_DEFAULTS["nq"], args.scale, minimum=2)
+    np_ = scaled(PAPER_DEFAULTS["np"], args.scale, minimum=50)
+    k = PAPER_DEFAULTS["k"]
+    draws = min(args.draws, np_)
+
+    def problem_factory():
+        return make_problem(nq=nq, np_=np_, k=k, seed=args.seed)
+
+    problem = problem_factory()
+    print(f"[bench_index] fig10 paper-default point: |Q|={nq} |P|={np_} "
+          f"k={k} (scale {args.scale})")
+
+    build_s, structure = bench_build(problem, args.repeats)
+    print(f"[bench_index] build: pointer {build_s['pointer']:.3f}s, "
+          f"packed {build_s['packed']:.3f}s "
+          f"({build_s['pointer'] / build_s['packed']:.2f}x); "
+          f"pages={structure['pages']} height={structure['height']}")
+
+    stream_rows = []
+    for group_size in GROUP_SIZES:
+        row = bench_streams(problem, group_size, draws, args.repeats)
+        stream_rows.append(row)
+        print(f"[bench_index] ann group_size={group_size}: "
+              f"{row['seconds']['pointer']:.3f}s -> "
+              f"{row['seconds']['packed']:.3f}s "
+              f"({row['speedup']:.2f}x, {row['nns']} NNs, "
+              f"{row['faults']} faults)")
+
+    end_to_end = bench_end_to_end(problem_factory, args.flow_backend)
+    print(f"[bench_index] end-to-end ida/{args.flow_backend}: "
+          f"{end_to_end['seconds']['pointer']:.2f}s -> "
+          f"{end_to_end['seconds']['packed']:.2f}s "
+          f"({end_to_end['speedup']:.2f}x)")
+
+    report = {
+        "workload": "fig10 paper-default point (|Q|=1000, |P|=100K paper "
+                    "units, k=80)",
+        "backends": list(BACKEND_ORDER),
+        "scale": args.scale,
+        "seed": args.seed,
+        "nq": nq,
+        "np": np_,
+        "k": k,
+        "draws_per_provider": draws,
+        "repeats": args.repeats,
+        "structure": structure,
+        "build_s": build_s,
+        "build_speedup": build_s["pointer"] / build_s["packed"],
+        "ann_streams": stream_rows,
+        "ann_stream_speedup_geomean": geomean(
+            [row["speedup"] for row in stream_rows]
+        ),
+        "end_to_end": end_to_end,
+        "flow_backend": args.flow_backend,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"[bench_index] NN-stream speedup geomean "
+          f"{report['ann_stream_speedup_geomean']:.2f}x over group sizes "
+          f"{list(GROUP_SIZES)} -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,12 @@ from repro.core.session import Matcher
 from repro.core.shard import ShardPlan, plan_shards, solve_sharded
 from repro.core.solve import APPROX_METHODS, EXACT_METHODS, solve
 from repro.flow.backend import BACKENDS, DEFAULT_BACKEND, get_backend
+from repro.geometry.pointset import PointSet
+from repro.rtree.backend import (
+    DEFAULT_INDEX_BACKEND,
+    INDEX_BACKENDS,
+    get_index_backend,
+)
 
 __version__ = "1.2.0"
 
@@ -47,5 +53,9 @@ __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND",
     "get_backend",
+    "PointSet",
+    "INDEX_BACKENDS",
+    "DEFAULT_INDEX_BACKEND",
+    "get_index_backend",
     "__version__",
 ]

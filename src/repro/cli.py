@@ -6,6 +6,7 @@ Examples::
     repro-cca table2
     repro-cca figure fig9 --scale 0.05 --seed 0
     repro-cca solve --nq 50 --np 5000 --k 80 --method ida
+    repro-cca index-info --np 5000 --index-backend packed
     repro-cca generate --n 1000 --distribution clustered --out points.csv
 """
 
@@ -22,11 +23,12 @@ from repro.core.shard import ROUTERS
 from repro.datagen.generator import generate_points
 from repro.datagen.network import build_road_network
 from repro.datagen.workloads import make_problem
-from repro.experiments.config import DEFAULT_SCALE
+from repro.experiments.config import DEFAULT_SCALE, PAPER_DEFAULTS
 from repro.experiments.figures import FIGURES, run_figure
 from repro.experiments.harness import run_method
 from repro.experiments.report import format_figure_report, format_table2
 from repro.flow.backend import BACKENDS
+from repro.rtree.backend import INDEX_BACKENDS, index_info
 
 
 def _cmd_list(_args) -> int:
@@ -106,6 +108,8 @@ def _cmd_solve(args) -> int:
         args.method,
         sweep_label="cli",
         backend=args.backend,
+        index_backend=args.index_backend,
+        ann_group_size=args.ann_group_size,
         shards=args.shards,
         workers=args.workers,
         router=args.router,
@@ -118,6 +122,7 @@ def _cmd_solve(args) -> int:
     )
     print(
         f"method={args.method} backend={args.backend} "
+        f"index={args.index_backend} "
         f"|Q|={args.nq} |P|={args.np} k={args.k} gamma={result.gamma}"
         f"{sharding}"
     )
@@ -137,6 +142,40 @@ def _cmd_solve(args) -> int:
             f"(moves={extra['reconcile_moves']}, "
             f"residual={extra['residual']['matched']})"
         )
+    return 0
+
+
+def _cmd_index_info(args) -> int:
+    """Build the customer index for one synthetic instance and describe it
+    (tree height, node counts, fill factors) — handy when sizing shard
+    plans or comparing the pointer and packed backends."""
+    problem = make_problem(
+        nq=args.nq,
+        np_=args.np,
+        k=args.k,
+        dist_q=args.dist_q,
+        dist_p=args.dist_p,
+        seed=args.seed,
+    )
+    started = time.perf_counter()
+    tree = problem.rtree(index_backend=args.index_backend)
+    build_s = time.perf_counter() - started
+    info = index_info(tree)
+    print(
+        f"backend={info['backend']} points={info['points']} "
+        f"built in {build_s:.3f}s"
+    )
+    print(
+        f"height={info['height']} pages={info['pages']} "
+        f"(leaves={info['leaves']}, dir={info['dir_nodes']})"
+    )
+    print(
+        f"capacity: leaf={info['leaf_capacity']} dir={info['dir_capacity']}"
+    )
+    print(
+        f"fill factor: leaf={info['leaf_fill']:.3f} "
+        f"dir={info['dir_fill']:.3f}"
+    )
     return 0
 
 
@@ -203,6 +242,23 @@ def build_parser() -> argparse.ArgumentParser:
              "default %(default)s)",
     )
     slv.add_argument(
+        "--index-backend",
+        type=str,
+        default="pointer",
+        choices=sorted(INDEX_BACKENDS),
+        help="spatial-index backend: 'pointer' is the node-object "
+             "reference R-tree, 'packed' the columnar array tree with "
+             "vectorized NN streams (bit-identical matchings and page "
+             "accounting; default %(default)s)",
+    )
+    slv.add_argument(
+        "--ann-group-size",
+        type=int,
+        default=PAPER_DEFAULTS["ann_group_size"],
+        help="Algorithm 6 provider-group size for the shared NN streams "
+             "(paper default %(default)s)",
+    )
+    slv.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -231,6 +287,25 @@ def build_parser() -> argparse.ArgumentParser:
     slv.add_argument("--dist-p", type=str, default="clustered")
     slv.add_argument("--seed", type=int, default=0)
     slv.set_defaults(func=_cmd_solve)
+
+    idx = sub.add_parser(
+        "index-info",
+        help="build one instance's customer index and describe it",
+    )
+    idx.add_argument("--nq", type=int, default=50)
+    idx.add_argument("--np", type=int, default=5000)
+    idx.add_argument("--k", type=int, default=80)
+    idx.add_argument(
+        "--index-backend",
+        type=str,
+        default="pointer",
+        choices=sorted(INDEX_BACKENDS),
+        help="which index backend to build (default %(default)s)",
+    )
+    idx.add_argument("--dist-q", type=str, default="clustered")
+    idx.add_argument("--dist-p", type=str, default="clustered")
+    idx.add_argument("--seed", type=int, default=0)
+    idx.set_defaults(func=_cmd_index_info)
 
     gen = sub.add_parser("generate", help="emit a synthetic point set (CSV)")
     gen.add_argument("--n", type=int, default=1000)

@@ -20,6 +20,7 @@ import time
 from typing import Dict, List, Tuple
 
 from repro.core.approx.partition import rtree_customer_partition
+from repro.rtree.backend import resolve_index_backend
 from repro.core.approx.refine import exclusive_nn_refine, nn_refine
 from repro.core.ida import IDASolver
 from repro.core.matching import Matching, SolverStats
@@ -42,6 +43,7 @@ class CAApproxSolver:
         refinement: str = "nn",
         cold_start: bool = True,
         backend="dict",
+        index_backend=None,
     ):
         if refinement not in _REFINERS:
             raise ValueError(
@@ -52,13 +54,14 @@ class CAApproxSolver:
         self.refinement = refinement
         self.cold_start = cold_start
         self.backend = backend
+        self.index_backend = index_backend
         self.method = "ca" + ("n" if refinement == "nn" else "e")
         self.stats = SolverStats(method=self.method, gamma=problem.gamma)
 
     # ------------------------------------------------------------------
     def solve(self) -> Matching:
         problem = self.problem
-        tree = problem.rtree()
+        tree = problem.rtree(index_backend=self.index_backend)
         if self.cold_start:
             tree.cold()
         io_before = tree.stats.snapshot()
@@ -74,11 +77,15 @@ class CAApproxSolver:
             Customer(Point(m, g.representative_xy), g.weight)
             for m, g in enumerate(groups)
         ]
+        # The concise subproblem inherits the resolved index backend, so
+        # its (tiny) representative tree runs on the same kernel as the
+        # partition phase ("None follows the problem's default").
         concise_problem = CCAProblem(
             problem.providers,
             representatives,
             page_size=problem.page_size,
             buffer_fraction=1.0,
+            index_backend=resolve_index_backend(problem, self.index_backend),
         )
         concise_solver = IDASolver(
             concise_problem, use_pua=True, backend=self.backend

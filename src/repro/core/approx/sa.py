@@ -41,6 +41,7 @@ class SAApproxSolver:
         refinement: str = "nn",
         cold_start: bool = True,
         backend="dict",
+        index_backend=None,
     ):
         if refinement not in _REFINERS:
             raise ValueError(
@@ -51,13 +52,14 @@ class SAApproxSolver:
         self.refinement = refinement
         self.cold_start = cold_start
         self.backend = backend
+        self.index_backend = index_backend
         self.method = "sa" + ("n" if refinement == "nn" else "e")
         self.stats = SolverStats(method=self.method, gamma=problem.gamma)
 
     # ------------------------------------------------------------------
     def solve(self) -> Matching:
         problem = self.problem
-        tree = problem.rtree()
+        tree = problem.rtree(index_backend=self.index_backend)
         if self.cold_start:
             tree.cold()
         io_before = tree.stats.snapshot()
@@ -81,6 +83,8 @@ class SAApproxSolver:
             page_size=problem.page_size,
             buffer_fraction=problem.buffer_fraction,
         )
+        # attach_rtree adopts the tree's index backend, so the concise
+        # solve runs on the same (pointer or packed) kernel as the caller.
         concise_problem.attach_rtree(tree)
         # cold_start=False keeps cumulative I/O accounting on the shared tree.
         concise_solver = IDASolver(

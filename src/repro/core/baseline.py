@@ -20,7 +20,14 @@ class SSPASolver:
 
     method = "sspa"
 
-    def __init__(self, problem: CCAProblem, backend="dict"):
+    def __init__(self, problem: CCAProblem, backend="dict",
+                 index_backend=None):
+        # SSPA is index-free; ``index_backend`` is accepted for API
+        # uniformity and validated, but selects nothing.
+        from repro.rtree.backend import get_index_backend
+
+        if index_backend is not None:
+            get_index_backend(index_backend)
         self.problem = problem
         self.backend = backend
         self.stats = SolverStats(method=self.method, gamma=problem.gamma)

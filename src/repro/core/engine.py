@@ -23,6 +23,7 @@ from repro.core.problem import CCAProblem
 from repro.flow.backend import BackendLike, DEFAULT_BACKEND, get_backend
 from repro.flow.dijkstra import DijkstraState, INF
 from repro.flow.graph import CCAFlowNetwork
+from repro.rtree.backend import IndexBackendLike, resolve_index_backend
 
 CERT_EPS = 1e-9
 
@@ -33,7 +34,9 @@ class IncrementalCCASolver:
     Subclasses implement :meth:`_initialize` (seed ``Esub``) and
     :meth:`_iteration` (produce and augment one certified shortest path).
 
-    ``backend`` selects the flow kernel (see :mod:`repro.flow.backend`).
+    ``backend`` selects the flow kernel (see :mod:`repro.flow.backend`);
+    ``index_backend`` the spatial-index kernel (see
+    :mod:`repro.rtree.backend`; ``None`` follows the problem's default).
     ``net`` optionally seeds the solver with an existing residual network —
     the warm-start hook used by :class:`repro.core.session.Matcher`: the
     solver then continues augmenting from the seeded flow and potentials
@@ -49,11 +52,13 @@ class IncrementalCCASolver:
         cold_start: bool = True,
         backend: BackendLike = DEFAULT_BACKEND,
         net: Optional[CCAFlowNetwork] = None,
+        index_backend: Optional[IndexBackendLike] = None,
     ):
         self.problem = problem
         self.use_pua = use_pua
         self.cold_start = cold_start
         self.backend = get_backend(backend)
+        self.index = resolve_index_backend(problem, index_backend)
         if net is None:
             self.net = self.backend.network(
                 problem.capacities, problem.weights
@@ -70,11 +75,12 @@ class IncrementalCCASolver:
                 )
             self.net = net
             self.warm_start = True
-        self.tree = problem.rtree()
+        self.tree = problem.rtree(index_backend=self.index.name)
         self.stats = SolverStats(method=self.method, gamma=self.net.gamma)
         # Provenance for multi-backend setups (the sharded engine selects
         # a kernel per shard; per-shard stats must say which one ran).
         self.stats.extra["backend"] = self.backend.name
+        self.stats.extra["index_backend"] = self.index.name
         self.stats.extra["warm_start"] = self.warm_start
 
     # ------------------------------------------------------------------

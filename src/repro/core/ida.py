@@ -47,7 +47,7 @@ import heapq
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.engine import CERT_EPS
-from repro.core.nia import NIASolver
+from repro.core.nia import DEFAULT_ANN_GROUP_SIZE, NIASolver
 from repro.core.pua import path_update
 from repro.core.problem import CCAProblem
 from repro.flow.dijkstra import DijkstraState, INF
@@ -64,11 +64,12 @@ class IDASolver(NIASolver):
         self,
         problem: CCAProblem,
         use_pua: bool = True,
-        ann_group_size: int = 8,
+        ann_group_size: int = DEFAULT_ANN_GROUP_SIZE,
         use_fast_path: bool = True,
         cold_start: bool = True,
         backend="dict",
         net=None,
+        index_backend=None,
     ):
         super().__init__(
             problem,
@@ -77,6 +78,7 @@ class IDASolver(NIASolver):
             cold_start=cold_start,
             backend=backend,
             net=net,
+            index_backend=index_backend,
         )
         self.use_fast_path = use_fast_path
         # Theorem 2's premise (no full provider) and the lazy-offset trick

@@ -17,12 +17,14 @@ from typing import List, Optional, Tuple
 from repro.core.engine import IncrementalCCASolver
 from repro.core.pua import path_update
 from repro.core.problem import CCAProblem
+from repro.experiments.config import PAPER_DEFAULTS
 from repro.flow.dijkstra import DijkstraState, INF
 from repro.geometry.distance import dist
 from repro.geometry.point import Point
-from repro.rtree.ann import GroupedANN
 
-DEFAULT_ANN_GROUP_SIZE = 8
+# The paper's Section 5.1 grouping default, shared with every consumer
+# (solve(), IDA, SM, sessions, the CLI) via experiments.config.
+DEFAULT_ANN_GROUP_SIZE = PAPER_DEFAULTS["ann_group_size"]
 
 
 class NIASolver(IncrementalCCASolver):
@@ -38,6 +40,7 @@ class NIASolver(IncrementalCCASolver):
         cold_start: bool = True,
         backend="dict",
         net=None,
+        index_backend=None,
     ):
         super().__init__(
             problem,
@@ -45,6 +48,7 @@ class NIASolver(IncrementalCCASolver):
             cold_start=cold_start,
             backend=backend,
             net=net,
+            index_backend=index_backend,
         )
         self.ann_group_size = ann_group_size
         self._heap: List[Tuple[float, int, int]] = []  # (key, version, i)
@@ -64,7 +68,7 @@ class NIASolver(IncrementalCCASolver):
         nq = len(self.problem.providers)
         self._version = [0] * nq
         self._frontier = [None] * nq
-        self.ann = GroupedANN(
+        self.ann = self.index.grouped_ann(
             self.tree,
             [q.point for q in self.problem.providers],
             group_size=self.ann_group_size,

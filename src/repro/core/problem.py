@@ -3,14 +3,20 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.geometry.distance import dist
 from repro.geometry.mbr import MBR
 from repro.geometry.point import Point
-from repro.rtree.tree import RTree
+from repro.geometry.pointset import PointSet
+from repro.rtree.backend import (
+    DEFAULT_INDEX_BACKEND,
+    IndexBackendLike,
+    backend_of_tree,
+    get_index_backend,
+)
 from repro.storage.page import DEFAULT_PAGE_SIZE
 
 
@@ -46,12 +52,29 @@ class Customer:
         return self.point.pid
 
 
+def _as_coord_matrix(xy) -> np.ndarray:
+    """Coerce coordinate input to an ``(n, d)`` float64 matrix."""
+    arr = np.asarray(xy, dtype=np.float64)
+    if arr.size == 0:
+        return arr.reshape(0, 2)
+    if arr.ndim == 1:
+        return arr.reshape(-1, 1)
+    return arr
+
+
 class CCAProblem:
     """A capacity-constrained assignment instance.
 
     Provider/customer ids must equal their list positions — the solvers use
     ids as array indices.  Use :meth:`from_arrays` to build instances from
     raw coordinates (it assigns ids for you).
+
+    Coordinates are held **columnarly** (two
+    :class:`~repro.geometry.pointset.PointSet` columns); instances built
+    via :meth:`from_arrays` materialize their ``Provider`` / ``Customer``
+    object views lazily, on first access.  ``index_backend`` names the
+    default spatial-index kernel for :meth:`rtree`
+    (see :mod:`repro.rtree.backend`); trees are cached per backend.
     """
 
     def __init__(
@@ -60,24 +83,35 @@ class CCAProblem:
         customers: Sequence[Customer],
         page_size: int = DEFAULT_PAGE_SIZE,
         buffer_fraction: float = 0.01,
+        index_backend: IndexBackendLike = DEFAULT_INDEX_BACKEND,
     ):
-        self.providers: List[Provider] = list(providers)
-        self.customers: List[Customer] = list(customers)
-        for i, q in enumerate(self.providers):
+        providers = list(providers)
+        customers = list(customers)
+        for i, q in enumerate(providers):
             if q.pid != i:
                 raise ValueError(
                     f"provider at position {i} has id {q.pid}; ids must be "
                     "consecutive from 0 (use CCAProblem.from_arrays)"
                 )
-        for j, p in enumerate(self.customers):
+        for j, p in enumerate(customers):
             if p.pid != j:
                 raise ValueError(
                     f"customer at position {j} has id {p.pid}; ids must be "
                     "consecutive from 0 (use CCAProblem.from_arrays)"
                 )
+        self._init_common(page_size, buffer_fraction, index_backend)
+        self._providers: Optional[List[Provider]] = providers
+        self._customers: Optional[List[Customer]] = customers
+        self._capacity_col: Optional[np.ndarray] = None
+        self._weight_col: Optional[np.ndarray] = None
+        self._provider_ps: Optional[PointSet] = None
+        self._customer_ps: Optional[PointSet] = None
+
+    def _init_common(self, page_size, buffer_fraction, index_backend) -> None:
         self.page_size = page_size
         self.buffer_fraction = buffer_fraction
-        self._rtree: Optional[RTree] = None
+        self.index_backend = get_index_backend(index_backend).name
+        self._rtrees: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # constructors
@@ -91,30 +125,82 @@ class CCAProblem:
         customer_weights: Optional[Sequence[int]] = None,
         page_size: int = DEFAULT_PAGE_SIZE,
         buffer_fraction: float = 0.01,
+        index_backend: IndexBackendLike = DEFAULT_INDEX_BACKEND,
     ) -> "CCAProblem":
-        """Build an instance from coordinate arrays."""
-        provider_xy = np.asarray(provider_xy, dtype=float)
-        customer_xy = np.asarray(customer_xy, dtype=float)
+        """Build an instance from coordinate arrays (held natively)."""
+        provider_xy = _as_coord_matrix(provider_xy)
+        customer_xy = _as_coord_matrix(customer_xy)
         if len(provider_xy) != len(provider_capacities):
             raise ValueError("provider coordinates/capacities length mismatch")
         if customer_weights is None:
-            customer_weights = [1] * len(customer_xy)
+            customer_weights = np.ones(len(customer_xy), dtype=np.int64)
         if len(customer_xy) != len(customer_weights):
             raise ValueError("customer coordinates/weights length mismatch")
-        providers = [
-            Provider(Point(i, xy), int(k))
-            for i, (xy, k) in enumerate(zip(provider_xy, provider_capacities))
-        ]
-        customers = [
-            Customer(Point(j, xy), int(w))
-            for j, (xy, w) in enumerate(zip(customer_xy, customer_weights))
-        ]
-        return cls(
-            providers,
-            customers,
-            page_size=page_size,
-            buffer_fraction=buffer_fraction,
-        )
+        capacities = np.asarray(provider_capacities, dtype=np.int64)
+        weights = np.asarray(customer_weights, dtype=np.int64)
+        if len(capacities) and capacities.min() < 0:
+            raise ValueError("provider capacity must be non-negative")
+        if len(weights) and weights.min() < 0:
+            raise ValueError("customer weight must be non-negative")
+        problem = cls.__new__(cls)
+        problem._init_common(page_size, buffer_fraction, index_backend)
+        problem._providers = None
+        problem._customers = None
+        problem._capacity_col = capacities
+        problem._weight_col = weights
+        problem._provider_ps = PointSet(provider_xy)
+        problem._customer_ps = PointSet(customer_xy)
+        return problem
+
+    # ------------------------------------------------------------------
+    # object views (materialized on demand; the mutable source of truth
+    # once materialized — sessions tombstone/append on these lists)
+    # ------------------------------------------------------------------
+    @property
+    def providers(self) -> List[Provider]:
+        if self._providers is None:
+            ps = self._provider_ps
+            caps = self._capacity_col
+            self._providers = [
+                Provider(ps.point(i), int(caps[i])) for i in range(len(ps))
+            ]
+        return self._providers
+
+    @property
+    def customers(self) -> List[Customer]:
+        if self._customers is None:
+            ps = self._customer_ps
+            weights = self._weight_col
+            self._customers = [
+                Customer(ps.point(j), int(weights[j]))
+                for j in range(len(ps))
+            ]
+        return self._customers
+
+    # ------------------------------------------------------------------
+    # columnar views (kept fresh against list mutation by length check:
+    # point coordinates at an index never change — deltas only append or
+    # tombstone — so a same-length cache is always valid)
+    # ------------------------------------------------------------------
+    def provider_points(self) -> PointSet:
+        if self._providers is not None and (
+            self._provider_ps is None
+            or len(self._provider_ps) != len(self._providers)
+        ):
+            self._provider_ps = PointSet.from_points(
+                q.point for q in self._providers
+            )
+        return self._provider_ps
+
+    def customer_points(self) -> PointSet:
+        if self._customers is not None and (
+            self._customer_ps is None
+            or len(self._customer_ps) != len(self._customers)
+        ):
+            self._customer_ps = PointSet.from_points(
+                p.point for p in self._customers
+            )
+        return self._customer_ps
 
     # ------------------------------------------------------------------
     # derived quantities
@@ -122,49 +208,100 @@ class CCAProblem:
     @property
     def gamma(self) -> int:
         """Required matching size γ = min(Σ weights, Σ capacities)."""
-        return min(
-            sum(p.weight for p in self.customers),
-            sum(q.capacity for q in self.providers),
-        )
+        return min(sum(self.weights), sum(self.capacities))
 
     @property
     def capacities(self) -> List[int]:
-        return [q.capacity for q in self.providers]
+        if self._providers is None:
+            return [int(k) for k in self._capacity_col]
+        return [q.capacity for q in self._providers]
 
     @property
     def weights(self) -> List[int]:
-        return [p.weight for p in self.customers]
+        if self._customers is None:
+            return [int(w) for w in self._weight_col]
+        return [p.weight for p in self._customers]
 
     def distance(self, i: int, j: int) -> float:
-        """dist(q_i, p_j)."""
+        """dist(q_i, p_j).
+
+        Computed on the (cached) Point views, not numpy rows: SSPA's full
+        bipartite oracle and RIA's per-edge inserts call this in a tight
+        loop, where tuple arithmetic is ~3x faster than numpy scalars.
+        """
         return dist(self.providers[i].point, self.customers[j].point)
 
     def world_mbr(self) -> MBR:
         """Tight MBR over all points (RIA's expansion ceiling)."""
-        points = [q.point for q in self.providers] + [
-            p.point for p in self.customers
-        ]
-        if not points:
+        pps = self.provider_points()
+        cps = self.customer_points()
+        if not len(pps) and not len(cps):
             return MBR((0.0, 0.0), (1.0, 1.0))
-        return MBR.from_points(points)
+        if not len(pps):
+            return cps.mbr()
+        if not len(cps):
+            return pps.mbr()
+        plo, phi = pps.bounds()
+        clo, chi = cps.bounds()
+        return MBR(np.minimum(plo, clo), np.maximum(phi, chi))
 
     # ------------------------------------------------------------------
     # the disk-resident index over P
     # ------------------------------------------------------------------
-    def rtree(self, rebuild: bool = False) -> RTree:
-        """The (lazily built, cached) R-tree over the customer set."""
-        if self._rtree is None or rebuild:
-            self._rtree = RTree.from_points(
-                [p.point for p in self.customers],
+    def live_customer_points(self) -> PointSet:
+        """Customer rows with weight > 0 — what the index covers.
+
+        Zero-weight customers can never be matched; indexing them would
+        only pad the NN streams.  Session deltas tombstone departures to
+        weight 0 and delete them from every *built* tree, so building a
+        fresh tree from the live rows keeps all per-backend caches
+        coherent mid-session.
+        """
+        points = self.customer_points()
+        weights = np.asarray(self.weights, dtype=np.int64)
+        live = np.flatnonzero(weights > 0)
+        if len(live) == len(points):
+            return points
+        return points.take(live)
+
+    def rtree(
+        self,
+        rebuild: bool = False,
+        index_backend: Optional[IndexBackendLike] = None,
+    ):
+        """The (lazily built, per-backend cached) R-tree over the customer
+        set.  ``index_backend=None`` uses the instance default."""
+        backend = get_index_backend(
+            self.index_backend if index_backend is None else index_backend
+        )
+        tree = self._rtrees.get(backend.name)
+        if tree is None or rebuild:
+            tree = backend.build(
+                self.live_customer_points(),
                 page_size=self.page_size,
                 buffer_fraction=self.buffer_fraction,
             )
-        return self._rtree
+            self._rtrees[backend.name] = tree
+        return tree
 
-    def attach_rtree(self, tree: RTree) -> None:
+    def tree_insert(self, point: Point) -> None:
+        """Apply a customer arrival to every built index (session delta)."""
+        for tree in self._rtrees.values():
+            tree.insert(point)
+
+    def tree_delete(self, point: Point) -> None:
+        """Apply a customer departure to every built index (session
+        delta)."""
+        for tree in self._rtrees.values():
+            tree.delete(point)
+
+    def attach_rtree(self, tree) -> None:
         """Share an existing index (the approximate solvers reuse the main
-        tree for concise matching instead of rebuilding it)."""
-        self._rtree = tree
+        tree for concise matching instead of rebuilding it).  The attached
+        tree's backend becomes this instance's default."""
+        backend = backend_of_tree(tree)
+        self._rtrees[backend.name] = tree
+        self.index_backend = backend.name
 
     def __repr__(self) -> str:
         return (

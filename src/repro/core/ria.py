@@ -34,10 +34,17 @@ class RIASolver(IncrementalCCASolver):
         use_pua: bool = False,
         backend="dict",
         net=None,
+        index_backend=None,
     ):
         # PUA is a NIA/IDA optimization in the paper (edges arrive in bulk
         # here, so repairing is less attractive); accepted for ablation.
-        super().__init__(problem, use_pua=use_pua, backend=backend, net=net)
+        super().__init__(
+            problem,
+            use_pua=use_pua,
+            backend=backend,
+            net=net,
+            index_backend=index_backend,
+        )
         if theta <= 0:
             raise ValueError("theta must be positive")
         self.theta = float(theta)

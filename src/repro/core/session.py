@@ -64,10 +64,13 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.ida import IDASolver
 from repro.core.matching import Matching, SolverStats
+from repro.core.nia import DEFAULT_ANN_GROUP_SIZE
 from repro.core.problem import CCAProblem, Customer, Provider
 from repro.flow.backend import BackendLike, DEFAULT_BACKEND, get_backend
+from repro.flow.graph import NegativeReducedCostError
 from repro.geometry.distance import dist
 from repro.geometry.point import Point
+from repro.rtree.backend import IndexBackendLike, resolve_index_backend
 
 
 class Matcher:
@@ -81,6 +84,12 @@ class Matcher:
     backend:
         Flow-kernel selector (see :mod:`repro.flow.backend`); the session
         network is built once on this backend and kept alive.
+    index_backend:
+        Spatial-index selector (see :mod:`repro.rtree.backend`); ``None``
+        follows the problem's default.  The packed backend applies
+        customer deltas by staging them and lazily rebuilding its arrays
+        on the next query — fine for delta-then-assign sessions, where
+        queries dominate deltas.
     use_pua / ann_group_size:
         Passed through to the underlying IDA solver.
     use_fast_path:
@@ -95,16 +104,19 @@ class Matcher:
         problem: CCAProblem,
         *,
         backend: BackendLike = DEFAULT_BACKEND,
+        index_backend: Optional[IndexBackendLike] = None,
         use_pua: bool = True,
-        ann_group_size: int = 8,
+        ann_group_size: int = DEFAULT_ANN_GROUP_SIZE,
         use_fast_path: bool = False,
     ):
         self.problem = problem
         self.backend = get_backend(backend)
+        self.index_backend = resolve_index_backend(problem, index_backend)
         self.use_pua = use_pua
         self.ann_group_size = ann_group_size
         self.use_fast_path = use_fast_path
-        self.tree = problem.rtree()  # built once; mutated by deltas
+        # Built once; mutated by deltas.
+        self.tree = problem.rtree(index_backend=self.index_backend.name)
         self.net = None  # session-owned residual network (after 1st solve)
         self._needs_cold = True
         self.assign_count = 0
@@ -150,6 +162,29 @@ class Matcher:
         """Solve (or warm re-solve) the current instance to optimality."""
         warm = self.net is not None and not self._needs_cold
         self.last_was_warm = warm
+        try:
+            matching, solver = self._run_solver(warm)
+        except NegativeReducedCostError:
+            if not warm:
+                raise
+            # The warm re-solve's fresh NN streams surfaced a *new* edge
+            # with negative reduced cost against the inherited potentials.
+            # The per-delta hazard checks certify the present residual
+            # network, but cannot bound edges the previous solve never
+            # discovered — such an edge proves the seeded matching is no
+            # longer optimal at its own value.  Same honest fallback the
+            # deltas use: discard the (now partially mutated) network and
+            # re-solve from scratch.
+            self.last_was_warm = False
+            matching, solver = self._run_solver(False)
+        self.net = solver.net
+        self._needs_cold = False
+        self.assign_count += 1
+        self.last_stats = solver.stats
+        self._last_matching = matching
+        return matching
+
+    def _run_solver(self, warm: bool):
         solver = IDASolver(
             self.problem,
             use_pua=self.use_pua,
@@ -163,14 +198,9 @@ class Matcher:
             cold_start=False,
             backend=self.backend,
             net=self.net if warm else None,
+            index_backend=self.index_backend,
         )
-        matching = solver.solve()
-        self.net = solver.net
-        self._needs_cold = False
-        self.assign_count += 1
-        self.last_stats = solver.stats
-        self._last_matching = matching
-        return matching
+        return solver.solve(), solver
 
     @property
     def matching(self) -> Optional[Matching]:
@@ -193,7 +223,10 @@ class Matcher:
         j = len(self.problem.customers)
         point = Point(j, (float(xy[0]), float(xy[1])))
         self.problem.customers.append(Customer(point, int(weight)))
-        self.tree.insert(point)
+        if weight > 0:
+            # Indexes cover live customers only; broadcast to every built
+            # backend tree so the per-backend caches stay coherent.
+            self.problem.tree_insert(point)
         if self.net is not None and not self._needs_cold:
             distances = [
                 dist(q.point, point) for q in self.problem.providers
@@ -212,7 +245,7 @@ class Matcher:
         # Tombstone, don't renumber: provider/customer ids are positional
         # throughout the solver stack.
         self.problem.customers[customer_id] = Customer(old.point, 0)
-        self.tree.delete(old.point)
+        self.problem.tree_delete(old.point)
         if self.net is not None and not self._needs_cold:
             if self.net.can_remove_customer_warm(customer_id):
                 self.net.remove_customer_node(customer_id)

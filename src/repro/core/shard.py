@@ -70,6 +70,7 @@ from repro.partitioning import (
     capacity_weighted_centroid,
     hilbert_greedy_groups,
 )
+from repro.rtree.backend import IndexBackendLike, resolve_index_backend
 
 ROUTERS = ("nearest", "concise")
 SHARD_METHODS = ("ida", "nia", "ria")
@@ -235,6 +236,7 @@ def route_concise(
     problem: CCAProblem,
     plan: ShardPlan,
     backend: BackendLike = DEFAULT_BACKEND,
+    index_backend: Optional[IndexBackendLike] = None,
 ) -> List[Dict[int, int]]:
     """SA's concise matching as a capacity-respecting router.
 
@@ -261,7 +263,9 @@ def route_concise(
         page_size=problem.page_size,
         buffer_fraction=problem.buffer_fraction,
     )
-    concise_problem.attach_rtree(problem.rtree())
+    # attach_rtree adopts the shared tree's backend, so the concise
+    # routing solve streams neighbors on the selected index kernel.
+    concise_problem.attach_rtree(problem.rtree(index_backend=index_backend))
     solver = IDASolver(
         concise_problem, use_pua=True, cold_start=False, backend=backend
     )
@@ -290,6 +294,7 @@ class ShardTask:
     customer_weights: List[int]
     method: str
     backend: str
+    index_backend: str
     use_pua: bool
     ann_group_size: int
     use_fast_path: bool
@@ -333,6 +338,7 @@ def _build_solver(problem: CCAProblem, task: ShardTask):
             ann_group_size=task.ann_group_size,
             use_fast_path=task.use_fast_path,
             backend=task.backend,
+            index_backend=task.index_backend,
         )
     if task.method == "nia":
         return NIASolver(
@@ -340,12 +346,18 @@ def _build_solver(problem: CCAProblem, task: ShardTask):
             use_pua=task.use_pua,
             ann_group_size=task.ann_group_size,
             backend=task.backend,
+            index_backend=task.index_backend,
         )
     if task.method == "ria":
         theta = task.theta
         if theta is None:
             theta = default_theta(max(1, len(problem.customers)))
-        return RIASolver(problem, theta=theta, backend=task.backend)
+        return RIASolver(
+            problem,
+            theta=theta,
+            backend=task.backend,
+            index_backend=task.index_backend,
+        )
     raise ValueError(
         f"unknown shard method {task.method!r}; expected one of "
         f"{SHARD_METHODS}"
@@ -392,6 +404,7 @@ def _make_tasks(
     routed: List[Dict[int, int]],
     method: str,
     backend_names: List[str],
+    index_backend_name: str,
     use_pua: bool,
     ann_group_size: int,
     use_fast_path: bool,
@@ -422,6 +435,7 @@ def _make_tasks(
                 ],
                 method=method,
                 backend=backend_names[spec.index],
+                index_backend=index_backend_name,
                 use_pua=use_pua,
                 ann_group_size=ann_group_size,
                 use_fast_path=use_fast_path,
@@ -484,7 +498,10 @@ def _reconcile_boundaries(
             continue
         shard_problem = _task_problem(task)
         sessions[task.index] = Matcher.from_solved(
-            shard_problem, result.net, backend=task.backend
+            shard_problem,
+            result.net,
+            backend=task.backend,
+            index_backend=task.index_backend,
         )
         local_to_global[task.index] = list(task.customer_ids)
         for local_j, global_j in enumerate(task.customer_ids):
@@ -773,6 +790,7 @@ def _residual_pairs(
     problem: CCAProblem,
     pairs: List[Tuple[int, int, float]],
     backend: str,
+    index_backend: str,
 ) -> Tuple[List[Tuple[int, int, float]], Dict[str, int]]:
     """Match leftover demand against leftover capacity (restores γ)."""
     used = [0] * len(problem.providers)
@@ -804,7 +822,7 @@ def _residual_pairs(
         page_size=problem.page_size,
         buffer_fraction=problem.buffer_fraction,
     )
-    solver = IDASolver(residual, backend=backend)
+    solver = IDASolver(residual, backend=backend, index_backend=index_backend)
     matching = solver.solve()
     extra = [
         (spare_ids[i], open_ids[j], d) for i, j, d in matching.pairs
@@ -840,11 +858,12 @@ def solve_sharded(
     router: str = "nearest",
     delta: Optional[float] = None,
     backend: Union[BackendLike, Sequence[BackendLike]] = DEFAULT_BACKEND,
+    index_backend: Optional[IndexBackendLike] = None,
     reconcile: bool = True,
     max_moves: int = 32,
     patience: int = 4,
     use_pua: bool = True,
-    ann_group_size: int = 8,
+    ann_group_size: Optional[int] = None,
     use_fast_path: bool = True,
     theta: Optional[float] = None,
     mp_context=None,
@@ -871,6 +890,10 @@ def solve_sharded(
     backend:
         Flow-kernel selection: one name/instance for every shard, or a
         sequence with one entry per shard.
+    index_backend:
+        Spatial-index kernel for every per-shard tree, the concise
+        router, and the residual pass (see :mod:`repro.rtree.backend`);
+        ``None`` follows the problem's default.
     reconcile / max_moves / patience:
         Enable the warm-session boundary improvement pass, cap its move
         attempts, and stop early after ``patience`` consecutive rejected
@@ -893,6 +916,9 @@ def solve_sharded(
             f"sharded solve supports per-shard methods {SHARD_METHODS}, "
             f"got {method!r}"
         )
+    if ann_group_size is None:
+        ann_group_size = PAPER_DEFAULTS["ann_group_size"]
+    index_backend_name = resolve_index_backend(problem, index_backend).name
     started = time.perf_counter()
     if shards == 1 and plan is None:
         # Serial fall-through: one shard IS the whole problem, and going
@@ -908,6 +934,7 @@ def solve_sharded(
             customer_weights=[],
             method=method,
             backend=names[0],
+            index_backend=index_backend_name,
             use_pua=use_pua,
             ann_group_size=ann_group_size,
             use_fast_path=use_fast_path,
@@ -933,7 +960,12 @@ def solve_sharded(
     if router == "nearest":
         routed = route_nearest(problem, plan)
     else:
-        routed = route_concise(problem, plan, backend=backend_names[0])
+        routed = route_concise(
+            problem,
+            plan,
+            backend=backend_names[0],
+            index_backend=index_backend_name,
+        )
     route_done = time.perf_counter()
 
     tasks = _make_tasks(
@@ -942,6 +974,7 @@ def solve_sharded(
         routed,
         method,
         backend_names,
+        index_backend_name,
         use_pua,
         ann_group_size,
         use_fast_path,
@@ -961,7 +994,7 @@ def solve_sharded(
     reconcile_done = time.perf_counter()
 
     residual, residual_info = _residual_pairs(
-        problem, pairs, backend_names[0]
+        problem, pairs, backend_names[0], index_backend_name
     )
     pairs = pairs + residual
 
@@ -977,6 +1010,7 @@ def solve_sharded(
             "router": router,
             "delta": plan.delta,
             "backends": backend_names,
+            "index_backend": index_backend_name,
             "plan_s": plan_done - started,
             "route_s": route_done - plan_done,
             "solve_s": solve_done - route_done,

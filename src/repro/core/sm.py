@@ -16,8 +16,9 @@ from typing import List, Tuple
 
 from repro.core.matching import Matching, SolverStats
 from repro.core.problem import CCAProblem
+from repro.experiments.config import PAPER_DEFAULTS
 from repro.geometry.distance import dist
-from repro.rtree.ann import GroupedANN
+from repro.rtree.backend import resolve_index_backend
 
 
 class SMSolver:
@@ -28,9 +29,10 @@ class SMSolver:
     def __init__(
         self,
         problem: CCAProblem,
-        ann_group_size: int = 8,
+        ann_group_size: int = PAPER_DEFAULTS["ann_group_size"],
         cold_start: bool = True,
         backend="dict",
+        index_backend=None,
     ):
         # SM is flow-free (pure greedy over NN streams); ``backend`` is
         # accepted for API uniformity with the other solvers and validated,
@@ -39,10 +41,12 @@ class SMSolver:
 
         self.backend = get_backend(backend)
         self.problem = problem
-        self.tree = problem.rtree()
+        self.index = resolve_index_backend(problem, index_backend)
+        self.tree = problem.rtree(index_backend=self.index.name)
         self.ann_group_size = ann_group_size
         self.cold_start = cold_start
         self.stats = SolverStats(method=self.method, gamma=problem.gamma)
+        self.stats.extra["index_backend"] = self.index.name
 
     def solve(self) -> Matching:
         if self.cold_start:
@@ -52,7 +56,7 @@ class SMSolver:
         problem = self.problem
         remaining_cap = [q.capacity for q in problem.providers]
         remaining_w = [p.weight for p in problem.customers]
-        ann = GroupedANN(
+        ann = self.index.grouped_ann(
             self.tree,
             [q.point for q in problem.providers],
             group_size=self.ann_group_size,
@@ -89,7 +93,7 @@ class SMSolver:
         self.stats.io = self.tree.stats.diff(io_before)
         return Matching(pairs, stats=self.stats)
 
-    def _refill(self, heap, ann: GroupedANN, provider: int) -> None:
+    def _refill(self, heap, ann, provider: int) -> None:
         q_point = self.problem.providers[provider].point
         p = ann.next_nn(q_point.pid)
         self.stats.nn_requests += 1

@@ -16,6 +16,7 @@ from repro.core.shard import SHARD_METHODS, solve_sharded
 from repro.core.sm import SMSolver
 from repro.experiments.config import PAPER_DEFAULTS
 from repro.flow.backend import BackendLike, DEFAULT_BACKEND
+from repro.rtree.backend import IndexBackendLike
 
 EXACT_METHODS = ("sspa", "ria", "nia", "ida")
 APPROX_METHODS = ("san", "sae", "can", "cae", "sm")
@@ -29,8 +30,9 @@ def solve(
     delta: Optional[float] = None,
     use_pua: bool = True,
     use_fast_path: bool = True,
-    ann_group_size: int = 8,
+    ann_group_size: Optional[int] = None,
     backend: BackendLike = DEFAULT_BACKEND,
+    index_backend: Optional[IndexBackendLike] = None,
     shards: int = 1,
     workers: Optional[int] = None,
     router: str = "nearest",
@@ -52,11 +54,19 @@ def solve(
         With ``shards > 1`` it doubles as the shard-planning diagonal.
     use_pua / use_fast_path / ann_group_size:
         Optimization toggles for NIA/IDA (Section 3.3-3.4), exposed for
-        ablation studies.
+        ablation studies.  ``ann_group_size`` defaults to the paper's
+        Section 3.4.2 group size from
+        ``experiments.config.PAPER_DEFAULTS``.
     backend:
         Flow-kernel selector (``"dict"`` reference or ``"array"``
         columnar kernel; see :mod:`repro.flow.backend`).  Both return
         identical matchings; ``array`` is faster at scale.
+    index_backend:
+        Spatial-index selector (``"pointer"`` reference R-tree or
+        ``"packed"`` columnar array tree; see :mod:`repro.rtree.backend`).
+        Both return bit-identical matchings and page-access counts;
+        ``packed`` streams neighbors at array speed.  ``None`` follows
+        the problem's configured default.
     shards / workers / router:
         ``shards > 1`` routes exact methods through the sharded parallel
         engine (:mod:`repro.core.shard`): the instance is decomposed into
@@ -65,6 +75,8 @@ def solve(
         the plain serial solver.
     """
     method = method.lower()
+    if ann_group_size is None:
+        ann_group_size = PAPER_DEFAULTS["ann_group_size"]
     if shards != 1:
         if method not in SHARD_METHODS:
             raise ValueError(
@@ -79,21 +91,28 @@ def solve(
             router=router,
             delta=delta,
             backend=backend,
+            index_backend=index_backend,
             use_pua=use_pua,
             ann_group_size=ann_group_size,
             use_fast_path=use_fast_path,
             theta=theta,
         )
     if method == "sspa":
-        return SSPASolver(problem, backend=backend).solve()
+        return SSPASolver(
+            problem, backend=backend, index_backend=index_backend
+        ).solve()
     if method == "ria":
-        return RIASolver(problem, theta=theta, backend=backend).solve()
+        return RIASolver(
+            problem, theta=theta, backend=backend,
+            index_backend=index_backend,
+        ).solve()
     if method == "nia":
         return NIASolver(
             problem,
             use_pua=use_pua,
             ann_group_size=ann_group_size,
             backend=backend,
+            index_backend=index_backend,
         ).solve()
     if method == "ida":
         return IDASolver(
@@ -102,6 +121,7 @@ def solve(
             ann_group_size=ann_group_size,
             use_fast_path=use_fast_path,
             backend=backend,
+            index_backend=index_backend,
         ).solve()
     if method in ("san", "sae"):
         return SAApproxSolver(
@@ -109,6 +129,7 @@ def solve(
             delta=PAPER_DEFAULTS["sa_delta"] if delta is None else delta,
             refinement="nn" if method == "san" else "exclusive",
             backend=backend,
+            index_backend=index_backend,
         ).solve()
     if method in ("can", "cae"):
         return CAApproxSolver(
@@ -116,10 +137,14 @@ def solve(
             delta=PAPER_DEFAULTS["ca_delta"] if delta is None else delta,
             refinement="nn" if method == "can" else "exclusive",
             backend=backend,
+            index_backend=index_backend,
         ).solve()
     if method == "sm":
         return SMSolver(
-            problem, ann_group_size=ann_group_size, backend=backend
+            problem,
+            ann_group_size=ann_group_size,
+            backend=backend,
+            index_backend=index_backend,
         ).solve()
     raise ValueError(
         f"unknown method {method!r}; expected one of "

@@ -13,6 +13,7 @@ PAPER_DEFAULTS: Dict = {
     "theta": 0.8,  # fine-tuned for |P| = 100K
     "sa_delta": 40.0,
     "ca_delta": 10.0,
+    "ann_group_size": 8,  # Section 3.4.2 provider-group size (Algorithm 6)
     "page_size": 1024,
     "buffer_fraction": 0.01,
     "io_penalty_s": 0.010,

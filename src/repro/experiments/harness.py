@@ -19,6 +19,8 @@ def run_method(
     delta: Optional[float] = None,
     io_penalty_s: float = PAPER_DEFAULTS["io_penalty_s"],
     backend: str = "dict",
+    index_backend: Optional[str] = None,
+    ann_group_size: Optional[int] = None,
     shards: int = 1,
     workers: Optional[int] = None,
     router: str = "nearest",
@@ -36,8 +38,9 @@ def run_method(
     if theta is None:
         theta = default_theta(len(problem.customers))
     matching = solve(problem, method, theta=theta, delta=delta,
-                     backend=backend, shards=shards, workers=workers,
-                     router=router)
+                     backend=backend, index_backend=index_backend,
+                     ann_group_size=ann_group_size, shards=shards,
+                     workers=workers, router=router)
     stats = matching.stats
     stats.io.io_penalty_s = io_penalty_s
     result = MethodResult(

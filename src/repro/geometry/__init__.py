@@ -16,6 +16,15 @@ from repro.geometry.distance import (
     maxdist_point_mbr,
     mindist_mbr_mbr,
 )
+from repro.geometry.pointset import (
+    PointSet,
+    batch_dists,
+    cross_dists,
+    maxdist_point_to_boxes,
+    mindist_box_to_boxes,
+    mindist_box_to_points,
+    mindist_point_to_boxes,
+)
 
 __all__ = [
     "Point",
@@ -25,4 +34,11 @@ __all__ = [
     "mindist_point_mbr",
     "maxdist_point_mbr",
     "mindist_mbr_mbr",
+    "PointSet",
+    "batch_dists",
+    "cross_dists",
+    "mindist_point_to_boxes",
+    "maxdist_point_to_boxes",
+    "mindist_box_to_boxes",
+    "mindist_box_to_points",
 ]

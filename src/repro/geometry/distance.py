@@ -14,13 +14,27 @@ from repro.geometry.point import Point
 
 
 def dist(a: Point, b: Point) -> float:
-    """Euclidean distance between two points (Ψ's per-pair cost, Eq. 1)."""
-    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a.coords, b.coords)))
+    """Euclidean distance between two points (Ψ's per-pair cost, Eq. 1).
+
+    Squares via explicit multiplication, not ``** 2``: libm ``pow`` can be
+    one ulp off a plain product, and the columnar batch kernels in
+    :mod:`repro.geometry.pointset` (which multiply) must stay bit-identical
+    to this scalar reference.
+    """
+    total = 0.0
+    for x, y in zip(a.coords, b.coords):
+        diff = x - y
+        total += diff * diff
+    return math.sqrt(total)
 
 
 def dist_squared(a: Point, b: Point) -> float:
     """Squared Euclidean distance (cheaper comparator for ties/sorting)."""
-    return sum((x - y) ** 2 for x, y in zip(a.coords, b.coords))
+    total = 0.0
+    for x, y in zip(a.coords, b.coords):
+        diff = x - y
+        total += diff * diff
+    return total
 
 
 def mindist_point_mbr(point: Point, mbr: MBR) -> float:

@@ -46,10 +46,13 @@ class Point:
         return len(self.coords)
 
     def distance_to(self, other: "Point") -> float:
-        """Euclidean distance to ``other``."""
-        return math.sqrt(
-            sum((a - b) ** 2 for a, b in zip(self.coords, other.coords))
-        )
+        """Euclidean distance to ``other`` (same float ops as
+        :func:`repro.geometry.distance.dist`)."""
+        total = 0.0
+        for a, b in zip(self.coords, other.coords):
+            diff = a - b
+            total += diff * diff
+        return math.sqrt(total)
 
     def __iter__(self) -> Iterator[float]:
         return iter(self.coords)

@@ -1,0 +1,191 @@
+"""Columnar point storage and batch distance kernels.
+
+The object-per-point :class:`~repro.geometry.point.Point` is the right
+currency at API boundaries, but the spatial hot paths (R-tree construction,
+ANN streams, shard routing) iterate over *datasets*, where per-object tuple
+arithmetic dominates.  :class:`PointSet` stores a dataset as two NumPy
+columns — ``ids`` and an ``(n, d)`` float64 coordinate matrix — and
+materializes :class:`Point` views only on demand.
+
+Every batch kernel below accumulates per-axis in the same order as its
+scalar counterpart in :mod:`repro.geometry.distance` (``0.0 + d0² + d1² +
+…`` then one square root), so results are **bit-identical** to the scalar
+functions, element for element.  That exactness is what lets the packed
+index backend promise bit-identical matchings (see
+:mod:`repro.rtree.backend`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+
+
+class PointSet:
+    """An id-carrying columnar point collection.
+
+    Parameters
+    ----------
+    coords:
+        ``(n, d)`` array-like of float coordinates.  A flat ``(n,)`` input
+        is treated as ``n`` one-dimensional points.
+    ids:
+        Integer identities, one per row; defaults to ``0..n-1``.
+    """
+
+    __slots__ = ("ids", "coords")
+
+    def __init__(self, coords, ids: Optional[Sequence[int]] = None):
+        arr = np.asarray(coords, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        if arr.ndim != 2:
+            raise ValueError(f"coords must be (n, d), got shape {arr.shape}")
+        if arr.shape[0] and arr.shape[1] == 0:
+            raise ValueError("points need at least one coordinate")
+        self.coords: np.ndarray = arr
+        if ids is None:
+            self.ids: np.ndarray = np.arange(arr.shape[0], dtype=np.int64)
+        else:
+            self.ids = np.asarray(ids, dtype=np.int64)
+            if self.ids.shape != (arr.shape[0],):
+                raise ValueError(
+                    f"ids shape {self.ids.shape} does not match "
+                    f"{arr.shape[0]} points"
+                )
+
+    # ------------------------------------------------------------------
+    # construction / conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "PointSet":
+        """Columnarize an iterable of :class:`Point` objects."""
+        points = list(points)
+        if not points:
+            return cls(np.empty((0, 2), dtype=np.float64), ids=[])
+        dim = points[0].dim
+        coords = np.empty((len(points), dim), dtype=np.float64)
+        ids = np.empty(len(points), dtype=np.int64)
+        for row, p in enumerate(points):
+            coords[row] = p.coords
+            ids[row] = p.pid
+        return cls(coords, ids=ids)
+
+    def point(self, row: int) -> Point:
+        """Materialize one row as a :class:`Point` view."""
+        return Point(int(self.ids[row]), self.coords[row])
+
+    def to_points(self) -> List[Point]:
+        """Materialize every row (boundary/compat use only)."""
+        return [self.point(row) for row in range(len(self))]
+
+    def take(self, rows) -> "PointSet":
+        """A new PointSet of the selected rows (ids preserved)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        return PointSet(self.coords[rows], ids=self.ids[rows])
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self.coords.shape[1]
+
+    def bounds(self):
+        """Tight (lo, hi) coordinate arrays (the columnar MBR)."""
+        if not len(self):
+            raise ValueError("cannot bound an empty point set")
+        return self.coords.min(axis=0), self.coords.max(axis=0)
+
+    def mbr(self) -> MBR:
+        lo, hi = self.bounds()
+        return MBR(lo, hi)
+
+    def dists_to(self, xy) -> np.ndarray:
+        """Euclidean distance from every row to one coordinate vector.
+
+        Bit-identical to ``[dist(p, q) for p in rows]``.
+        """
+        return batch_dists(self.coords, np.asarray(xy, dtype=np.float64))
+
+    def __len__(self) -> int:
+        return self.coords.shape[0]
+
+    def __repr__(self) -> str:
+        return f"PointSet(n={len(self)}, d={self.coords.shape[1]})"
+
+
+# ----------------------------------------------------------------------
+# batch kernels (bit-identical to repro.geometry.distance scalars)
+# ----------------------------------------------------------------------
+def batch_dists(coords: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """``dist(row, q)`` for every row of an ``(n, d)`` matrix."""
+    acc = np.zeros(coords.shape[0], dtype=np.float64)
+    for axis in range(coords.shape[1]):
+        diff = coords[:, axis] - q[axis]
+        acc += diff * diff
+    return np.sqrt(acc)
+
+
+def cross_dists(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``(m, n)`` distance matrix between ``(m, d)`` and ``(n, d)`` rows."""
+    acc = np.zeros((a.shape[0], b.shape[0]), dtype=np.float64)
+    for axis in range(a.shape[1]):
+        diff = a[:, axis, None] - b[None, :, axis]
+        acc += diff * diff
+    return np.sqrt(acc)
+
+
+def mindist_point_to_boxes(q: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """``mindist_point_mbr(q, box)`` for every row of ``(n, d)`` boxes."""
+    acc = np.zeros(lo.shape[0], dtype=np.float64)
+    for axis in range(lo.shape[1]):
+        below = lo[:, axis] - q[axis]
+        above = q[axis] - hi[:, axis]
+        gap = np.maximum(np.maximum(below, above), 0.0)
+        acc += gap * gap
+    return np.sqrt(acc)
+
+
+def maxdist_point_to_boxes(q: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """``maxdist_point_mbr(q, box)`` for every row of ``(n, d)`` boxes."""
+    acc = np.zeros(lo.shape[0], dtype=np.float64)
+    for axis in range(lo.shape[1]):
+        gap = np.maximum(np.abs(q[axis] - lo[:, axis]), np.abs(q[axis] - hi[:, axis]))
+        acc += gap * gap
+    return np.sqrt(acc)
+
+
+def mindist_box_to_boxes(
+    qlo: np.ndarray, qhi: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> np.ndarray:
+    """``mindist_mbr_mbr(qbox, box)`` for every row of ``(n, d)`` boxes."""
+    acc = np.zeros(lo.shape[0], dtype=np.float64)
+    for axis in range(lo.shape[1]):
+        gap = np.maximum(
+            np.maximum(lo[:, axis] - qhi[axis], qlo[axis] - hi[:, axis]), 0.0
+        )
+        acc += gap * gap
+    return np.sqrt(acc)
+
+
+def mindist_box_to_points(
+    qlo: np.ndarray, qhi: np.ndarray, coords: np.ndarray
+) -> np.ndarray:
+    """``mindist_mbr_mbr(qbox, MBR.from_point(p))`` for every point row.
+
+    A point is a degenerate box, so this is the key Algorithm 6 assigns to
+    de-heaped points — computed here without materializing any MBR.
+    """
+    acc = np.zeros(coords.shape[0], dtype=np.float64)
+    for axis in range(coords.shape[1]):
+        gap = np.maximum(
+            np.maximum(coords[:, axis] - qhi[axis], qlo[axis] - coords[:, axis]),
+            0.0,
+        )
+        acc += gap * gap
+    return np.sqrt(acc)

@@ -13,21 +13,43 @@ with 1 KB pages behind an LRU buffer.  This package provides:
 
 from repro.rtree.node import RTreeNode
 from repro.rtree.tree import RTree
+from repro.rtree.packed import PackedNodeView, PackedRTree
 from repro.rtree.queries import (
     range_search,
     annular_range_search,
     knn_search,
     IncrementalNN,
 )
-from repro.rtree.ann import ANNGroup, GroupedANN
+from repro.rtree.ann import (
+    ANNGroup,
+    GroupedANN,
+    PackedANNGroup,
+    PackedGroupedANN,
+)
+from repro.rtree.backend import (
+    DEFAULT_INDEX_BACKEND,
+    INDEX_BACKENDS,
+    IndexBackend,
+    get_index_backend,
+    index_info,
+)
 
 __all__ = [
     "RTreeNode",
     "RTree",
+    "PackedRTree",
+    "PackedNodeView",
     "range_search",
     "annular_range_search",
     "knn_search",
     "IncrementalNN",
     "ANNGroup",
     "GroupedANN",
+    "PackedANNGroup",
+    "PackedGroupedANN",
+    "IndexBackend",
+    "INDEX_BACKENDS",
+    "DEFAULT_INDEX_BACKEND",
+    "get_index_backend",
+    "index_info",
 ]

@@ -7,6 +7,23 @@ and over.  Algorithm 6 groups nearby providers (by Hilbert order), keeps a
 ``mindist(MBR(Gm), MBR(e))`` — and fans every de-heaped point out into each
 member's candidate heap ``res_i``.  A provider's next NN is its ``res_i``
 top once that candidate is at least as close as every unexplored entry.
+
+Two implementations share that contract:
+
+* :class:`GroupedANN` — the reference, walking the pointer
+  :class:`~repro.rtree.tree.RTree` one entry at a time;
+* :class:`PackedGroupedANN` — the columnar rewrite over
+  :class:`~repro.rtree.packed.PackedRTree`: group→entry mindists and the
+  member fan-out distances are computed in vectorized batches per visited
+  node (one NumPy call per node instead of one ``math.sqrt`` per entry),
+  and the heaps carry point *row indices*, materializing
+  :class:`~repro.geometry.point.Point` views only for reported NNs.
+
+Because the packed tree mirrors the pointer structure and every batch
+kernel is bit-identical to its scalar counterpart, both implementations
+report the **same NN sequence and charge the same page accesses** — the
+property suite in ``tests/property/test_index_equivalence.py`` enforces
+it.
 """
 
 from __future__ import annotations
@@ -15,10 +32,18 @@ import heapq
 import itertools
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.geometry.distance import dist, mindist_mbr_mbr
 from repro.geometry.mbr import MBR
 from repro.geometry.point import Point
+from repro.geometry.pointset import (
+    cross_dists,
+    mindist_box_to_boxes,
+    mindist_box_to_points,
+)
 from repro.hilbert.curve import hilbert_key
+from repro.rtree.packed import PackedRTree
 from repro.rtree.tree import RTree
 
 
@@ -116,19 +141,18 @@ def group_providers_by_hilbert(
     ]
 
 
-class GroupedANN:
-    """Facade NIA/IDA use: ``next_nn(pid)`` with group-shared I/O.
+class _GroupedANNBase:
+    """Shared facade machinery: Hilbert grouping + per-group dispatch.
 
-    With ``group_size=1`` this degenerates to independent incremental NN
-    streams (the un-optimized variant, kept for ablation benches).
+    Subclasses name the per-group Algorithm 6 implementation via
+    ``group_cls``; everything else — the world MBR, the grouping, the
+    pid→group registry — must stay common or the backends' NN sequences
+    diverge.
     """
 
-    def __init__(
-        self,
-        tree: RTree,
-        providers: Sequence[Point],
-        group_size: int = 8,
-    ):
+    group_cls = None  # set by subclasses
+
+    def __init__(self, tree, providers: Sequence[Point], group_size: int = 8):
         self.tree = tree
         root_mbr = tree.root_mbr()
         if root_mbr is not None and providers:
@@ -140,13 +164,138 @@ class GroupedANN:
         groups = group_providers_by_hilbert(
             providers, world.lo, world.hi, group_size
         )
-        self._group_of: Dict[int, ANNGroup] = {}
-        self.groups: List[ANNGroup] = []
+        self._group_of: Dict[int, object] = {}
+        self.groups: List[object] = []
         for member_points in groups:
-            group = ANNGroup(tree, member_points)
+            group = self.group_cls(tree, member_points)
             self.groups.append(group)
             for q in member_points:
                 self._group_of[q.pid] = group
 
     def next_nn(self, provider_pid: int) -> Optional[Point]:
         return self._group_of[provider_pid].next_nn(provider_pid)
+
+
+class GroupedANN(_GroupedANNBase):
+    """Facade NIA/IDA use: ``next_nn(pid)`` with group-shared I/O.
+
+    With ``group_size=1`` this degenerates to independent incremental NN
+    streams (the un-optimized variant, kept for ablation benches).
+    """
+
+    group_cls = ANNGroup
+
+
+class PackedANNGroup:
+    """Algorithm 6 over the packed layout: batch keys, index-typed heaps.
+
+    Node expansion computes every child key (directory) or every point key
+    *and* the full member×point fan-out distance matrix (leaf) in one
+    vectorized call; de-heaping a point then just replays its cached
+    distance column into the members' candidate heaps.  Heap discipline —
+    entry order, keys, tie-break counters — mirrors :class:`ANNGroup`
+    exactly, so the reported NN order and the page-access sequence are
+    identical to the pointer implementation's.
+    """
+
+    _NODE, _POINT = 0, 1
+
+    def __init__(self, tree: PackedRTree, providers: Sequence[Point]):
+        if not providers:
+            raise ValueError("an ANN group needs at least one provider")
+        self.tree = tree
+        self.providers = list(providers)
+        self.member_pids = [q.pid for q in self.providers]
+        self.member_coords = np.asarray(
+            [q.coords for q in self.providers], dtype=np.float64
+        )
+        self._lo = self.member_coords.min(axis=0)
+        self._hi = self.member_coords.max(axis=0)
+        self.mbr = MBR(self._lo, self._hi)
+        self._counter = itertools.count()
+        # Hm entries: (mindist, kind, tiebreak, node/row, fan column).
+        # Carrying the leaf-batch fan-out column inside the entry (None
+        # for directory nodes) avoids a side-table lookup per de-heaped
+        # point; the unique tiebreak guarantees columns never compare.
+        self._heap: list = []
+        self._res_heaps: List[list] = [[] for _ in self.member_pids]
+        self._res: Dict[int, list] = dict(
+            zip(self.member_pids, self._res_heaps)
+        )
+        if tree.root_id is not None:
+            # The pointer ANNGroup reads the root MBR through the buffer;
+            # charge the same access before keying the root entry.
+            tree.visit(tree.root_id)
+            key = mindist_box_to_boxes(
+                self._lo,
+                self._hi,
+                tree.node_lo[tree.root_id][None, :],
+                tree.node_hi[tree.root_id][None, :],
+            )[0]
+            heapq.heappush(
+                self._heap,
+                (float(key), self._NODE, next(self._counter), tree.root_id,
+                 None),
+            )
+
+    def _expand_once(self) -> None:
+        """De-heap the top Hm entry (Algorithm 6 lines 2-7)."""
+        heap = self._heap
+        key, kind, _, obj, column = heapq.heappop(heap)
+        counter = self._counter
+        if kind == self._POINT:
+            for member, res in enumerate(self._res_heaps):
+                heapq.heappush(res, (column[member], next(counter), obj))
+            return
+        tree = self.tree
+        nid = tree.visit(obj)
+        start, end = tree.leaf_slice(nid)
+        if tree.node_is_leaf[nid]:
+            coords = tree.point_coords[start:end]
+            keys = mindist_box_to_points(self._lo, self._hi, coords).tolist()
+            columns = cross_dists(self.member_coords, coords).T.tolist()
+            point = self._POINT
+            for offset, point_key in enumerate(keys):
+                heapq.heappush(
+                    heap,
+                    (point_key, point, next(counter), start + offset,
+                     columns[offset]),
+                )
+        else:
+            kids = tree.child_ids[start:end]
+            keys = mindist_box_to_boxes(
+                self._lo, self._hi, tree.node_lo[kids], tree.node_hi[kids]
+            ).tolist()
+            node = self._NODE
+            for child, child_key in zip(kids.tolist(), keys):
+                heapq.heappush(
+                    heap, (child_key, node, next(counter), child, None)
+                )
+
+    def next_nn(self, provider_pid: int) -> Optional[Point]:
+        """The next unreported NN of one member, or None when exhausted."""
+        res = self._res[provider_pid]
+        heap = self._heap
+        while True:
+            candidate_key = res[0][0] if res else float("inf")
+            frontier_key = heap[0][0] if heap else float("inf")
+            if candidate_key <= frontier_key:
+                break
+            if not heap:
+                break
+            self._expand_once()
+        if not res:
+            return None
+        _, _, row = heapq.heappop(res)
+        return self.tree.point(row)
+
+
+class PackedGroupedANN(_GroupedANNBase):
+    """The :class:`GroupedANN` facade over a :class:`PackedRTree`.
+
+    Same Hilbert grouping, same per-group Algorithm 6 state — only the
+    arithmetic is columnar.  ``next_nn(pid)`` materializes the reported
+    point on demand.
+    """
+
+    group_cls = PackedANNGroup

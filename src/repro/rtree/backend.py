@@ -1,0 +1,157 @@
+"""The index-backend seam: pluggable spatial-index + ANN-stream kernels.
+
+Mirror of :mod:`repro.flow.backend`, one layer down the stack: every
+solver's *edge supply* bottoms out in two objects — a disk-simulated
+spatial index over the customers and a grouped incremental ANN stream
+over it.  This module names that seam:
+
+* ``pointer`` — the reference backend: :class:`~repro.rtree.tree.RTree`
+  (node objects, Guttman maintenance) + :class:`~repro.rtree.ann.GroupedANN`.
+  Easiest to read next to the paper; the correctness anchor.
+* ``packed`` — the performance backend:
+  :class:`~repro.rtree.packed.PackedRTree` (flat MBR/child-offset arrays,
+  STR bulk load, no node objects) +
+  :class:`~repro.rtree.ann.PackedGroupedANN` (vectorized batch keys and
+  fan-outs).  Bit-identical NN orders, matchings, and page-access
+  sequences; multi-x faster NN streams at Figure-10 scales.
+
+Solvers accept ``index_backend=`` as either a name from
+:data:`INDEX_BACKENDS` or an :class:`IndexBackend` instance;
+``tests/property/test_index_equivalence.py`` enforces the equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Union
+
+from repro.geometry.pointset import PointSet
+from repro.rtree.ann import GroupedANN, PackedGroupedANN
+from repro.rtree.packed import PackedRTree
+from repro.rtree.tree import RTree
+from repro.storage.page import DEFAULT_PAGE_SIZE
+
+DEFAULT_INDEX_BACKEND = "pointer"
+
+
+@dataclass(frozen=True)
+class IndexBackend:
+    """A (tree factory, grouped-ANN factory) pair behind a stable name."""
+
+    name: str
+    tree_cls: Callable
+    ann_cls: Callable
+
+    def build(
+        self,
+        points,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_fraction: float = 0.01,
+        buffer_capacity: Optional[int] = None,
+    ):
+        """Bulk-load a cold index over ``points`` (a
+        :class:`~repro.geometry.pointset.PointSet` or Point sequence)."""
+        if self.name == "pointer" and isinstance(points, PointSet):
+            points = points.to_points()
+        return self.tree_cls.from_points(
+            points,
+            page_size=page_size,
+            buffer_fraction=buffer_fraction,
+            buffer_capacity=buffer_capacity,
+        )
+
+    def grouped_ann(self, tree, providers, group_size: int):
+        """Algorithm 6 grouped incremental-NN streams over ``tree``."""
+        return self.ann_cls(tree, providers, group_size=group_size)
+
+    def __repr__(self) -> str:  # keep solver reprs short
+        return f"IndexBackend({self.name!r})"
+
+
+INDEX_BACKENDS: Dict[str, IndexBackend] = {
+    "pointer": IndexBackend("pointer", RTree, GroupedANN),
+    "packed": IndexBackend("packed", PackedRTree, PackedGroupedANN),
+}
+
+
+IndexBackendLike = Union[str, IndexBackend]
+
+
+def get_index_backend(
+    backend: IndexBackendLike = DEFAULT_INDEX_BACKEND,
+) -> IndexBackend:
+    """Resolve a backend selector (name or instance) to an IndexBackend."""
+    if isinstance(backend, IndexBackend):
+        return backend
+    try:
+        return INDEX_BACKENDS[backend]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown index backend {backend!r}; expected one of "
+            f"{tuple(sorted(INDEX_BACKENDS))} or an IndexBackend instance"
+        ) from None
+
+
+def backend_of_tree(tree) -> IndexBackend:
+    """The backend a live tree instance belongs to (for attach_rtree)."""
+    if isinstance(tree, PackedRTree):
+        return INDEX_BACKENDS["packed"]
+    return INDEX_BACKENDS["pointer"]
+
+
+def resolve_index_backend(
+    problem, selector: Optional[IndexBackendLike] = None
+) -> IndexBackend:
+    """The shared ``None``-follows-the-problem-default resolution rule.
+
+    Every consumer of ``index_backend=`` (solvers, sessions, the sharded
+    engine) resolves selectors the same way: an explicit name/instance
+    wins; ``None`` adopts the problem's configured default.
+    """
+    selector = problem.index_backend if selector is None else selector
+    return get_index_backend(selector)
+
+
+def index_info(tree) -> Dict:
+    """Height / node-count / fill-factor summary for either backend.
+
+    Walks the structure without charging buffer I/O — this is an
+    introspection helper (the ``repro-cca index-info`` subcommand and the
+    index benchmark), not a measured workload.
+    """
+    info: Dict = {
+        "backend": backend_of_tree(tree).name,
+        "points": len(tree),
+        "height": tree.height,
+        "pages": tree.num_pages,
+        "leaf_capacity": tree.leaf_cap,
+        "dir_capacity": tree.dir_cap,
+    }
+    if isinstance(tree, PackedRTree):
+        tree._ensure_built()
+        leaves = int(tree.node_is_leaf.sum())
+        leaf_entries = int(tree.entry_count[tree.node_is_leaf].sum())
+        dir_nodes = len(tree.node_is_leaf) - leaves
+        dir_entries = int(tree.entry_count[~tree.node_is_leaf].sum())
+    else:
+        leaves = dir_nodes = leaf_entries = dir_entries = 0
+        if tree.root_id is not None:
+            stack = [tree.root_id]
+            while stack:
+                node = tree.manager.get(stack.pop()).payload
+                if node.is_leaf:
+                    leaves += 1
+                    leaf_entries += len(node.points)
+                else:
+                    dir_nodes += 1
+                    dir_entries += len(node.children_ids)
+                    stack.extend(node.children_ids)
+    info["leaves"] = leaves
+    info["dir_nodes"] = dir_nodes
+    info["leaf_fill"] = (
+        leaf_entries / (leaves * tree.leaf_cap) if leaves else 0.0
+    )
+    info["dir_fill"] = (
+        dir_entries / (dir_nodes * tree.dir_cap) if dir_nodes else 0.0
+    )
+    return info

@@ -1,0 +1,564 @@
+"""Packed (columnar) R-tree: flat arrays instead of node objects.
+
+The pointer tree (:class:`repro.rtree.tree.RTree`) spends its query time
+chasing ``RTreeNode`` objects and re-deriving per-entry ``MBR``/``Point``
+objects.  This module stores the same STR-bulk-loaded structure as flat
+NumPy columns:
+
+* ``point_ids`` / ``point_coords`` — every indexed point, packed in leaf
+  order;
+* ``node_lo`` / ``node_hi`` — one tight MBR row per node;
+* ``entry_start`` / ``entry_count`` — each node's slice into either the
+  point arrays (leaves) or the flat ``child_ids`` array (directory nodes).
+
+**Structure parity.**  The bulk load reuses the pointer tree's STR tiling
+(:func:`repro.rtree.bulk._tile`) with identical sort keys and allocates
+node ids in the same order ``str_bulk_load`` allocates pages, so a packed
+tree and a pointer tree built from the same points have identical node
+ids, fan-outs, heights, and MBRs.  Traversals that mirror the pointer
+code's visit order therefore charge **identical page-access sequences**,
+which is what keeps the paper's I/O figures reproducible across index
+backends (one logical page per packed node block, accounted through the
+same :class:`~repro.storage.buffer.LRUBufferPool`).
+
+Mutation: the packed layout is static, so :meth:`insert` / :meth:`delete`
+stage the change and lazily rebuild on the next access — the right
+trade-off for warm :class:`~repro.core.session.Matcher` sessions, whose
+deltas are rare relative to the queries between them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+from repro.geometry.pointset import (
+    PointSet,
+    batch_dists,
+    maxdist_point_to_boxes,
+    mindist_point_to_boxes,
+)
+from repro.rtree.bulk import _tile
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.iostats import IOStats
+from repro.storage.page import DEFAULT_PAGE_SIZE, PageManager
+
+
+class PackedNodeView:
+    """An on-demand node view over the packed arrays.
+
+    Materialized only for compatibility paths (CA's partition traversal,
+    the generic incremental-NN iterator); the hot packed paths read the
+    arrays directly and never build one of these.
+    """
+
+    __slots__ = ("_tree", "page_id")
+
+    def __init__(self, tree: "PackedRTree", page_id: int):
+        self._tree = tree
+        self.page_id = page_id
+
+    @property
+    def is_leaf(self) -> bool:
+        return bool(self._tree.node_is_leaf[self.page_id])
+
+    @property
+    def entry_count(self) -> int:
+        return int(self._tree.entry_count[self.page_id])
+
+    def _slice(self) -> Tuple[int, int]:
+        start = int(self._tree.entry_start[self.page_id])
+        return start, start + int(self._tree.entry_count[self.page_id])
+
+    @property
+    def points(self) -> List[Point]:
+        if not self.is_leaf:
+            return []
+        start, end = self._slice()
+        tree = self._tree
+        return [
+            Point(int(tree.point_ids[row]), tree.point_coords[row])
+            for row in range(start, end)
+        ]
+
+    @property
+    def children_ids(self) -> List[int]:
+        if self.is_leaf:
+            return []
+        start, end = self._slice()
+        return [int(c) for c in self._tree.child_ids[start:end]]
+
+    @property
+    def child_mbrs(self) -> List[MBR]:
+        tree = self._tree
+        return [MBR(tree.node_lo[c], tree.node_hi[c]) for c in self.children_ids]
+
+    def mbr(self) -> MBR:
+        tree = self._tree
+        return MBR(tree.node_lo[self.page_id], tree.node_hi[self.page_id])
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "dir"
+        return (
+            f"PackedNodeView(page={self.page_id}, {kind}, "
+            f"n={self.entry_count})"
+        )
+
+
+class PackedRTree:
+    """A bulk-loaded, array-backed R-tree over d-dimensional points.
+
+    Construction accepts either a :class:`~repro.geometry.pointset.PointSet`
+    or a sequence of :class:`Point` objects; coordinates are held as one
+    ``(n, d)`` float64 matrix throughout.
+    """
+
+    is_packed = True
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_fraction: float = 0.01,
+        buffer_capacity: Optional[int] = None,
+    ):
+        self.page_size = page_size
+        self.buffer_fraction = buffer_fraction
+        self._fixed_buffer_capacity = buffer_capacity
+        self.stats = IOStats()
+        self.manager = PageManager(page_size=page_size)
+        self.buffer = LRUBufferPool(
+            self.manager, capacity=buffer_capacity or 64, stats=self.stats
+        )
+        self.leaf_cap = self.manager.leaf_capacity()
+        self.dir_cap = self.manager.dir_capacity()
+        self._root_id: Optional[int] = None
+        self.height = 0
+        self.size = 0
+        # Authoritative point multiset (mutated by insert/delete); staged
+        # arrivals accumulate in Python lists so each delta is O(1).
+        self._ids = np.empty(0, dtype=np.int64)
+        self._coords = np.empty((0, 2), dtype=np.float64)
+        self._pending_ids: List[int] = []
+        self._pending_coords: List[Tuple[float, ...]] = []
+        self._dirty = False
+        # Node columns (filled by _build).
+        self.point_ids = self._ids
+        self.point_coords = self._coords
+        self.node_is_leaf = np.empty(0, dtype=bool)
+        self.node_lo = np.empty((0, 2), dtype=np.float64)
+        self.node_hi = np.empty((0, 2), dtype=np.float64)
+        self.entry_start = np.empty(0, dtype=np.int64)
+        self.entry_count = np.empty(0, dtype=np.int64)
+        self.child_ids = np.empty(0, dtype=np.int64)
+        self._row_lists = None  # lazy Python-list mirror for point()
+        self._id_list = None
+
+    @property
+    def root_id(self) -> Optional[int]:
+        """Root node/page id (flushes any staged deltas first)."""
+        self._ensure_built()
+        return self._root_id
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(
+        cls,
+        points: Union[PointSet, Sequence[Point]],
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_fraction: float = 0.01,
+        buffer_capacity: Optional[int] = None,
+    ) -> "PackedRTree":
+        """Bulk-load a packed tree and start it cold (empty buffer)."""
+        tree = cls(
+            page_size=page_size,
+            buffer_fraction=buffer_fraction,
+            buffer_capacity=buffer_capacity,
+        )
+        if not isinstance(points, PointSet):
+            points = PointSet.from_points(points)
+        tree._ids = points.ids.copy()
+        tree._coords = points.coords.copy()
+        tree._rebuild()
+        tree.cold()
+        return tree
+
+    def _rebuild(self) -> None:
+        """(Re)build every node column from the current point multiset."""
+        self._dirty = False
+        self._flush_pending()
+        self._row_lists = None
+        self._id_list = None
+        self.manager = PageManager(page_size=self.page_size)
+        self.size = len(self._ids)
+        if self.size == 0:
+            self._root_id = None
+            self.height = 0
+            self.point_ids = self._ids
+            self.point_coords = self._coords
+            self.node_is_leaf = np.empty(0, dtype=bool)
+            self.node_lo = np.empty((0, self._coords.shape[1]), dtype=float)
+            self.node_hi = np.empty((0, self._coords.shape[1]), dtype=float)
+            self.entry_start = np.empty(0, dtype=np.int64)
+            self.entry_count = np.empty(0, dtype=np.int64)
+            self.child_ids = np.empty(0, dtype=np.int64)
+            self._refresh_buffer()
+            return
+
+        # STR tiling over row indices, with the exact sort keys the
+        # pointer bulk load uses — (x, y, pid) / (y, x, pid) — so the
+        # leaf grouping is identical.  1-D inputs use a constant
+        # secondary coordinate (the pointer loader requires 2-D).
+        ids, coords = self._ids, self._coords
+        dim = coords.shape[1]
+        xs = coords[:, 0]
+        ys = coords[:, 1] if dim > 1 else np.zeros(len(ids), dtype=float)
+        groups = _tile(
+            list(range(len(ids))),
+            key_x=lambda r: (xs[r], ys[r], ids[r]),
+            key_y=lambda r: (ys[r], xs[r], ids[r]),
+            capacity=self.leaf_cap,
+        )
+
+        is_leaf: List[bool] = []
+        lo_rows: List[np.ndarray] = []
+        hi_rows: List[np.ndarray] = []
+        starts: List[int] = []
+        counts: List[int] = []
+        child_ids: List[int] = []
+        perm: List[int] = []
+
+        # Leaves first, in tile order (page ids 0..L-1, mirroring
+        # str_bulk_load's allocation order).
+        level: List[int] = []
+        packed = 0
+        for group in groups:
+            page = self.manager.allocate()
+            node_id = page.page_id
+            page.payload = node_id
+            rows = np.asarray(group, dtype=np.int64)
+            perm.extend(group)
+            is_leaf.append(True)
+            starts.append(packed)
+            counts.append(len(group))
+            packed += len(group)
+            lo_rows.append(coords[rows].min(axis=0))
+            hi_rows.append(coords[rows].max(axis=0))
+            level.append(node_id)
+
+        # Upper levels: tile (node, center) items keyed by (cx, cy, id).
+        self.height = 1
+        ax1 = 1 if dim > 1 else 0
+        while len(level) > 1:
+            centers = {nid: (lo_rows[nid] + hi_rows[nid]) / 2.0 for nid in level}
+            groups = _tile(
+                level,
+                key_x=lambda n: (centers[n][0], centers[n][ax1], n),
+                key_y=lambda n: (centers[n][ax1], centers[n][0], n),
+                capacity=self.dir_cap,
+            )
+            next_level: List[int] = []
+            for group in groups:
+                page = self.manager.allocate()
+                node_id = page.page_id
+                page.payload = node_id
+                is_leaf.append(False)
+                starts.append(len(child_ids))
+                counts.append(len(group))
+                child_ids.extend(group)
+                member_lo = np.stack([lo_rows[c] for c in group])
+                member_hi = np.stack([hi_rows[c] for c in group])
+                lo_rows.append(member_lo.min(axis=0))
+                hi_rows.append(member_hi.max(axis=0))
+                next_level.append(node_id)
+            level = next_level
+            self.height += 1
+
+        self._root_id = level[0]
+        order = np.asarray(perm, dtype=np.int64)
+        self.point_ids = ids[order]
+        self.point_coords = coords[order]
+        self.node_is_leaf = np.asarray(is_leaf, dtype=bool)
+        self.node_lo = np.stack(lo_rows)
+        self.node_hi = np.stack(hi_rows)
+        self.entry_start = np.asarray(starts, dtype=np.int64)
+        self.entry_count = np.asarray(counts, dtype=np.int64)
+        self.child_ids = np.asarray(child_ids, dtype=np.int64)
+        self._refresh_buffer()
+
+    def _refresh_buffer(self) -> None:
+        capacity = self._fixed_buffer_capacity
+        if capacity is None:
+            capacity = LRUBufferPool.capacity_for_tree(
+                max(len(self.manager), 1), self.buffer_fraction
+            )
+        self.buffer = LRUBufferPool(self.manager, capacity, stats=self.stats)
+
+    def _ensure_built(self) -> None:
+        if self._dirty:
+            self._rebuild()
+
+    # ------------------------------------------------------------------
+    # measurement lifecycle (same contract as the pointer tree)
+    # ------------------------------------------------------------------
+    def cold(self) -> None:
+        """Empty the buffer, resize it, and zero the I/O counters."""
+        self._ensure_built()
+        self._refresh_buffer()
+        self.stats.reset()
+
+    def reset_io(self) -> None:
+        self.stats.reset()
+
+    @property
+    def num_pages(self) -> int:
+        self._ensure_built()
+        return len(self.manager)
+
+    # ------------------------------------------------------------------
+    # node access (the charged path)
+    # ------------------------------------------------------------------
+    def visit(self, node_id: int) -> int:
+        """Charge one logical page access for a packed node block."""
+        if self._dirty:
+            self._rebuild()
+        self.buffer.access(node_id)
+        return node_id
+
+    def node(self, page_id: int) -> PackedNodeView:
+        """Buffer-charged access returning an on-demand node view."""
+        self.visit(page_id)
+        return PackedNodeView(self, page_id)
+
+    def root_mbr(self) -> Optional[MBR]:
+        self._ensure_built()
+        if self.root_id is None:
+            return None
+        # Charged like the pointer tree's root_mbr() (a root-node read),
+        # keeping cross-backend page-access sequences identical.
+        self.visit(self.root_id)
+        return MBR(self.node_lo[self.root_id], self.node_hi[self.root_id])
+
+    def point(self, row: int) -> Point:
+        """Materialize one packed point row as a :class:`Point` view.
+
+        Hot path (one call per reported NN): bypasses ``Point.__init__``'s
+        per-coordinate conversion by tupling a cached Python-list row —
+        the stored columns are already float64.
+        """
+        if self._row_lists is None:
+            self._row_lists = self.point_coords.tolist()
+            self._id_list = self.point_ids.tolist()
+        view = Point.__new__(Point)
+        view.pid = self._id_list[row]
+        view.coords = tuple(self._row_lists[row])
+        return view
+
+    def leaf_slice(self, node_id: int) -> Tuple[int, int]:
+        start = int(self.entry_start[node_id])
+        return start, start + int(self.entry_count[node_id])
+
+    # ------------------------------------------------------------------
+    # mutation (staged; rebuilt lazily on next access)
+    # ------------------------------------------------------------------
+    def _dim(self) -> int:
+        if self._pending_coords:
+            return len(self._pending_coords[0])
+        return self._coords.shape[1]
+
+    def insert(self, point: Point) -> None:
+        """Stage one arrival (O(1); merged into the next lazy rebuild)."""
+        if self.size and len(point.coords) != self._dim():
+            raise ValueError(
+                f"point dimensionality {len(point.coords)} does not match "
+                f"tree dimensionality {self._dim()}"
+            )
+        self._pending_ids.append(point.pid)
+        self._pending_coords.append(point.coords)
+        self.size += 1
+        self._dirty = True
+
+    def delete(self, point: Point) -> bool:
+        """Remove one point (matched on id and coordinates)."""
+        if not self.size:
+            return False
+        coords = tuple(point.coords)
+        pending = zip(self._pending_ids, self._pending_coords)
+        for slot, (pid, xy) in enumerate(pending):
+            if pid == point.pid and tuple(xy) == coords:
+                del self._pending_ids[slot]
+                del self._pending_coords[slot]
+                self.size -= 1
+                self._dirty = True
+                return True
+        arr = np.asarray(point.coords, dtype=np.float64)
+        if not len(self._ids) or arr.shape[0] != self._coords.shape[1]:
+            return False
+        match = (self._ids == point.pid) & np.all(
+            self._coords == arr[None, :],
+            axis=1,
+        )
+        hits = np.flatnonzero(match)
+        if not len(hits):
+            return False
+        keep = np.ones(len(self._ids), dtype=bool)
+        keep[hits[0]] = False  # remove one instance, like the pointer tree
+        self._ids = self._ids[keep]
+        self._coords = self._coords[keep]
+        self.size -= 1
+        self._dirty = True
+        return True
+
+    def _flush_pending(self) -> None:
+        """Merge staged arrivals into the authoritative columns."""
+        if not self._pending_ids:
+            return
+        fresh = np.asarray(self._pending_coords, dtype=np.float64)
+        if self._coords.shape[1] != fresh.shape[1] and not len(self._ids):
+            self._coords = np.empty((0, fresh.shape[1]), dtype=np.float64)
+        self._ids = np.concatenate(
+            [self._ids, np.asarray(self._pending_ids, dtype=np.int64)]
+        )
+        self._coords = np.vstack([self._coords, fresh])
+        self._pending_ids = []
+        self._pending_coords = []
+
+    # ------------------------------------------------------------------
+    # vectorized searches (mirror the pointer traversal order exactly)
+    # ------------------------------------------------------------------
+    def range_search(self, query: Point, radius: float) -> List[Point]:
+        """All indexed points within ``radius`` of ``query`` (inclusive)."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        self._ensure_built()
+        if self.root_id is None:
+            return []
+        q = np.asarray(query.coords, dtype=np.float64)
+        out: List[Point] = []
+        stack = [self.root_id]
+        while stack:
+            nid = self.visit(stack.pop())
+            start, end = self.leaf_slice(nid)
+            if self.node_is_leaf[nid]:
+                d = batch_dists(self.point_coords[start:end], q)
+                for row in np.flatnonzero(d <= radius):
+                    out.append(self.point(start + int(row)))
+            else:
+                kids = self.child_ids[start:end]
+                md = mindist_point_to_boxes(q, self.node_lo[kids], self.node_hi[kids])
+                stack.extend(int(c) for c in kids[md <= radius])
+        return out
+
+    def annular_range_search(
+        self, query: Point, inner: float, outer: float
+    ) -> List[Point]:
+        """Points ``p`` with ``inner < dist(query, p) <= outer``."""
+        if inner < 0 or outer < inner:
+            raise ValueError("need 0 <= inner <= outer")
+        self._ensure_built()
+        if self.root_id is None:
+            return []
+        q = np.asarray(query.coords, dtype=np.float64)
+        out: List[Point] = []
+        stack = [self.root_id]
+        while stack:
+            nid = self.visit(stack.pop())
+            start, end = self.leaf_slice(nid)
+            if self.node_is_leaf[nid]:
+                d = batch_dists(self.point_coords[start:end], q)
+                for row in np.flatnonzero((d > inner) & (d <= outer)):
+                    out.append(self.point(start + int(row)))
+            else:
+                kids = self.child_ids[start:end]
+                lo = self.node_lo[kids]
+                hi = self.node_hi[kids]
+                keep = (mindist_point_to_boxes(q, lo, hi) <= outer) & (
+                    maxdist_point_to_boxes(q, lo, hi) > inner
+                )
+                stack.extend(int(c) for c in kids[keep])
+        return out
+
+    # ------------------------------------------------------------------
+    # iteration / integrity
+    # ------------------------------------------------------------------
+    def all_points(self) -> List[Point]:
+        """Every indexed point (through the buffer; test helper)."""
+        self._ensure_built()
+        if self.root_id is None:
+            return []
+        out: List[Point] = []
+        stack = [self.root_id]
+        while stack:
+            nid = self.visit(stack.pop())
+            start, end = self.leaf_slice(nid)
+            if self.node_is_leaf[nid]:
+                out.extend(self.point(row) for row in range(start, end))
+            else:
+                stack.extend(int(c) for c in self.child_ids[start:end])
+        return out
+
+    def check_integrity(self) -> None:
+        """Validate MBR tightness/containment, capacities, leaf depths."""
+        self._ensure_built()
+        if self.root_id is None:
+            if self.size != 0:
+                raise AssertionError("empty tree with non-zero size")
+            return
+        leaf_depths = set()
+        count = self._check_node(self.root_id, None, None, 1, leaf_depths)
+        if count != self.size:
+            raise AssertionError(f"size mismatch: {count} vs {self.size}")
+        if len(leaf_depths) != 1:
+            raise AssertionError(f"leaves at different depths: {leaf_depths}")
+        if leaf_depths.pop() != self.height:
+            raise AssertionError("height bookkeeping out of date")
+
+    def _check_node(self, nid, expected_lo, expected_hi, depth, leaf_depths):
+        start, end = self.leaf_slice(nid)
+        if self.node_is_leaf[nid]:
+            lo = self.point_coords[start:end].min(axis=0)
+            hi = self.point_coords[start:end].max(axis=0)
+        else:
+            kids = self.child_ids[start:end]
+            lo = self.node_lo[kids].min(axis=0)
+            hi = self.node_hi[kids].max(axis=0)
+        if not (
+            np.array_equal(lo, self.node_lo[nid])
+            and np.array_equal(hi, self.node_hi[nid])
+        ):
+            raise AssertionError(f"stale MBR at node {nid}")
+        if expected_lo is not None and not (
+            np.all(expected_lo <= lo) and np.all(hi <= expected_hi)
+        ):
+            raise AssertionError(f"child {nid} escapes its parent MBR")
+        cap = self.leaf_cap if self.node_is_leaf[nid] else self.dir_cap
+        if end - start > cap:
+            raise AssertionError(f"node {nid} overflows")
+        if end - start < 1:
+            raise AssertionError(f"node {nid} is empty")
+        if self.node_is_leaf[nid]:
+            leaf_depths.add(depth)
+            return end - start
+        return sum(
+            self._check_node(
+                int(c),
+                self.node_lo[nid],
+                self.node_hi[nid],
+                depth + 1,
+                leaf_depths,
+            )
+            for c in self.child_ids[start:end]
+        )
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedRTree(n={self.size}, pages={self.num_pages}, "
+            f"height={self.height}, leaf_cap={self.leaf_cap})"
+        )

@@ -24,7 +24,14 @@ from repro.rtree.tree import RTree
 
 
 def range_search(tree: RTree, query: Point, radius: float) -> List[Point]:
-    """All indexed points within ``radius`` of ``query`` (inclusive)."""
+    """All indexed points within ``radius`` of ``query`` (inclusive).
+
+    Packed trees carry their own vectorized traversal (same visit order,
+    batch arithmetic); dispatch to it so RIA's bulk supply stays columnar
+    on the packed backend.
+    """
+    if getattr(tree, "is_packed", False):
+        return tree.range_search(query, radius)
     if radius < 0:
         raise ValueError("radius must be non-negative")
     if tree.root_id is None:
@@ -55,6 +62,8 @@ def annular_range_search(
     only the new ring, pruning subtrees that lie entirely inside the inner
     radius (``maxdist <= inner``) or entirely outside the outer one.
     """
+    if getattr(tree, "is_packed", False):
+        return tree.annular_range_search(query, inner, outer)
     if inner < 0 or outer < inner:
         raise ValueError("need 0 <= inner <= outer")
     if tree.root_id is None:

@@ -282,3 +282,35 @@ class TestValidation:
         session_cost = Matcher(fresh_problem(qxy, caps, pxy)).assign().cost
         solver_cost = solve(fresh_problem(qxy, caps, pxy), "ida").cost
         assert session_cost == pytest.approx(solver_cost, abs=1e-9)
+
+
+class TestWarmFallbackOnStalePotentials:
+    def test_sharded_reconciliation_seed_4198_regression(self):
+        """Hypothesis-found latent bug (pre-dating the index seam): a warm
+        reconciliation re-solve discovered a *new* edge whose reduced cost
+        was negative against the inherited potentials and crashed with
+        NegativeReducedCostError.  The session now detects that the seeded
+        state is stale and falls back to a cold solve; this pins the exact
+        failing instance (seed=4198, shards=3, nearest router)."""
+        import numpy as np
+
+        from repro.core.shard import solve_sharded
+
+        def build_instance(seed, max_nq=6, max_np=24):
+            rng = np.random.default_rng(seed)
+            nq = int(rng.integers(2, max_nq + 1))
+            np_ = int(rng.integers(4, max_np + 1))
+            caps = rng.integers(0, 4, nq).tolist()
+            if sum(caps) == 0:
+                caps[0] = 1
+            qxy = rng.random((nq, 2)) * 200.0
+            pxy = rng.random((np_, 2)) * 200.0
+            return CCAProblem.from_arrays(qxy, caps, pxy)
+
+        problem = build_instance(4198)
+        matching = solve_sharded(
+            build_instance(4198), 3, router="nearest", backend="array"
+        )
+        optimal = solve(build_instance(4198), "ida", backend="array")
+        assert matching.size == problem.gamma
+        assert matching.cost >= optimal.cost - 1e-9

@@ -1,0 +1,145 @@
+"""Unit tests for the columnar PointSet and its batch distance kernels.
+
+The batch kernels are specified as **bit-identical** to the scalar
+functions in :mod:`repro.geometry.distance` — exact ``==`` comparisons
+throughout, never ``approx``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import (
+    dist,
+    maxdist_point_mbr,
+    mindist_mbr_mbr,
+    mindist_point_mbr,
+)
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
+from repro.geometry.pointset import (
+    PointSet,
+    batch_dists,
+    cross_dists,
+    maxdist_point_to_boxes,
+    mindist_box_to_boxes,
+    mindist_box_to_points,
+    mindist_point_to_boxes,
+)
+
+
+def random_points(n, d=2, seed=0, span=1000.0):
+    rng = np.random.default_rng(seed)
+    return [Point(i, rng.random(d) * span) for i in range(n)]
+
+
+class TestPointSet:
+    def test_from_points_round_trip(self):
+        points = random_points(40)
+        ps = PointSet.from_points(points)
+        assert len(ps) == 40
+        assert ps.dim == 2
+        for row, p in enumerate(points):
+            view = ps.point(row)
+            assert view == p
+        assert ps.to_points() == points
+
+    def test_native_array_construction(self):
+        coords = np.array([[1.0, 2.0], [3.0, 4.0]])
+        ps = PointSet(coords, ids=[7, 9])
+        assert ps.point(0).pid == 7
+        assert ps.point(1).coords == (3.0, 4.0)
+
+    def test_flat_input_is_one_dimensional(self):
+        ps = PointSet([1.0, 2.0, 3.0])
+        assert ps.dim == 1
+        assert ps.point(2).coords == (3.0,)
+
+    def test_default_ids_are_positional(self):
+        ps = PointSet(np.zeros((5, 2)))
+        assert ps.ids.tolist() == [0, 1, 2, 3, 4]
+
+    def test_id_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PointSet(np.zeros((3, 2)), ids=[0, 1])
+
+    def test_empty_set(self):
+        ps = PointSet.from_points([])
+        assert len(ps) == 0
+        with pytest.raises(ValueError):
+            ps.bounds()
+
+    def test_take_preserves_ids(self):
+        ps = PointSet.from_points(random_points(10))
+        sub = ps.take([3, 7])
+        assert sub.ids.tolist() == [3, 7]
+        assert sub.point(1) == ps.point(7)
+
+    def test_mbr_matches_object_path(self):
+        points = random_points(25, seed=3)
+        ps = PointSet.from_points(points)
+        assert ps.mbr() == MBR.from_points(points)
+
+    def test_dists_to_bit_identical(self):
+        points = random_points(60, seed=1)
+        ps = PointSet.from_points(points)
+        q = Point(99, (123.456, 789.012))
+        batched = ps.dists_to(q.coords)
+        for row, p in enumerate(points):
+            assert batched[row] == dist(p, q)
+
+
+class TestBatchKernels:
+    def setup_method(self):
+        rng = np.random.default_rng(11)
+        self.a = rng.random((13, 2)) * 500
+        self.b = rng.random((29, 2)) * 500
+        self.lo = rng.random((29, 2)) * 400
+        self.hi = self.lo + rng.random((29, 2)) * 100
+
+    def test_batch_dists(self):
+        q = self.b[0]
+        out = batch_dists(self.a, q)
+        for row in range(len(self.a)):
+            assert out[row] == dist(Point(0, self.a[row]), Point(1, q))
+
+    def test_cross_dists(self):
+        out = cross_dists(self.a, self.b)
+        assert out.shape == (13, 29)
+        for i in (0, 5, 12):
+            for j in (0, 17, 28):
+                assert out[i, j] == dist(Point(0, self.a[i]), Point(1, self.b[j]))
+
+    def test_mindist_point_to_boxes(self):
+        q = self.a[0]
+        out = mindist_point_to_boxes(q, self.lo, self.hi)
+        for row in range(len(self.lo)):
+            box = MBR(self.lo[row], self.hi[row])
+            assert out[row] == mindist_point_mbr(Point(0, q), box)
+
+    def test_maxdist_point_to_boxes(self):
+        q = self.a[0]
+        out = maxdist_point_to_boxes(q, self.lo, self.hi)
+        for row in range(len(self.lo)):
+            box = MBR(self.lo[row], self.hi[row])
+            assert out[row] == maxdist_point_mbr(Point(0, q), box)
+
+    def test_mindist_box_to_boxes(self):
+        qlo, qhi = self.a.min(axis=0), self.a.max(axis=0)
+        qbox = MBR(qlo, qhi)
+        out = mindist_box_to_boxes(qlo, qhi, self.lo, self.hi)
+        for row in range(len(self.lo)):
+            box = MBR(self.lo[row], self.hi[row])
+            assert out[row] == mindist_mbr_mbr(qbox, box)
+
+    def test_mindist_box_to_points_degenerate_box(self):
+        qlo, qhi = self.a.min(axis=0), self.a.max(axis=0)
+        qbox = MBR(qlo, qhi)
+        out = mindist_box_to_points(qlo, qhi, self.b)
+        for row in range(len(self.b)):
+            p = Point(0, self.b[row])
+            assert out[row] == mindist_mbr_mbr(qbox, MBR.from_point(p))
+
+    def test_inside_box_is_zero(self):
+        lo = np.array([[0.0, 0.0]])
+        hi = np.array([[10.0, 10.0]])
+        assert mindist_point_to_boxes(np.array([5.0, 5.0]), lo, hi)[0] == 0.0

@@ -1,0 +1,192 @@
+"""Property tests for the index-backend seam.
+
+The packed columnar backend must be *bit-identical* to the pointer
+reference backend — identical NN report order, identical page-access
+counters after every single stream request (monotone and equal), and
+bit-identical matchings for every method — on every instance.  The batch
+kernels use the same float operation order as the scalar reference, so
+exact ``==`` comparisons are the specification here, not an
+approximation.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import CCAProblem
+from repro.core.solve import solve
+from repro.geometry.point import Point
+from repro.rtree.ann import GroupedANN, PackedGroupedANN
+from repro.rtree.packed import PackedRTree
+from repro.rtree.tree import RTree
+
+coord = st.floats(
+    min_value=0.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+xy = st.tuples(coord, coord)
+
+instance = st.tuples(
+    st.lists(xy, min_size=1, max_size=5),  # providers
+    st.lists(st.integers(0, 4), min_size=1, max_size=5),  # capacities
+    st.lists(xy, min_size=1, max_size=18),  # customers
+)
+
+# Integer grids force duplicate coordinates and distance ties — the cases
+# where only matching tie-break discipline keeps the backends aligned.
+grid_xy = st.tuples(st.integers(0, 8).map(float), st.integers(0, 8).map(float))
+
+
+def _problem(q_xy, caps, p_xy, weights=None):
+    caps = (caps * len(q_xy))[: len(q_xy)]
+    if sum(caps) == 0:
+        caps[0] = 1
+    return CCAProblem.from_arrays(q_xy, caps, p_xy, customer_weights=weights)
+
+
+def _drain_and_compare(customers, providers, group_size, rng_seed):
+    """Interleaved full drain of both backends; asserts NN order and
+    page-access parity after every request."""
+    pointer = RTree.from_points(customers)
+    packed = PackedRTree.from_points(customers)
+    ann_pointer = GroupedANN(pointer, providers, group_size=group_size)
+    ann_packed = PackedGroupedANN(packed, providers, group_size=group_size)
+    rng = np.random.default_rng(rng_seed)
+    budget = (len(customers) + 2) * len(providers)
+    reads_before = -1
+    for _ in range(budget):
+        q = providers[int(rng.integers(0, len(providers)))]
+        a = ann_pointer.next_nn(q.pid)
+        b = ann_packed.next_nn(q.pid)
+        if a is None:
+            assert b is None
+        else:
+            assert a.pid == b.pid
+            assert a.coords == b.coords
+        # Identical counters, and monotone non-decreasing across requests.
+        assert pointer.stats.reads == packed.stats.reads
+        assert pointer.stats.faults == packed.stats.faults
+        assert packed.stats.reads >= reads_before
+        reads_before = packed.stats.reads
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    customer_xy=st.lists(xy, min_size=1, max_size=40),
+    provider_xy=st.lists(xy, min_size=1, max_size=8),
+    group_size=st.sampled_from([1, 3, 8]),
+    seed=st.integers(0, 2**16),
+)
+def test_nn_streams_identical(customer_xy, provider_xy, group_size, seed):
+    customers = [Point(j, c) for j, c in enumerate(customer_xy)]
+    providers = [Point(i, c) for i, c in enumerate(provider_xy)]
+    _drain_and_compare(customers, providers, group_size, seed)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    customer_xy=st.lists(grid_xy, min_size=1, max_size=40),
+    provider_xy=st.lists(grid_xy, min_size=1, max_size=6),
+    seed=st.integers(0, 2**16),
+)
+def test_nn_streams_identical_under_ties(customer_xy, provider_xy, seed):
+    customers = [Point(j, c) for j, c in enumerate(customer_xy)]
+    providers = [Point(i, c) for i, c in enumerate(provider_xy)]
+    _drain_and_compare(customers, providers, 4, seed)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=instance, method=st.sampled_from(["sspa", "ria", "nia", "ida"]))
+def test_index_backends_bit_identical_all_exact_methods(data, method):
+    q_xy, caps, p_xy = data
+    # Separate problem objects: solvers cache R-trees and mutate networks.
+    pointer_m = solve(_problem(q_xy, caps, p_xy), method, index_backend="pointer")
+    packed_m = solve(_problem(q_xy, caps, p_xy), method, index_backend="packed")
+    assert packed_m.cost == pointer_m.cost  # bit-identical, not approx
+    assert packed_m.stats.esub_edges == pointer_m.stats.esub_edges
+    assert sorted(packed_m.pairs) == sorted(pointer_m.pairs)
+    assert packed_m.stats.io.reads == pointer_m.stats.io.reads
+    assert packed_m.stats.io.faults == pointer_m.stats.io.faults
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    data=instance,
+    method=st.sampled_from(["san", "sae", "can", "cae", "sm"]),
+)
+def test_index_backends_bit_identical_approx_methods(data, method):
+    q_xy, caps, p_xy = data
+    pointer_m = solve(_problem(q_xy, caps, p_xy), method, index_backend="pointer")
+    packed_m = solve(_problem(q_xy, caps, p_xy), method, index_backend="packed")
+    assert packed_m.cost == pointer_m.cost
+    assert sorted(packed_m.pairs) == sorted(pointer_m.pairs)
+    assert packed_m.stats.io.faults == pointer_m.stats.io.faults
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    data=instance,
+    weights=st.lists(st.integers(1, 3), min_size=1, max_size=18),
+)
+def test_index_backends_bit_identical_weighted_customers(data, weights):
+    """CA's concise matching runs weighted customers through the seam."""
+    q_xy, caps, p_xy = data
+    caps = [max(c, 1) for c in (caps * len(q_xy))[: len(q_xy)]]
+    w = (weights * len(p_xy))[: len(p_xy)]
+    pointer_m = solve(
+        CCAProblem.from_arrays(q_xy, caps, p_xy, customer_weights=w),
+        "ida",
+        index_backend="pointer",
+    )
+    packed_m = solve(
+        CCAProblem.from_arrays(q_xy, caps, p_xy, customer_weights=w),
+        "ida",
+        index_backend="packed",
+    )
+    assert packed_m.cost == pointer_m.cost
+    assert sorted(packed_m.pairs) == sorted(pointer_m.pairs)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=instance, seed=st.integers(0, 2**16))
+def test_index_backends_compose_with_flow_backends(data, seed):
+    """The two seams are orthogonal: (array, packed) == (dict, pointer)."""
+    q_xy, caps, p_xy = data
+    reference = solve(
+        _problem(q_xy, caps, p_xy),
+        "ida",
+        backend="dict",
+        index_backend="pointer",
+    )
+    columnar = solve(
+        _problem(q_xy, caps, p_xy),
+        "ida",
+        backend="array",
+        index_backend="packed",
+    )
+    assert columnar.cost == reference.cost
+    assert sorted(columnar.pairs) == sorted(reference.pairs)
+    assert columnar.stats.esub_edges == reference.stats.esub_edges

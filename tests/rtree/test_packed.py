@@ -1,0 +1,231 @@
+"""Unit tests for the packed (columnar) R-tree.
+
+Structure parity with the pointer STR bulk load is the load-bearing
+property (identical node ids, fan-outs, MBRs ⇒ identical traversals and
+page accounting); the edge cases exercise what the flat-array loader must
+survive: duplicate coordinates, fewer points than one leaf holds, and
+1-D inputs (which the pointer loader cannot even build).
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.pointset import PointSet
+from repro.rtree.backend import backend_of_tree, index_info
+from repro.rtree.packed import PackedRTree
+from repro.rtree.queries import annular_range_search, knn_search, range_search
+from repro.rtree.tree import RTree
+
+
+def random_points(n, seed=0, span=1000.0):
+    rng = np.random.default_rng(seed)
+    return [Point(i, rng.random(2) * span) for i in range(n)]
+
+
+def assert_same_structure(pointer: RTree, packed: PackedRTree):
+    assert pointer.num_pages == packed.num_pages
+    assert pointer.height == packed.height
+    assert pointer.size == packed.size
+    assert pointer.root_id == packed.root_id
+    stack = [] if pointer.root_id is None else [pointer.root_id]
+    while stack:
+        nid = stack.pop()
+        a = pointer.manager.get(nid).payload
+        b = packed.node(nid)
+        assert a.is_leaf == b.is_leaf
+        if a.is_leaf:
+            assert [(p.pid, p.coords) for p in a.points] == [
+                (p.pid, p.coords) for p in b.points
+            ]
+            assert a.mbr() == b.mbr()
+        else:
+            assert a.children_ids == b.children_ids
+            assert a.child_mbrs == b.child_mbrs
+            stack.extend(a.children_ids)
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize("n", [1, 2, 41, 42, 43, 500, 3000])
+    def test_structure_mirrors_pointer_tree(self, n):
+        points = random_points(n, seed=n)
+        pointer = RTree.from_points(points)
+        packed = PackedRTree.from_points(points)
+        packed.check_integrity()
+        assert_same_structure(pointer, packed)
+
+    def test_duplicate_coordinates(self):
+        points = [Point(i, (5.0, 5.0)) for i in range(200)]
+        packed = PackedRTree.from_points(points)
+        packed.check_integrity()
+        assert sorted(p.pid for p in packed.all_points()) == list(range(200))
+        assert_same_structure(RTree.from_points(points), packed)
+
+    def test_fewer_points_than_leaf_fanout(self):
+        points = random_points(5, seed=9)
+        packed = PackedRTree.from_points(points)
+        assert packed.height == 1
+        assert packed.num_pages == 1
+        assert sorted(p.pid for p in packed.all_points()) == list(range(5))
+
+    def test_one_dimensional_points(self):
+        points = [Point(i, (float(i % 37),)) for i in range(300)]
+        packed = PackedRTree.from_points(points)
+        packed.check_integrity()
+        assert sorted(p.pid for p in packed.all_points()) == list(range(300))
+        hits = packed.range_search(Point(999, (3.0,)), 1.0)
+        expected = {p.pid for p in points if 2.0 <= p.coords[0] <= 4.0}
+        assert {p.pid for p in hits} == expected
+
+    def test_empty_tree(self):
+        packed = PackedRTree.from_points([])
+        assert packed.root_id is None
+        assert len(packed) == 0
+        assert packed.all_points() == []
+        assert packed.root_mbr() is None
+
+    def test_from_point_set_native(self):
+        rng = np.random.default_rng(4)
+        ps = PointSet(rng.random((100, 2)) * 100)
+        packed = PackedRTree.from_points(ps)
+        assert len(packed) == 100
+        packed.check_integrity()
+
+
+class TestQueries:
+    def setup_method(self):
+        self.points = random_points(800, seed=2)
+        self.pointer = RTree.from_points(self.points)
+        self.packed = PackedRTree.from_points(self.points)
+        self.queries = random_points(10, seed=3)
+
+    def test_range_search_matches_pointer_order(self):
+        for q in self.queries:
+            a = range_search(self.pointer, q, 75.0)
+            b = range_search(self.packed, q, 75.0)
+            assert [(p.pid, p.coords) for p in a] == [(p.pid, p.coords) for p in b]
+
+    def test_annular_search_matches_pointer_order(self):
+        for q in self.queries:
+            a = annular_range_search(self.pointer, q, 40.0, 120.0)
+            b = annular_range_search(self.packed, q, 40.0, 120.0)
+            assert [(p.pid, p.coords) for p in a] == [(p.pid, p.coords) for p in b]
+
+    def test_knn_via_generic_iterator(self):
+        # The generic best-first iterator runs on packed node views.
+        for q in self.queries[:3]:
+            a = knn_search(self.pointer, q, 15)
+            b = knn_search(self.packed, q, 15)
+            assert [p.pid for p in a] == [p.pid for p in b]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            self.packed.range_search(self.queries[0], -1.0)
+        with pytest.raises(ValueError):
+            self.packed.annular_range_search(self.queries[0], 5.0, 1.0)
+
+
+class TestIOAccounting:
+    def test_query_faults_match_pointer(self):
+        points = random_points(2000, seed=5)
+        pointer = RTree.from_points(points)
+        packed = PackedRTree.from_points(points)
+        pointer.cold()
+        packed.cold()
+        assert pointer.buffer.capacity == packed.buffer.capacity
+        for q in random_points(30, seed=6):
+            range_search(pointer, q, 50.0)
+            range_search(packed, q, 50.0)
+            assert pointer.stats.reads == packed.stats.reads
+            assert pointer.stats.faults == packed.stats.faults
+
+    def test_cold_resets_counters_and_buffer(self):
+        packed = PackedRTree.from_points(random_points(500, seed=7))
+        packed.range_search(Point(0, (1.0, 1.0)), 100.0)
+        assert packed.stats.reads > 0
+        packed.cold()
+        assert packed.stats.reads == 0
+        assert len(packed.buffer) == 0
+
+    def test_one_page_per_node(self):
+        packed = PackedRTree.from_points(random_points(700, seed=8))
+        assert packed.num_pages == len(packed.node_is_leaf)
+
+
+class TestMutation:
+    def test_insert_then_query_rebuilds(self):
+        packed = PackedRTree.from_points(random_points(100, seed=10))
+        packed.insert(Point(100, (250.0, 250.0)))
+        assert len(packed) == 101
+        hits = packed.range_search(Point(999, (250.0, 250.0)), 1.0)
+        assert any(p.pid == 100 for p in hits)
+        packed.check_integrity()
+
+    def test_delete_matches_id_and_coords(self):
+        points = random_points(100, seed=11)
+        packed = PackedRTree.from_points(points)
+        assert packed.delete(points[13])
+        assert not packed.delete(points[13])
+        assert not packed.delete(Point(14, (-1.0, -1.0)))  # wrong coords
+        assert len(packed) == 99
+        assert sorted(p.pid for p in packed.all_points()) == sorted(
+            p.pid for p in points if p.pid != 13
+        )
+
+    def test_delete_to_empty(self):
+        p = Point(0, (1.0, 2.0))
+        packed = PackedRTree.from_points([p])
+        assert packed.delete(p)
+        assert packed.root_id is None
+        assert packed.all_points() == []
+
+    def test_insert_into_empty(self):
+        packed = PackedRTree.from_points([])
+        packed.insert(Point(0, (3.0, 4.0)))
+        assert [p.pid for p in packed.all_points()] == [0]
+
+    def test_dimension_mismatch_rejected(self):
+        packed = PackedRTree.from_points(random_points(10, seed=12))
+        with pytest.raises(ValueError):
+            packed.insert(Point(10, (1.0,)))
+
+
+class TestIntrospection:
+    def test_backend_detection(self):
+        points = random_points(50, seed=13)
+        assert backend_of_tree(PackedRTree.from_points(points)).name == "packed"
+        assert backend_of_tree(RTree.from_points(points)).name == "pointer"
+
+    def test_index_info_agrees_across_backends(self):
+        points = random_points(1500, seed=14)
+        a = index_info(RTree.from_points(points))
+        b = index_info(PackedRTree.from_points(points))
+        for key in (
+            "points",
+            "height",
+            "pages",
+            "leaves",
+            "dir_nodes",
+            "leaf_fill",
+            "dir_fill",
+        ):
+            assert a[key] == b[key], key
+
+
+class TestPackedSessions:
+    def test_matcher_deltas_match_pointer_backend(self):
+        from repro.core.session import Matcher
+        from repro.datagen.workloads import make_problem
+
+        results = {}
+        for name in ("pointer", "packed"):
+            problem = make_problem(nq=6, np_=150, k=5, seed=21)
+            matcher = Matcher(problem, index_backend=name)
+            costs = [matcher.assign().cost]
+            new_id = matcher.add_customer((500.0, 500.0))
+            costs.append(matcher.assign().cost)
+            matcher.remove_customer(new_id)
+            matcher.set_provider_capacity(0, 8)
+            costs.append(matcher.assign().cost)
+            results[name] = costs
+        assert results["pointer"] == results["packed"]
