@@ -145,6 +145,77 @@ def _cmd_solve(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    """Per-stage wall-time breakdown of one solve — where the fused
+    pipeline spends its time for a given method/backend combo.
+
+    Stages (collected in ``SolverStats.stage_s`` by the solvers
+    themselves): ``supply`` (index/ANN retrieval), ``insert`` (edge
+    insertion into the flow network), ``dijkstra`` (shortest-path
+    search), ``augment`` (path reversal + potential update); the
+    remainder is certification, heap upkeep, and bookkeeping.
+    """
+    problem = make_problem(
+        nq=args.nq,
+        np_=args.np,
+        k=args.k,
+        dist_q=args.dist_q,
+        dist_p=args.dist_p,
+        seed=args.seed,
+    )
+    result = run_method(
+        problem,
+        args.method,
+        sweep_label="profile",
+        backend=args.backend,
+        index_backend=args.index_backend,
+        ann_group_size=args.ann_group_size,
+    )
+    print(
+        f"method={args.method} backend={args.backend} "
+        f"index={args.index_backend} |Q|={args.nq} |P|={args.np} "
+        f"k={args.k} gamma={result.gamma}"
+    )
+    print(
+        f"cost={result.cost:.2f} esub={result.esub} "
+        f"cpu={result.cpu_s:.3f}s io={result.io_s:.3f}s "
+        f"({result.io_faults} faults)"
+    )
+    stage_s = result.extra.get("stage_s", {})
+    total_s = result.cpu_s
+    if not stage_s and "concise" in result.extra:
+        # SA/CA run IDA internally on a concise instance; surface that
+        # solve's breakdown, against *its* cpu time (the outer partition
+        # build and refinement phases are untimed and reported apart).
+        inner = result.extra["concise"]
+        stage_s = getattr(inner, "stage_s", {})
+        total_s = getattr(inner, "cpu_s", result.cpu_s)
+        print(
+            f"(stage breakdown of the internal concise-matching solve: "
+            f"{total_s:.3f}s of {result.cpu_s:.3f}s total; the remainder "
+            f"is partitioning + refinement)"
+        )
+    if not stage_s:
+        print("no stage timings recorded for this method")
+        return 0
+    timed = sum(stage_s.values())
+    other = max(0.0, total_s - timed)
+    width = max(len(s) for s in list(stage_s) + ["other"])
+    for stage in ("supply", "insert", "dijkstra", "augment"):
+        if stage in stage_s:
+            seconds = stage_s[stage]
+            share = 100.0 * seconds / total_s if total_s else 0.0
+            print(f"  {stage:<{width}}  {seconds:8.3f}s  {share:5.1f}%")
+    for stage in sorted(set(stage_s) - {"supply", "insert", "dijkstra",
+                                        "augment"}):
+        seconds = stage_s[stage]
+        share = 100.0 * seconds / total_s if total_s else 0.0
+        print(f"  {stage:<{width}}  {seconds:8.3f}s  {share:5.1f}%")
+    share = 100.0 * other / total_s if total_s else 0.0
+    print(f"  {'other':<{width}}  {other:8.3f}s  {share:5.1f}%")
+    return 0
+
+
 def _cmd_index_info(args) -> int:
     """Build the customer index for one synthetic instance and describe it
     (tree height, node counts, fill factors) — handy when sizing shard
@@ -287,6 +358,40 @@ def build_parser() -> argparse.ArgumentParser:
     slv.add_argument("--dist-p", type=str, default="clustered")
     slv.add_argument("--seed", type=int, default=0)
     slv.set_defaults(func=_cmd_solve)
+
+    prof = sub.add_parser(
+        "profile",
+        help="per-stage wall-time breakdown of one solve "
+             "(supply/insert/dijkstra/augment)",
+    )
+    prof.add_argument("--nq", type=int, default=50)
+    prof.add_argument("--np", type=int, default=5000)
+    prof.add_argument("--k", type=int, default=80)
+    prof.add_argument("--method", type=str, default="ida")
+    prof.add_argument(
+        "--backend",
+        type=str,
+        default="dict",
+        choices=sorted(BACKENDS),
+        help="flow-kernel backend to profile (default %(default)s)",
+    )
+    prof.add_argument(
+        "--index-backend",
+        type=str,
+        default="pointer",
+        choices=sorted(INDEX_BACKENDS),
+        help="spatial-index backend to profile (default %(default)s)",
+    )
+    prof.add_argument(
+        "--ann-group-size",
+        type=int,
+        default=PAPER_DEFAULTS["ann_group_size"],
+        help="Algorithm 6 provider-group size (paper default %(default)s)",
+    )
+    prof.add_argument("--dist-q", type=str, default="clustered")
+    prof.add_argument("--dist-p", type=str, default="clustered")
+    prof.add_argument("--seed", type=int, default=0)
+    prof.set_defaults(func=_cmd_profile)
 
     idx = sub.add_parser(
         "index-info",

@@ -34,11 +34,20 @@ class SSPASolver:
 
     def solve(self) -> Matching:
         started = time.perf_counter()
+        # Columnar row oracle: distances from provider i to every
+        # customer in one batch-kernel call, bit-identical to the scalar
+        # problem.distance (pointset kernels accumulate per axis in the
+        # same order) — the array backend then consumes each row through
+        # one bulk add_edges call.
+        q_coords = self.problem.provider_points().coords
+        customer_ps = self.problem.customer_points()
         pairs, net = sspa_solve(
             self.problem.capacities,
             self.problem.weights,
             self.problem.distance,
             backend=self.backend,
+            distance_rows=lambda i: customer_ps.dists_to(q_coords[i]),
+            stage_s=self.stats.stage_s,
         )
         self.stats.cpu_s = time.perf_counter() - started
         self.stats.esub_edges = net.edge_count  # the *full* bipartite graph

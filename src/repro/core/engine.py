@@ -130,9 +130,11 @@ class IncrementalCCASolver:
 
     def _augment(self, state: DijkstraState) -> None:
         """Reverse the certified path and advance the potentials."""
+        started = time.perf_counter()
         self.net.augment_with_state(
             state.path_nodes(), state.sp_cost, state
         )
+        self.stats.add_stage("augment", time.perf_counter() - started)
         self.stats.dijkstra_pops += state.pops
 
     def _finish_matching(self) -> List[Tuple[int, int, float]]:

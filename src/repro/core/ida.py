@@ -52,7 +52,6 @@ from repro.core.pua import path_update
 from repro.core.problem import CCAProblem
 from repro.flow.dijkstra import DijkstraState, INF
 from repro.flow.graph import S_NODE, T_NODE
-from repro.geometry.point import Point
 
 
 class IDASolver(NIASolver):
@@ -129,15 +128,18 @@ class IDASolver(NIASolver):
         expressed in the current potential basis).
         """
         net = self.net
+        # Only full providers carry reach-based keys; the network tracks
+        # them as a set so this per-run refresh skips the open ones
+        # entirely (iteration order is irrelevant: per-provider updates
+        # are independent and the heap orders by key, not push sequence).
+        full = net.full_providers
+        if not full:
+            return
         bound_reduced = self._top_key() - net.tau_s
         real_est = self._real_est
         tau_s = net.tau_s
-        q_tau = net.q_tau
-        q_used = net.q_used
-        q_cap = net.q_cap
-        for provider in range(net.nq):
-            if q_used[provider] < q_cap[provider]:
-                continue
+        q_tau, _ = net.tau_lists()
+        for provider in full:
             alpha = state.settled_alpha(provider)
             if alpha is None or alpha > bound_reduced + CERT_EPS:
                 continue
@@ -162,7 +164,7 @@ class IDASolver(NIASolver):
             path_update(state, self.net, provider, customer, distance)
 
     def _post_dijkstra(
-        self, state: DijkstraState, popped: Optional[Tuple[int, Point, float]]
+        self, state: DijkstraState, popped: Optional[Tuple[int, int, float]]
     ) -> None:
         # Advance the popped provider's frontier BEFORE refreshing keys
         # (lines 13-14): while its next-NN edge is missing from the heap,
@@ -210,8 +212,7 @@ class IDASolver(NIASolver):
                 popped = self._pop_edge()
                 if popped is None:
                     return False
-                provider, point, d = popped
-                customer = point.pid
+                provider, customer, d = popped
                 if net.add_edge(provider, customer, d):
                     self.stats.edges_inserted += 1
                 self._advance_frontier(provider)
@@ -271,8 +272,9 @@ class IDASolver(NIASolver):
             return
         net = self.net
         net.advance_source_and_providers(self._offset)
-        for j, join_offset in self._joined.items():
-            net.p_tau[j] += self._offset - join_offset
+        net.advance_customer_potentials(
+            {j: self._offset - join for j, join in self._joined.items()}
+        )
         self._offset = 0.0
         self._joined.clear()
         self._in_unjoined.clear()

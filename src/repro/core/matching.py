@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.storage.iostats import IOStats
 
@@ -16,6 +16,15 @@ class SolverStats:
     ``esub_edges`` is the paper's "size of subgraph" metric; ``io`` carries
     page-fault counts convertible to charged I/O seconds; ``cpu_s`` is
     wall-clock compute time of the solver itself.
+
+    ``stage_s`` is a per-stage wall-time breakdown of ``cpu_s`` along the
+    fused pipeline's seams — ``supply`` (index/ANN retrieval), ``insert``
+    (edge insertion into the flow network), ``dijkstra`` (shortest-path
+    search), ``augment`` (path reversal + potential update); whatever the
+    stages don't cover (certification, heap upkeep, bookkeeping) is the
+    remainder against ``cpu_s``.  Always collected: the timers sit at
+    per-request granularity, orders of magnitude above the inner loops,
+    so their overhead is noise.  ``repro-cca profile`` renders it.
     """
 
     method: str = ""
@@ -30,7 +39,17 @@ class SolverStats:
     nn_requests: int = 0
     cpu_s: float = 0.0
     io: IOStats = field(default_factory=IOStats)
+    stage_s: Dict[str, float] = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
+
+    def add_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate wall time into one pipeline stage."""
+        self.stage_s[stage] = self.stage_s.get(stage, 0.0) + seconds
+
+    @property
+    def stage_other_s(self) -> float:
+        """cpu_s not attributed to any named stage."""
+        return max(0.0, self.cpu_s - sum(self.stage_s.values()))
 
     @property
     def io_s(self) -> float:

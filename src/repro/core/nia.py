@@ -12,6 +12,7 @@ incremental NN stream (shared-I/O grouped ANN, Section 3.4.2), and re-runs
 from __future__ import annotations
 
 import heapq
+import time
 from typing import List, Optional, Tuple
 
 from repro.core.engine import IncrementalCCASolver
@@ -19,8 +20,6 @@ from repro.core.pua import path_update
 from repro.core.problem import CCAProblem
 from repro.experiments.config import PAPER_DEFAULTS
 from repro.flow.dijkstra import DijkstraState, INF
-from repro.geometry.distance import dist
-from repro.geometry.point import Point
 
 # The paper's Section 5.1 grouping default, shared with every consumer
 # (solve(), IDA, SM, sessions, the CLI) via experiments.config.
@@ -53,7 +52,9 @@ class NIASolver(IncrementalCCASolver):
         self.ann_group_size = ann_group_size
         self._heap: List[Tuple[float, int, int]] = []  # (key, version, i)
         self._version: List[int] = []
-        self._frontier: List[Optional[Tuple[Point, float]]] = []
+        # Pending (customer_id, distance) per provider — streamed from
+        # the ANN as columns, never materialized as Point objects.
+        self._frontier: List[Optional[Tuple[int, float]]] = []
 
     # ------------------------------------------------------------------
     # heap keys — NIA uses plain edge lengths; IDA overrides.
@@ -68,11 +69,13 @@ class NIASolver(IncrementalCCASolver):
         nq = len(self.problem.providers)
         self._version = [0] * nq
         self._frontier = [None] * nq
+        started = time.perf_counter()
         self.ann = self.index.grouped_ann(
             self.tree,
             [q.point for q in self.problem.providers],
             group_size=self.ann_group_size,
         )
+        self.stats.add_stage("supply", time.perf_counter() - started)
         for i in range(nq):
             # A zero-capacity provider can never appear in the matching;
             # giving it no frontier keeps it out of Esub entirely (and
@@ -83,15 +86,21 @@ class NIASolver(IncrementalCCASolver):
 
     def _advance_frontier(self, provider: int) -> None:
         """Fetch the provider's next NN and en-heap its edge (one pending
-        edge per provider at all times)."""
-        q_point = self.problem.providers[provider].point
-        p = self.ann.next_nn(q_point.pid)
+        edge per provider at all times).
+
+        The ANN stream reports ``(customer_id, distance)`` directly — the
+        distance is the candidate key Algorithm 6 computed when the point
+        was fanned out, so nothing is re-derived here and no Point view
+        is built for edges that may never enter Esub.
+        """
+        started = time.perf_counter()
+        hit = self.ann.next_nn_ids(provider)
+        self.stats.add_stage("supply", time.perf_counter() - started)
         self.stats.nn_requests += 1
-        if p is None:
+        if hit is None:
             self._frontier[provider] = None  # NN stream exhausted
             return
-        d = dist(q_point, p)
-        self._frontier[provider] = (p, d)
+        self._frontier[provider] = hit
         self._push_current(provider)
 
     def _push_current(self, provider: int) -> None:
@@ -106,15 +115,16 @@ class NIASolver(IncrementalCCASolver):
             (self._key(provider, d), self._version[provider], provider),
         )
 
-    def _pop_edge(self) -> Optional[Tuple[int, Point, float]]:
-        """De-heap the valid top edge; None when the supply is exhausted."""
+    def _pop_edge(self) -> Optional[Tuple[int, int, float]]:
+        """De-heap the valid top edge as (provider, customer, distance);
+        None when the supply is exhausted."""
         while self._heap:
             _, version, provider = heapq.heappop(self._heap)
             if version != self._version[provider]:
                 continue  # superseded by a key refresh
-            point, d = self._frontier[provider]
+            customer, d = self._frontier[provider]
             self._frontier[provider] = None
-            return provider, point, d
+            return provider, customer, d
         return None
 
     def _top_key(self) -> float:
@@ -151,7 +161,7 @@ class NIASolver(IncrementalCCASolver):
             path_update(state, self.net, provider, customer, distance)
 
     def _post_dijkstra(
-        self, state: DijkstraState, popped: Optional[Tuple[int, Point, float]]
+        self, state: DijkstraState, popped: Optional[Tuple[int, int, float]]
     ) -> None:
         """No key maintenance in NIA (keys are static lengths)."""
 
@@ -163,17 +173,22 @@ class NIASolver(IncrementalCCASolver):
     # ------------------------------------------------------------------
     def _iteration(self) -> None:
         state: Optional[DijkstraState] = None
+        add_stage = self.stats.add_stage
         while True:
             popped = self._pop_edge()
             if popped is not None:
-                provider, point, d = popped
-                inserted = self.net.add_edge(provider, point.pid, d)
+                provider, customer, d = popped
+                started = time.perf_counter()
+                inserted = self.net.add_edge(provider, customer, d)
+                add_stage("insert", time.perf_counter() - started)
                 if inserted:
                     self.stats.edges_inserted += 1
-                self._after_insert(provider, point.pid, d, state, inserted)
+                self._after_insert(provider, customer, d, state, inserted)
             if state is None or not self.use_pua:
                 state = self._fresh_state()
+            started = time.perf_counter()
             reachable = state.run()
+            add_stage("dijkstra", time.perf_counter() - started)
             self._post_dijkstra(state, popped)
             if reachable and self._certified(state, self._top_key()):
                 self._pre_augment(state)

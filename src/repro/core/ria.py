@@ -12,12 +12,16 @@ fetches exactly the new ring ``(T − θ, T]``.
 from __future__ import annotations
 
 import math
+import time
 
 from repro.core.engine import IncrementalCCASolver
 from repro.core.problem import CCAProblem
 from repro.flow.dijkstra import INF
 from repro.hilbert.curve import hilbert_key
-from repro.rtree.queries import annular_range_search, range_search
+from repro.rtree.queries import (
+    annular_range_search_columns,
+    range_search_columns,
+)
 
 DEFAULT_THETA = 0.8
 
@@ -66,13 +70,15 @@ class RIASolver(IncrementalCCASolver):
 
     # ------------------------------------------------------------------
     def _initialize(self) -> None:
+        # Fused supply: the range search reports (id, distance) columns —
+        # the distances its radius filter already computed — and the bulk
+        # add_edges consumes them without a Point object in between.
         for i in self._search_order:
             q = self.problem.providers[i]
-            found = range_search(self.tree, q.point, self.T)
-            self.stats.range_searches += 1
-            for p in found:
-                if self.net.add_edge(i, p.pid, self.problem.distance(i, p.pid)):
-                    self.stats.edges_inserted += 1
+            ids, dists = self._timed_search(
+                range_search_columns, self.tree, q.point, self.T
+            )
+            self.stats.edges_inserted += self._timed_insert(i, ids, dists)
 
     def _bound(self) -> float:
         return INF if self.T >= self._max_distance else self.T
@@ -83,16 +89,30 @@ class RIASolver(IncrementalCCASolver):
         self.T += self.theta
         for i in self._search_order:
             q = self.problem.providers[i]
-            ring = annular_range_search(self.tree, q.point, inner, self.T)
-            self.stats.range_searches += 1
-            for p in ring:
-                if self.net.add_edge(i, p.pid, self.problem.distance(i, p.pid)):
-                    self.stats.edges_inserted += 1
+            ids, dists = self._timed_search(
+                annular_range_search_columns, self.tree, q.point, inner, self.T
+            )
+            self.stats.edges_inserted += self._timed_insert(i, ids, dists)
+
+    def _timed_search(self, search, *args):
+        started = time.perf_counter()
+        out = search(*args)
+        self.stats.add_stage("supply", time.perf_counter() - started)
+        self.stats.range_searches += 1
+        return out
+
+    def _timed_insert(self, provider: int, ids, dists) -> int:
+        started = time.perf_counter()
+        inserted = self.net.add_edges(provider, ids, dists)
+        self.stats.add_stage("insert", time.perf_counter() - started)
+        return inserted
 
     def _iteration(self) -> None:
         while True:
             state = self._fresh_state()
+            started = time.perf_counter()
             reachable = state.run()
+            self.stats.add_stage("dijkstra", time.perf_counter() - started)
             if reachable and self._certified(state, self._bound()):
                 self._augment(state)
                 return

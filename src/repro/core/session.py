@@ -68,7 +68,6 @@ from repro.core.nia import DEFAULT_ANN_GROUP_SIZE
 from repro.core.problem import CCAProblem, Customer, Provider
 from repro.flow.backend import BackendLike, DEFAULT_BACKEND, get_backend
 from repro.flow.graph import NegativeReducedCostError
-from repro.geometry.distance import dist
 from repro.geometry.point import Point
 from repro.rtree.backend import IndexBackendLike, resolve_index_backend
 
@@ -228,9 +227,13 @@ class Matcher:
             # backend tree so the per-backend caches stay coherent.
             self.problem.tree_insert(point)
         if self.net is not None and not self._needs_cold:
-            distances = [
-                dist(q.point, point) for q in self.problem.providers
-            ]
+            # One batch-kernel call against the provider coordinate
+            # columns (bit-identical to the per-provider scalar dist) —
+            # the warm admit's feasibility sweep is O(|Q|) arithmetic,
+            # so the Point-object loop was pure overhead.
+            distances = self.problem.provider_points().dists_to(
+                point.coords
+            )
             if self.net.admit_customer(int(weight), distances) is None:
                 # The arrival invalidates the current matching (see
                 # module docstring); re-solve from scratch next time.

@@ -317,6 +317,10 @@ class ShardResult:
     io_faults: int
     gamma: int
     net: Optional[object] = None
+    # Per-stage pipeline wall times of the shard's solve (summed across
+    # shards into the top-level SolverStats.stage_s — sharded runs keep
+    # the `repro-cca profile` surface).
+    stage_s: Dict[str, float] = field(default_factory=dict)
 
 
 def _task_problem(task: ShardTask) -> CCAProblem:
@@ -395,6 +399,7 @@ def solve_shard_task(task: ShardTask) -> ShardResult:
         io_faults=stats.io.faults,
         gamma=stats.gamma,
         net=solver.net if task.need_net else None,
+        stage_s=dict(stats.stage_s),
     )
 
 
@@ -1002,6 +1007,9 @@ def solve_sharded(
     stats.esub_edges = sum(r.esub_edges for r in results)
     stats.dijkstra_runs = sum(r.dijkstra_runs for r in results)
     stats.nn_requests = sum(r.nn_requests for r in results)
+    for result in results:
+        for stage, seconds in result.stage_s.items():
+            stats.add_stage(stage, seconds)
     stats.cpu_s = time.perf_counter() - started
     stats.extra.update(
         {

@@ -17,7 +17,6 @@ from typing import List, Tuple
 from repro.core.matching import Matching, SolverStats
 from repro.core.problem import CCAProblem
 from repro.experiments.config import PAPER_DEFAULTS
-from repro.geometry.distance import dist
 from repro.rtree.backend import resolve_index_backend
 
 
@@ -94,8 +93,12 @@ class SMSolver:
         return Matching(pairs, stats=self.stats)
 
     def _refill(self, heap, ann, provider: int) -> None:
-        q_point = self.problem.providers[provider].point
-        p = ann.next_nn(q_point.pid)
+        # Fused supply: the ANN reports (customer_id, distance) columns —
+        # no Point materialization, no distance re-derivation.
+        started = time.perf_counter()
+        hit = ann.next_nn_ids(provider)
+        self.stats.add_stage("supply", time.perf_counter() - started)
         self.stats.nn_requests += 1
-        if p is not None:
-            heapq.heappush(heap, (dist(q_point, p), provider, p.pid))
+        if hit is not None:
+            customer, d = hit
+            heapq.heappush(heap, (d, provider, customer))

@@ -56,6 +56,9 @@ def run_method(
         gamma=stats.gamma,
         extra=dict(stats.extra),
     )
+    if stats.stage_s:
+        # Per-stage pipeline wall times (the `repro-cca profile` surface).
+        result.extra["stage_s"] = dict(stats.stage_s)
     if optimal_cost is not None and optimal_cost > 0:
         result.quality = matching.cost / optimal_cost
     return result

@@ -14,30 +14,43 @@ arrays:
 
 * node potentials ``q_tau``/``p_tau`` are ``float64`` vectors, so a whole
   adjacency's reduced costs evaluate as a handful of vector operations;
+* edges arrive in bulk: :meth:`ArrayFlowNetwork.add_edges` filters,
+  dedups, and appends a whole ``(provider, customers, distances)`` column
+  batch — the shape the fused supply pipeline (columnar range searches,
+  ANN id/distance streaming, SSPA row oracles) produces — with array
+  operations instead of one ``add_edge`` call per edge;
 * each provider's forward-residual adjacency lives in *compact* parallel
   arrays (Dijkstra target index + distance) holding exactly the open
   (``flow < cap``) edges — saturation swap-removes an edge, cancellation
   re-appends it, mirroring the reference backend's dict membership — so
   a wide relaxation is one masked compare-and-update over contiguous
   memory;
-* :class:`ArrayDijkstraState` keeps labels in NumPy vectors; the
-  potential update after an augmentation
-  (:meth:`ArrayFlowNetwork.augment_with_state`) is applied straight off
-  the settled-label arrays, without a per-node Python loop.
+* :class:`ArrayDijkstraState` relaxes a wide forward block with NumPy
+  slice arithmetic and batched heap pushes, against a lazily-maintained
+  NumPy label shadow (see its docstring).
 
 Two deliberate hybrid choices keep the kernel fast where arrays lose:
 scalar indexing into NumPy arrays costs ~4x a CPython list access, so
 (1) narrow adjacencies (fewer than :data:`SCALAR_FAN_LIMIT` edges — e.g.
-customers' backward fans, or provider fans late in an incremental solve)
-are relaxed by a plain Python loop over a tuple mirror of the same
-compact adjacency, and (2) cold columnar data (edge ``src``/``dst``/
-``dist``/``cap``/``flow``, node capacities and usage counters) stays in
-Python lists.
+customers' backward fans, or provider fans early in an incremental
+solve) are relaxed by a plain Python loop over a tuple mirror of the
+same compact adjacency, and (2) cold columnar data (edge ``src``/
+``dst``/``dist``/``cap``/``flow``, node capacities and usage counters)
+stays in Python lists.
 
 Floating-point note: every reduced cost is evaluated with the same
 operation order as the reference backend (``(d − τ_q) + τ_p``, clamp,
 then ``+ base``), so labels — and therefore matchings, costs, and |Esub| —
 are bit-identical between backends.  The equivalence suite asserts this.
+
+Potentials are additionally mirrored into Python lists (``tau_lists``):
+a NumPy scalar read costs ~4x a list read, and the narrow relaxations,
+``out_edges``, and IDA's per-provider key refresh are exactly such scalar
+consumers.  Every potential mutation goes through a network method that
+keeps the mirrors coherent (the mirrors hold the very same float64
+values, read back from the arrays, so nothing can drift); writing the
+``q_tau`` / ``p_tau`` arrays directly from outside bypasses that and is
+unsupported on this backend.
 """
 
 from __future__ import annotations
@@ -52,13 +65,18 @@ from repro.flow.graph import (
     CCAFlowNetwork,
     NegativeReducedCostError,
     S_NODE,
+    _is_scalar,
+    _nonneg,
 )
 
 _INITIAL_FAN = 8
 
 # Below this fan-out the Python-loop relaxation beats NumPy's fixed
-# per-call overhead (measured crossover ~30-60 edges on CPython 3.11).
-SCALAR_FAN_LIMIT = 48
+# per-call overhead.  The list-first label/potential mirrors made the
+# scalar loop ~2x cheaper per edge, which pushed the measured crossover
+# from ~50 up to ~200-300 edges on CPython 3.11 (re-tuned on the Fig. 10
+# |Q| ∈ {250, 500, 1000} end-to-end sweep).
+SCALAR_FAN_LIMIT = 256
 
 
 def _grown(arr: np.ndarray, needed: int) -> np.ndarray:
@@ -101,6 +119,10 @@ class ArrayFlowNetwork(CCAFlowNetwork):
         # relaxation (maintained incrementally).
         self.q_tau = np.zeros(self.nq, dtype=np.float64)
         self.p_tau = np.zeros(self.np, dtype=np.float64)
+        # Python-list mirrors of the potentials for the scalar hot spots
+        # (see the module docstring); every mutator below resyncs them.
+        self._q_tau_py: List[float] = [0.0] * self.nq
+        self._p_tau_py: List[float] = [0.0] * self.np
         self.q_open = np.array([k > 0 for k in q_cap], dtype=bool)
         self.tau_s = 0.0
         # Edge columns: append-only Python lists (touched one edge at a
@@ -132,11 +154,14 @@ class ArrayFlowNetwork(CCAFlowNetwork):
         # [eid, provider, distance] entries (flow-carrying edges only,
         # like the reference backend's dicts): backward fans are tiny.
         self._bwd: List[List[List]] = [[] for _ in range(self.np)]
-        self._eid = {}  # (i, j) -> edge id
+        # (i << 32) | j -> edge id.  A packed int key hashes ~2x faster
+        # than a tuple and lets the bulk path dedup without building one
+        # tuple per candidate edge.
+        self._eid = {}
         self._live = 0
         self.matched = 0
         self.augmentations = 0
-        self._saturated = sum(1 for k in q_cap if k <= 0)
+        self.full_providers = {i for i, k in enumerate(q_cap) if k <= 0}
         self._tau_max = 0.0
 
     # ------------------------------------------------------------------
@@ -178,7 +203,7 @@ class ArrayFlowNetwork(CCAFlowNetwork):
             raise ValueError("edge length must be non-negative")
         i = int(i)
         j = int(j)
-        if (i, j) in self._eid:
+        if (i << 32) | j in self._eid:
             return False
         capacity = min(self.q_cap[i], self.p_cap[j])
         if capacity == 0:
@@ -192,10 +217,98 @@ class ArrayFlowNetwork(CCAFlowNetwork):
         self.e_flow.append(0)
         self.e_dead.append(False)
         self._e_pos.append(-1)
-        self._eid[(i, j)] = eid
+        self._eid[(i << 32) | j] = eid
         self._live += 1
         self._fwd_append(i, eid, j, distance)
         return True
+
+    def add_edges(self, providers, customers, distances) -> int:
+        """Vectorized bulk insert — semantics identical to the per-edge
+        loop (:meth:`CCAFlowNetwork.add_edges` is the specification).
+
+        The hot shape is one provider against a customer/distance column
+        (RIA range supply, SSPA row build): candidate filtering — batch
+        first-occurrence dedup, duplicate masking against Esub, the
+        ``min(k, w) > 0`` capacity gate — and the CSR-block append into
+        the provider's forward adjacency all run as array operations.
+        Multi-provider columns take the generic per-edge path.
+        """
+        if not _is_scalar(providers):
+            return super().add_edges(providers, customers, distances)
+        i = int(providers)
+        j_arr = np.asarray(customers, dtype=np.int64)
+        d_arr = np.asarray(distances, dtype=np.float64)
+        if j_arr.shape != d_arr.shape:
+            raise ValueError("edge column lengths differ")
+        if j_arr.size == 0:
+            return 0
+        if d_arr.min() < 0:
+            raise ValueError("edge length must be non-negative")
+        cap_i = self.q_cap[i]
+        if cap_i == 0:
+            return 0
+        if j_arr.size == 1:
+            return int(self.add_edge(i, int(j_arr[0]), float(d_arr[0])))
+        # First occurrence wins within the batch (np.unique returns the
+        # index of each value's first appearance; re-sorting those
+        # indices restores the original insertion order).
+        _, first = np.unique(j_arr, return_index=True)
+        if first.size != j_arr.size:
+            first.sort()
+            j_arr = j_arr[first]
+            d_arr = d_arr[first]
+        # Zero-capacity customers can never carry flow: same gate as the
+        # scalar path's min(k, w) == 0 rejection.
+        p_cap = np.asarray(self.p_cap, dtype=np.int64)
+        caps = np.minimum(cap_i, p_cap[j_arr])
+        keep = caps > 0
+        if not keep.all():
+            j_arr = j_arr[keep]
+            d_arr = d_arr[keep]
+            caps = caps[keep]
+        if not j_arr.size:
+            return 0
+        # Duplicate masking against the edges already in Esub.
+        keys = ((i << 32) | j_arr).tolist()
+        eid_map = self._eid
+        if self._fwd_n[i] or self.q_used[i]:
+            fresh = [key not in eid_map for key in keys]
+            if not all(fresh):
+                mask = np.asarray(fresh, dtype=bool)
+                j_arr = j_arr[mask]
+                d_arr = d_arr[mask]
+                caps = caps[mask]
+                keys = [k for k, f in zip(keys, fresh) if f]
+        n = j_arr.size
+        if not n:
+            return 0
+        # Columnar append: edge registry...
+        base = len(self.e_src)
+        j_list = j_arr.tolist()
+        d_list = d_arr.tolist()
+        eids = range(base, base + n)
+        self.e_src.extend([i] * n)
+        self.e_dst.extend(j_list)
+        self.e_dist.extend(d_list)
+        self.e_cap.extend(caps.tolist())
+        self.e_flow.extend([0] * n)
+        self.e_dead.extend([False] * n)
+        for key, eid in zip(keys, eids):
+            eid_map[key] = eid
+        self._live += n
+        # ...and the CSR-style block append into provider i's compact
+        # forward adjacency (one slice assignment per column).
+        n0 = self._fwd_n[i]
+        if n0 + n > self._fwd_tgt[i].size:
+            self._fwd_tgt[i] = _grown(self._fwd_tgt[i], n0 + n)
+            self._fwd_dist[i] = _grown(self._fwd_dist[i], n0 + n)
+        tgt_arr = j_arr + (self.nq + _OFF)
+        self._fwd_tgt[i][n0 : n0 + n] = tgt_arr
+        self._fwd_dist[i][n0 : n0 + n] = d_arr
+        self._fwd_py[i].extend(zip(tgt_arr.tolist(), j_list, d_list, eids))
+        self._e_pos.extend(range(n0, n0 + n))
+        self._fwd_n[i] = n0 + n
+        return n
 
     @property
     def n_edges(self) -> int:
@@ -203,14 +316,14 @@ class ArrayFlowNetwork(CCAFlowNetwork):
         return len(self.e_src)
 
     def has_edge(self, i: int, j: int) -> bool:
-        return (int(i), int(j)) in self._eid
+        return (int(i) << 32) | int(j) in self._eid
 
     def edge_flow(self, i: int, j: int) -> int:
-        eid = self._eid.get((int(i), int(j)))
+        eid = self._eid.get((int(i) << 32) | int(j))
         return 0 if eid is None else self.e_flow[eid]
 
     def edge_residual(self, i: int, j: int) -> int:
-        eid = self._eid.get((int(i), int(j)))
+        eid = self._eid.get((int(i) << 32) | int(j))
         if eid is None:
             return 0
         return self.e_cap[eid] - self.e_flow[eid]
@@ -222,18 +335,18 @@ class ArrayFlowNetwork(CCAFlowNetwork):
     def out_edges(self, node: int):
         """Residual out-edges as (target, reduced_cost) — API parity with
         the reference network (the array Dijkstra inlines this)."""
-        from repro.flow.graph import _nonneg
-
         if self.is_provider(node):
             i = int(node)
-            q_tau = float(self.q_tau[i])
+            q_tau = self._q_tau_py[i]
+            p_tau = self._p_tau_py
             for tgt, j, d, _eid in self._fwd_py[i]:
-                yield tgt - _OFF, _nonneg(d - q_tau + float(self.p_tau[j]))
+                yield tgt - _OFF, _nonneg(d - q_tau + p_tau[j])
         else:
             j = self.customer_index(node)
-            p_tau = float(self.p_tau[j])
+            p_tau = self._p_tau_py[j]
+            q_tau = self._q_tau_py
             for _, i, d in self._bwd[j]:
-                yield i, _nonneg(-d - p_tau + float(self.q_tau[i]))
+                yield i, _nonneg(-d - p_tau + q_tau[i])
 
     # ------------------------------------------------------------------
     # flow pushes (called from the inherited apply_path)
@@ -249,7 +362,7 @@ class ArrayFlowNetwork(CCAFlowNetwork):
     def _push_unit(self, i: int, j: int) -> None:
         i = int(i)
         j = int(j)
-        eid = self._eid[(i, j)]
+        eid = self._eid[(i << 32) | j]
         flow = self.e_flow[eid] + 1
         if flow > self.e_cap[eid]:
             raise RuntimeError(f"edge ({i},{j}) over capacity")
@@ -262,7 +375,7 @@ class ArrayFlowNetwork(CCAFlowNetwork):
     def _pull_unit(self, i: int, j: int) -> None:
         i = int(i)
         j = int(j)
-        eid = self._eid[(i, j)]
+        eid = self._eid[(i << 32) | j]
         flow = self.e_flow[eid] - 1
         if flow < 0:
             raise RuntimeError(f"edge ({i},{j}) has no flow to cancel")
@@ -279,41 +392,103 @@ class ArrayFlowNetwork(CCAFlowNetwork):
     # ------------------------------------------------------------------
     # potentials (vectorized overrides)
     # ------------------------------------------------------------------
+    # ------------------------------------------------------------------
+    # reduced costs over the list mirrors (PUA repairs call these once
+    # per insert; a NumPy scalar read per call is pure overhead)
+    # ------------------------------------------------------------------
+    def reduced_cost_sq(self, i: int) -> float:
+        return _nonneg(self._q_tau_py[i] - self.tau_s)
+
+    def reduced_cost_qp(self, i: int, j: int, distance: float) -> float:
+        return _nonneg(distance - self._q_tau_py[i] + self._p_tau_py[j])
+
+    def reduced_cost_pq(self, j: int, i: int, distance: float) -> float:
+        return _nonneg(-distance - self._p_tau_py[j] + self._q_tau_py[i])
+
+    def reduced_cost_pt(self, j: int) -> float:
+        return _nonneg(-self._p_tau_py[j])
+
+    def augment(self, path_nodes, alpha_min, settled_alpha) -> None:
+        # The base implementation writes the potential arrays elementwise
+        # (cross-backend states, unit tests); resync the mirrors after.
+        super().augment(path_nodes, alpha_min, settled_alpha)
+        self._q_tau_py = self.q_tau.tolist()
+        self._p_tau_py = self.p_tau.tolist()
+
     def augment_with_state(self, path_nodes, alpha_min, state) -> None:
-        """Vectorized Algorithm-1 potential update straight off the
-        Dijkstra state's label arrays (no per-node Python loop)."""
+        """Algorithm-1 potential update straight off the Dijkstra state.
+
+        Walks the settled order once (same dedup the reference backend's
+        ``settled_items`` applies), advances the *list mirrors* with plain
+        float arithmetic, and commits the touched rows to the NumPy
+        potential vectors as two fancy-index scatters — no per-node NumPy
+        scalar traffic in either direction.
+        """
         if not isinstance(state, ArrayDijkstraState):
             self.augment(
                 path_nodes, alpha_min, state.settled_alpha_for_update()
             )
             return
         self.apply_path(path_nodes)
-        idxs = np.nonzero(state._settled)[0]
-        deltas = alpha_min - state._alpha[idxs]
-        keep = deltas > 0.0
-        idxs = idxs[keep]
-        deltas = deltas[keep]
-        if state._settled[S_NODE + _OFF] and alpha_min > 0.0:
+        alpha = state._alpha
+        settled = state._settled
+        s_idx = S_NODE + _OFF
+        if settled[s_idx] and alpha_min > 0.0:
             # s settles at α = 0, so its delta is α_min itself.
             self.tau_s += alpha_min
-        nq = self.nq
-        prov = (idxs >= _OFF) & (idxs < _OFF + nq)
-        if prov.any():
-            pids = idxs[prov] - _OFF
-            self.q_tau[pids] += deltas[prov]
-            top = float(self.q_tau[pids].max())
-            if top > self._tau_max:
-                self._tau_max = top
-        cust = idxs >= _OFF + nq
-        if cust.any():
-            self.p_tau[idxs[cust] - (_OFF + nq)] += deltas[cust]
+        base_c = _OFF + self.nq
+        q_py = self._q_tau_py
+        p_py = self._p_tau_py
+        prov_t: List[int] = []
+        prov_v: List[float] = []
+        cust_t: List[int] = []
+        cust_v: List[float] = []
+        top = self._tau_max
+        seen = set()
+        for idx in state._settled_order:
+            if not settled[idx] or idx in seen or idx == s_idx:
+                continue
+            seen.add(idx)
+            delta = alpha_min - alpha[idx]
+            if delta <= 0:
+                continue  # settled at exactly alpha_min under fp noise
+            if idx >= base_c:
+                j = idx - base_c
+                v = p_py[j] + delta
+                p_py[j] = v
+                cust_t.append(j)
+                cust_v.append(v)
+            else:
+                i = idx - _OFF
+                v = q_py[i] + delta
+                q_py[i] = v
+                prov_t.append(i)
+                prov_v.append(v)
+                if v > top:
+                    top = v
+        if prov_t:
+            self.q_tau[prov_t] = prov_v
+            self._tau_max = top
+        if cust_t:
+            self.p_tau[cust_t] = cust_v
 
     def advance_source_and_providers(self, offset: float) -> None:
         if offset == 0.0:
             return
         self.tau_s += offset
         self.q_tau += offset
+        self._q_tau_py = self.q_tau.tolist()
         self._tau_max += offset
+
+    def advance_customer_potentials(self, offsets) -> None:
+        p_tau = self.p_tau
+        p_py = self._p_tau_py
+        for j, delta in offsets.items():
+            p_tau[j] += delta
+            p_py[j] = p_tau[j].item()
+
+    def tau_lists(self):
+        return self._q_tau_py, self._p_tau_py
 
     # ------------------------------------------------------------------
     # session deltas
@@ -339,6 +514,7 @@ class ArrayFlowNetwork(CCAFlowNetwork):
             if (floors[need] > d[need] + 1e-9).any():
                 return None  # negative cycle: warm start unsound
             self.q_tau[need] = d[need]
+            self._q_tau_py = self.q_tau.tolist()
             self._tau_max = float(self.q_tau.max()) if self.nq else 0.0
             if self.nq:
                 self.tau_s = min(self.tau_s, float(self.q_tau.min()))
@@ -352,6 +528,7 @@ class ArrayFlowNetwork(CCAFlowNetwork):
         self.p_cap.append(int(weight))
         self.p_used.append(0)
         self.p_tau = np.append(self.p_tau, 0.0)
+        self._p_tau_py.append(0.0)
         self._bwd.append([])
         return j
 
@@ -374,7 +551,7 @@ class ArrayFlowNetwork(CCAFlowNetwork):
             flow = self.e_flow[eid]
             if flow > 0:
                 if self.q_used[i] == self.q_cap[i]:
-                    self._saturated -= 1
+                    self.full_providers.discard(i)
                     self.q_open[i] = True
                 self.q_used[i] -= flow
                 self.matched -= flow
@@ -383,7 +560,7 @@ class ArrayFlowNetwork(CCAFlowNetwork):
             self.e_flow[eid] = 0
             self.e_cap[eid] = 0
             self.e_dead[eid] = True
-            del self._eid[(i, j)]
+            del self._eid[(i << 32) | j]
             self._live -= 1
         self._bwd[j] = []
         self.p_used[j] = 0
@@ -424,10 +601,12 @@ class ArrayFlowNetwork(CCAFlowNetwork):
                 f"capacity {capacity} below current usage "
                 f"{self.q_used[i]}; cold re-solve required"
             )
-        was_saturated = self.q_used[i] >= self.q_cap[i]
         self.q_cap[i] = capacity
         now_saturated = self.q_used[i] >= capacity
-        self._saturated += int(now_saturated) - int(was_saturated)
+        if now_saturated:
+            self.full_providers.add(i)
+        else:
+            self.full_providers.discard(i)
         self.q_open[i] = not now_saturated
         for eid, src in enumerate(self.e_src):
             if src != i or self.e_dead[eid]:
@@ -471,112 +650,169 @@ class ArrayFlowNetwork(CCAFlowNetwork):
 
 
 class ArrayDijkstraState(DijkstraState):
-    """Vectorized Dijkstra over :class:`ArrayFlowNetwork` columns.
+    """Dijkstra over :class:`ArrayFlowNetwork` columns, wide fans
+    vectorized.
 
-    Inherits path extraction and resumption semantics from
-    :class:`DijkstraState`; replaces wide relaxations with masked array
-    updates (narrow ones stay scalar — see the module docstring).
+    Labels live in the same Python lists as the reference
+    :class:`DijkstraState` (the pop loop, narrow relaxations, and path
+    extraction are scalar code, where list reads beat NumPy scalar reads
+    ~4x), so all of the parent's machinery is inherited unchanged.  What
+    the subclass adds is a NumPy *shadow* of the label vector for the
+    wide relaxations: a node's whole forward block is relaxed as slice
+    arithmetic (reduced costs, improvement mask against the shadow,
+    batched writes) instead of a per-edge loop.
 
-    Labels are kept in *two* synchronized representations: NumPy vectors
-    ``_alpha``/``_settled`` for the gathers in the vectorized relaxation
-    and the vectorized potential update, and Python lists
-    ``_alpha_py``/``_settled_py`` for the scalar hot spots (the pop loop
-    and narrow relaxations), where a list read is ~4x cheaper than a
-    NumPy scalar read.  Every write goes through both; the improvement
-    loops already iterate per improved node for the heap pushes, so the
-    mirror writes ride along at negligible cost.
+    The shadow is deliberately *stale*: scalar-path improvements never
+    write it (that bookkeeping would cost two list appends per
+    improvement to serve a handful of wide relaxations), so it is merely
+    an upper bound on the true labels — labels only decrease, and only
+    wide relaxations write the shadow down.  The vectorized improvement
+    mask filtered against an upper bound admits false positives but
+    never drops a real improvement, and the per-candidate commit loop
+    re-checks against the true label list, so results are bit-identical
+    to the reference.  Spurious candidates cost one scalar compare each
+    and stay rare (exactly the fan targets scalar paths improved since
+    the provider's last wide relaxation).
     """
 
-    __slots__ = ("_alpha_py", "_settled_py")
+    __slots__ = ("_np_alpha",)
 
     def __init__(self, net: ArrayFlowNetwork):
         self.net = net
         size = net.nq + net.np + _OFF
-        self._alpha = np.full(size, INF, dtype=np.float64)
-        self._alpha_py = [INF] * size
+        self._alpha = [INF] * size
         self._prev = [-3] * size
-        self._settled = np.zeros(size, dtype=bool)
-        self._settled_py = [False] * size
+        self._settled = [False] * size
         self._settled_order = []
         self._heap = []
         self.pops = 0
         self._alpha[S_NODE + _OFF] = 0.0
-        self._alpha_py[S_NODE + _OFF] = 0.0
+        # Allocated on first wide relaxation (all-INF is a valid upper
+        # bound); searches that never go wide skip the allocation.
+        self._np_alpha = None
         heapq.heappush(self._heap, (0.0, S_NODE + _OFF))
-
-    # ------------------------------------------------------------------
-    # label views (mirror-backed)
-    # ------------------------------------------------------------------
-    def alpha_of(self, node: int) -> float:
-        return self._alpha_py[node + _OFF]
-
-    def is_settled(self, node: int) -> bool:
-        return self._settled_py[node + _OFF]
-
-    def settled_alpha(self, node: int):
-        idx = node + _OFF
-        return self._alpha_py[idx] if self._settled_py[idx] else None
-
-    def settled_items(self):
-        seen = set()
-        for idx in self._settled_order:
-            if self._settled_py[idx] and idx not in seen:
-                seen.add(idx)
-                yield idx - _OFF, self._alpha_py[idx]
 
     def improve(self, node: int, alpha: float, prev: int) -> bool:
         idx = node + _OFF
-        if alpha >= self._alpha_py[idx]:
+        if alpha >= self._alpha[idx]:
             return False
+        # float() keeps heap entries and labels homogeneous when the
+        # offered value came from NumPy scalar arithmetic (PUA repairs).
         alpha = float(alpha)
         self._alpha[idx] = alpha
-        self._alpha_py[idx] = alpha
         self._prev[idx] = prev + _OFF
         self._settled[idx] = False
-        self._settled_py[idx] = False
         heapq.heappush(self._heap, (alpha, idx))
         return True
 
-    # ------------------------------------------------------------------
-    # the main loop (identical to the reference, over the list mirrors)
-    # ------------------------------------------------------------------
     def run(self) -> bool:
+        """The reference pop loop with the customer relaxation inlined.
+
+        ~90% of pops settle customers, whose relaxation is one tiny
+        backward fan plus the sink edge; at that call frequency the
+        method-dispatch and local-binding overhead of ``_relax_out`` is
+        the dominant cost, so the customer case runs inline and only
+        source/provider pops (the wide fans) pay the dispatch.  Identical
+        pop order, labels, and predecessors to :class:`DijkstraState`.
+        """
         heap = self._heap
-        alpha = self._alpha_py
-        settled = self._settled_py
-        settled_np = self._settled
-        t_idx = 0  # T_NODE + _OFF
+        alpha = self._alpha
+        settled = self._settled
+        order = self._settled_order
+        prev = self._prev
+        net = self.net
+        nq = net.nq
+        bwd = net._bwd
+        p_used = net.p_used
+        p_cap = net.p_cap
+        # Potentials are frozen while an iteration's search is live (they
+        # only move in augment), so binding the mirrors once per run is
+        # safe — including across PUA resumes.
+        p_tau = net._p_tau_py
+        q_tau = net._q_tau_py
+        push = heapq.heappush
+        pop = heapq.heappop
+        pops = 0
         while heap:
-            a, idx = heapq.heappop(heap)
+            a, idx = pop(heap)
             if a > alpha[idx] or settled[idx]:
                 continue  # stale entry or already settled
-            if idx == t_idx:
+            if idx == 0:  # T_NODE + _OFF
                 # Leave t un-settled so a later resume can improve it.
-                heapq.heappush(heap, (a, idx))
+                push(heap, (a, idx))
+                self.pops += pops
                 return True
             settled[idx] = True
-            settled_np[idx] = True
-            self._settled_order.append(idx)
-            self.pops += 1
-            self._relax_out(idx, a)
-        return alpha[t_idx] < INF
+            order.append(idx)
+            pops += 1
+            node = idx - _OFF
+            if node >= nq:  # customer: inline relaxation
+                j = node - nq
+                p_tau_j = p_tau[j]
+                for _, i, d in bwd[j]:
+                    w = q_tau[i] - d - p_tau_j
+                    av = a + (w if w > 0.0 else 0.0)
+                    t = i + _OFF
+                    if av < alpha[t]:
+                        alpha[t] = av
+                        prev[t] = idx
+                        settled[t] = False
+                        push(heap, (av, t))
+                if p_used[j] < p_cap[j]:
+                    w = -p_tau_j
+                    av = a + (w if w > 0.0 else 0.0)
+                    if av < alpha[0]:
+                        alpha[0] = av
+                        prev[0] = idx
+                        push(heap, (av, 0))
+            else:
+                self._relax_out(idx, a)
+        self.pops += pops
+        return alpha[0] < INF
 
-    @property
-    def sp_cost(self) -> float:
-        return self._alpha_py[0]  # T_NODE + _OFF == 0
+    def _shadow(self) -> np.ndarray:
+        """The stale label upper bound, allocated on first use."""
+        np_alpha = self._np_alpha
+        if np_alpha is None:
+            np_alpha = np.full(len(self._alpha), INF, dtype=np.float64)
+            np_alpha[S_NODE + _OFF] = 0.0
+            self._np_alpha = np_alpha
+        return np_alpha
 
     def _relax_out(self, idx: int, base: float) -> None:
         net = self.net
         alpha = self._alpha
-        alpha_py = self._alpha_py
         prev = self._prev
         settled = self._settled
-        settled_py = self._settled_py
         heap = self._heap
         push = heapq.heappush
         nq = net.nq
         if idx == S_NODE + _OFF:
             if not nq:
+                return
+            if nq < SCALAR_FAN_LIMIT:
+                # Narrow provider set: the reference backend's scalar
+                # source loop, over the potential list mirrors.
+                tau_s = net.tau_s
+                q_tau = net._q_tau_py
+                q_used = net.q_used
+                q_cap = net.q_cap
+                for i in range(nq):
+                    if q_used[i] < q_cap[i]:
+                        w = q_tau[i] - tau_s
+                        if w < -1e-6:
+                            # Corrupted residual state (see the reference
+                            # kernel).
+                            raise NegativeReducedCostError(
+                                f"negative reduced cost {w} on (s, q_{i})"
+                            )
+                        a = base + (w if w > 0.0 else 0.0)
+                        t = i + _OFF
+                        if a < alpha[t]:
+                            alpha[t] = a
+                            prev[t] = idx
+                            settled[t] = False
+                            push(heap, (a, t))
                 return
             # Same op order as the reference: w, clamp, then + base.
             w = net.q_tau - net.tau_s
@@ -588,18 +824,21 @@ class ArrayDijkstraState(DijkstraState):
                 )
             np.maximum(w, 0.0, out=w)
             w += base
-            ok = net.q_open & (w < alpha[_OFF : _OFF + nq])
+            np_alpha = self._shadow()
+            ok = net.q_open & (w < np_alpha[_OFF : _OFF + nq])
             upd = np.nonzero(ok)[0]
             if upd.size:
                 targets = upd + _OFF
                 values = w[upd]
-                alpha[targets] = values
-                settled[targets] = False
+                np_alpha[targets] = values
                 for av, tv in zip(values.tolist(), targets.tolist()):
-                    alpha_py[tv] = av
-                    settled_py[tv] = False
-                    prev[tv] = idx
-                    push(heap, (av, tv))
+                    # Re-check against the true labels: the shadow is an
+                    # upper bound, so the mask can admit false positives.
+                    if av < alpha[tv]:
+                        alpha[tv] = av
+                        settled[tv] = False
+                        prev[tv] = idx
+                        push(heap, (av, tv))
             return
         node = idx - _OFF
         if node < nq:  # provider: forward relaxation
@@ -607,61 +846,58 @@ class ArrayDijkstraState(DijkstraState):
             if not n:
                 return
             if n < SCALAR_FAN_LIMIT:
-                q_tau_i = float(net.q_tau[node])
-                p_tau = net.p_tau
+                q_tau_i = net._q_tau_py[node]
+                p_tau = net._p_tau_py
                 for tgt, j, d, _eid in net._fwd_py[node]:
                     # Reference op order: (d − τ_q) + τ_p, clamp, + base.
                     w = d - q_tau_i + p_tau[j]
                     a = base + (w if w > 0.0 else 0.0)
-                    if a < alpha_py[tgt]:
-                        a = float(a)
+                    if a < alpha[tgt]:
                         alpha[tgt] = a
-                        alpha_py[tgt] = a
                         prev[tgt] = idx
                         settled[tgt] = False
-                        settled_py[tgt] = False
                         push(heap, (a, tgt))
                 return
-            w = net._fwd_dist[node][:n] - net.q_tau[node]
+            # Wide block: one masked compare-and-update over the
+            # provider's contiguous (target, distance) columns.
+            w = net._fwd_dist[node][:n] - net._q_tau_py[node]
             targets = net._fwd_tgt[node][:n]
             w += net.p_tau[targets - (nq + _OFF)]
             np.maximum(w, 0.0, out=w)
             w += base
-            ok = w < alpha[targets]
+            np_alpha = self._shadow()
+            ok = w < np_alpha[targets]
             upd_t = targets[ok]
             if upd_t.size:
                 upd_a = w[ok]
-                alpha[upd_t] = upd_a
-                settled[upd_t] = False
+                np_alpha[upd_t] = upd_a
                 for av, tv in zip(upd_a.tolist(), upd_t.tolist()):
-                    alpha_py[tv] = av
-                    settled_py[tv] = False
-                    prev[tv] = idx
-                    push(heap, (av, tv))
+                    # Re-check against the true labels: the shadow is an
+                    # upper bound, so the mask can admit false positives.
+                    if av < alpha[tv]:
+                        alpha[tv] = av
+                        settled[tv] = False
+                        prev[tv] = idx
+                        push(heap, (av, tv))
             return
         # Customer: backward fans are tiny (≤ weight flow edges) and
         # mirrored as Python floats, so the scalar loop always wins.
         j = node - nq
-        p_tau_j = float(net.p_tau[j])
-        q_tau = net.q_tau
+        p_tau_j = net._p_tau_py[j]
+        q_tau = net._q_tau_py
         for _, i, d in net._bwd[j]:
             w = q_tau[i] - d - p_tau_j
             a = base + (w if w > 0.0 else 0.0)
             t = i + _OFF
-            if a < alpha_py[t]:
-                a = float(a)
+            if a < alpha[t]:
                 alpha[t] = a
-                alpha_py[t] = a
                 prev[t] = idx
                 settled[t] = False
-                settled_py[t] = False
                 push(heap, (a, t))
         if net.p_used[j] < net.p_cap[j]:
             w = -p_tau_j
             a = base + (w if w > 0.0 else 0.0)
-            if a < alpha_py[0]:  # T_NODE + _OFF == 0
-                a = float(a)
+            if a < alpha[0]:  # T_NODE + _OFF == 0
                 alpha[0] = a
-                alpha_py[0] = a
                 prev[0] = idx
                 push(heap, (a, 0))

@@ -20,6 +20,15 @@ for the same reason; tiny negative reduced costs are floating-point noise
 and clamp to 0 (genuinely negative ones are impossible while only
 Theorem-1-certified paths are augmented, and the flow-network unit tests
 assert against them).
+
+This class is also the *tie-breaking specification* for the fused
+columnar pipeline: heap entries are ``(α, node_index)`` tuples, so the
+pop sequence is the unique lexicographic order of the surviving labels —
+independent of push order.  That is what lets the array backend
+(:mod:`repro.flow.arraykernel`) relax wide edge blocks vectorized and
+push improvements in batch while staying bit-identical to this scalar
+reference (``tests/property/test_bulk_edges.py`` pins the equality down
+to settled orders and pop counts).
 """
 
 from __future__ import annotations

@@ -84,8 +84,11 @@ class CCAFlowNetwork:
         self.augmentations = 0
         # Incrementally tracked aggregates (avoid O(nq) rescans on the
         # per-iteration certification path).  A zero-capacity provider is
-        # full from the start.
-        self._saturated = sum(1 for k in self.q_cap if k <= 0)
+        # full from the start.  ``full_providers`` holds their ids so
+        # IDA's per-run key refresh walks only the full ones (order never
+        # matters there: per-provider updates are independent and the
+        # pending-edge heap orders by key, not push sequence).
+        self.full_providers = {i for i, k in enumerate(self.q_cap) if k <= 0}
         self._tau_max = 0.0
 
     # ------------------------------------------------------------------
@@ -123,14 +126,14 @@ class CCAFlowNetwork:
         return self.p_used[j] >= self.p_cap[j]
 
     def any_provider_full(self) -> bool:
-        """O(1): reads the saturated-provider counter maintained by
+        """O(1): reads the full-provider set maintained by
         :meth:`apply_path` / :meth:`set_provider_capacity`."""
-        return self._saturated > 0
+        return bool(self.full_providers)
 
     @property
     def saturated_providers(self) -> int:
         """How many providers are currently full (Definition 2)."""
-        return self._saturated
+        return len(self.full_providers)
 
     # ------------------------------------------------------------------
     # Esub maintenance
@@ -151,6 +154,33 @@ class CCAFlowNetwork:
         self.edges[(i, j)] = [distance, capacity, 0]
         self.forward[i][j] = distance
         return True
+
+    def add_edges(self, providers, customers, distances) -> int:
+        """Bulk-insert bipartite edges; returns how many were new.
+
+        The reference implementation is the literal per-edge loop, so its
+        semantics — first occurrence wins on duplicates, zero-capacity
+        edges rejected, insertion order preserved — *define* the contract
+        the array backend's vectorized override must reproduce
+        bit-identically (``tests/property/test_bulk_edges.py``).
+
+        ``providers`` may be a scalar (one provider, many customers — the
+        shape RIA's range supply and SSPA's row build produce) or a
+        sequence aligned with ``customers``/``distances``.
+        """
+        inserted = 0
+        if _is_scalar(providers):
+            if len(customers) != len(distances):
+                raise ValueError("edge column lengths differ")
+            i = int(providers)
+            for j, d in zip(customers, distances):
+                inserted += self.add_edge(i, int(j), float(d))
+            return inserted
+        if not (len(providers) == len(customers) == len(distances)):
+            raise ValueError("edge column lengths differ")
+        for i, j, d in zip(providers, customers, distances):
+            inserted += self.add_edge(int(i), int(j), float(d))
+        return inserted
 
     def has_edge(self, i: int, j: int) -> bool:
         return (i, j) in self.edges
@@ -234,7 +264,7 @@ class CCAFlowNetwork:
                 if self.q_used[v] > self.q_cap[v]:
                     raise RuntimeError(f"provider {v} over capacity")
                 if self.q_used[v] == self.q_cap[v]:
-                    self._saturated += 1
+                    self.full_providers.add(v)
             elif v == T_NODE:
                 j = self.customer_index(u)
                 self.p_used[j] += 1
@@ -331,6 +361,25 @@ class CCAFlowNetwork:
             q_tau[i] += offset
         self._tau_max += offset
 
+    def advance_customer_potentials(self, offsets) -> None:
+        """Advance selected customer potentials by per-customer deltas
+        (``{j: delta}``) — the second half of IDA's fast-phase
+        materialization.  Going through this method (instead of writing
+        ``p_tau`` directly) lets the array backend keep its scalar-path
+        potential mirrors coherent."""
+        for j, delta in offsets.items():
+            self.p_tau[j] += delta
+
+    def tau_lists(self):
+        """(q_tau, p_tau) as cheap positionally-indexable sequences.
+
+        The reference backend already stores potentials in Python lists;
+        the array backend overrides this to return its list mirrors so
+        scalar consumers (IDA's key refresh, narrow relaxations) avoid
+        per-element NumPy scalar reads.
+        """
+        return self.q_tau, self.p_tau
+
     # ------------------------------------------------------------------
     # session deltas (warm-start support; see repro.core.session)
     # ------------------------------------------------------------------
@@ -378,7 +427,9 @@ class CCAFlowNetwork:
                 if floors[i] > provider_distances[i] + 1e-9:
                     return None  # negative cycle: warm start unsound
             for i in need:
-                self.q_tau[i] = provider_distances[i]
+                # float() keeps the potential list homogeneous when the
+                # caller hands a NumPy distance column (same value).
+                self.q_tau[i] = float(provider_distances[i])
             self._tau_max = max(self.q_tau) if self.q_tau else 0.0
             if self.q_tau:
                 self.tau_s = min(self.tau_s, min(self.q_tau))
@@ -437,7 +488,7 @@ class CCAFlowNetwork:
             flow = self.edges[key][2]
             if flow > 0:
                 if self.q_used[i] == self.q_cap[i]:
-                    self._saturated -= 1
+                    self.full_providers.discard(i)
                 self.q_used[i] -= flow
                 self.matched -= flow
                 released += flow
@@ -501,10 +552,12 @@ class CCAFlowNetwork:
                 f"capacity {capacity} below current usage {self.q_used[i]}; "
                 "cold re-solve required"
             )
-        was_saturated = self.q_used[i] >= self.q_cap[i]
         self.q_cap[i] = capacity
         now_saturated = self.q_used[i] >= capacity
-        self._saturated += int(now_saturated) - int(was_saturated)
+        if now_saturated:
+            self.full_providers.add(i)
+        else:
+            self.full_providers.discard(i)
         # Re-derive per-edge capacities; a lifted cap can resurrect a
         # saturated edge into the forward residual adjacency.
         for (qi, j), entry in self.edges.items():
@@ -560,3 +613,8 @@ def _nonneg(x: float) -> float:
             raise NegativeReducedCostError(f"negative reduced cost {x}")
         return 0.0
     return x
+
+
+def _is_scalar(value) -> bool:
+    """One provider id (broadcast over the customer column) or a column?"""
+    return not hasattr(value, "__len__")

@@ -9,7 +9,10 @@ comparison subject.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.flow.backend import BackendLike, DEFAULT_BACKEND, get_backend
 from repro.flow.graph import CCAFlowNetwork
@@ -26,6 +29,8 @@ def sspa_solve(
     distance_fn: Callable[[int, int], float],
     progress: Optional[Callable[[int, int], None]] = None,
     backend: BackendLike = DEFAULT_BACKEND,
+    distance_rows: Optional[Callable[[int], np.ndarray]] = None,
+    stage_s: Optional[Dict[str, float]] = None,
 ) -> Tuple[List[Tuple[int, int, float]], CCAFlowNetwork]:
     """Solve CCA exactly on the complete bipartite graph.
 
@@ -41,6 +46,16 @@ def sspa_solve(
     backend:
         Flow-kernel selector (``"dict"`` / ``"array"`` or a
         :class:`~repro.flow.backend.FlowBackend`).
+    distance_rows:
+        Optional columnar oracle: ``distance_rows(i)`` → the distance
+        vector from provider ``i`` to *every* customer, bit-identical to
+        ``[distance_fn(i, j) for j in range(np)]``.  When given, the
+        complete bipartite graph is built one ``add_edges`` row at a time
+        instead of |Q|·|P| scalar ``add_edge`` calls — the fused supply
+        path for the baseline.
+    stage_s:
+        Optional dict accumulating per-stage wall time (``insert`` /
+        ``dijkstra`` / ``augment``) for the profiling surface.
 
     Returns
     -------
@@ -48,18 +63,34 @@ def sspa_solve(
     """
     kernel = get_backend(backend)
     net = kernel.network(provider_capacities, customer_weights)
-    for i in range(net.nq):
-        for j in range(net.np):
-            net.add_edge(i, j, distance_fn(i, j))
+    started = time.perf_counter()
+    if distance_rows is not None:
+        customers = np.arange(net.np, dtype=np.int64)
+        for i in range(net.nq):
+            net.add_edges(i, customers, distance_rows(i))
+    else:
+        for i in range(net.nq):
+            for j in range(net.np):
+                net.add_edge(i, j, distance_fn(i, j))
+    if stage_s is not None:
+        stage_s["insert"] = (
+            stage_s.get("insert", 0.0) + time.perf_counter() - started
+        )
 
     gamma = net.gamma
     for loop in range(gamma):
         state = kernel.dijkstra(net)
+        started = time.perf_counter()
         if not state.run():
             raise UnsolvableError(
                 f"no augmenting path at iteration {loop + 1}/{gamma}"
             )
+        mid = time.perf_counter()
         net.augment_with_state(state.path_nodes(), state.sp_cost, state)
+        if stage_s is not None:
+            done = time.perf_counter()
+            stage_s["dijkstra"] = stage_s.get("dijkstra", 0.0) + mid - started
+            stage_s["augment"] = stage_s.get("augment", 0.0) + done - mid
         if progress is not None:
             progress(loop + 1, gamma)
     return net.matching_pairs(), net

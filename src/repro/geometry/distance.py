@@ -64,6 +64,24 @@ def maxdist_point_mbr(point: Point, mbr: MBR) -> float:
     return math.sqrt(total)
 
 
+def mindist_mbr_point(mbr: MBR, point: Point) -> float:
+    """``mindist_mbr_mbr(mbr, MBR.from_point(point))`` without building
+    the degenerate point-MBR (Algorithm 6 keys one entry per de-heaped
+    leaf point, so this runs once per candidate).  Same per-axis
+    accumulation order as :func:`mindist_mbr_mbr` — bit-identical keys.
+    """
+    total = 0.0
+    for lo, hi, c in zip(mbr.lo, mbr.hi, point.coords):
+        if hi < c:
+            d = c - hi
+        elif c < lo:
+            d = lo - c
+        else:
+            d = 0.0
+        total += d * d
+    return math.sqrt(total)
+
+
 def mindist_mbr_mbr(a: MBR, b: MBR) -> float:
     """Smallest distance between any two points of two MBRs (Algorithm 6)."""
     total = 0.0

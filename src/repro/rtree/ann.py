@@ -30,11 +30,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.geometry.distance import dist, mindist_mbr_mbr
+from repro.geometry.distance import dist, mindist_mbr_mbr, mindist_mbr_point
 from repro.geometry.mbr import MBR
 from repro.geometry.point import Point
 from repro.geometry.pointset import (
@@ -89,7 +89,7 @@ class ANNGroup:
         if node.is_leaf:
             for p in node.points:
                 self._push_entry(
-                    mindist_mbr_mbr(self.mbr, MBR.from_point(p)),
+                    mindist_mbr_point(self.mbr, p),
                     self._POINT,
                     p,
                 )
@@ -103,8 +103,9 @@ class ANNGroup:
                     child_id,
                 )
 
-    def next_nn(self, provider_pid: int) -> Optional[Point]:
-        """The next unreported NN of one member, or None when exhausted."""
+    def _settle_top(self, provider_pid: int) -> list:
+        """Expand Hm until the member's best candidate is certainly its
+        next NN; returns the member's candidate heap."""
         res = self._res[provider_pid]
         while True:
             candidate_key = res[0][0] if res else float("inf")
@@ -114,10 +115,29 @@ class ANNGroup:
             if not self._heap:
                 break
             self._expand_once()
+        return res
+
+    def next_nn(self, provider_pid: int) -> Optional[Point]:
+        """The next unreported NN of one member, or None when exhausted."""
+        res = self._settle_top(provider_pid)
         if not res:
             return None
         _, _, point = heapq.heappop(res)
         return point
+
+    def next_nn_ids(self, provider_pid: int) -> Optional[Tuple[int, float]]:
+        """Column variant of :meth:`next_nn`: ``(customer_id, distance)``.
+
+        The distance is the member-specific candidate key the group heap
+        already computed (``dist(q, p)`` with the scalar kernel), so
+        consumers stream edges straight into the flow network without
+        re-deriving it from a materialized :class:`Point`.
+        """
+        res = self._settle_top(provider_pid)
+        if not res:
+            return None
+        d, _, point = heapq.heappop(res)
+        return point.pid, d
 
 
 def group_providers_by_hilbert(
@@ -174,6 +194,11 @@ class _GroupedANNBase:
 
     def next_nn(self, provider_pid: int) -> Optional[Point]:
         return self._group_of[provider_pid].next_nn(provider_pid)
+
+    def next_nn_ids(self, provider_pid: int) -> Optional[Tuple[int, float]]:
+        """The member's next NN as an ``(id, distance)`` column pair —
+        the fused-pipeline supply NIA/IDA/SM consume (no Point views)."""
+        return self._group_of[provider_pid].next_nn_ids(provider_pid)
 
 
 class GroupedANN(_GroupedANNBase):
@@ -272,8 +297,9 @@ class PackedANNGroup:
                     heap, (child_key, node, next(counter), child, None)
                 )
 
-    def next_nn(self, provider_pid: int) -> Optional[Point]:
-        """The next unreported NN of one member, or None when exhausted."""
+    def _settle_top(self, provider_pid: int) -> list:
+        """Expand Hm until the member's best candidate is certainly its
+        next NN; returns the member's candidate heap."""
         res = self._res[provider_pid]
         heap = self._heap
         while True:
@@ -284,10 +310,28 @@ class PackedANNGroup:
             if not heap:
                 break
             self._expand_once()
+        return res
+
+    def next_nn(self, provider_pid: int) -> Optional[Point]:
+        """The next unreported NN of one member, or None when exhausted."""
+        res = self._settle_top(provider_pid)
         if not res:
             return None
         _, _, row = heapq.heappop(res)
         return self.tree.point(row)
+
+    def next_nn_ids(self, provider_pid: int) -> Optional[Tuple[int, float]]:
+        """Column variant of :meth:`next_nn`: ``(customer_id, distance)``.
+
+        Reports the cached fan-out distance and the packed row's id
+        without materializing a :class:`Point` view at all — the packed
+        tree's point columns stay columns end to end.
+        """
+        res = self._settle_top(provider_pid)
+        if not res:
+            return None
+        d, _, row = heapq.heappop(res)
+        return self.tree.point_id(row), d
 
 
 class PackedGroupedANN(_GroupedANNBase):

@@ -46,6 +46,9 @@ from repro.storage.buffer import LRUBufferPool
 from repro.storage.iostats import IOStats
 from repro.storage.page import DEFAULT_PAGE_SIZE, PageManager
 
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+_EMPTY_DISTS = np.empty(0, dtype=np.float64)
+
 
 class PackedNodeView:
     """An on-demand node view over the packed arrays.
@@ -358,6 +361,18 @@ class PackedRTree:
         view.coords = tuple(self._row_lists[row])
         return view
 
+    def point_id(self, row: int) -> int:
+        """The packed point row's id as a plain int (no Point view).
+
+        Same cached Python-list read the :meth:`point` fast path uses;
+        the fused ANN supply reports ``(id, distance)`` columns and never
+        touches the coordinates.
+        """
+        if self._row_lists is None:
+            self._row_lists = self.point_coords.tolist()
+            self._id_list = self.point_ids.tolist()
+        return self._id_list[row]
+
     def leaf_slice(self, node_id: int) -> Tuple[int, int]:
         start = int(self.entry_start[node_id])
         return start, start + int(self.entry_count[node_id])
@@ -430,28 +445,74 @@ class PackedRTree:
     # ------------------------------------------------------------------
     # vectorized searches (mirror the pointer traversal order exactly)
     # ------------------------------------------------------------------
-    def range_search(self, query: Point, radius: float) -> List[Point]:
-        """All indexed points within ``radius`` of ``query`` (inclusive)."""
-        if radius < 0:
-            raise ValueError("radius must be non-negative")
+    def _range_scan(self, query: Point, inner: float, outer: float):
+        """The one packed range traversal behind all four public
+        range-search variants: hit rows with ``inner < dist <= outer``
+        in DFS order, as per-leaf (row, distance) array blocks.
+
+        ``inner < 0`` means "no inner ring": the left filter is vacuous
+        (distances are non-negative) and the ``maxdist`` prune is
+        skipped, so the scan behaves — and visits pages — exactly like a
+        plain radius search.
+        """
         self._ensure_built()
+        row_blocks: List[np.ndarray] = []
+        dist_blocks: List[np.ndarray] = []
         if self.root_id is None:
-            return []
+            return row_blocks, dist_blocks
+        annular = inner >= 0.0
         q = np.asarray(query.coords, dtype=np.float64)
-        out: List[Point] = []
         stack = [self.root_id]
         while stack:
             nid = self.visit(stack.pop())
             start, end = self.leaf_slice(nid)
             if self.node_is_leaf[nid]:
                 d = batch_dists(self.point_coords[start:end], q)
-                for row in np.flatnonzero(d <= radius):
-                    out.append(self.point(start + int(row)))
+                hit = (d > inner) & (d <= outer) if annular else d <= outer
+                if hit.any():
+                    row_blocks.append(np.flatnonzero(hit) + start)
+                    dist_blocks.append(d[hit])
             else:
                 kids = self.child_ids[start:end]
-                md = mindist_point_to_boxes(q, self.node_lo[kids], self.node_hi[kids])
-                stack.extend(int(c) for c in kids[md <= radius])
-        return out
+                lo = self.node_lo[kids]
+                hi = self.node_hi[kids]
+                keep = mindist_point_to_boxes(q, lo, hi) <= outer
+                if annular:
+                    keep &= maxdist_point_to_boxes(q, lo, hi) > inner
+                stack.extend(int(c) for c in kids[keep])
+        return row_blocks, dist_blocks
+
+    def _scan_points(self, row_blocks) -> List[Point]:
+        return [
+            self.point(int(row)) for block in row_blocks for row in block
+        ]
+
+    def _scan_columns(self, row_blocks, dist_blocks):
+        if not row_blocks:
+            return _EMPTY_IDS.copy(), _EMPTY_DISTS.copy()
+        rows = np.concatenate(row_blocks)
+        return self.point_ids[rows], np.concatenate(dist_blocks)
+
+    def range_search(self, query: Point, radius: float) -> List[Point]:
+        """All indexed points within ``radius`` of ``query`` (inclusive)."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        return self._scan_points(self._range_scan(query, -1.0, radius)[0])
+
+    def range_search_columns(
+        self, query: Point, radius: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`range_search` as ``(ids, distances)`` columns.
+
+        Same traversal, same visit/result order, same batch distance
+        kernel — but the per-leaf hit blocks are concatenated as arrays
+        instead of being materialized row by row as :class:`Point`
+        views, so RIA can stream them straight into
+        ``CCAFlowNetwork.add_edges``.
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        return self._scan_columns(*self._range_scan(query, -1.0, radius))
 
     def annular_range_search(
         self, query: Point, inner: float, outer: float
@@ -459,28 +520,16 @@ class PackedRTree:
         """Points ``p`` with ``inner < dist(query, p) <= outer``."""
         if inner < 0 or outer < inner:
             raise ValueError("need 0 <= inner <= outer")
-        self._ensure_built()
-        if self.root_id is None:
-            return []
-        q = np.asarray(query.coords, dtype=np.float64)
-        out: List[Point] = []
-        stack = [self.root_id]
-        while stack:
-            nid = self.visit(stack.pop())
-            start, end = self.leaf_slice(nid)
-            if self.node_is_leaf[nid]:
-                d = batch_dists(self.point_coords[start:end], q)
-                for row in np.flatnonzero((d > inner) & (d <= outer)):
-                    out.append(self.point(start + int(row)))
-            else:
-                kids = self.child_ids[start:end]
-                lo = self.node_lo[kids]
-                hi = self.node_hi[kids]
-                keep = (mindist_point_to_boxes(q, lo, hi) <= outer) & (
-                    maxdist_point_to_boxes(q, lo, hi) > inner
-                )
-                stack.extend(int(c) for c in kids[keep])
-        return out
+        return self._scan_points(self._range_scan(query, inner, outer)[0])
+
+    def annular_range_search_columns(
+        self, query: Point, inner: float, outer: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`annular_range_search` as ``(ids, distances)`` columns
+        (RIA's ring expansion feed; see :meth:`range_search_columns`)."""
+        if inner < 0 or outer < inner:
+            raise ValueError("need 0 <= inner <= outer")
+        return self._scan_columns(*self._range_scan(query, inner, outer))
 
     # ------------------------------------------------------------------
     # iteration / integrity

@@ -1,7 +1,11 @@
 """Spatial queries over the R-tree.
 
 * :func:`range_search` / :func:`annular_range_search` — RIA's bulk edge
-  supply (Algorithm 2 lines 3 and 14).
+  supply (Algorithm 2 lines 3 and 14).  The ``*_columns`` variants report
+  the hits as ``(ids, distances)`` arrays — the distances are computed by
+  the filter anyway, and handing them out as columns lets RIA stream the
+  result straight into ``CCAFlowNetwork.add_edges`` without materializing
+  :class:`Point` objects or re-deriving distances.
 * :func:`knn_search` — best-first K nearest neighbors [7].
 * :class:`IncrementalNN` — a resumable best-first NN stream: each call to
   :meth:`IncrementalNN.next` returns the next closest customer, the primitive
@@ -12,7 +16,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import List, Optional
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.geometry.distance import (
     dist,
@@ -21,6 +27,49 @@ from repro.geometry.distance import (
 )
 from repro.geometry.point import Point
 from repro.rtree.tree import RTree
+
+
+def _range_scan(tree: RTree, query: Point, inner: float, outer: float):
+    """The one pointer-tree range traversal behind all four public
+    range-search variants: hits ``inner < dist <= outer`` in DFS order,
+    returned as parallel (points, distances) lists.
+
+    ``inner < 0`` means "no inner ring": the leaf filter is vacuous on
+    the left (distances are non-negative) and the ``maxdist`` prune is
+    skipped, which makes the scan behave — and visit pages — exactly
+    like a plain radius search.
+    """
+    points: List[Point] = []
+    dists: List[float] = []
+    if tree.root_id is None:
+        return points, dists
+    annular = inner >= 0.0
+    stack = [tree.root_id]
+    while stack:
+        node = tree.node(stack.pop())
+        if node.is_leaf:
+            for p in node.points:
+                d = dist(query, p)
+                if inner < d <= outer:
+                    points.append(p)
+                    dists.append(d)
+        else:
+            for child_id, child_mbr in zip(
+                node.children_ids, node.child_mbrs
+            ):
+                if mindist_point_mbr(query, child_mbr) > outer:
+                    continue
+                if annular and maxdist_point_mbr(query, child_mbr) <= inner:
+                    continue
+                stack.append(child_id)
+    return points, dists
+
+
+def _as_columns(points, dists) -> Tuple[np.ndarray, np.ndarray]:
+    return (
+        np.asarray([p.pid for p in points], dtype=np.int64),
+        np.asarray(dists, dtype=np.float64),
+    )
 
 
 def range_search(tree: RTree, query: Point, radius: float) -> List[Point]:
@@ -34,23 +83,7 @@ def range_search(tree: RTree, query: Point, radius: float) -> List[Point]:
         return tree.range_search(query, radius)
     if radius < 0:
         raise ValueError("radius must be non-negative")
-    if tree.root_id is None:
-        return []
-    out: List[Point] = []
-    stack = [tree.root_id]
-    while stack:
-        node = tree.node(stack.pop())
-        if node.is_leaf:
-            for p in node.points:
-                if dist(query, p) <= radius:
-                    out.append(p)
-        else:
-            for child_id, child_mbr in zip(
-                node.children_ids, node.child_mbrs
-            ):
-                if mindist_point_mbr(query, child_mbr) <= radius:
-                    stack.append(child_id)
-    return out
+    return _range_scan(tree, query, -1.0, radius)[0]
 
 
 def annular_range_search(
@@ -66,27 +99,35 @@ def annular_range_search(
         return tree.annular_range_search(query, inner, outer)
     if inner < 0 or outer < inner:
         raise ValueError("need 0 <= inner <= outer")
-    if tree.root_id is None:
-        return []
-    out: List[Point] = []
-    stack = [tree.root_id]
-    while stack:
-        node = tree.node(stack.pop())
-        if node.is_leaf:
-            for p in node.points:
-                d = dist(query, p)
-                if inner < d <= outer:
-                    out.append(p)
-        else:
-            for child_id, child_mbr in zip(
-                node.children_ids, node.child_mbrs
-            ):
-                if mindist_point_mbr(query, child_mbr) > outer:
-                    continue
-                if maxdist_point_mbr(query, child_mbr) <= inner:
-                    continue
-                stack.append(child_id)
-    return out
+    return _range_scan(tree, query, inner, outer)[0]
+
+
+def range_search_columns(
+    tree: RTree, query: Point, radius: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """:func:`range_search` as ``(ids, distances)`` columns.
+
+    Identical traversal and hit order; the distances are the very values
+    the radius filter computed (scalar kernel on the pointer tree, batch
+    kernel on the packed tree — bit-identical by construction).
+    """
+    if getattr(tree, "is_packed", False):
+        return tree.range_search_columns(query, radius)
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    return _as_columns(*_range_scan(tree, query, -1.0, radius))
+
+
+def annular_range_search_columns(
+    tree: RTree, query: Point, inner: float, outer: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """:func:`annular_range_search` as ``(ids, distances)`` columns (see
+    :func:`range_search_columns`)."""
+    if getattr(tree, "is_packed", False):
+        return tree.annular_range_search_columns(query, inner, outer)
+    if inner < 0 or outer < inner:
+        raise ValueError("need 0 <= inner <= outer")
+    return _as_columns(*_range_scan(tree, query, inner, outer))
 
 
 def knn_search(tree: RTree, query: Point, k: int) -> List[Point]:

@@ -1,0 +1,87 @@
+"""Unit tests for scripts/bench_trajectory.py (the merged perf artifact).
+
+The script is CI tooling, but its schema check is the guard that keeps
+the committed BENCH_*.json headline metrics diffable across PRs — so the
+check itself gets pinned here.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_trajectory",
+    os.path.join(REPO_ROOT, "scripts", "bench_trajectory.py"),
+)
+bench_trajectory = importlib.util.module_from_spec(_SPEC)
+sys.modules["bench_trajectory"] = bench_trajectory
+_SPEC.loader.exec_module(bench_trajectory)
+
+
+def test_committed_reports_satisfy_schema_and_merge(tmp_path):
+    out = tmp_path / "BENCH_trajectory.json"
+    rc = bench_trajectory.main(
+        [
+            "--kernel", os.path.join(REPO_ROOT, "BENCH_kernel.json"),
+            "--index", os.path.join(REPO_ROOT, "BENCH_index.json"),
+            "--shard", os.path.join(REPO_ROOT, "BENCH_shard.json"),
+            "--out", str(out),
+        ]
+    )
+    assert rc == 0
+    trajectory = json.loads(out.read_text())
+    assert trajectory["schema_version"] == bench_trajectory.SCHEMA_VERSION
+    assert set(trajectory["benches"]) == {"kernel", "index", "shard"}
+    kernel = trajectory["benches"]["kernel"]["metrics"]
+    # The fused-pipeline floor the ISSUE-4 tentpole establishes: the
+    # committed columnar stack wins end to end at every sweep point.
+    assert kernel["end_to_end_geomean"] >= 1.0
+    assert kernel["end_to_end_speedup_min"] >= 1.0
+    assert all(
+        v >= 1.0 for v in kernel["end_to_end_per_point"].values()
+    )
+    shard = trajectory["benches"]["shard"]
+    assert shard["gates"]["provider_disjoint_exactness"] == "pass"
+
+
+def test_schema_violations_fail(tmp_path):
+    broken = tmp_path / "BENCH_kernel.json"
+    report = json.load(
+        open(os.path.join(REPO_ROOT, "BENCH_kernel.json"))
+    )
+    del report["end_to_end_geomean"]
+    report["kernel_speedup_geomean"] = True  # bool is not a metric
+    broken.write_text(json.dumps(report))
+    rc = bench_trajectory.main(
+        [
+            "--kernel", str(broken),
+            "--index", os.path.join(REPO_ROOT, "BENCH_index.json"),
+            "--shard", os.path.join(REPO_ROOT, "BENCH_shard.json"),
+            "--out", str(tmp_path / "out.json"),
+        ]
+    )
+    assert rc == 1
+
+
+def test_missing_inputs_fail_unless_allowed(tmp_path):
+    rc = bench_trajectory.main(
+        [
+            "--kernel", str(tmp_path / "absent.json"),
+            "--index", os.path.join(REPO_ROOT, "BENCH_index.json"),
+            "--shard", os.path.join(REPO_ROOT, "BENCH_shard.json"),
+            "--out", str(tmp_path / "out.json"),
+        ]
+    )
+    assert rc == 1
+    rc = bench_trajectory.main(
+        [
+            "--kernel", str(tmp_path / "absent.json"),
+            "--index", os.path.join(REPO_ROOT, "BENCH_index.json"),
+            "--shard", os.path.join(REPO_ROOT, "BENCH_shard.json"),
+            "--out", str(tmp_path / "out.json"),
+            "--allow-missing",
+        ]
+    )
+    assert rc == 0
