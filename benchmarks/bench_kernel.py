@@ -14,6 +14,12 @@ Measures two things per sweep point:
   call per backend) and run the successive-shortest-path loop to
   completion.  This isolates the Dijkstra inner loop, dict vs array.
 
+When the optional ``numba`` dependency imports, a third *compiled stack*
+(``numba`` flow kernel on the ``packed`` R-tree) joins both measurements
+— JIT compile cost is excluded by warming the kernels before any timed
+region.  Without numba the ``numba`` block in the JSON records the skip
+and its reason instead, so the artifact stays diffable either way.
+
 All stacks must produce bit-identical matching costs and |Esub|; the
 script asserts it and records the speedups in ``BENCH_kernel.json``.
 
@@ -47,6 +53,7 @@ from repro.core.ida import IDASolver
 from repro.datagen.workloads import make_problem
 from repro.experiments.config import PAPER_DEFAULTS, scaled
 from repro.flow.backend import get_backend
+from repro.flow.numbakernel import NUMBA_AVAILABLE, warm_kernels
 
 NQ_SWEEP_PAPER = (250, 500, 1000, 2500, 5000)
 # End-to-end stacks: (label, flow backend, index backend).
@@ -54,6 +61,9 @@ STACKS = (
     ("reference", "dict", "pointer"),
     ("columnar", "array", "packed"),
 )
+# The optional JIT stack, included whenever numba imports (reported as
+# skipped-with-reason otherwise so the artifact stays diffable).
+NUMBA_STACK = ("compiled", "numba", "packed")
 # Kernel replay isolates the flow seam only.
 KERNEL_BACKENDS = ("dict", "array")
 
@@ -89,7 +99,7 @@ def _end_to_end_once(nq, np_, k, seed, flow, index):
     return elapsed, matching, solver
 
 
-def bench_point(nq_paper, scale, seed, repeats):
+def bench_point(nq_paper, scale, seed, repeats, stacks, kernel_backends):
     nq = scaled(nq_paper, scale, minimum=2)
     np_ = scaled(PAPER_DEFAULTS["np"], scale, minimum=50)
     k = PAPER_DEFAULTS["k"]
@@ -103,9 +113,9 @@ def bench_point(nq_paper, scale, seed, repeats):
     }
     edges = None
     reference = None
-    best = {label: math.inf for label, _, _ in STACKS}
+    best = {label: math.inf for label, _, _ in stacks}
     for _ in range(max(1, repeats)):
-        for label, flow, index in STACKS:
+        for label, flow, index in stacks:
             elapsed, matching, solver = _end_to_end_once(
                 nq, np_, k, seed, flow, index
             )
@@ -123,12 +133,12 @@ def bench_point(nq_paper, scale, seed, repeats):
                     f"stack divergence at nq={nq} ({label}): "
                     f"{signature} != {reference}"
                 )
-    for label, _, _ in STACKS:
+    for label, _, _ in stacks:
         row["end_to_end_s"][label] = best[label]
     replay_cost = None
     replay_pops = None
     row["kernel_pops"] = {}
-    for name in KERNEL_BACKENDS:
+    for name in kernel_backends:
         elapsed, cost, pops = _replay(name, caps, weights, edges)
         row["kernel_s"][name] = elapsed
         row["kernel_pops"][name] = pops
@@ -143,6 +153,16 @@ def bench_point(nq_paper, scale, seed, repeats):
     row["end_to_end_speedup"] = (
         row["end_to_end_s"]["reference"] / row["end_to_end_s"]["columnar"]
     )
+    if "compiled" in row["end_to_end_s"]:
+        row["numba_end_to_end_speedup"] = (
+            row["end_to_end_s"]["reference"] / row["end_to_end_s"]["compiled"]
+        )
+        row["numba_vs_array"] = (
+            row["end_to_end_s"]["columnar"] / row["end_to_end_s"]["compiled"]
+        )
+        row["numba_kernel_speedup"] = (
+            row["kernel_s"]["dict"] / row["kernel_s"]["numba"]
+        )
     return row
 
 
@@ -166,7 +186,45 @@ def main(argv=None):
                         help="fail (exit 1) when the end-to-end geomean "
                              "falls below this bound — the CI regression "
                              "gate for the fused columnar pipeline")
+    parser.add_argument("--backend", choices=("dict", "array", "numba"),
+                        default=None,
+                        help="request one extra backend explicitly; "
+                             "'numba' is attempted and recorded as "
+                             "skipped (with the reason) when the optional "
+                             "dependency is absent — dict/array are "
+                             "always measured")
+    parser.add_argument("--min-numba-vs-array-geomean", type=float,
+                        default=None,
+                        help="fail (exit 1) when the numba/array "
+                             "end-to-end geomean falls below this bound "
+                             "(only evaluated when numba is available) — "
+                             "the perf-leg regression gate")
     args = parser.parse_args(argv)
+
+    stacks = list(STACKS)
+    kernel_backends = list(KERNEL_BACKENDS)
+    if NUMBA_AVAILABLE:
+        # One-time JIT compilation outside every timed region: warm the
+        # kernels on a toy instance first (cache=True makes later
+        # processes skip this too).
+        warm_started = time.perf_counter()
+        warm_kernels()
+        numba_block = {
+            "status": "ok",
+            "jit_warmup_s": time.perf_counter() - warm_started,
+            "note": "compile cost excluded via warm-up + best-of-repeats",
+        }
+        stacks.append(NUMBA_STACK)
+        kernel_backends.append("numba")
+    else:
+        numba_block = {
+            "status": "skipped",
+            "reason": "numba not importable; install the 'perf' extra "
+                      "(pip install repro-cca[perf]) to measure the "
+                      "compiled stack",
+        }
+        if args.backend == "numba":
+            print(f"[bench_kernel] numba skipped: {numba_block['reason']}")
 
     sweep = NQ_SWEEP_PAPER[: max(1, args.points)]
     dropped = [
@@ -184,7 +242,10 @@ def main(argv=None):
               f"{item['reason']}")
     points = []
     for nq_paper in sweep:
-        row = bench_point(nq_paper, args.scale, args.seed, args.repeats)
+        row = bench_point(
+            nq_paper, args.scale, args.seed, args.repeats,
+            stacks, kernel_backends,
+        )
         points.append(row)
         print(
             f"[bench_kernel] |Q|={row['nq']} |P|={row['np']}: "
@@ -195,21 +256,44 @@ def main(argv=None):
             f"{row['end_to_end_s']['columnar']:.2f}s "
             f"({row['end_to_end_speedup']:.2f}x)"
         )
+        if "numba_vs_array" in row:
+            print(
+                f"[bench_kernel]   numba end-to-end "
+                f"{row['end_to_end_s']['compiled']:.2f}s "
+                f"({row['numba_end_to_end_speedup']:.2f}x vs dict, "
+                f"{row['numba_vs_array']:.2f}x vs array), kernel "
+                f"{row['kernel_s']['numba']:.2f}s "
+                f"({row['numba_kernel_speedup']:.2f}x)"
+            )
 
     end_to_end_geomean = geomean([p["end_to_end_speedup"] for p in points])
+    if NUMBA_AVAILABLE:
+        numba_block["end_to_end_geomean"] = geomean(
+            [p["numba_end_to_end_speedup"] for p in points]
+        )
+        numba_block["vs_array_geomean"] = geomean(
+            [p["numba_vs_array"] for p in points]
+        )
+        numba_block["vs_array_min"] = min(
+            p["numba_vs_array"] for p in points
+        )
+        numba_block["kernel_speedup_geomean"] = geomean(
+            [p["numba_kernel_speedup"] for p in points]
+        )
     report = {
         "workload": "fig10 (performance vs |Q|; k=80, |P|=100K paper units)",
         "stacks": {
             label: {"flow": flow, "index": index}
-            for label, flow, index in STACKS
+            for label, flow, index in stacks
         },
-        "kernel_backends": list(KERNEL_BACKENDS),
+        "kernel_backends": list(kernel_backends),
         "scale": args.scale,
         "seed": args.seed,
         "repeats": args.repeats,
         "sweep_paper_nq": list(sweep),
         "sweep_dropped": dropped,
         "points": points,
+        "numba": numba_block,
         "kernel_speedup_geomean": geomean(
             [p["kernel_speedup"] for p in points]
         ),
@@ -227,6 +311,7 @@ def main(argv=None):
         f"{report['kernel_speedup_max']:.2f}x), end-to-end geomean "
         f"{end_to_end_geomean:.2f}x -> {args.out}"
     )
+    failed = False
     if (
         args.min_end_to_end_geomean is not None
         and end_to_end_geomean < args.min_end_to_end_geomean
@@ -236,8 +321,17 @@ def main(argv=None):
             f"{end_to_end_geomean:.3f} < required "
             f"{args.min_end_to_end_geomean:.3f}"
         )
-        return 1
-    return 0
+        failed = True
+    if args.min_numba_vs_array_geomean is not None and NUMBA_AVAILABLE:
+        vs_array = numba_block["vs_array_geomean"]
+        if vs_array < args.min_numba_vs_array_geomean:
+            print(
+                f"[bench_kernel] FAIL: numba/array end-to-end geomean "
+                f"{vs_array:.3f} < required "
+                f"{args.min_numba_vs_array_geomean:.3f}"
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

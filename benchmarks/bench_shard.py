@@ -46,6 +46,11 @@ NQ_SWEEP_PAPER = (250, 500, 1000, 2500, 5000)
 
 
 def bench_point(nq_paper, scale, seed, shards, workers):
+    # Efficiency normalizes speedup by the parallelism actually available
+    # — min(workers, cores) — so a 1-core runner reporting 1.2x reads as
+    # "decomposition won", not as fake parallel scaling.  The nightly
+    # gate holds this number, not raw speedup.
+    effective = max(1, min(workers or 1, os.cpu_count() or 1))
     nq = scaled(nq_paper, scale, minimum=2)
     np_ = scaled(PAPER_DEFAULTS["np"], scale, minimum=50)
     k = PAPER_DEFAULTS["k"]
@@ -73,12 +78,15 @@ def bench_point(nq_paper, scale, seed, shards, workers):
         "serial_s": serial_s,
         "sharded_s": sharded_s,
         "speedup": serial_s / sharded_s,
+        "scaling_efficiency": serial_s / sharded_s / effective,
+        "effective_parallelism": effective,
         "serial_cost": serial.cost,
         "sharded_cost": sharded.cost,
         "cost_ratio": sharded.cost / serial.cost if serial.cost else 1.0,
         "shards_planned": extra["shards"],
         "reconcile_moves": extra["reconcile_moves"],
         "reconcile_attempted": extra["reconcile_attempted"],
+        "reconcile_sessions": extra["reconcile_sessions"],
         "residual_matched": extra["residual"]["matched"],
         "phase_s": {
             "plan": extra["plan_s"],
@@ -171,6 +179,12 @@ def main(argv=None):
                              "(default 3 = up to the paper-default |Q|)")
     parser.add_argument("--shards", type=int, default=4)
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--min-scaling-efficiency", type=float, default=None,
+                        help="fail (exit 1) when the geomean of "
+                             "speedup / min(workers, cores) falls below "
+                             "this bound — the nightly gate (efficiency, "
+                             "not raw speedup, so it reads the same on "
+                             "1-core and 8-core runners)")
     args = parser.parse_args(argv)
 
     sweep = NQ_SWEEP_PAPER[: max(1, args.points)]
@@ -218,6 +232,12 @@ def main(argv=None):
         "speedup_at_largest_point": headline["speedup"],
         "speedup_max": max(p["speedup"] for p in points),
         "speedup_geomean": geomean([p["speedup"] for p in points]),
+        "scaling_efficiency_geomean": geomean(
+            [p["scaling_efficiency"] for p in points]
+        ),
+        "scaling_efficiency_min": min(
+            p["scaling_efficiency"] for p in points
+        ),
         "cost_ratio_worst": max(p["cost_ratio"] for p in points),
         "provider_disjoint_exactness": exactness,
         "concise_vs_sa": concise,
@@ -228,8 +248,20 @@ def main(argv=None):
         f"[bench_shard] speedup at largest point "
         f"{report['speedup_at_largest_point']:.2f}x (max "
         f"{report['speedup_max']:.2f}x, geomean "
-        f"{report['speedup_geomean']:.2f}x) -> {args.out}"
+        f"{report['speedup_geomean']:.2f}x, efficiency geomean "
+        f"{report['scaling_efficiency_geomean']:.2f}) -> {args.out}"
     )
+    if (
+        args.min_scaling_efficiency is not None
+        and report["scaling_efficiency_geomean"]
+        < args.min_scaling_efficiency
+    ):
+        print(
+            f"[bench_shard] FAIL: scaling-efficiency geomean "
+            f"{report['scaling_efficiency_geomean']:.3f} < required "
+            f"{args.min_scaling_efficiency:.3f}"
+        )
+        return 1
     return 0
 
 

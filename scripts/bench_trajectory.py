@@ -38,6 +38,10 @@ SCHEMAS = {
         "sweep_paper_nq": list,
         "sweep_dropped": list,
         "points": list,
+        # Three-way backend block: {"status": "ok", ...metrics} when the
+        # optional numba dependency was measured, {"status": "skipped",
+        # "reason": ...} otherwise — always present either way.
+        "numba": dict,
         "kernel_speedup_geomean": _NUM,
         "kernel_speedup_max": _NUM,
         "end_to_end_geomean": _NUM,
@@ -57,8 +61,10 @@ SCHEMAS = {
         "seed": int,
         "shards": int,
         "workers": int,
+        "cpu_count": int,
         "headline_speedup": _NUM,
         "speedup_geomean": _NUM,
+        "scaling_efficiency_geomean": _NUM,
         "cost_ratio_worst": _NUM,
         "provider_disjoint_exactness": dict,
         "concise_vs_sa": dict,
@@ -74,7 +80,12 @@ HEADLINES = {
         "end_to_end_speedup_min",
     ),
     "index": ("build_speedup", "ann_stream_speedup_geomean"),
-    "shard": ("headline_speedup", "speedup_geomean", "cost_ratio_worst"),
+    "shard": (
+        "headline_speedup",
+        "speedup_geomean",
+        "scaling_efficiency_geomean",
+        "cost_ratio_worst",
+    ),
 }
 
 
@@ -112,11 +123,31 @@ def fold(name: str, path: str, report: dict) -> dict:
             for p in report["points"]
         }
         entry["sweep_dropped"] = report["sweep_dropped"]
+        numba = report["numba"]
+        entry["numba"] = {"status": numba.get("status", "skipped")}
+        if numba.get("status") == "ok":
+            entry["numba"].update(
+                {
+                    "end_to_end_geomean": numba["end_to_end_geomean"],
+                    "vs_array_geomean": numba["vs_array_geomean"],
+                    "vs_array_min": numba["vs_array_min"],
+                    "kernel_speedup_geomean": (
+                        numba["kernel_speedup_geomean"]
+                    ),
+                    "vs_array_per_point": {
+                        str(p["nq_paper"]): p["numba_vs_array"]
+                        for p in report["points"]
+                    },
+                }
+            )
+        else:
+            entry["numba"]["reason"] = numba.get("reason", "unknown")
     if name == "index":
         entry["metrics"]["end_to_end_speedup"] = (
             report["end_to_end"]["speedup"]
         )
     if name == "shard":
+        entry["cpu_count"] = report["cpu_count"]
         entry["gates"] = {
             "provider_disjoint_exactness": (
                 report["provider_disjoint_exactness"]["status"]

@@ -27,7 +27,7 @@ from repro.experiments.config import DEFAULT_SCALE, PAPER_DEFAULTS
 from repro.experiments.figures import FIGURES, run_figure
 from repro.experiments.harness import run_method
 from repro.experiments.report import format_figure_report, format_table2
-from repro.flow.backend import BACKENDS
+from repro.flow.backend import BACKEND_CHOICES, get_backend
 from repro.rtree.backend import INDEX_BACKENDS, index_info
 
 
@@ -103,11 +103,12 @@ def _cmd_solve(args) -> int:
         dist_p=args.dist_p,
         seed=args.seed,
     )
+    backend = get_backend(args.backend)  # warns + falls back for 'numba'
     result = run_method(
         problem,
         args.method,
         sweep_label="cli",
-        backend=args.backend,
+        backend=backend,
         index_backend=args.index_backend,
         ann_group_size=args.ann_group_size,
         shards=args.shards,
@@ -121,7 +122,7 @@ def _cmd_solve(args) -> int:
         else ""
     )
     print(
-        f"method={args.method} backend={args.backend} "
+        f"method={args.method} backend={backend.name} "
         f"index={args.index_backend} "
         f"|Q|={args.nq} |P|={args.np} k={args.k} gamma={result.gamma}"
         f"{sharding}"
@@ -163,16 +164,17 @@ def _cmd_profile(args) -> int:
         dist_p=args.dist_p,
         seed=args.seed,
     )
+    backend = get_backend(args.backend)  # warns + falls back for 'numba'
     result = run_method(
         problem,
         args.method,
         sweep_label="profile",
-        backend=args.backend,
+        backend=backend,
         index_backend=args.index_backend,
         ann_group_size=args.ann_group_size,
     )
     print(
-        f"method={args.method} backend={args.backend} "
+        f"method={args.method} backend={backend.name} "
         f"index={args.index_backend} |Q|={args.nq} |P|={args.np} "
         f"k={args.k} gamma={result.gamma}"
     )
@@ -232,9 +234,13 @@ def _cmd_index_info(args) -> int:
     tree = problem.rtree(index_backend=args.index_backend)
     build_s = time.perf_counter() - started
     info = index_info(tree)
+    # The flow backend doesn't shape the tree, but index-info is the
+    # cheapest place to check what a selection resolves to on this
+    # install (e.g. whether 'numba' is actually available).
+    flow = get_backend(args.backend)
     print(
-        f"backend={info['backend']} points={info['points']} "
-        f"built in {build_s:.3f}s"
+        f"backend={info['backend']} flow_backend={flow.name} "
+        f"points={info['points']} built in {build_s:.3f}s"
     )
     print(
         f"height={info['height']} pages={info['pages']} "
@@ -306,11 +312,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         type=str,
         default="dict",
-        choices=sorted(BACKENDS),
+        choices=sorted(BACKEND_CHOICES),
         help="flow-kernel backend: 'dict' is the readable reference "
-             "implementation, 'array' the columnar NumPy kernel "
-             "(identical results, faster Dijkstra inner loop at scale; "
-             "default %(default)s)",
+             "implementation, 'array' the columnar NumPy kernel, "
+             "'numba' the JIT-compiled kernel (requires the optional "
+             "perf extra; falls back to 'array' with a warning when "
+             "numba is absent) — identical results on all of them; "
+             "default %(default)s",
     )
     slv.add_argument(
         "--index-backend",
@@ -372,8 +380,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         type=str,
         default="dict",
-        choices=sorted(BACKENDS),
-        help="flow-kernel backend to profile (default %(default)s)",
+        choices=sorted(BACKEND_CHOICES),
+        help="flow-kernel backend to profile ('numba' needs the perf "
+             "extra and falls back to 'array' otherwise; default "
+             "%(default)s)",
     )
     prof.add_argument(
         "--index-backend",
@@ -400,6 +410,14 @@ def build_parser() -> argparse.ArgumentParser:
     idx.add_argument("--nq", type=int, default=50)
     idx.add_argument("--np", type=int, default=5000)
     idx.add_argument("--k", type=int, default=80)
+    idx.add_argument(
+        "--backend",
+        type=str,
+        default="dict",
+        choices=sorted(BACKEND_CHOICES),
+        help="flow-kernel backend to resolve and report (checks the "
+             "optional 'numba' install; default %(default)s)",
+    )
     idx.add_argument(
         "--index-backend",
         type=str,

@@ -1,0 +1,159 @@
+"""Zero-copy column transport for worker processes.
+
+The sharded engine used to pickle every shard's coordinate columns,
+capacities, and routed weights into each :class:`ShardTask` — per-task
+serialization that grows with |Q| + |P| and is pure overhead on a
+machine where workers share physical memory.  This module replaces it:
+
+* :class:`SharedColumnStore` packs a set of named NumPy arrays into ONE
+  ``multiprocessing.shared_memory`` segment (64-byte aligned blocks, one
+  manifest describing offsets/shapes/dtypes).
+* :class:`StoreHandle` is the picklable stub a task ships instead: the
+  segment name plus the manifest — a few hundred bytes no matter how
+  large the instance is.
+* :func:`attach` rebuilds zero-copy ``np.ndarray`` views in the worker.
+  Attachments are cached per process, so a pool worker maps the segment
+  once and every subsequent task is a dict lookup; the creating process
+  seeds its own cache at construction, making parent-side "attach" free.
+
+Lifecycle: exactly one owner (the process that built the store) calls
+:func:`close_and_unlink` — in a ``finally`` so faulted solves cannot
+leak segments.  Workers never unlink; their mappings are released on
+process exit.  CPython's ``resource_tracker`` would otherwise unlink
+attached segments a second time (and warn) when a *spawned* worker
+exits, so worker attachments are explicitly untracked.
+
+Views handed out by :func:`attach` are only valid while the segment
+lives.  Anything that must survive ``close_and_unlink`` — problem
+objects, warm sessions — must copy at the boundary (fancy indexing does;
+plain slices do not).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Tuple
+
+import numpy as np
+
+# /dev/shm name prefix — the lifecycle tests scan for leaked segments by
+# this marker, so keep it stable.
+SEGMENT_PREFIX = "repro_cca_"
+
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class StoreHandle:
+    """Picklable description of a shared segment: name + array manifest.
+
+    ``manifest`` rows are ``(key, offset, shape, dtype_str)``; tuples all
+    the way down so the handle hashes and pickles to a tiny payload.
+    """
+
+    name: str
+    manifest: Tuple[Tuple[str, int, Tuple[int, ...], str], ...]
+    nbytes: int
+
+
+# Process-local cache: segment name -> (SharedMemory, views-by-key).
+# Keeps exactly one mapping per segment per process, and holds the view
+# references so repeated attaches are free.
+_ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, Dict[str, np.ndarray]]]
+_ATTACHED = {}
+
+
+def _views(
+    seg: shared_memory.SharedMemory, handle: StoreHandle
+) -> Dict[str, np.ndarray]:
+    out = {}
+    for key, offset, shape, dtype in handle.manifest:
+        arr = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf,
+                         offset=offset)
+        arr.flags.writeable = False  # one writer (the packer), many readers
+        out[key] = arr
+    return out
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach without resource_tracker ownership (the creator owns it)."""
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # track= is 3.13+; unregister manually before that
+        seg = shared_memory.SharedMemory(name=name)
+        try:
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:
+            pass  # tracker may be absent (fork server quirks); harmless
+        return seg
+
+
+class SharedColumnStore:
+    """One shared segment holding named, aligned NumPy columns."""
+
+    def __init__(self, arrays: Dict[str, np.ndarray]):
+        manifest = []
+        offset = 0
+        packed = {}
+        for key, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            packed[key] = arr
+            manifest.append((key, offset, tuple(arr.shape), arr.dtype.str))
+            offset += arr.nbytes
+            offset += (-offset) % _ALIGN
+        total = max(offset, 1)  # zero-size segments are not allocatable
+        name = SEGMENT_PREFIX + secrets.token_hex(8)
+        self._seg = shared_memory.SharedMemory(
+            create=True, size=total, name=name
+        )
+        self.handle = StoreHandle(name, tuple(manifest), total)
+        views = _views(self._seg, self.handle)
+        for key, arr in packed.items():
+            view = views[key]
+            view.flags.writeable = True
+            view[...] = arr
+            view.flags.writeable = False
+        # Seed the creator's cache: parent-side attach() is then free.
+        _ATTACHED[name] = (self._seg, views)
+
+    def close_and_unlink(self) -> None:
+        close_and_unlink(self.handle)
+
+
+def attach(handle: StoreHandle) -> Dict[str, np.ndarray]:
+    """Zero-copy views onto the store's columns (cached per process)."""
+    cached = _ATTACHED.get(handle.name)
+    if cached is not None:
+        return cached[1]
+    seg = _attach_untracked(handle.name)
+    views = _views(seg, handle)
+    _ATTACHED[handle.name] = (seg, views)
+    return views
+
+
+def close_and_unlink(handle: StoreHandle) -> None:
+    """Release the segment and remove its name (owner-side, idempotent).
+
+    Views still referenced elsewhere keep the mapping alive until they
+    die (``close`` is best-effort around exported buffers), but the name
+    disappears from the system immediately — nothing can leak.
+    """
+    entry = _ATTACHED.pop(handle.name, None)
+    seg = entry[0] if entry else None
+    if entry:
+        entry[1].clear()  # drop the cached views' buffer exports
+    if seg is None:
+        try:
+            seg = _attach_untracked(handle.name)
+        except FileNotFoundError:
+            return  # already unlinked
+    try:
+        seg.close()
+    except (BufferError, ValueError):
+        pass  # a live external view pins the mapping; unlink regardless
+    try:
+        seg.unlink()
+    except FileNotFoundError:
+        pass

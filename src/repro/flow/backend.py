@@ -14,8 +14,15 @@ logic:
   storage) + :class:`~repro.flow.arraykernel.ArrayDijkstraState`
   (vectorized relaxation).  Bit-identical results, multi-x faster inner
   loop at Figure-10 scales.
+* ``numba`` — the compiled backend:
+  :class:`~repro.flow.numbakernel.NumbaFlowNetwork` (array backend plus
+  pooled-slab adjacency mirrors) +
+  :class:`~repro.flow.numbakernel.NumbaDijkstraState` (the whole
+  pop/relax/commit loop as one ``@njit`` kernel).  Registered only when
+  the optional ``numba`` dependency imports (the ``perf`` extra);
+  :func:`get_backend` falls back to ``array`` with a warning otherwise.
 
-Both produce identical matchings, costs, and |Esub| on every instance —
+All produce identical matchings, costs, and |Esub| on every instance —
 ``tests/property/test_backend_equivalence.py`` and the integration
 equivalence suite enforce it.  Solvers accept ``backend=`` as either a
 name from :data:`BACKENDS` or a :class:`FlowBackend` instance.
@@ -23,6 +30,7 @@ name from :data:`BACKENDS` or a :class:`FlowBackend` instance.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Sequence, Union
 
@@ -30,6 +38,10 @@ from repro.flow.dijkstra import DijkstraState
 from repro.flow.graph import CCAFlowNetwork
 
 DEFAULT_BACKEND = "dict"
+
+# Every backend name a CLI may offer, including optional ones that need
+# an extra installed.  ``BACKENDS`` holds what is actually usable here.
+BACKEND_CHOICES = ("array", "dict", "numba")
 
 
 @dataclass(frozen=True)
@@ -59,10 +71,21 @@ class FlowBackend:
 def _build_registry() -> Dict[str, FlowBackend]:
     from repro.flow.arraykernel import ArrayDijkstraState, ArrayFlowNetwork
 
-    return {
+    registry = {
         "dict": FlowBackend("dict", CCAFlowNetwork, DijkstraState),
         "array": FlowBackend("array", ArrayFlowNetwork, ArrayDijkstraState),
     }
+    from repro.flow.numbakernel import (
+        NUMBA_AVAILABLE,
+        NumbaDijkstraState,
+        NumbaFlowNetwork,
+    )
+
+    if NUMBA_AVAILABLE:
+        registry["numba"] = FlowBackend(
+            "numba", NumbaFlowNetwork, NumbaDijkstraState
+        )
+    return registry
 
 
 BACKENDS: Dict[str, FlowBackend] = _build_registry()
@@ -72,12 +95,26 @@ BackendLike = Union[str, FlowBackend]
 
 
 def get_backend(backend: BackendLike = DEFAULT_BACKEND) -> FlowBackend:
-    """Resolve a backend selector (name or instance) to a FlowBackend."""
+    """Resolve a backend selector (name or instance) to a FlowBackend.
+
+    ``"numba"`` without the optional dependency installed resolves to
+    ``array`` (the closest substrate, identical results) with a
+    :class:`RuntimeWarning` rather than failing the run.
+    """
     if isinstance(backend, FlowBackend):
         return backend
     try:
         return BACKENDS[backend]
     except (KeyError, TypeError):
+        if backend == "numba":
+            warnings.warn(
+                "flow backend 'numba' requires the optional numba "
+                "dependency (pip install repro-cca[perf]); falling back "
+                "to the 'array' backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return BACKENDS["array"]
         raise ValueError(
             f"unknown flow backend {backend!r}; expected one of "
             f"{tuple(sorted(BACKENDS))} or a FlowBackend instance"

@@ -1,0 +1,730 @@
+"""Compiled flow kernel: ``@njit`` Dijkstra + augment over pooled slabs.
+
+The array backend (:mod:`repro.flow.arraykernel`) vectorizes the *wide*
+relaxations but still pays CPython bytecode for the pop loop, the narrow
+fans, and every heap operation — ``repro-cca profile`` shows that
+interpreter tax is most of the remaining gap between the end-to-end and
+kernel-replay speedups.  This module compiles the whole successive-
+shortest-path inner loop (pop, relax, commit) and the Algorithm-1
+potential update into nopython kernels:
+
+* :class:`NumbaFlowNetwork` subclasses :class:`ArrayFlowNetwork` and keeps
+  every parent structure authoritative for the Python-side API (sessions,
+  IDA key refresh, ``out_edges``, result extraction).  What it adds are
+  *pooled slab* mirrors of the hot adjacency — one flat ``(target,
+  distance)`` pool for the forward-residual fans with per-provider
+  ``start``/``count`` columns, the same for the backward fans, and int64
+  mirrors of the capacity/usage counters — synced inside the existing
+  mutation hooks (``_fwd_append``/``_fwd_remove``/``add_edges``/
+  ``_push_unit``/``_pull_unit``/``apply_path`` and the session deltas), so
+  a compiled kernel sees the entire residual graph as a handful of flat
+  arrays.
+* :class:`NumbaDijkstraState` holds labels, predecessors, the settled
+  order, and an explicit array-backed binary heap in NumPy storage and
+  runs :func:`_run_kernel` for the whole pop/relax/commit loop.  Heap
+  entries are ``(α, node_index)`` compared lexicographically — the same
+  tie-breaking contract as the reference ``heapq`` tuples — and since all
+  live entries are distinct (pushes per node strictly decrease), the pop
+  sequence is the unique sorted order of the surviving labels no matter
+  which heap implementation produces it.  Labels are evaluated with the
+  reference operation order (``(d − τ_q) + τ_p``, clamp, then ``+ base``),
+  so settled orders, pop counts, matchings, and costs are *bit-identical*
+  to the ``dict`` backend (the property suites assert exact equality).
+
+``numba`` is an optional dependency (the ``perf`` extra).  Every kernel
+is written in the nopython subset and decorated through
+:func:`_maybe_njit`, which is a no-op passthrough when numba is absent —
+the kernels then run interpreted, slower but byte-for-byte the same
+results, which is how the equivalence suites exercise this backend on
+environments without numba.  :data:`NUMBA_AVAILABLE` tells the registry
+whether the compiled backend should be offered; absent numba,
+``get_backend("numba")`` falls back to ``array`` with a warning.
+
+JIT note: the first call into each kernel pays one-time compilation
+(``cache=True`` persists it across processes).  Benchmarks exclude it by
+calling :func:`warm_kernels` (or via best-of-N timing) before measuring.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.flow.arraykernel import ArrayDijkstraState, ArrayFlowNetwork
+from repro.flow.dijkstra import INF, _OFF
+from repro.flow.graph import NegativeReducedCostError, _is_scalar
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the default environment
+    NUMBA_AVAILABLE = False
+
+    def _njit(*args, **kwargs):
+        """Identity decorator: run the kernels interpreted."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+
+def _maybe_njit(fn):
+    """``@njit(cache=True)`` when numba is present, passthrough otherwise.
+
+    ``fastmath`` stays off: bit-identity to the reference backend is the
+    contract, so every float op must round exactly like CPython's.
+    """
+    if NUMBA_AVAILABLE:
+        return _njit(cache=True)(fn)
+    return fn
+
+
+_T_IDX = 0  # T_NODE + _OFF
+_S_IDX = 1  # S_NODE + _OFF
+_MIN_BLOCK = 8
+
+# _run_kernel status codes.
+_STATUS_EXHAUSTED = 0  # heap drained without settling the sink
+_STATUS_SINK = 1  # sink popped (and re-pushed; state resumable)
+_STATUS_NEGATIVE = 2  # negative reduced source edge: corrupted residual
+
+
+# ----------------------------------------------------------------------
+# nopython kernels
+# ----------------------------------------------------------------------
+@_maybe_njit
+def _hpush(heap_a, heap_i, n, a, idx):
+    """Sift ``(a, idx)`` up into a heap of size ``n`` (capacity assured
+    by the caller).  Lexicographic (α, index) order — the reference
+    backend's tuple comparison."""
+    pos = n
+    while pos > 0:
+        parent = (pos - 1) >> 1
+        pa = heap_a[parent]
+        pi = heap_i[parent]
+        if a < pa or (a == pa and idx < pi):
+            heap_a[pos] = pa
+            heap_i[pos] = pi
+            pos = parent
+        else:
+            break
+    heap_a[pos] = a
+    heap_i[pos] = idx
+
+
+@_maybe_njit
+def _hpop(heap_a, heap_i, n):
+    """Pop the minimum from a heap of size ``n``; caller decrements."""
+    a = heap_a[0]
+    idx = heap_i[0]
+    last = n - 1
+    if last > 0:
+        la = heap_a[last]
+        li = heap_i[last]
+        pos = 0
+        while True:
+            child = 2 * pos + 1
+            if child >= last:
+                break
+            ca = heap_a[child]
+            ci = heap_i[child]
+            right = child + 1
+            if right < last:
+                ra = heap_a[right]
+                ri = heap_i[right]
+                if ra < ca or (ra == ca and ri < ci):
+                    child = right
+                    ca = ra
+                    ci = ri
+            if ca < la or (ca == la and ci < li):
+                heap_a[pos] = ca
+                heap_i[pos] = ci
+                pos = child
+            else:
+                break
+        heap_a[pos] = la
+        heap_i[pos] = li
+    return a, idx
+
+
+@_maybe_njit
+def _run_kernel(
+    heap_a,
+    heap_i,
+    heap_n,
+    alpha,
+    prev,
+    settled,
+    order,
+    order_n,
+    nq,
+    tau_s,
+    q_tau,
+    p_tau,
+    q_used,
+    q_cap,
+    p_used,
+    p_cap,
+    fw_start,
+    fw_n,
+    pool_tgt,
+    pool_dist,
+    bw_start,
+    bw_n,
+    bw_src,
+    bw_dist,
+):
+    """The whole pop/relax/commit loop, compiled.
+
+    Returns the (possibly reallocated) heap and settled-order arrays plus
+    their sizes, the settled-pop count, and a status code.  The reduced
+    cost of every relaxed edge is evaluated with the reference operation
+    order so labels match the ``dict`` backend bit for bit.
+    """
+    pops = 0
+    status = _STATUS_EXHAUSTED
+    err_i = -1
+    err_w = 0.0
+    while heap_n > 0:
+        a, idx = _hpop(heap_a, heap_i, heap_n)
+        heap_n -= 1
+        if a > alpha[idx] or settled[idx] == 1:
+            continue  # stale entry or already settled
+        if idx == _T_IDX:
+            # Leave t un-settled so a later resume can improve it.
+            if heap_n + 1 > heap_a.size:
+                cap = heap_a.size * 2
+                na = np.empty(cap, np.float64)
+                ni = np.empty(cap, np.int64)
+                na[:heap_n] = heap_a[:heap_n]
+                ni[:heap_n] = heap_i[:heap_n]
+                heap_a = na
+                heap_i = ni
+            _hpush(heap_a, heap_i, heap_n, a, idx)
+            heap_n += 1
+            status = _STATUS_SINK
+            break
+        settled[idx] = 1
+        if order_n >= order.size:
+            no = np.empty(order.size * 2, np.int64)
+            no[:order_n] = order[:order_n]
+            order = no
+        order[order_n] = idx
+        order_n += 1
+        pops += 1
+        if idx == _S_IDX:
+            fan = nq
+        elif idx - _OFF < nq:
+            fan = fw_n[idx - _OFF]
+        else:
+            fan = bw_n[idx - _OFF - nq] + 1
+        if heap_n + fan > heap_a.size:
+            cap = heap_a.size * 2
+            while cap < heap_n + fan:
+                cap *= 2
+            na = np.empty(cap, np.float64)
+            ni = np.empty(cap, np.int64)
+            na[:heap_n] = heap_a[:heap_n]
+            ni[:heap_n] = heap_i[:heap_n]
+            heap_a = na
+            heap_i = ni
+        if idx == _S_IDX:
+            # source relaxation: every provider with residual capacity
+            for i in range(nq):
+                if q_used[i] < q_cap[i]:
+                    w = q_tau[i] - tau_s
+                    if w < -1e-6:
+                        # Corrupted residual state (see the reference
+                        # kernel): fail loudly via the status code.
+                        status = _STATUS_NEGATIVE
+                        err_i = i
+                        err_w = w
+                        break
+                    av = a + (w if w > 0.0 else 0.0)
+                    t = i + _OFF
+                    if av < alpha[t]:
+                        alpha[t] = av
+                        prev[t] = idx
+                        settled[t] = 0
+                        _hpush(heap_a, heap_i, heap_n, av, t)
+                        heap_n += 1
+            if status == _STATUS_NEGATIVE:
+                break
+        elif idx - _OFF < nq:
+            # provider: forward bipartite fan off the pooled slab
+            node = idx - _OFF
+            base = fw_start[node]
+            q_tau_i = q_tau[node]
+            for k in range(fw_n[node]):
+                t = pool_tgt[base + k]
+                w = pool_dist[base + k] - q_tau_i + p_tau[t - _OFF - nq]
+                av = a + (w if w > 0.0 else 0.0)
+                if av < alpha[t]:
+                    alpha[t] = av
+                    prev[t] = idx
+                    settled[t] = 0
+                    _hpush(heap_a, heap_i, heap_n, av, t)
+                    heap_n += 1
+        else:
+            # customer: residual reverse fan, plus the sink edge if open
+            j = idx - _OFF - nq
+            base = bw_start[j]
+            p_tau_j = p_tau[j]
+            for k in range(bw_n[j]):
+                i = bw_src[base + k]
+                w = q_tau[i] - bw_dist[base + k] - p_tau_j
+                av = a + (w if w > 0.0 else 0.0)
+                t = i + _OFF
+                if av < alpha[t]:
+                    alpha[t] = av
+                    prev[t] = idx
+                    settled[t] = 0
+                    _hpush(heap_a, heap_i, heap_n, av, t)
+                    heap_n += 1
+            if p_used[j] < p_cap[j]:
+                w = -p_tau_j
+                av = a + (w if w > 0.0 else 0.0)
+                if av < alpha[_T_IDX]:
+                    alpha[_T_IDX] = av
+                    prev[_T_IDX] = idx
+                    _hpush(heap_a, heap_i, heap_n, av, _T_IDX)
+                    heap_n += 1
+    return heap_a, heap_i, heap_n, order, order_n, pops, status, err_i, err_w
+
+
+@_maybe_njit
+def _augment_kernel(
+    order, order_n, alpha, settled, scratch, q_tau, p_tau, alpha_min, nq,
+    tau_max,
+):
+    """Algorithm-1 potential update over the settled order, compiled.
+
+    Advances ``q_tau``/``p_tau`` in place and returns the touched node
+    lists so the caller can resync the Python-side scalar mirrors.
+    ``scratch`` is a reusable zeroed flag array (mark-and-clear dedup —
+    the settled order may hold stale duplicates of re-settled nodes);
+    it is restored to all-zeros before returning.
+    """
+    prov = np.empty(order_n, np.int64)
+    cust = np.empty(order_n, np.int64)
+    n_prov = 0
+    n_cust = 0
+    base_c = _OFF + nq
+    for k in range(order_n):
+        idx = order[k]
+        if settled[idx] == 0 or scratch[idx] == 1 or idx == _S_IDX:
+            continue
+        scratch[idx] = 1
+        delta = alpha_min - alpha[idx]
+        if delta <= 0:
+            continue  # settled at exactly alpha_min under fp noise
+        if idx >= base_c:
+            j = idx - base_c
+            p_tau[j] = p_tau[j] + delta
+            cust[n_cust] = j
+            n_cust += 1
+        else:
+            i = idx - _OFF
+            v = q_tau[i] + delta
+            q_tau[i] = v
+            prov[n_prov] = i
+            n_prov += 1
+            if v > tau_max:
+                tau_max = v
+    for k in range(order_n):
+        scratch[order[k]] = 0
+    return prov, n_prov, cust, n_cust, tau_max
+
+
+# ----------------------------------------------------------------------
+# the network: pooled slab mirrors over the array backend
+# ----------------------------------------------------------------------
+class NumbaFlowNetwork(ArrayFlowNetwork):
+    """Array network plus flat slab mirrors for the compiled kernels.
+
+    The parent's structures stay authoritative for every Python-side
+    read; the slabs exist solely so :func:`_run_kernel` can walk the
+    residual adjacency without touching a Python object.  Slab positions
+    coincide with the parent's compact-adjacency positions because both
+    apply the same append/swap-remove operations at the same hooks.
+
+    Relocation (a provider's block outgrowing its reservation) appends a
+    doubled block at the pool tail and abandons the old one — amortized
+    ≤2x pool memory for O(1) growth, same trade the parent's ``_grown``
+    makes.
+    """
+
+    def __init__(
+        self,
+        provider_capacities: Sequence[int],
+        customer_weights: Sequence[int],
+    ):
+        super().__init__(provider_capacities, customer_weights)
+        nq, np_ = self.nq, self.np
+        # int64 mirrors of the capacity/usage counters (kernel inputs).
+        self._np_q_cap = np.asarray(self.q_cap, dtype=np.int64)
+        self._np_q_used = np.zeros(nq, dtype=np.int64)
+        self._np_p_cap = np.asarray(self.p_cap, dtype=np.int64)
+        self._np_p_used = np.zeros(np_, dtype=np.int64)
+        self._np_fwd_n = np.zeros(nq, dtype=np.int64)
+        # Forward pool: per-provider blocks of (Dijkstra target, distance).
+        self._fw_start = np.zeros(nq, dtype=np.int64)
+        self._fw_cap = np.zeros(nq, dtype=np.int64)
+        self._pool_tgt = np.empty(0, dtype=np.int64)
+        self._pool_dist = np.empty(0, dtype=np.float64)
+        self._pool_n = 0
+        # Backward pool: per-customer blocks of (source provider, distance).
+        self._np_bw_n = np.zeros(np_, dtype=np.int64)
+        self._bw_start = np.zeros(np_, dtype=np.int64)
+        self._bw_cap = np.zeros(np_, dtype=np.int64)
+        self._bpool_src = np.empty(0, dtype=np.int64)
+        self._bpool_dist = np.empty(0, dtype=np.float64)
+        self._bpool_n = 0
+        self._aug_scratch = None
+
+    # -- pool block management -----------------------------------------
+    def _fw_reserve(self, i: int, need: int, valid: int) -> None:
+        """Grow provider ``i``'s forward block to hold ``need`` entries,
+        relocating the ``valid`` live ones."""
+        if need <= self._fw_cap[i]:
+            return
+        cap = max(need, int(self._fw_cap[i]) * 2, _MIN_BLOCK)
+        start = self._pool_n
+        if start + cap > self._pool_tgt.size:
+            size = max(start + cap, self._pool_tgt.size * 2, 64)
+            nt = np.empty(size, dtype=np.int64)
+            nd = np.empty(size, dtype=np.float64)
+            nt[:start] = self._pool_tgt[:start]
+            nd[:start] = self._pool_dist[:start]
+            self._pool_tgt = nt
+            self._pool_dist = nd
+        old = self._fw_start[i]
+        if valid:
+            self._pool_tgt[start : start + valid] = self._pool_tgt[
+                old : old + valid
+            ]
+            self._pool_dist[start : start + valid] = self._pool_dist[
+                old : old + valid
+            ]
+        self._fw_start[i] = start
+        self._fw_cap[i] = cap
+        self._pool_n = start + cap
+
+    def _bw_reserve(self, j: int, need: int, valid: int) -> None:
+        if need <= self._bw_cap[j]:
+            return
+        cap = max(need, int(self._bw_cap[j]) * 2, _MIN_BLOCK)
+        start = self._bpool_n
+        if start + cap > self._bpool_src.size:
+            size = max(start + cap, self._bpool_src.size * 2, 64)
+            ns = np.empty(size, dtype=np.int64)
+            nd = np.empty(size, dtype=np.float64)
+            ns[:start] = self._bpool_src[:start]
+            nd[:start] = self._bpool_dist[:start]
+            self._bpool_src = ns
+            self._bpool_dist = nd
+        old = self._bw_start[j]
+        if valid:
+            self._bpool_src[start : start + valid] = self._bpool_src[
+                old : old + valid
+            ]
+            self._bpool_dist[start : start + valid] = self._bpool_dist[
+                old : old + valid
+            ]
+        self._bw_start[j] = start
+        self._bw_cap[j] = cap
+        self._bpool_n = start + cap
+
+    # -- forward adjacency hooks ---------------------------------------
+    def _fwd_append(self, i: int, eid: int, j: int, distance: float) -> None:
+        super()._fwd_append(i, eid, j, distance)
+        n = self._fwd_n[i]
+        self._fw_reserve(i, n, n - 1)
+        base = self._fw_start[i]
+        self._pool_tgt[base + n - 1] = self.nq + j + _OFF
+        self._pool_dist[base + n - 1] = distance
+        self._np_fwd_n[i] = n
+
+    def _fwd_remove(self, i: int, eid: int) -> None:
+        pos = self._e_pos[eid]
+        super()._fwd_remove(i, eid)
+        if pos < 0:
+            return
+        n = self._fwd_n[i]  # count after the removal
+        base = self._fw_start[i]
+        if pos != n:
+            self._pool_tgt[base + pos] = self._pool_tgt[base + n]
+            self._pool_dist[base + pos] = self._pool_dist[base + n]
+        self._np_fwd_n[i] = n
+
+    def add_edges(self, providers, customers, distances) -> int:
+        if not _is_scalar(providers):
+            # Per-edge path: add_edge -> _fwd_append keeps the slab.
+            return super().add_edges(providers, customers, distances)
+        i = int(providers)
+        n0 = self._fwd_n[i]
+        inserted = super().add_edges(providers, customers, distances)
+        n1 = self._fwd_n[i]
+        if n1 > n0:
+            # The bulk path block-appends into the parent's compact
+            # adjacency without _fwd_append; mirror the block wholesale.
+            self._fw_reserve(i, n1, n0)
+            base = self._fw_start[i]
+            self._pool_tgt[base + n0 : base + n1] = self._fwd_tgt[i][n0:n1]
+            self._pool_dist[base + n0 : base + n1] = self._fwd_dist[i][n0:n1]
+            self._np_fwd_n[i] = n1
+        return inserted
+
+    # -- backward adjacency + counter hooks ----------------------------
+    def _push_unit(self, i: int, j: int) -> None:
+        j = int(j)
+        before = len(self._bwd[j])
+        super()._push_unit(i, j)
+        entries = self._bwd[j]
+        if len(entries) > before:
+            n = len(entries)
+            self._bw_reserve(j, n, n - 1)
+            base = self._bw_start[j]
+            _eid, src, dist = entries[-1]
+            self._bpool_src[base + n - 1] = src
+            self._bpool_dist[base + n - 1] = dist
+            self._np_bw_n[j] = n
+
+    def _pull_unit(self, i: int, j: int) -> None:
+        j = int(j)
+        before = len(self._bwd[j])
+        super()._pull_unit(i, j)
+        entries = self._bwd[j]
+        if len(entries) < before:
+            # Ordered removal: rebuild the (tiny) block from the parent
+            # list so slab order keeps tracking it exactly.
+            base = self._bw_start[j]
+            for k, (_eid, src, dist) in enumerate(entries):
+                self._bpool_src[base + k] = src
+                self._bpool_dist[base + k] = dist
+            self._np_bw_n[j] = len(entries)
+
+    def apply_path(self, path_nodes: Sequence[int]) -> None:
+        super().apply_path(path_nodes)
+        # Only the first provider's usage and the last customer's usage
+        # move (interior hops push/pull through the hooks above).
+        first = int(path_nodes[1])
+        self._np_q_used[first] = self.q_used[first]
+        last_j = int(path_nodes[-2]) - self.nq
+        self._np_p_used[last_j] = self.p_used[last_j]
+
+    # -- session deltas -------------------------------------------------
+    def add_customer_node(self, weight: int) -> int:
+        j = super().add_customer_node(weight)
+        self._np_p_cap = np.append(self._np_p_cap, np.int64(weight))
+        self._np_p_used = np.append(self._np_p_used, np.int64(0))
+        self._np_bw_n = np.append(self._np_bw_n, np.int64(0))
+        self._bw_start = np.append(self._bw_start, np.int64(0))
+        self._bw_cap = np.append(self._bw_cap, np.int64(0))
+        return j
+
+    def remove_customer_node(self, j: int) -> int:
+        released = super().remove_customer_node(j)
+        j = int(j)
+        # Released flow touches many providers; resync wholesale (session
+        # deltas are rare next to kernel runs).
+        self._np_q_used[:] = self.q_used
+        self._np_p_used[j] = 0
+        self._np_p_cap[j] = 0
+        self._np_bw_n[j] = 0
+        return released
+
+    def set_provider_capacity(self, i: int, capacity: int) -> None:
+        super().set_provider_capacity(i, capacity)
+        self._np_q_cap[int(i)] = int(capacity)
+
+    # -- augmentation ---------------------------------------------------
+    def augment_with_state(self, path_nodes, alpha_min, state) -> None:
+        if not isinstance(state, NumbaDijkstraState):
+            super().augment_with_state(path_nodes, alpha_min, state)
+            return
+        self.apply_path(path_nodes)
+        alpha_min = float(alpha_min)
+        if state._settled[_S_IDX] and alpha_min > 0.0:
+            # s settles at α = 0, so its delta is α_min itself.
+            self.tau_s += alpha_min
+        size = self.nq + self.np + _OFF
+        scratch = self._aug_scratch
+        if scratch is None or scratch.size < size:
+            scratch = np.zeros(max(size, 64), dtype=np.uint8)
+            self._aug_scratch = scratch
+        prov, n_prov, cust, n_cust, tau_max = _augment_kernel(
+            state._order,
+            state._order_n,
+            state._alpha,
+            state._settled,
+            scratch,
+            self.q_tau,
+            self.p_tau,
+            alpha_min,
+            self.nq,
+            self._tau_max,
+        )
+        # Resync the scalar mirrors for exactly the touched rows.
+        q_py = self._q_tau_py
+        p_py = self._p_tau_py
+        q_tau = self.q_tau
+        p_tau = self.p_tau
+        for k in range(n_prov):
+            i = int(prov[k])
+            q_py[i] = float(q_tau[i])
+        for k in range(n_cust):
+            j = int(cust[k])
+            p_py[j] = float(p_tau[j])
+        self._tau_max = float(tau_max)
+
+
+# ----------------------------------------------------------------------
+# the Dijkstra state
+# ----------------------------------------------------------------------
+class NumbaDijkstraState(ArrayDijkstraState):
+    """Dijkstra state whose pop/relax/commit loop is one kernel call.
+
+    Labels, predecessors, settled flags, the settled order, and the
+    binary heap all live in NumPy arrays so :func:`_run_kernel` can run
+    nopython.  The public API (``alpha_of``/``improve``/``run``/
+    ``sp_cost``/``path_nodes``/``settled_items``) matches the reference
+    state; PUA repairs go through :meth:`improve` exactly as before and
+    the next :meth:`run` resumes from the live heap.
+    """
+
+    def __init__(self, net: NumbaFlowNetwork):
+        self.net = net
+        size = net.nq + net.np + _OFF
+        self._alpha = np.full(size, INF, dtype=np.float64)
+        self._prev = np.full(size, -3, dtype=np.int64)  # -3 = unreached
+        self._settled = np.zeros(size, dtype=np.uint8)
+        self._order = np.empty(16, dtype=np.int64)
+        self._order_n = 0
+        self._heap_a = np.empty(16, dtype=np.float64)
+        self._heap_i = np.empty(16, dtype=np.int64)
+        self._heap_n = 0
+        self.pops = 0
+        self._np_alpha = None  # unused; parent-slot compatibility
+        self._alpha[_S_IDX] = 0.0
+        self._push(0.0, _S_IDX)
+
+    # The parent classes store the settled order as a plain list; expose
+    # the array-backed one through the same attribute (tests and the
+    # cross-backend augment path read it).
+    @property
+    def _settled_order(self) -> List[int]:
+        return self._order[: self._order_n].tolist()
+
+    def _push(self, a: float, idx: int) -> None:
+        if self._heap_n >= self._heap_a.size:
+            cap = self._heap_a.size * 2
+            na = np.empty(cap, dtype=np.float64)
+            ni = np.empty(cap, dtype=np.int64)
+            na[: self._heap_n] = self._heap_a[: self._heap_n]
+            ni[: self._heap_n] = self._heap_i[: self._heap_n]
+            self._heap_a = na
+            self._heap_i = ni
+        _hpush(self._heap_a, self._heap_i, self._heap_n, a, idx)
+        self._heap_n += 1
+
+    def improve(self, node: int, alpha: float, prev: int) -> bool:
+        idx = node + _OFF
+        if alpha >= self._alpha[idx]:
+            return False
+        alpha = float(alpha)
+        self._alpha[idx] = alpha
+        self._prev[idx] = prev + _OFF
+        self._settled[idx] = 0
+        self._push(alpha, idx)
+        return True
+
+    def run(self) -> bool:
+        net = self.net
+        (
+            self._heap_a,
+            self._heap_i,
+            self._heap_n,
+            self._order,
+            self._order_n,
+            pops,
+            status,
+            err_i,
+            err_w,
+        ) = _run_kernel(
+            self._heap_a,
+            self._heap_i,
+            self._heap_n,
+            self._alpha,
+            self._prev,
+            self._settled,
+            self._order,
+            self._order_n,
+            net.nq,
+            net.tau_s,
+            net.q_tau,
+            net.p_tau,
+            net._np_q_used,
+            net._np_q_cap,
+            net._np_p_used,
+            net._np_p_cap,
+            net._fw_start,
+            net._np_fwd_n,
+            net._pool_tgt,
+            net._pool_dist,
+            net._bw_start,
+            net._np_bw_n,
+            net._bpool_src,
+            net._bpool_dist,
+        )
+        self.pops += int(pops)
+        if status == _STATUS_NEGATIVE:
+            # Corrupted residual state (see the reference kernel).
+            raise NegativeReducedCostError(
+                f"negative reduced cost {float(err_w)} on (s, q_{int(err_i)})"
+            )
+        if status == _STATUS_SINK:
+            return True
+        return bool(self._alpha[_T_IDX] < INF)
+
+    @property
+    def sp_cost(self) -> float:
+        return float(self._alpha[_T_IDX])
+
+    def path_nodes(self) -> List[int]:
+        return [int(node) for node in super().path_nodes()]
+
+
+def warm_kernels() -> bool:
+    """Trigger JIT compilation of every kernel on a toy instance.
+
+    Benchmarks call this once before timing so the one-time compile cost
+    (absent with ``cache=True`` after the first process) never lands
+    inside a measured region.  Returns :data:`NUMBA_AVAILABLE`.
+    """
+    net = NumbaFlowNetwork([1, 1], [1, 1])
+    net.add_edges(0, np.array([0, 1]), np.array([1.0, 2.0]))
+    net.add_edge(1, 1, 1.5)
+    while net.matched < net.gamma:
+        state = NumbaDijkstraState(net)
+        if not state.run():
+            break
+        net.augment_with_state(state.path_nodes(), state.sp_cost, state)
+    return NUMBA_AVAILABLE
+
+
+def interpreted_backend():
+    """A :class:`FlowBackend` over these kernels regardless of numba.
+
+    With numba absent the kernels run interpreted — identical results,
+    interpreter speed — which is how the equivalence suites pin the
+    backend's bit-identity on environments without the ``perf`` extra.
+    """
+    from repro.flow.backend import FlowBackend
+
+    return FlowBackend("numba", NumbaFlowNetwork, NumbaDijkstraState)

@@ -1,0 +1,204 @@
+"""Tests for the numba flow backend (:mod:`repro.flow.numbakernel`).
+
+Without the optional dependency installed the kernels run interpreted —
+the exact same Python source, so the slab-consistency and bit-identity
+checks here pin the backend's semantics on every environment.  The CI
+``test-numba`` job re-runs this file with the JIT active; the
+``numba``-marked test at the bottom only executes there.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.flow import numbakernel
+from repro.flow.backend import BACKENDS, get_backend
+from repro.flow.numbakernel import (
+    NUMBA_AVAILABLE,
+    NumbaDijkstraState,
+    NumbaFlowNetwork,
+    interpreted_backend,
+    warm_kernels,
+)
+
+
+def _assert_slabs_match(net):
+    """The pooled slabs must mirror the parent's compact adjacency and
+    counters exactly — same entries, same positions."""
+    for i in range(net.nq):
+        n = net._fwd_n[i]
+        assert int(net._np_fwd_n[i]) == n
+        base = int(net._fw_start[i])
+        assert net._pool_tgt[base : base + n].tolist() == (
+            net._fwd_tgt[i][:n].tolist()
+        )
+        assert net._pool_dist[base : base + n].tolist() == (
+            net._fwd_dist[i][:n].tolist()
+        )
+    for j in range(net.np):
+        entries = net._bwd[j]
+        n = len(entries)
+        assert int(net._np_bw_n[j]) == n
+        base = int(net._bw_start[j])
+        assert net._bpool_src[base : base + n].tolist() == (
+            [src for _eid, src, _d in entries]
+        )
+        assert net._bpool_dist[base : base + n].tolist() == (
+            [d for _eid, _src, d in entries]
+        )
+    assert net._np_q_used.tolist() == list(net.q_used)
+    assert net._np_q_cap.tolist() == list(net.q_cap)
+    assert net._np_p_used.tolist() == list(net.p_used)
+    assert net._np_p_cap.tolist() == list(net.p_cap)
+
+
+def _drain(net):
+    """Run SSP to completion, checking slab consistency per augment."""
+    while net.matched < net.gamma:
+        state = NumbaDijkstraState(net)
+        if not state.run():
+            break
+        net.augment_with_state(state.path_nodes(), state.sp_cost, state)
+        _assert_slabs_match(net)
+
+
+def test_registry_offers_numba_iff_importable():
+    assert ("numba" in BACKENDS) == NUMBA_AVAILABLE
+    backend = interpreted_backend()
+    assert backend.name == "numba"
+    assert backend.network_cls is NumbaFlowNetwork
+    assert backend.dijkstra_cls is NumbaDijkstraState
+
+
+def test_get_backend_numba_falls_back_with_warning():
+    if NUMBA_AVAILABLE:
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            backend = get_backend("numba")
+        assert backend.network_cls is NumbaFlowNetwork
+    else:
+        with pytest.warns(RuntimeWarning, match="optional numba"):
+            backend = get_backend("numba")
+        assert backend is BACKENDS["array"]
+
+
+def test_slabs_track_random_mutation_sequences():
+    """Adds (scalar + bulk), augments, and removals in a random order
+    keep the slab mirrors identical to the parent adjacency."""
+    rng = np.random.default_rng(7)
+    for trial in range(8):
+        nq = int(rng.integers(1, 5))
+        np_ = int(rng.integers(1, 12))
+        caps = [int(c) for c in rng.integers(0, 4, nq)]
+        if sum(caps) == 0:
+            caps[0] = 1
+        net = NumbaFlowNetwork(caps, [1] * np_)
+        for _ in range(int(rng.integers(3, 20))):
+            op = rng.integers(0, 3)
+            if op == 0:
+                net.add_edge(
+                    int(rng.integers(0, nq)),
+                    int(rng.integers(0, np_)),
+                    float(rng.random() * 50),
+                )
+            elif op == 1:
+                i = int(rng.integers(0, nq))
+                m = int(rng.integers(1, 6))
+                net.add_edges(
+                    i,
+                    rng.integers(0, np_, m).astype(np.int64),
+                    (rng.random(m) * 50).astype(np.float64),
+                )
+            else:
+                cols = int(rng.integers(1, 8))
+                net.add_edges(
+                    rng.integers(0, nq, cols).astype(np.int64),
+                    rng.integers(0, np_, cols).astype(np.int64),
+                    (rng.random(cols) * 50).astype(np.float64),
+                )
+            _assert_slabs_match(net)
+        _drain(net)
+
+
+def test_slabs_track_session_deltas():
+    """add/remove customer and capacity changes resync every mirror."""
+    rng = np.random.default_rng(11)
+    net = NumbaFlowNetwork([2, 2, 1], [1] * 6)
+    net.add_edges(
+        rng.integers(0, 3, 12).astype(np.int64),
+        rng.integers(0, 6, 12).astype(np.int64),
+        (rng.random(12) * 30).astype(np.float64),
+    )
+    _drain(net)
+    j = net.add_customer_node(1)
+    _assert_slabs_match(net)
+    net.add_edge(0, j, 3.5)
+    net.add_edge(2, j, 1.5)
+    _assert_slabs_match(net)
+    _drain(net)
+    net.set_provider_capacity(1, 4)
+    _assert_slabs_match(net)
+    net.remove_customer_node(j)
+    _assert_slabs_match(net)
+    net.set_provider_capacity(0, net.q_used[0])
+    _assert_slabs_match(net)
+    _drain(net)
+
+
+def test_ssp_trace_matches_dict_reference():
+    """Deterministic instance: settled orders, pops, costs, and the final
+    matching equal the dict backend's, entry for entry."""
+    rng = np.random.default_rng(3)
+    caps = [2, 1, 3]
+    weights = [1] * 9
+    triples = [
+        (int(i), int(j), float(d))
+        for i, j, d in zip(
+            rng.integers(0, 3, 25),
+            rng.integers(0, 9, 25),
+            rng.random(25) * 40,
+        )
+    ]
+
+    def trace(backend):
+        net = backend.network(caps, weights)
+        for i, j, d in triples:
+            net.add_edge(i, j, d)
+        out = []
+        while net.matched < net.gamma:
+            state = backend.dijkstra(net)
+            if not state.run():
+                break
+            out.append(
+                (
+                    list(state._settled_order),
+                    state.pops,
+                    state.sp_cost,
+                    state.path_nodes(),
+                )
+            )
+            net.augment_with_state(
+                state.path_nodes(), state.sp_cost, state
+            )
+        return out, sorted(net.matching_flows()), net.matching_cost()
+
+    assert trace(interpreted_backend()) == trace(BACKENDS["dict"])
+
+
+def test_warm_kernels_runs_and_reports_availability():
+    assert warm_kernels() is NUMBA_AVAILABLE
+
+
+def test_kernels_actually_compiled_when_numba_present():
+    pytest.importorskip("numba")
+    # Under the perf extra the hot kernels must be numba dispatchers,
+    # not the interpreted fallbacks.
+    for fn in (
+        numbakernel._run_kernel,
+        numbakernel._augment_kernel,
+        numbakernel._hpush,
+        numbakernel._hpop,
+    ):
+        assert hasattr(fn, "py_func"), fn
+    assert "numba" in BACKENDS

@@ -1,10 +1,15 @@
 """Property tests for the flow-backend seam.
 
-The array kernel must be *bit-identical* to the dict reference backend —
-same matching cost, same |Esub|, same matched pairs — on every instance,
-for every exact method.  Reduced costs are evaluated with the same float
-operation order in both kernels, so exact ``==`` comparisons are the
-specification here, not an approximation.
+The array and numba kernels must be *bit-identical* to the dict
+reference backend — same matching cost, same |Esub|, same matched pairs
+— on every instance, for every exact method.  Reduced costs are
+evaluated with the same float operation order in all kernels, so exact
+``==`` comparisons are the specification here, not an approximation.
+
+The numba axis runs through :func:`interpreted_backend` when the
+optional dependency is absent (the kernels execute as plain Python —
+same bytes, interpreter speed); the CI ``test-numba`` job re-runs this
+file with the JIT actually active.
 """
 
 from hypothesis import HealthCheck, given, settings
@@ -12,6 +17,11 @@ from hypothesis import strategies as st
 
 from repro.core.problem import CCAProblem
 from repro.core.solve import solve
+from repro.flow.backend import BACKENDS
+from repro.flow.numbakernel import interpreted_backend
+
+NUMBA_BACKEND = BACKENDS.get("numba") or interpreted_backend()
+NON_REFERENCE = ("array", NUMBA_BACKEND)
 
 coord = st.floats(
     min_value=0.0, max_value=1000.0, allow_nan=False, allow_infinity=False
@@ -41,10 +51,11 @@ def test_backends_bit_identical_all_exact_methods(data, method):
     q_xy, caps, p_xy = data
     # Separate problem objects: solvers cache R-trees and mutate networks.
     dict_m = solve(_problem(q_xy, caps, p_xy), method, backend="dict")
-    array_m = solve(_problem(q_xy, caps, p_xy), method, backend="array")
-    assert array_m.cost == dict_m.cost          # bit-identical, not approx
-    assert array_m.stats.esub_edges == dict_m.stats.esub_edges
-    assert sorted(array_m.pairs) == sorted(dict_m.pairs)
+    for backend in NON_REFERENCE:
+        m = solve(_problem(q_xy, caps, p_xy), method, backend=backend)
+        assert m.cost == dict_m.cost            # bit-identical, not approx
+        assert m.stats.esub_edges == dict_m.stats.esub_edges
+        assert sorted(m.pairs) == sorted(dict_m.pairs)
 
 
 @settings(max_examples=12, deadline=None,
@@ -63,14 +74,15 @@ def test_backends_bit_identical_weighted_customers(data, weights):
         "ida",
         backend="dict",
     )
-    array_m = solve(
-        CCAProblem.from_arrays(q_xy, caps, p_xy, customer_weights=w),
-        "ida",
-        backend="array",
-    )
-    assert array_m.cost == dict_m.cost
-    assert array_m.stats.esub_edges == dict_m.stats.esub_edges
-    assert sorted(array_m.pairs) == sorted(dict_m.pairs)
+    for backend in NON_REFERENCE:
+        m = solve(
+            CCAProblem.from_arrays(q_xy, caps, p_xy, customer_weights=w),
+            "ida",
+            backend=backend,
+        )
+        assert m.cost == dict_m.cost
+        assert m.stats.esub_edges == dict_m.stats.esub_edges
+        assert sorted(m.pairs) == sorted(dict_m.pairs)
 
 
 @settings(max_examples=10, deadline=None,
@@ -80,6 +92,7 @@ def test_backends_identical_through_approx_solvers(data, method):
     """SA/CA run IDA on the seam internally; SM validates the selector."""
     q_xy, caps, p_xy = data
     dict_m = solve(_problem(q_xy, caps, p_xy), method, backend="dict")
-    array_m = solve(_problem(q_xy, caps, p_xy), method, backend="array")
-    assert array_m.cost == dict_m.cost
-    assert sorted(array_m.pairs) == sorted(dict_m.pairs)
+    for backend in NON_REFERENCE:
+        m = solve(_problem(q_xy, caps, p_xy), method, backend=backend)
+        assert m.cost == dict_m.cost
+        assert sorted(m.pairs) == sorted(dict_m.pairs)

@@ -15,6 +15,14 @@ from hypothesis import strategies as st
 from repro.core.problem import CCAProblem
 from repro.core.solve import solve
 from repro.flow.backend import BACKENDS
+from repro.flow.numbakernel import interpreted_backend
+
+# Every backend axis, always including numba: the registry offers it when
+# the optional dependency is installed; otherwise the kernels run
+# interpreted through the same classes — identical bytes, so identical
+# traces, which is exactly what these tests pin.
+ALL_BACKENDS = dict(BACKENDS)
+ALL_BACKENDS.setdefault("numba", interpreted_backend())
 
 dist_f = st.floats(min_value=0.0, max_value=100.0,
                    allow_nan=False, allow_infinity=False)
@@ -48,14 +56,14 @@ def _net_signature(net):
 
 
 def _build_loop(backend, caps, weights, triples):
-    net = BACKENDS[backend].network(caps, weights)
+    net = ALL_BACKENDS[backend].network(caps, weights)
     inserted = sum(net.add_edge(i, j, d) for i, j, d in triples)
     return net, inserted
 
 
 def _build_bulk_rows(backend, caps, weights, triples):
     """One add_edges call per provider row (the RIA/SSPA shape)."""
-    net = BACKENDS[backend].network(caps, weights)
+    net = ALL_BACKENDS[backend].network(caps, weights)
     inserted = 0
     for i in range(net.nq):
         row = [(j, d) for (qi, j, d) in triples if qi == i]
@@ -69,7 +77,7 @@ def _build_bulk_rows(backend, caps, weights, triples):
 
 def _build_bulk_columns(backend, caps, weights, triples):
     """One add_edges call with full (i, j, d) columns."""
-    net = BACKENDS[backend].network(caps, weights)
+    net = ALL_BACKENDS[backend].network(caps, weights)
     inserted = net.add_edges(
         np.asarray([t[0] for t in triples], dtype=np.int64),
         np.asarray([t[1] for t in triples], dtype=np.int64),
@@ -80,7 +88,7 @@ def _build_bulk_columns(backend, caps, weights, triples):
 
 @settings(max_examples=60, deadline=None)
 @given(data=caps_weights, triples=edge_batches,
-       backend=st.sampled_from(sorted(BACKENDS)))
+       backend=st.sampled_from(sorted(ALL_BACKENDS)))
 def test_bulk_add_edges_bit_identical_networks(data, triples, backend):
     caps, weights = data
     loop_net, loop_n = _build_loop(backend, caps, weights, triples)
@@ -91,7 +99,7 @@ def test_bulk_add_edges_bit_identical_networks(data, triples, backend):
 
 @settings(max_examples=40, deadline=None)
 @given(data=caps_weights, triples=edge_batches,
-       backend=st.sampled_from(sorted(BACKENDS)))
+       backend=st.sampled_from(sorted(ALL_BACKENDS)))
 def test_bulk_row_shape_matches_per_provider_loops(data, triples, backend):
     """The scalar-provider broadcast form (RIA/SSPA rows) == the loop
     restricted to that provider, per provider."""
@@ -116,7 +124,7 @@ def _ssp_trace(net, backend):
     gamma = net.gamma
     guard = 0
     while net.matched < gamma:
-        state = BACKENDS[backend].dijkstra(net)
+        state = ALL_BACKENDS[backend].dijkstra(net)
         if not state.run():
             break  # Esub may not support a full matching; fine
         trace.append(
@@ -142,7 +150,7 @@ def test_bulk_vs_loop_heap_sequences_and_matchings(data, triples):
     both backends (the dict loop is the specification)."""
     caps, weights = data
     traces = {}
-    for backend in sorted(BACKENDS):
+    for backend in sorted(ALL_BACKENDS):
         loop_net, _ = _build_loop(backend, caps, weights, triples)
         bulk_net, _ = _build_bulk_columns(backend, caps, weights, triples)
         traces[(backend, "loop")] = _ssp_trace(loop_net, backend)
@@ -157,8 +165,8 @@ def test_ragged_columns_raise_on_both_backends():
     silently zip-truncating on one backend only."""
     import pytest
 
-    for backend in sorted(BACKENDS):
-        net = BACKENDS[backend].network([2, 2], [1, 1, 1])
+    for backend in sorted(ALL_BACKENDS):
+        net = ALL_BACKENDS[backend].network([2, 2], [1, 1, 1])
         with pytest.raises(ValueError):
             net.add_edges(0, [0, 1, 2], [1.0, 2.0])
         with pytest.raises(ValueError):
@@ -189,7 +197,7 @@ def test_fused_supply_identical_across_backend_axes(data, method):
     if sum(caps) == 0:
         caps[0] = 1
     reference = None
-    for flow in ("dict", "array"):
+    for flow in ("dict", "array", ALL_BACKENDS["numba"]):
         for index in ("pointer", "packed"):
             problem = CCAProblem.from_arrays(q_xy, caps, p_xy)
             m = solve(problem, method, backend=flow, index_backend=index)

@@ -42,8 +42,19 @@ def test_committed_reports_satisfy_schema_and_merge(tmp_path):
     assert all(
         v >= 1.0 for v in kernel["end_to_end_per_point"].values()
     )
+    # The numba block is always folded — either measured metrics or a
+    # recorded skip reason, so the trajectory shows *why* the compiled
+    # column is absent on a numba-free runner.
+    numba = trajectory["benches"]["kernel"]["numba"]
+    if numba["status"] == "ok":
+        assert numba["vs_array_geomean"] > 0.0
+    else:
+        assert numba["status"] == "skipped"
+        assert numba["reason"]
     shard = trajectory["benches"]["shard"]
     assert shard["gates"]["provider_disjoint_exactness"] == "pass"
+    assert shard["cpu_count"] >= 1
+    assert shard["metrics"]["scaling_efficiency_geomean"] > 0.0
 
 
 def test_schema_violations_fail(tmp_path):
