@@ -1,8 +1,8 @@
 """Merge the per-seam BENCH_*.json reports into one trajectory artifact.
 
-Each benchmark (flow kernel, spatial index, sharded engine) writes its
-own JSON; comparing performance *across PRs* means diffing three files
-with three shapes.  This script validates each report against a small
+Each benchmark (flow kernel, spatial index, sharded engine, serving
+layer) writes its own JSON; comparing performance *across PRs* means
+diffing four files with four shapes.  This script validates each report against a small
 schema (so a bench refactor that silently drops a headline metric fails
 loudly in CI) and folds the headline numbers into a single
 ``BENCH_trajectory.json``, which the nightly workflow uploads as an
@@ -12,8 +12,8 @@ Usage::
 
     python scripts/bench_trajectory.py \
         [--kernel BENCH_kernel.json] [--index BENCH_index.json] \
-        [--shard BENCH_shard.json] [--out BENCH_trajectory.json] \
-        [--allow-missing]
+        [--shard BENCH_shard.json] [--serve BENCH_serve.json] \
+        [--out BENCH_trajectory.json] [--allow-missing]
 
 Exit status is non-zero when a required input is missing or fails its
 schema check.
@@ -69,6 +69,21 @@ SCHEMAS = {
         "provider_disjoint_exactness": dict,
         "concise_vs_sa": dict,
     },
+    "serve": {
+        "workload": str,
+        "scale": _NUM,
+        "seed": int,
+        "events": int,
+        "shards": int,
+        "cpu_count": int,
+        "profiles": list,
+        "per_profile": list,
+        "latency_p50_ms": _NUM,
+        "latency_p99_ms": _NUM,
+        "events_per_sec": _NUM,
+        "warm_rate": _NUM,
+        "bit_identity": dict,
+    },
 }
 
 # What each bench contributes to the trajectory's flat metric dict.
@@ -85,6 +100,12 @@ HEADLINES = {
         "speedup_geomean",
         "scaling_efficiency_geomean",
         "cost_ratio_worst",
+    ),
+    "serve": (
+        "latency_p50_ms",
+        "latency_p99_ms",
+        "events_per_sec",
+        "warm_rate",
     ),
 }
 
@@ -154,6 +175,20 @@ def fold(name: str, path: str, report: dict) -> dict:
             ),
             "concise_vs_sa": report["concise_vs_sa"]["status"],
         }
+    if name == "serve":
+        entry["cpu_count"] = report["cpu_count"]
+        entry["shards"] = report["shards"]
+        entry["metrics"]["per_profile"] = {
+            row["profile"]: {
+                "latency_p50_ms": row["latency_p50_ms"],
+                "latency_p99_ms": row["latency_p99_ms"],
+                "events_per_sec": row["events_per_sec"],
+            }
+            for row in report["per_profile"]
+        }
+        entry["gates"] = {
+            "bit_identity": report["bit_identity"]["status"],
+        }
     return entry
 
 
@@ -162,6 +197,7 @@ def main(argv=None):
     parser.add_argument("--kernel", default="BENCH_kernel.json")
     parser.add_argument("--index", default="BENCH_index.json")
     parser.add_argument("--shard", default="BENCH_shard.json")
+    parser.add_argument("--serve", default="BENCH_serve.json")
     parser.add_argument("--out", default="BENCH_trajectory.json")
     parser.add_argument(
         "--allow-missing",
@@ -174,6 +210,7 @@ def main(argv=None):
         "kernel": args.kernel,
         "index": args.index,
         "shard": args.shard,
+        "serve": args.serve,
     }
     benches = {}
     problems = []

@@ -6,6 +6,7 @@ Examples::
     repro-cca table2
     repro-cca figure fig9 --scale 0.05 --seed 0
     repro-cca solve --nq 50 --np 5000 --k 80 --method ida
+    repro-cca serve --nq 50 --np 5000 --events 200 --shards 4
     repro-cca index-info --np 5000 --index-backend packed
     repro-cca generate --n 1000 --distribution clustered --out points.csv
 """
@@ -20,6 +21,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.shard import ROUTERS
+from repro.datagen.events import PROFILES as EVENT_PROFILES
 from repro.datagen.generator import generate_points
 from repro.datagen.network import build_road_network
 from repro.datagen.workloads import make_problem
@@ -173,8 +175,14 @@ def _cmd_profile(args) -> int:
         index_backend=args.index_backend,
         ann_group_size=args.ann_group_size,
     )
+    ran = backend.name
+    if ran != args.backend:
+        # The numba->array fallback emits a RuntimeWarning, but a profile
+        # is exactly where silently reading the wrong backend's numbers
+        # hurts — say which kernel actually produced them.
+        ran = f"{ran} (requested {args.backend!r}, ran {ran!r})"
     print(
-        f"method={args.method} backend={backend.name} "
+        f"method={args.method} backend={ran} "
         f"index={args.index_backend} |Q|={args.nq} |P|={args.np} "
         f"k={args.k} gamma={result.gamma}"
     )
@@ -215,6 +223,97 @@ def _cmd_profile(args) -> int:
         print(f"  {stage:<{width}}  {seconds:8.3f}s  {share:5.1f}%")
     share = 100.0 * other / total_s if total_s else 0.0
     print(f"  {'other':<{width}}  {other:8.3f}s  {share:5.1f}%")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Replay a seeded event stream against warm shard sessions and
+    report per-delta latency, throughput, and the warm/cold ledger."""
+    from repro.datagen.events import (
+        EventStreamSpec,
+        generate_events,
+        summarize_events,
+    )
+    from repro.serve.engine import OnlineAssignmentService
+
+    problem = make_problem(
+        nq=args.nq,
+        np_=args.np,
+        k=args.k,
+        dist_q=args.dist_q,
+        dist_p=args.dist_p,
+        seed=args.seed,
+    )
+    spec = EventStreamSpec(
+        n_events=args.events, profile=args.profile, rate=args.rate
+    )
+    events = generate_events(problem, spec, seed=args.stream_seed)
+    stream = summarize_events(events)
+    service = OnlineAssignmentService(
+        problem,
+        shards=args.shards,
+        backend=args.backend,
+        index_backend=args.index_backend,
+        reconcile_every=args.reconcile_every,
+    )
+    stats = service.run(events, window=args.window)
+    summary = stats.summary()
+    print(
+        f"profile={args.profile} |Q|={args.nq} |P|={args.np} k={args.k} "
+        f"shards={args.shards} backend={service.backend.name} "
+        f"index={service.index_backend.name}"
+    )
+    print(
+        f"stream: {stream.arrivals} arrivals, {stream.departures} "
+        f"departures, {stream.capacity_changes} capacity changes over "
+        f"{stream.duration:.2f} stream-time units "
+        f"(window={args.window} -> {stats.groups} delta groups)"
+    )
+    print(
+        f"latency: p50={summary['latency_p50_ms']:.1f}ms "
+        f"p99={summary['latency_p99_ms']:.1f}ms  "
+        f"throughput: {summary['events_per_sec']:.0f} events/sec "
+        f"(startup cold solve {stats.startup_s:.3f}s, reported apart)"
+    )
+    print(
+        f"assigns: {stats.assigns} ({stats.warm_assigns} warm / "
+        f"{stats.cold_assigns} cold; {stats.hazard_colds} hazard, "
+        f"{stats.repair_fallbacks} mid-assign repair fallbacks), "
+        f"warm rate {summary['warm_rate']:.2f}, "
+        f"{stats.rejected} events rejected"
+    )
+    if args.shards > 1:
+        print(
+            f"reconcile: {stats.reconcile_passes} passes, "
+            f"{stats.reconcile_moves} session moves, "
+            f"{stats.reconcile_rebalanced} unmatched rebalanced "
+            f"({stats.reconcile_s:.3f}s total)"
+        )
+    if args.verify:
+        report = service.verify_against_cold()
+        if args.shards > 1:
+            # Sharded matchings are boundary-approximate by design; the
+            # bit-identity contract holds at shards=1.  Report quality
+            # against the cold optimum instead of pass/fail.
+            ratio = report["live_cost"] / max(report["cold_cost"], 1e-12)
+            print(
+                f"verify vs cold solve of final state: sharded run — "
+                f"live {report['live_size']} pairs / cost "
+                f"{report['live_cost']:.2f} vs optimal "
+                f"{report['cold_size']} pairs / cost "
+                f"{report['cold_cost']:.2f} (ratio {ratio:.4f}; "
+                f"bit-identity is the shards=1 contract)"
+            )
+            return 0
+        verdict = "bit-identical" if report["identical"] else "DIVERGED"
+        print(
+            f"verify vs cold solve of final state: {verdict} "
+            f"(live {report['live_size']} pairs / cost "
+            f"{report['live_cost']:.2f}, cold {report['cold_size']} "
+            f"pairs / cost {report['cold_cost']:.2f})"
+        )
+        if not report["identical"]:
+            return 1
     return 0
 
 
@@ -402,6 +501,75 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--dist-p", type=str, default="clustered")
     prof.add_argument("--seed", type=int, default=0)
     prof.set_defaults(func=_cmd_profile)
+
+    srv = sub.add_parser(
+        "serve",
+        help="replay a seeded event stream against warm shard sessions "
+             "(online assignment service)",
+    )
+    srv.add_argument("--nq", type=int, default=50)
+    srv.add_argument("--np", type=int, default=5000)
+    srv.add_argument("--k", type=int, default=80)
+    srv.add_argument(
+        "--events", type=int, default=200,
+        help="stream length (default %(default)s)",
+    )
+    srv.add_argument(
+        "--profile",
+        type=str,
+        default="steady",
+        choices=sorted(EVENT_PROFILES),
+        help="arrival-rate profile: constant-rate 'steady', on/off "
+             "'burst', sinusoidal 'diurnal' (default %(default)s)",
+    )
+    srv.add_argument(
+        "--rate", type=float, default=40.0,
+        help="mean stream intensity, events per stream-time unit "
+             "(default %(default)s)",
+    )
+    srv.add_argument(
+        "--window", type=float, default=0.25,
+        help="batching window in stream-time units; events closer "
+             "together land in one delta group (default %(default)s)",
+    )
+    srv.add_argument(
+        "--shards", type=int, default=1,
+        help="provider-disjoint shards, each holding one warm session "
+             "(default %(default)s; >1 adds periodic reconciliation)",
+    )
+    srv.add_argument(
+        "--reconcile-every", type=int, default=8,
+        help="reconcile boundaries after every N delta groups when "
+             "sharded (default %(default)s)",
+    )
+    srv.add_argument(
+        "--backend",
+        type=str,
+        default="array",
+        choices=sorted(BACKEND_CHOICES),
+        help="flow-kernel backend for the warm sessions (default "
+             "%(default)s)",
+    )
+    srv.add_argument(
+        "--index-backend",
+        type=str,
+        default="pointer",
+        choices=sorted(INDEX_BACKENDS),
+        help="spatial-index backend (default %(default)s)",
+    )
+    srv.add_argument(
+        "--verify",
+        action="store_true",
+        help="after replay, check the live matching is bit-identical to "
+             "a cold solve of the final state (exit 1 on divergence)",
+    )
+    srv.add_argument("--dist-q", type=str, default="clustered")
+    srv.add_argument("--dist-p", type=str, default="clustered")
+    srv.add_argument("--seed", type=int, default=0,
+                     help="problem-instance seed")
+    srv.add_argument("--stream-seed", type=int, default=0,
+                     help="event-stream seed (independent of --seed)")
+    srv.set_defaults(func=_cmd_serve)
 
     idx = sub.add_parser(
         "index-info",

@@ -207,6 +207,13 @@ class Matcher:
         return self._last_matching
 
     @property
+    def is_warm(self) -> bool:
+        """Whether the next :meth:`assign` may resume from the live
+        residual state (False before the first solve, and after a delta
+        whose hazard check scheduled a cold re-solve)."""
+        return self.net is not None and not self._needs_cold
+
+    @property
     def gamma(self) -> int:
         return self.problem.gamma
 

@@ -1153,6 +1153,13 @@ def solve_sharded(
     return matching
 
 
+# Public names for the reconciliation machinery: the serving layer
+# (repro.serve.engine) runs the same candidate search and accept-or-revert
+# mover against its long-lived shard sessions between delta groups.
+move_candidates = _move_candidates
+SessionMover = _SessionMover
+
+
 def _check_plan(plan: ShardPlan, problem: CCAProblem) -> None:
     seen: Dict[int, int] = {}
     for spec in plan.shards:

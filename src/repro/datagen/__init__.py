@@ -15,6 +15,15 @@ derived with SeedSequence (:func:`~repro.datagen.generator.derive_rng`,
 so generation is deterministic per call and safe under multiprocessing.
 """
 
+from repro.datagen.events import (
+    EVENT_KINDS,
+    PROFILES,
+    Event,
+    EventStreamSpec,
+    generate_events,
+    group_events,
+    summarize_events,
+)
 from repro.datagen.generator import (
     clustered_points,
     derive_rng,
@@ -32,6 +41,13 @@ from repro.datagen.workloads import (
 )
 
 __all__ = [
+    "Event",
+    "EventStreamSpec",
+    "EVENT_KINDS",
+    "PROFILES",
+    "generate_events",
+    "group_events",
+    "summarize_events",
     "RoadNetwork",
     "build_road_network",
     "generate_points",

@@ -1,0 +1,283 @@
+"""Seeded event-stream workloads for the online assignment service.
+
+The paper's solvers are batch algorithms; the serving layer
+(:mod:`repro.serve`) replays *streams* of timestamped deltas against
+long-lived warm sessions instead.  This module generates those streams —
+customer arrivals and departures plus provider capacity churn — as a pure
+function of ``(problem, spec, seed)``:
+
+* **Arrival times** follow a non-homogeneous Poisson process thinned
+  against one of three rate profiles (``steady`` — constant λ;
+  ``burst`` — a constant base with periodic multiplicative bursts;
+  ``diurnal`` — a sinusoidal day/night swing).  Thinning draws only from
+  the explicit :class:`numpy.random.Generator`, so streams are
+  deterministic and process-safe exactly like the rest of ``datagen``
+  (see :func:`repro.datagen.generator.derive_rng`).
+* **Event kinds** are mixed by configurable probabilities.  Departures
+  always reference a customer that is live *at that point of the stream*
+  (a base customer of the seeding problem or an earlier arrival that has
+  not departed), so every generated stream replays cleanly.
+* **Arrival placement** mirrors the Section 5.1 workloads: a configurable
+  fraction of arrivals lands Gaussian-spread around a random provider
+  (demand clusters where supply is), the rest uniform in the instance's
+  world MBR.
+
+Customer references use one shared id space with the serving engine:
+refs ``0 .. |P|-1`` are the seeding problem's customers, and the ``i``-th
+arrival of the stream gets ref ``|P| + i`` — the exact positional ids the
+engine (and a cold re-solve of the final state) assigns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.problem import CCAProblem
+from repro.datagen.generator import derive_rng
+
+PROFILES = ("steady", "burst", "diurnal")
+EVENT_KINDS = ("arrive", "depart", "capacity")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped delta against the live instance.
+
+    ``kind`` selects which optional fields are meaningful:
+
+    * ``"arrive"`` — ``xy`` (coordinates) and ``weight``; ``ref`` is the
+      customer id the arrival will occupy (positional, see module doc).
+    * ``"depart"`` — ``ref`` names the departing customer.
+    * ``"capacity"`` — ``provider_id`` and the new ``capacity``.
+    """
+
+    seq: int
+    time: float
+    kind: str
+    xy: Optional[Tuple[float, float]] = None
+    ref: Optional[int] = None
+    provider_id: Optional[int] = None
+    capacity: Optional[int] = None
+    weight: int = 1
+
+
+@dataclass(frozen=True)
+class EventStreamSpec:
+    """Shape of a generated stream (everything but the seed).
+
+    ``rate`` is the *mean* arrival-process intensity in events per time
+    unit; the profile modulates the instantaneous rate around it.  The
+    kind mix is ``p_depart`` / ``p_capacity`` with the remainder
+    arrivals; departures fall through to arrivals while no customer is
+    live, so short streams stay well-formed.
+    """
+
+    n_events: int = 1000
+    profile: str = "steady"
+    rate: float = 50.0
+    p_depart: float = 0.25
+    p_capacity: float = 0.05
+    # burst profile: lambda(t) = rate * burst_factor inside the first
+    # burst_width of every burst_period, rate outside.
+    burst_factor: float = 4.0
+    burst_period: float = 10.0
+    burst_width: float = 2.0
+    # diurnal profile: lambda(t) = rate * (1 + diurnal_amplitude *
+    # sin(2 pi t / diurnal_period)), clipped at >= 5% of rate.
+    diurnal_amplitude: float = 0.8
+    diurnal_period: float = 40.0
+    # arrival placement: cluster_fraction lands Gaussian(sigma) around a
+    # random provider, the rest uniform in the world MBR.
+    cluster_fraction: float = 0.8
+    cluster_sigma: float = 25.0
+    # capacity churn draws the new capacity uniformly from
+    # [k * cap_lo_factor, k * cap_hi_factor] of the provider's *initial*
+    # capacity (floors at 0); factors straddling 1.0 exercise both the
+    # warm widening path and the cold decrease-below-usage fallback.
+    cap_lo_factor: float = 0.5
+    cap_hi_factor: float = 1.5
+
+    def __post_init__(self):
+        if self.n_events < 0:
+            raise ValueError("n_events must be non-negative")
+        if self.profile not in PROFILES:
+            raise ValueError(
+                f"unknown profile {self.profile!r}; expected one of "
+                f"{PROFILES}"
+            )
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.p_depart < 0 or self.p_capacity < 0 or (
+            self.p_depart + self.p_capacity > 1.0
+        ):
+            raise ValueError(
+                "p_depart and p_capacity must be non-negative and sum "
+                "to at most 1"
+            )
+        if not 0.0 <= self.cluster_fraction <= 1.0:
+            raise ValueError("cluster_fraction must lie in [0, 1]")
+        if self.cap_lo_factor < 0 or self.cap_hi_factor < self.cap_lo_factor:
+            raise ValueError(
+                "capacity factors must satisfy 0 <= lo <= hi"
+            )
+
+
+def rate_at(spec: EventStreamSpec, t: float) -> float:
+    """Instantaneous event rate lambda(t) of the spec's profile."""
+    if spec.profile == "steady":
+        return spec.rate
+    if spec.profile == "burst":
+        if (t % spec.burst_period) < spec.burst_width:
+            return spec.rate * spec.burst_factor
+        return spec.rate
+    # diurnal
+    swing = 1.0 + spec.diurnal_amplitude * math.sin(
+        2.0 * math.pi * t / spec.diurnal_period
+    )
+    return max(spec.rate * 0.05, spec.rate * swing)
+
+
+def _rate_ceiling(spec: EventStreamSpec) -> float:
+    """A tight upper bound on lambda(t) for Poisson thinning."""
+    if spec.profile == "steady":
+        return spec.rate
+    if spec.profile == "burst":
+        return spec.rate * max(1.0, spec.burst_factor)
+    return spec.rate * (1.0 + abs(spec.diurnal_amplitude))
+
+
+def generate_events(
+    problem: CCAProblem,
+    spec: EventStreamSpec,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Event]:
+    """Generate a replayable event stream against ``problem``.
+
+    Deterministic: with ``rng=None`` the stream is a pure function of the
+    problem's provider/customer layout, the spec, and ``seed`` (via
+    :func:`~repro.datagen.generator.derive_rng`), bit-identical in any
+    process.  Pass an explicit ``rng`` to thread your own stream.
+    """
+    if rng is None:
+        rng = derive_rng(seed, "events", spec.profile)
+    qxy = np.array(
+        [q.point.coords for q in problem.providers], dtype=float
+    ).reshape(len(problem.providers), 2)
+    base_caps = [q.capacity for q in problem.providers]
+    world = problem.world_mbr()
+    lo = np.asarray(world.lo, dtype=float)
+    hi = np.asarray(world.hi, dtype=float)
+
+    # Live customer refs: base customers first, arrivals appended.  A
+    # Python list keeps the uniform "pick a live customer" draw stable
+    # (index into the list) and removal cheap via swap-with-last.
+    live: List[int] = [
+        j for j, p in enumerate(problem.customers) if p.weight > 0
+    ]
+    next_ref = len(problem.customers)
+
+    lam_max = _rate_ceiling(spec)
+    events: List[Event] = []
+    t = 0.0
+    while len(events) < spec.n_events:
+        # Thinned non-homogeneous Poisson: candidate points at the
+        # ceiling rate, accepted with probability lambda(t)/lam_max.
+        t += rng.exponential(1.0 / lam_max)
+        if rng.random() > rate_at(spec, t) / lam_max:
+            continue
+        u = rng.random()
+        seq = len(events)
+        if u < spec.p_depart and live:
+            idx = int(rng.integers(0, len(live)))
+            ref = live[idx]
+            live[idx] = live[-1]
+            live.pop()
+            events.append(Event(seq=seq, time=t, kind="depart", ref=ref))
+        elif u < spec.p_depart + spec.p_capacity and len(qxy):
+            i = int(rng.integers(0, len(qxy)))
+            k0 = base_caps[i]
+            cap_lo = int(math.floor(k0 * spec.cap_lo_factor))
+            cap_hi = max(cap_lo, int(math.ceil(k0 * spec.cap_hi_factor)))
+            capacity = int(rng.integers(cap_lo, cap_hi + 1))
+            events.append(
+                Event(
+                    seq=seq,
+                    time=t,
+                    kind="capacity",
+                    provider_id=i,
+                    capacity=capacity,
+                )
+            )
+        else:
+            if len(qxy) and rng.random() < spec.cluster_fraction:
+                center = qxy[int(rng.integers(0, len(qxy)))]
+                xy = center + rng.normal(0.0, spec.cluster_sigma, 2)
+            else:
+                xy = lo + rng.random(2) * (hi - lo)
+            events.append(
+                Event(
+                    seq=seq,
+                    time=t,
+                    kind="arrive",
+                    xy=(float(xy[0]), float(xy[1])),
+                    ref=next_ref,
+                )
+            )
+            live.append(next_ref)
+            next_ref += 1
+    return events
+
+
+def group_events(
+    events: List[Event], window: float
+) -> List[List[Event]]:
+    """Coalesce a stream into delta groups under a batching window.
+
+    Events within ``window`` time units of the group's first event join
+    that group (the serving engine applies a group's deltas together and
+    re-assigns each touched shard once).  ``window <= 0`` degenerates to
+    one event per group.  Order is preserved exactly.
+    """
+    groups: List[List[Event]] = []
+    current: List[Event] = []
+    start = 0.0
+    for event in events:
+        if current and (window <= 0 or event.time >= start + window):
+            groups.append(current)
+            current = []
+        if not current:
+            start = event.time
+        current.append(event)
+    if current:
+        groups.append(current)
+    return groups
+
+
+@dataclass
+class StreamSummary:
+    """Kind counts of a stream (handy for tests and bench reports)."""
+
+    arrivals: int = 0
+    departures: int = 0
+    capacity_changes: int = 0
+    duration: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+
+def summarize_events(events: List[Event]) -> StreamSummary:
+    summary = StreamSummary()
+    for event in events:
+        if event.kind == "arrive":
+            summary.arrivals += 1
+        elif event.kind == "depart":
+            summary.departures += 1
+        else:
+            summary.capacity_changes += 1
+    if events:
+        summary.duration = events[-1].time - events[0].time
+    return summary

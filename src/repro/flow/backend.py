@@ -108,9 +108,11 @@ def get_backend(backend: BackendLike = DEFAULT_BACKEND) -> FlowBackend:
     except (KeyError, TypeError):
         if backend == "numba":
             warnings.warn(
-                "flow backend 'numba' requires the optional numba "
-                "dependency (pip install repro-cca[perf]); falling back "
-                "to the 'array' backend",
+                "flow backend 'numba' requires the optional 'perf' extra "
+                "(pip install .[perf] from a checkout, or "
+                "pip install repro-cca[perf]); falling back to the "
+                "interpreted 'array' backend — identical results, slower "
+                "inner loop",
                 RuntimeWarning,
                 stacklevel=2,
             )

@@ -1,0 +1,37 @@
+"""The online assignment service (serving layer).
+
+Batch CCA solvers answer "match everything now"; a dispatch-style service
+answers "a customer just arrived — who serves them?" thousands of times a
+minute.  This package wires the two halves the repository already has —
+warm-start :class:`~repro.core.session.Matcher` sessions (PR 1) and the
+provider-disjoint shard decomposition (PR 2) — into a long-running
+engine:
+
+* :mod:`repro.serve.engine` — :class:`OnlineAssignmentService`: keeps one
+  warm session per shard alive, routes each event of a stream
+  (:mod:`repro.datagen.events`) to its shard, applies batched delta
+  groups, runs periodic boundary reconciliation, and certifies every
+  fallback to a cold solve.
+* :mod:`repro.serve.async_front` — :class:`AsyncAssignmentFrontend`: an
+  asyncio front end that coalesces concurrent requests into delta groups
+  under a batching window and resolves each request with its assignment.
+
+See ``docs/SERVING.md`` for the operator-facing guide and
+``docs/ARCHITECTURE.md`` for where this layer sits in the system.
+"""
+
+from repro.serve.async_front import AsyncAssignmentFrontend
+from repro.serve.engine import (
+    EventOutcome,
+    GroupResult,
+    OnlineAssignmentService,
+    ServeStats,
+)
+
+__all__ = [
+    "OnlineAssignmentService",
+    "AsyncAssignmentFrontend",
+    "EventOutcome",
+    "GroupResult",
+    "ServeStats",
+]

@@ -1,0 +1,187 @@
+"""Asyncio front end: concurrent requests coalesced into delta groups.
+
+The engine (:mod:`repro.serve.engine`) is synchronous and fastest when
+deltas arrive in groups — one warm re-assign per touched shard amortizes
+across every delta in the group.  :class:`AsyncAssignmentFrontend` turns
+that batch-shaped core into a request/response service:
+
+* each ``await front.arrive(xy)`` / ``depart(id)`` / ``set_capacity(...)``
+  enqueues one event and parks the caller on a future;
+* pending events flush as one delta group when either the **batching
+  window** (``window_s`` after the group's first event) elapses or the
+  group reaches ``max_batch`` events;
+* the group runs in a single worker thread (the engine is not
+  thread-safe; one thread serializes it without blocking the event
+  loop), and every parked caller is resolved with its own
+  :class:`~repro.serve.engine.EventOutcome` — arrivals learn their
+  provider and distance.
+
+The window is the latency/throughput dial: ``0`` flushes every request
+alone (lowest latency, most re-solves), larger windows raise per-request
+latency by at most ``window_s`` while letting one warm re-solve serve
+many requests.  ``docs/SERVING.md`` discusses how to pick it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.datagen.events import Event
+from repro.serve.engine import (
+    EventOutcome,
+    GroupResult,
+    OnlineAssignmentService,
+)
+
+
+class AsyncAssignmentFrontend:
+    """Coalesce concurrent asyncio requests into engine delta groups.
+
+    Parameters
+    ----------
+    service:
+        The engine to drive.  The frontend owns its execution: all
+        ``apply`` calls go through one single-thread executor.
+    window_s:
+        Batching window in seconds — a group flushes this long after its
+        first pending event (0 flushes immediately after every submit).
+    max_batch:
+        Hard group-size cap; a full group flushes without waiting.
+    """
+
+    def __init__(
+        self,
+        service: OnlineAssignmentService,
+        *,
+        window_s: float = 0.005,
+        max_batch: int = 256,
+    ):
+        if window_s < 0:
+            raise ValueError("window_s must be non-negative")
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.service = service
+        self.window_s = float(window_s)
+        self.max_batch = int(max_batch)
+        self._pending: List[Tuple[Event, asyncio.Future]] = []
+        self._timer: Optional[asyncio.Task] = None
+        self._flush_lock = asyncio.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-engine"
+        )
+        self._seq = 0
+        self._t0: Optional[float] = None
+        self._closed = False
+        self.requests = 0
+        self.groups_flushed = 0
+
+    # ------------------------------------------------------------------
+    # request API
+    # ------------------------------------------------------------------
+    async def arrive(
+        self, xy: Sequence[float], weight: int = 1
+    ) -> EventOutcome:
+        """A customer arrives; resolves with its assignment (provider and
+        distance when matched, ``provider_id=None`` when capacity ran
+        out)."""
+        return await self.submit(
+            self._event(
+                "arrive",
+                xy=(float(xy[0]), float(xy[1])),
+                weight=int(weight),
+            )
+        )
+
+    async def depart(self, customer_id: int) -> EventOutcome:
+        """A customer leaves; their matched units are released."""
+        return await self.submit(self._event("depart", ref=int(customer_id)))
+
+    async def set_capacity(
+        self, provider_id: int, capacity: int
+    ) -> EventOutcome:
+        """A provider's capacity changes."""
+        return await self.submit(
+            self._event(
+                "capacity",
+                provider_id=int(provider_id),
+                capacity=int(capacity),
+            )
+        )
+
+    async def submit(self, event: Event) -> EventOutcome:
+        """Enqueue one event; resolves when its delta group is applied."""
+        if self._closed:
+            raise RuntimeError("frontend is closed")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((event, future))
+        self.requests += 1
+        if len(self._pending) >= self.max_batch or self.window_s == 0:
+            await self._flush()
+        elif self._timer is None or self._timer.done():
+            self._timer = asyncio.create_task(self._flush_after())
+        return await future
+
+    async def aclose(self) -> None:
+        """Flush anything pending and release the worker thread."""
+        self._closed = True
+        if self._timer is not None and not self._timer.done():
+            self._timer.cancel()
+        await self._flush()
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AsyncAssignmentFrontend":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _event(self, kind: str, **fields) -> Event:
+        loop = asyncio.get_running_loop()
+        if self._t0 is None:
+            self._t0 = loop.time()
+        seq = self._seq
+        self._seq += 1
+        return Event(
+            seq=seq, time=loop.time() - self._t0, kind=kind, **fields
+        )
+
+    async def _flush_after(self) -> None:
+        try:
+            await asyncio.sleep(self.window_s)
+        except asyncio.CancelledError:
+            return  # a size-triggered flush already took the batch
+        await self._flush()
+
+    async def _flush(self) -> None:
+        async with self._flush_lock:
+            batch = self._pending
+            self._pending = []
+            if not batch:
+                return
+            if (
+                self._timer is not None
+                and not self._timer.done()
+                and asyncio.current_task() is not self._timer
+            ):
+                self._timer.cancel()
+            events = [event for event, _ in batch]
+            loop = asyncio.get_running_loop()
+            try:
+                result: GroupResult = await loop.run_in_executor(
+                    self._executor, self.service.apply, events
+                )
+            except Exception as exc:  # engine refused the group
+                for _, future in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                return
+            self.groups_flushed += 1
+            for (_, future), outcome in zip(batch, result.outcomes):
+                if not future.done():
+                    future.set_result(outcome)

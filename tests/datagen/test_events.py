@@ -1,0 +1,203 @@
+"""Event-stream generator: determinism, well-formedness, grouping.
+
+Streams feed the serving layer, so the contracts here are load-bearing:
+the same ``(problem, spec, seed)`` must give bit-identical streams in any
+process (subprocess replay = parent replay), every departure must name a
+customer that is live at that point of the stream, and arrival refs must
+be the exact positional ids the engine will assign.
+"""
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.datagen.events import (
+    EVENT_KINDS,
+    PROFILES,
+    Event,
+    EventStreamSpec,
+    _rate_ceiling,
+    generate_events,
+    group_events,
+    rate_at,
+    summarize_events,
+)
+from repro.datagen.workloads import make_problem
+
+
+def _stream_fingerprint(args):
+    seed, profile = args
+    problem = make_problem(nq=5, np_=40, k=10, seed=2, network_grid=8)
+    spec = EventStreamSpec(n_events=60, profile=profile, rate=20.0)
+    return [
+        (e.seq, e.time, e.kind, e.xy, e.ref, e.provider_id, e.capacity)
+        for e in generate_events(problem, spec, seed=seed)
+    ]
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_problem(nq=5, np_=40, k=10, seed=2, network_grid=8)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self, problem):
+        spec = EventStreamSpec(n_events=80, rate=25.0)
+        a = generate_events(problem, spec, seed=4)
+        b = generate_events(problem, spec, seed=4)
+        assert a == b  # frozen dataclasses compare field-wise
+
+    def test_different_seeds_differ(self, problem):
+        spec = EventStreamSpec(n_events=80, rate=25.0)
+        assert generate_events(problem, spec, seed=4) != generate_events(
+            problem, spec, seed=5
+        )
+
+    def test_profiles_draw_distinct_streams(self, problem):
+        spec = {
+            p: EventStreamSpec(n_events=40, profile=p)
+            for p in PROFILES
+        }
+        streams = {
+            p: generate_events(problem, spec[p], seed=1) for p in PROFILES
+        }
+        assert streams["steady"] != streams["burst"]
+        assert streams["steady"] != streams["diurnal"]
+
+    def test_identical_across_spawned_processes(self):
+        jobs = [(0, "steady"), (3, "burst"), (7, "diurnal")]
+        parent = [_stream_fingerprint(j) for j in jobs]
+        with ProcessPoolExecutor(
+            max_workers=2,
+            mp_context=multiprocessing.get_context("spawn"),
+        ) as pool:
+            children = list(pool.map(_stream_fingerprint, jobs))
+        assert parent == children
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_replays_cleanly(self, problem, profile):
+        """Departures only ever name live customers; arrival refs are the
+        positional ids a replay assigns."""
+        spec = EventStreamSpec(
+            n_events=150, profile=profile, rate=30.0, p_depart=0.4
+        )
+        events = generate_events(problem, spec, seed=9)
+        live = {
+            j for j, p in enumerate(problem.customers) if p.weight > 0
+        }
+        next_ref = len(problem.customers)
+        for event in events:
+            assert event.kind in EVENT_KINDS
+            if event.kind == "arrive":
+                assert event.ref == next_ref
+                assert event.xy is not None
+                live.add(next_ref)
+                next_ref += 1
+            elif event.kind == "depart":
+                assert event.ref in live
+                live.remove(event.ref)
+            else:
+                assert 0 <= event.provider_id < len(problem.providers)
+                assert event.capacity >= 0
+
+    def test_times_strictly_increase(self, problem):
+        events = generate_events(
+            problem, EventStreamSpec(n_events=100), seed=0
+        )
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_requested_length(self, problem):
+        for n in (0, 1, 17):
+            spec = EventStreamSpec(n_events=n)
+            assert len(generate_events(problem, spec, seed=0)) == n
+
+    def test_summary_counts(self, problem):
+        events = generate_events(
+            problem, EventStreamSpec(n_events=90), seed=3
+        )
+        summary = summarize_events(events)
+        assert (
+            summary.arrivals
+            + summary.departures
+            + summary.capacity_changes
+            == 90
+        )
+        assert summary.duration >= 0
+
+
+class TestRateProfiles:
+    def test_burst_rate_alternates(self):
+        spec = EventStreamSpec(
+            profile="burst", rate=10.0, burst_factor=3.0,
+            burst_period=10.0, burst_width=2.0,
+        )
+        assert rate_at(spec, 1.0) == 30.0  # inside the burst window
+        assert rate_at(spec, 5.0) == 10.0  # outside
+        assert rate_at(spec, 11.0) == 30.0  # periodic
+
+    def test_diurnal_stays_positive(self):
+        spec = EventStreamSpec(
+            profile="diurnal", rate=10.0, diurnal_amplitude=2.0
+        )
+        lows = [rate_at(spec, t / 10.0) for t in range(400)]
+        assert min(lows) >= 10.0 * 0.05
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_ceiling_dominates(self, profile):
+        spec = EventStreamSpec(profile=profile, rate=12.0)
+        ceiling = _rate_ceiling(spec)
+        assert all(
+            rate_at(spec, t / 7.0) <= ceiling + 1e-12 for t in range(500)
+        )
+
+
+class TestGrouping:
+    def _stream(self, times):
+        return [
+            Event(seq=i, time=t, kind="arrive", xy=(0.0, 0.0), ref=i)
+            for i, t in enumerate(times)
+        ]
+
+    def test_zero_window_one_event_per_group(self):
+        groups = group_events(self._stream([0.0, 0.1, 0.2]), 0.0)
+        assert [len(g) for g in groups] == [1, 1, 1]
+
+    def test_window_coalesces_from_first_event(self):
+        events = self._stream([0.0, 0.4, 0.9, 1.0, 2.5])
+        groups = group_events(events, 1.0)
+        assert [[e.seq for e in g] for g in groups] == [[0, 1, 2], [3], [4]]
+
+    def test_order_and_content_preserved(self):
+        events = self._stream([0.0, 0.1, 5.0, 5.1])
+        groups = group_events(events, 0.5)
+        assert [e for g in groups for e in g] == events
+
+    def test_empty_stream(self):
+        assert group_events([], 1.0) == []
+
+
+class TestSpecValidation:
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(ValueError):
+            EventStreamSpec(profile="weekly")
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            EventStreamSpec(p_depart=0.8, p_capacity=0.3)
+        with pytest.raises(ValueError):
+            EventStreamSpec(p_depart=-0.1)
+
+    def test_rejects_bad_rate_and_counts(self):
+        with pytest.raises(ValueError):
+            EventStreamSpec(rate=0.0)
+        with pytest.raises(ValueError):
+            EventStreamSpec(n_events=-1)
+
+    def test_rejects_bad_capacity_factors(self):
+        with pytest.raises(ValueError):
+            EventStreamSpec(cap_lo_factor=2.0, cap_hi_factor=1.0)

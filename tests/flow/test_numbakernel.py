@@ -78,9 +78,14 @@ def test_get_backend_numba_falls_back_with_warning():
             backend = get_backend("numba")
         assert backend.network_cls is NumbaFlowNetwork
     else:
-        with pytest.warns(RuntimeWarning, match="optional numba"):
+        with pytest.warns(
+            RuntimeWarning, match=r"pip install .*\[perf\]"
+        ) as caught:
             backend = get_backend("numba")
         assert backend is BACKENDS["array"]
+        # The warning must say what to install AND what actually runs.
+        message = str(caught[0].message)
+        assert "falling back" in message and "'array'" in message
 
 
 def test_slabs_track_random_mutation_sequences():

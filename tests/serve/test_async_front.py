@@ -1,0 +1,152 @@
+"""AsyncAssignmentFrontend: request coalescing and per-request results."""
+
+import asyncio
+
+import pytest
+
+from repro.datagen.workloads import make_problem
+from repro.serve.async_front import AsyncAssignmentFrontend
+from repro.serve.engine import OnlineAssignmentService
+
+
+def _service(**kwargs):
+    problem = make_problem(nq=8, np_=50, k=10, seed=3, network_grid=8)
+    kwargs.setdefault("backend", "array")
+    return OnlineAssignmentService(problem, **kwargs)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_concurrent_requests_share_a_group(self):
+        async def scenario():
+            service = _service()
+            async with AsyncAssignmentFrontend(
+                service, window_s=0.02, max_batch=64
+            ) as front:
+                outcomes = await asyncio.gather(
+                    *[front.arrive((50.0 * i, 100.0)) for i in range(8)]
+                )
+            return service, front, outcomes
+
+        service, front, outcomes = _run(scenario())
+        assert front.requests == 8
+        # All eight landed within one batching window -> one delta group,
+        # one warm re-assign, eight individual answers.
+        assert front.groups_flushed == 1
+        assert service.stats.groups == 1
+        assert [o.customer_id for o in outcomes] == list(
+            range(50, 58)
+        )
+        assert all(o.ok for o in outcomes)
+
+    def test_max_batch_flushes_early(self):
+        async def scenario():
+            service = _service()
+            async with AsyncAssignmentFrontend(
+                service, window_s=10.0, max_batch=3
+            ) as front:
+                await asyncio.gather(
+                    *[front.arrive((10.0 * i, 10.0)) for i in range(3)]
+                )
+                return front.groups_flushed
+
+        # A 10s window would stall forever; the size cap must flush.
+        assert _run(asyncio.wait_for(scenario(), timeout=5.0)) == 1
+
+    def test_zero_window_flushes_per_request(self):
+        async def scenario():
+            service = _service()
+            async with AsyncAssignmentFrontend(
+                service, window_s=0.0
+            ) as front:
+                for i in range(3):
+                    await front.arrive((10.0 * i, 20.0))
+            return service
+
+        service = _run(scenario())
+        assert service.stats.groups == 3
+
+    def test_requests_after_window_start_new_group(self):
+        async def scenario():
+            service = _service()
+            async with AsyncAssignmentFrontend(
+                service, window_s=0.01
+            ) as front:
+                await front.arrive((10.0, 10.0))
+                await asyncio.sleep(0.05)  # first window long gone
+                await front.arrive((20.0, 20.0))
+            return front
+
+        assert _run(scenario()).groups_flushed == 2
+
+
+class TestPerRequestResults:
+    def test_mixed_kinds_resolve_individually(self):
+        async def scenario():
+            service = _service()
+            async with AsyncAssignmentFrontend(
+                service, window_s=0.02, max_batch=16
+            ) as front:
+                arrive, depart, capacity, bad = await asyncio.gather(
+                    front.arrive((100.0, 100.0)),
+                    front.depart(0),
+                    front.set_capacity(2, 4),
+                    front.depart(99999),
+                )
+            return service, (arrive, depart, capacity, bad)
+
+        service, (arrive, depart, capacity, bad) = _run(scenario())
+        assert arrive.ok and arrive.kind == "arrive"
+        assert arrive.customer_id == 50
+        assert depart.ok and depart.customer_id == 0
+        assert capacity.ok and capacity.provider_id == 2
+        assert not bad.ok and "not live" not in ("",) and bad.detail
+        assert service.verify_against_cold()["identical"]
+
+    def test_matched_arrival_carries_provider_and_distance(self):
+        async def scenario():
+            service = _service()
+            q0 = service.problem.providers[0].point.coords
+            async with AsyncAssignmentFrontend(
+                service, window_s=0.0
+            ) as front:
+                return await front.arrive((q0[0] + 1.0, q0[1] + 1.0))
+
+        outcome = _run(scenario())
+        assert outcome.provider_id is not None
+        assert outcome.distance == pytest.approx(2.0 ** 0.5, rel=0.5)
+
+
+class TestLifecycle:
+    def test_close_flushes_pending(self):
+        async def scenario():
+            service = _service()
+            front = AsyncAssignmentFrontend(
+                service, window_s=30.0, max_batch=100
+            )
+            task = asyncio.create_task(front.arrive((50.0, 50.0)))
+            await asyncio.sleep(0.01)  # parked, window far away
+            await front.aclose()
+            return await task
+
+        outcome = _run(asyncio.wait_for(scenario(), timeout=5.0))
+        assert outcome.ok
+
+    def test_submit_after_close_raises(self):
+        async def scenario():
+            front = AsyncAssignmentFrontend(_service(), window_s=0.0)
+            await front.aclose()
+            with pytest.raises(RuntimeError, match="closed"):
+                await front.arrive((1.0, 1.0))
+
+        _run(scenario())
+
+    def test_rejects_bad_knobs(self):
+        service = _service()
+        with pytest.raises(ValueError):
+            AsyncAssignmentFrontend(service, window_s=-1.0)
+        with pytest.raises(ValueError):
+            AsyncAssignmentFrontend(service, max_batch=0)

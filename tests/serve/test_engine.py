@@ -1,0 +1,256 @@
+"""OnlineAssignmentService: replay correctness and fallback certification.
+
+The load-bearing contract: with ``shards=1`` the service's live matching
+is bit-identical to a cold solve of the final problem state after *any*
+replay — including adversarial delta orders engineered to trip every
+hazard path (capacity cut below usage, departures from saturated
+providers, arrivals inside the served radius).  Fallbacks must be
+*certified* (counted in the stats), never silent.
+"""
+
+import pytest
+
+from repro.core.solve import solve
+from repro.datagen.events import Event, EventStreamSpec, generate_events
+from repro.datagen.workloads import make_problem
+from repro.serve.engine import OnlineAssignmentService
+
+
+def _make(seed=3, nq=8, np_=50, k=10):
+    return make_problem(nq=nq, np_=np_, k=k, seed=seed, network_grid=8)
+
+
+def _service(problem, **kwargs):
+    kwargs.setdefault("backend", "array")
+    return OnlineAssignmentService(problem, **kwargs)
+
+
+def _assert_bit_identical(service):
+    report = service.verify_against_cold()
+    assert report["identical"], report
+    return report
+
+
+class TestReplayBitIdentity:
+    @pytest.mark.parametrize("profile", ["steady", "burst", "diurnal"])
+    def test_generated_stream(self, profile):
+        problem = _make()
+        spec = EventStreamSpec(n_events=80, profile=profile, rate=25.0)
+        events = generate_events(problem, spec, seed=11)
+        service = _service(problem)
+        service.run(events, window=0.2)
+        assert service.stats.events == 80
+        _assert_bit_identical(service)
+
+    def test_empty_stream_matches_startup_solve(self):
+        problem = _make()
+        service = _service(problem)
+        _assert_bit_identical(service)
+
+    def test_grouping_window_does_not_change_result(self):
+        spec = EventStreamSpec(n_events=60, rate=25.0)
+        events = generate_events(_make(), spec, seed=5)
+        finals = []
+        for window in (0.0, 0.5):
+            service = _service(_make())
+            service.run(events, window=window)
+            _assert_bit_identical(service)
+            finals.append(sorted(service.live_pairs()))
+        assert finals[0] == finals[1]
+
+
+class TestAdversarialFallbacks:
+    """Hand-ordered deltas that force each cold-fallback path."""
+
+    def _arrive(self, seq, xy):
+        return Event(seq=seq, time=float(seq), kind="arrive", xy=xy)
+
+    def _depart(self, seq, ref):
+        return Event(seq=seq, time=float(seq), kind="depart", ref=ref)
+
+    def _capacity(self, seq, pid, k):
+        return Event(
+            seq=seq, time=float(seq), kind="capacity",
+            provider_id=pid, capacity=k,
+        )
+
+    def test_capacity_cut_below_usage_certifies_cold(self):
+        """Slashing every provider to capacity 1 cuts below usage —
+        each touched session must count a hazard cold, and the final
+        matching must still be bit-identical to a cold solve."""
+        problem = _make(k=10)
+        service = _service(problem)
+        events = [
+            self._capacity(i, i, 1)
+            for i in range(len(problem.providers))
+        ]
+        before = service.stats.hazard_colds
+        service.apply(events)
+        assert service.stats.hazard_colds > before
+        assert service.stats.warm_assigns == 0
+        _assert_bit_identical(service)
+
+    def test_arrival_inside_served_radius(self):
+        """An arrival the current matching should have served (right on
+        top of a provider) trips the pinned-potential hazard; the re-solve
+        must pick it up anyway."""
+        problem = _make(k=2, np_=40)  # tight capacity: saturated providers
+        service = _service(problem)
+        q0 = problem.providers[0].point.coords
+        service.apply([self._arrive(0, (q0[0] + 0.5, q0[1] + 0.5))])
+        _assert_bit_identical(service)
+
+    def test_churn_storm_alternating_kinds(self):
+        """Worst-case interleaving: shrink, arrive, depart, grow — every
+        group mixes hazard kinds.  Identity must survive and the
+        fallback taxonomy must cover every cold assign."""
+        problem = _make(k=3, np_=30)
+        service = _service(problem)
+        nq = len(problem.providers)
+        base = len(problem.customers)
+        events = []
+        seq = 0
+        for round_ in range(4):
+            events.append(self._capacity(seq, round_ % nq, 1)); seq += 1
+            events.append(self._arrive(seq, (500.0, 500.0))); seq += 1
+            events.append(self._depart(seq, round_)); seq += 1
+            events.append(self._capacity(seq, round_ % nq, 6)); seq += 1
+        for start in range(0, len(events), 4):
+            service.apply(events[start : start + 4])
+        stats = service.stats
+        assert stats.cold_assigns == (
+            stats.hazard_colds + stats.repair_fallbacks
+        )
+        assert stats.arrivals == 4 and stats.departures == 4
+        assert len(service.problem.customers) == base + 4
+        _assert_bit_identical(service)
+
+    def test_depart_everyone_then_refill(self):
+        problem = _make(np_=20, k=5)
+        service = _service(problem)
+        service.apply(
+            [self._depart(j, j) for j in range(len(problem.customers))]
+        )
+        assert service.live_pairs() == []
+        service.apply(
+            [self._arrive(100 + i, (100.0 * i, 50.0)) for i in range(6)]
+        )
+        _assert_bit_identical(service)
+
+
+class TestEventHandling:
+    def test_rejects_are_counted_not_fatal(self):
+        problem = _make()
+        service = _service(problem)
+        result = service.apply(
+            [
+                Event(seq=0, time=0.0, kind="depart", ref=999),
+                Event(seq=1, time=0.1, kind="depart", ref=0),
+                Event(seq=2, time=0.2, kind="depart", ref=0),  # double
+                Event(seq=3, time=0.3, kind="capacity",
+                      provider_id=999, capacity=3),
+                Event(seq=4, time=0.4, kind="arrive", xy=None),
+            ]
+        )
+        oks = [o.ok for o in result.outcomes]
+        assert oks == [False, True, False, False, False]
+        assert service.stats.rejected == 4
+        _assert_bit_identical(service)
+
+    def test_misaligned_arrival_ref_raises(self):
+        service = _service(_make())
+        with pytest.raises(ValueError, match="stream and service state"):
+            service.apply(
+                [Event(seq=0, time=0.0, kind="arrive",
+                       xy=(1.0, 1.0), ref=0)]
+            )
+
+    def test_arrival_outcome_reports_assignment(self):
+        problem = _make(k=10)
+        service = _service(problem)
+        q0 = problem.providers[0].point.coords
+        result = service.apply(
+            [Event(seq=0, time=0.0, kind="arrive",
+                   xy=(q0[0] + 1.0, q0[1]))]
+        )
+        outcome = result.outcomes[0]
+        assert outcome.ok and outcome.customer_id == len(
+            problem.customers
+        ) - 1
+        # Capacity is slack, so the arrival must be matched somewhere.
+        assert outcome.provider_id is not None
+        assert outcome.distance is not None
+
+    def test_latency_and_throughput_surface(self):
+        service = _service(_make())
+        spec = EventStreamSpec(n_events=30, rate=30.0)
+        service.run(generate_events(service.problem, spec, seed=1),
+                    window=0.2)
+        summary = service.stats.summary()
+        assert summary["latency_p99_ms"] >= summary["latency_p50_ms"] > 0
+        assert summary["events_per_sec"] > 0
+        assert summary["groups"] == len(
+            service.stats.group_latencies_s
+        )
+
+
+class TestShardedService:
+    def test_multi_shard_valid_and_maximal_after_reconcile(self):
+        problem = _make(nq=18, np_=120, k=8, seed=7)
+        spec = EventStreamSpec(n_events=100, rate=30.0)
+        events = generate_events(problem, spec, seed=13)
+        service = _service(problem, shards=3, reconcile_every=4)
+        service.run(events, window=0.3)
+        assert service.plan.num_shards > 1
+        assert service.stats.reconcile_passes > 0
+        final = service.final_problem()
+        matching = service.live_matching()
+        matching.validate(final)  # feasible AND |M| == gamma
+
+    def test_sharded_cost_close_to_cold(self):
+        problem = _make(nq=18, np_=120, k=8, seed=7)
+        spec = EventStreamSpec(n_events=60, rate=30.0)
+        events = generate_events(problem, spec, seed=2)
+        service = _service(problem, shards=3, reconcile_every=4)
+        service.run(events, window=0.3)
+        report = service.verify_against_cold()
+        assert report["live_size"] == report["cold_size"]
+        assert report["live_cost"] <= 1.25 * report["cold_cost"]
+
+    def test_reconcile_never_raises_cost(self):
+        problem = _make(nq=18, np_=120, k=8, seed=9)
+        service = _service(problem, shards=3, reconcile_every=0)
+        spec = EventStreamSpec(n_events=40, rate=30.0)
+        service.run(generate_events(problem, spec, seed=3), window=0.3)
+        size_before = len(service.live_pairs())
+        cost_before = service.live_cost()
+        service.reconcile()
+        assert len(service.live_pairs()) >= size_before
+        # Rebalancing may grow |M| (adds cost); with size unchanged the
+        # mover guarantees monotone non-increasing cost.
+        if len(service.live_pairs()) == size_before:
+            assert service.live_cost() <= cost_before + 1e-9
+
+    def test_single_shard_never_reconciles(self):
+        service = _service(_make(), shards=1, reconcile_every=1)
+        spec = EventStreamSpec(n_events=20, rate=30.0)
+        service.run(generate_events(service.problem, spec, seed=4),
+                    window=0.0)
+        assert service.stats.reconcile_passes == 0
+
+
+class TestAgainstSolveFacade:
+    def test_matches_plain_solve_not_just_ida(self):
+        """The cold reference inside verify_against_cold must agree with
+        the public solve() on the same final state."""
+        problem = _make()
+        spec = EventStreamSpec(n_events=50, rate=25.0)
+        service = _service(problem)
+        service.run(generate_events(problem, spec, seed=6), window=0.2)
+        report = _assert_bit_identical(service)
+        independent = solve(
+            service.final_problem(), "ida", backend="array",
+            use_fast_path=False,
+        )
+        assert sorted(independent.pairs) == sorted(service.live_pairs())
+        assert report["live_size"] == len(independent.pairs)

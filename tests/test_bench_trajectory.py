@@ -20,20 +20,29 @@ sys.modules["bench_trajectory"] = bench_trajectory
 _SPEC.loader.exec_module(bench_trajectory)
 
 
+def _committed_args(**overrides):
+    paths = {
+        "kernel": os.path.join(REPO_ROOT, "BENCH_kernel.json"),
+        "index": os.path.join(REPO_ROOT, "BENCH_index.json"),
+        "shard": os.path.join(REPO_ROOT, "BENCH_shard.json"),
+        "serve": os.path.join(REPO_ROOT, "BENCH_serve.json"),
+    }
+    paths.update(overrides)
+    args = []
+    for name, path in paths.items():
+        args.extend([f"--{name}", str(path)])
+    return args
+
+
 def test_committed_reports_satisfy_schema_and_merge(tmp_path):
     out = tmp_path / "BENCH_trajectory.json"
-    rc = bench_trajectory.main(
-        [
-            "--kernel", os.path.join(REPO_ROOT, "BENCH_kernel.json"),
-            "--index", os.path.join(REPO_ROOT, "BENCH_index.json"),
-            "--shard", os.path.join(REPO_ROOT, "BENCH_shard.json"),
-            "--out", str(out),
-        ]
-    )
+    rc = bench_trajectory.main(_committed_args() + ["--out", str(out)])
     assert rc == 0
     trajectory = json.loads(out.read_text())
     assert trajectory["schema_version"] == bench_trajectory.SCHEMA_VERSION
-    assert set(trajectory["benches"]) == {"kernel", "index", "shard"}
+    assert set(trajectory["benches"]) == {
+        "kernel", "index", "shard", "serve",
+    }
     kernel = trajectory["benches"]["kernel"]["metrics"]
     # The fused-pipeline floor the ISSUE-4 tentpole establishes: the
     # committed columnar stack wins end to end at every sweep point.
@@ -55,6 +64,16 @@ def test_committed_reports_satisfy_schema_and_merge(tmp_path):
     assert shard["gates"]["provider_disjoint_exactness"] == "pass"
     assert shard["cpu_count"] >= 1
     assert shard["metrics"]["scaling_efficiency_geomean"] > 0.0
+    serve = trajectory["benches"]["serve"]
+    # The serving layer's acceptance contract: the committed artifact
+    # was produced with the bit-identity gate on and passing.
+    assert serve["gates"]["bit_identity"] == "pass"
+    metrics = serve["metrics"]
+    assert metrics["latency_p99_ms"] >= metrics["latency_p50_ms"] > 0.0
+    assert metrics["events_per_sec"] > 0.0
+    assert set(metrics["per_profile"]) >= {"steady"}
+    for row in metrics["per_profile"].values():
+        assert row["latency_p99_ms"] >= row["latency_p50_ms"] > 0.0
 
 
 def test_schema_violations_fail(tmp_path):
@@ -66,33 +85,35 @@ def test_schema_violations_fail(tmp_path):
     report["kernel_speedup_geomean"] = True  # bool is not a metric
     broken.write_text(json.dumps(report))
     rc = bench_trajectory.main(
-        [
-            "--kernel", str(broken),
-            "--index", os.path.join(REPO_ROOT, "BENCH_index.json"),
-            "--shard", os.path.join(REPO_ROOT, "BENCH_shard.json"),
-            "--out", str(tmp_path / "out.json"),
-        ]
+        _committed_args(kernel=broken)
+        + ["--out", str(tmp_path / "out.json")]
+    )
+    assert rc == 1
+
+
+def test_serve_schema_violations_fail(tmp_path):
+    broken = tmp_path / "BENCH_serve.json"
+    report = json.load(
+        open(os.path.join(REPO_ROOT, "BENCH_serve.json"))
+    )
+    del report["latency_p99_ms"]
+    report["events_per_sec"] = "fast"  # not a number
+    broken.write_text(json.dumps(report))
+    rc = bench_trajectory.main(
+        _committed_args(serve=broken)
+        + ["--out", str(tmp_path / "out.json")]
     )
     assert rc == 1
 
 
 def test_missing_inputs_fail_unless_allowed(tmp_path):
     rc = bench_trajectory.main(
-        [
-            "--kernel", str(tmp_path / "absent.json"),
-            "--index", os.path.join(REPO_ROOT, "BENCH_index.json"),
-            "--shard", os.path.join(REPO_ROOT, "BENCH_shard.json"),
-            "--out", str(tmp_path / "out.json"),
-        ]
+        _committed_args(kernel=tmp_path / "absent.json")
+        + ["--out", str(tmp_path / "out.json")]
     )
     assert rc == 1
     rc = bench_trajectory.main(
-        [
-            "--kernel", str(tmp_path / "absent.json"),
-            "--index", os.path.join(REPO_ROOT, "BENCH_index.json"),
-            "--shard", os.path.join(REPO_ROOT, "BENCH_shard.json"),
-            "--out", str(tmp_path / "out.json"),
-            "--allow-missing",
-        ]
+        _committed_args(kernel=tmp_path / "absent.json")
+        + ["--out", str(tmp_path / "out.json"), "--allow-missing"]
     )
     assert rc == 0
