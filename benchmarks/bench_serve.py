@@ -36,6 +36,7 @@ import json
 import os
 import time
 
+from repro.core.faults import FaultPlan
 from repro.datagen.events import (
     PROFILES,
     EventStreamSpec,
@@ -108,6 +109,70 @@ def identity_gate(profile, args):
     return report
 
 
+def bench_faulted(args):
+    """Faulted replay at a fixed crash rate: one warm session killed
+    every ``--fault-every`` delta groups, quarantined, and rebuilt cold.
+
+    Reports degraded latency (the quarantine rebuilds land inside group
+    latencies, so the degraded p99 is honest) and the recovery overhead
+    (seconds spent rebuilding over total busy seconds) — and gates on
+    the PR's acceptance contract: the degraded replay's final matching
+    must be bit-identical to the clean replay's *and* to a cold solve.
+    """
+    profile = "steady"
+    spec = EventStreamSpec(
+        n_events=args.events, profile=profile, rate=args.rate
+    )
+
+    clean = OnlineAssignmentService(
+        _build_problem(args.scale, args.seed), shards=1, backend="array"
+    )
+    events = generate_events(clean.problem, spec, seed=args.seed)
+    clean_stats = clean.run(events, window=args.window)
+    reference = sorted(clean.live_pairs())
+    clean_summary = clean_stats.summary()
+
+    kill_groups = list(
+        range(1, max(2, clean_stats.groups), max(1, args.fault_every))
+    )
+    plan = FaultPlan.session_faults(kill_groups, num_shards=1)
+    faulted = OnlineAssignmentService(
+        _build_problem(args.scale, args.seed),
+        shards=1,
+        backend="array",
+        fault_plan=plan,
+    )
+    stats = faulted.run(events, window=args.window)
+    summary = stats.summary()
+
+    identical = sorted(faulted.live_pairs()) == reference
+    cold_report = faulted.verify_against_cold()
+    if not (identical and cold_report["identical"]):
+        raise AssertionError(
+            f"faulted replay diverged: identical-to-clean={identical}, "
+            f"identical-to-cold={cold_report['identical']} after "
+            f"{stats.quarantines} quarantines"
+        )
+
+    busy = sum(stats.group_latencies_s)
+    clean_p99 = clean_summary["latency_p99_ms"]
+    degraded_p99 = summary["latency_p99_ms"]
+    return {
+        "status": "pass",
+        "profile": profile,
+        "fault_every": args.fault_every,
+        "session_kills": len(kill_groups),
+        "clean_latency_p50_ms": clean_summary["latency_p50_ms"],
+        "clean_latency_p99_ms": clean_p99,
+        "degraded_latency_p50_ms": summary["latency_p50_ms"],
+        "degraded_latency_p99_ms": degraded_p99,
+        "p99_inflation": degraded_p99 / clean_p99 if clean_p99 else 0.0,
+        "quarantines": stats.quarantines,
+        "recovery_s": stats.quarantine_s,
+        "recovery_overhead": stats.quarantine_s / busy if busy else 0.0,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_serve.json")
@@ -131,6 +196,11 @@ def main(argv=None):
     parser.add_argument("--skip-identity-gate", action="store_true",
                         help="skip the cold-solve bit-identity gate "
                              "(latency-only runs)")
+    parser.add_argument("--fault-every", type=int, default=4,
+                        help="faulted replay: kill the warm session "
+                             "every N delta groups (default 4)")
+    parser.add_argument("--skip-faulted", action="store_true",
+                        help="skip the faulted-replay degradation point")
     args = parser.parse_args(argv)
 
     rows = []
@@ -158,6 +228,19 @@ def main(argv=None):
                 f"[bench_serve] bit-identity vs cold solve ({profile}): "
                 f"{gate['status']} ({gate['live_size']} pairs)"
             )
+
+    if args.skip_faulted:
+        faulted = {"status": "skipped"}
+    else:
+        faulted = bench_faulted(args)
+        print(
+            f"[bench_serve] faulted replay ({faulted['profile']}): "
+            f"{faulted['session_kills']} session kills, degraded p99 "
+            f"{faulted['degraded_latency_p99_ms']:.1f}ms (clean "
+            f"{faulted['clean_latency_p99_ms']:.1f}ms), recovery "
+            f"overhead {faulted['recovery_overhead']:.1%} -> "
+            f"bit-identity {faulted['status']}"
+        )
 
     pooled = sorted(pooled_latencies)
 
@@ -193,6 +276,11 @@ def main(argv=None):
             "status": "skipped" if args.skip_identity_gate else "pass",
             "gates": gates,
         },
+        # Degraded-mode point: serving under a fixed session-crash rate.
+        "faulted": faulted,
+        "degraded_latency_p99_ms": faulted.get(
+            "degraded_latency_p99_ms", 0.0
+        ),
     }
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)

@@ -83,6 +83,10 @@ SCHEMAS = {
         "events_per_sec": _NUM,
         "warm_rate": _NUM,
         "bit_identity": dict,
+        # Degraded-mode point: {"status": "pass", degraded p99,
+        # recovery overhead, ...} or {"status": "skipped"}.
+        "faulted": dict,
+        "degraded_latency_p99_ms": _NUM,
     },
 }
 
@@ -106,6 +110,7 @@ HEADLINES = {
         "latency_p99_ms",
         "events_per_sec",
         "warm_rate",
+        "degraded_latency_p99_ms",
     ),
 }
 
@@ -186,9 +191,18 @@ def fold(name: str, path: str, report: dict) -> dict:
             }
             for row in report["per_profile"]
         }
+        faulted = report["faulted"]
         entry["gates"] = {
             "bit_identity": report["bit_identity"]["status"],
+            "faulted_identity": faulted.get("status", "skipped"),
         }
+        if faulted.get("status") == "pass":
+            entry["faulted"] = {
+                "session_kills": faulted["session_kills"],
+                "p99_inflation": faulted["p99_inflation"],
+                "recovery_overhead": faulted["recovery_overhead"],
+                "quarantines": faulted["quarantines"],
+            }
     return entry
 
 

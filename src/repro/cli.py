@@ -282,6 +282,11 @@ def _cmd_serve(args) -> int:
         f"warm rate {summary['warm_rate']:.2f}, "
         f"{stats.rejected} events rejected"
     )
+    print(
+        f"degraded ops: {stats.quarantines} quarantines "
+        f"({stats.quarantine_s:.3f}s rebuilding cold), "
+        f"{stats.shed} requests shed, {stats.timeouts} request timeouts"
+    )
     if args.shards > 1:
         print(
             f"reconcile: {stats.reconcile_passes} passes, "
@@ -315,6 +320,132 @@ def _cmd_serve(args) -> int:
         if not report["identical"]:
             return 1
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    """Reproducible chaos runs: sweep seeded fault plans through the
+    supervised sharded engine (and, optionally, the serving layer's
+    quarantine path) and gate on the reliability contract — every faulted
+    run bit-identical to the fault-free one, zero leaked shm segments,
+    zero orphaned worker processes.  Exit 1 on any violation.
+    """
+    import glob
+    import multiprocessing
+
+    from repro.core.faults import FaultPlan
+    from repro.core.shard import plan_shards, solve_sharded
+    from repro.core.supervisor import RetryPolicy
+
+    problem = make_problem(
+        nq=args.nq,
+        np_=args.np,
+        k=args.k,
+        dist_q=args.dist_q,
+        dist_p=args.dist_p,
+        seed=args.seed,
+    )
+    num_shards = plan_shards(problem, args.shards).num_shards
+    policy = RetryPolicy(
+        max_retries=args.max_retries, task_timeout_s=args.task_timeout
+    )
+    solve_kwargs = dict(
+        workers=args.workers,
+        backend=args.backend,
+        index_backend=args.index_backend,
+        retry_policy=policy,
+    )
+    segments_before = set(glob.glob("/dev/shm/repro_cca_*"))
+    baseline = solve_sharded(
+        problem, args.shards, fault_plan=FaultPlan.none(), **solve_kwargs
+    )
+    reference = sorted(baseline.pairs)
+    print(
+        f"chaos: |Q|={args.nq} |P|={args.np} k={args.k} "
+        f"shards={num_shards} workers={args.workers or 1} "
+        f"backend={args.backend} retries={policy.max_retries} "
+        f"timeout={policy.task_timeout_s}s"
+    )
+    print(
+        f"fault-free baseline: {len(reference)} pairs, "
+        f"cost {baseline.cost:.2f}"
+    )
+    failures = 0
+    for plan_seed in range(args.plan_seed, args.plan_seed + args.plans):
+        plan = FaultPlan.from_seed(
+            plan_seed, num_shards, hang_s=args.hang_s
+        )
+        matching = solve_sharded(
+            problem, args.shards, fault_plan=plan, **solve_kwargs
+        )
+        identical = sorted(matching.pairs) == reference
+        ledger = matching.stats.faults
+        verdict = "ok" if identical else "DIVERGED"
+        if not identical:
+            failures += 1
+        print(f"plan seed {plan_seed}: {verdict}")
+        print(f"  {plan.describe()}")
+        print(f"  ledger: {ledger.summary()}")
+    if args.serve_groups > 0:
+        from repro.datagen.events import EventStreamSpec, generate_events
+        from repro.serve.engine import OnlineAssignmentService
+
+        def service(fault_plan=None):
+            instance = make_problem(
+                nq=args.nq, np_=args.np, k=args.k,
+                dist_q=args.dist_q, dist_p=args.dist_p, seed=args.seed,
+            )
+            return OnlineAssignmentService(
+                instance,
+                shards=1,
+                backend=args.backend,
+                index_backend=args.index_backend,
+                fault_plan=fault_plan,
+            )
+
+        spec = EventStreamSpec(n_events=args.events)
+        events = generate_events(problem, spec, seed=args.stream_seed)
+        clean = service()
+        clean.run(events, window=0.25)
+        # Kill the (single) warm session every --serve-crash-every groups.
+        kill_groups = list(
+            range(1, clean.stats.groups, max(1, args.serve_crash_every))
+        )[: args.serve_groups]
+        chaotic = service(
+            fault_plan=FaultPlan.session_faults(kill_groups, num_shards=1)
+        )
+        chaotic.run(events, window=0.25)
+        replay_identical = sorted(chaotic.live_pairs()) == sorted(
+            clean.live_pairs()
+        )
+        cold = chaotic.verify_against_cold()
+        if not (replay_identical and cold["identical"]):
+            failures += 1
+        print(
+            f"serve replay (shards=1, {chaotic.stats.quarantines} "
+            f"quarantines over {chaotic.stats.groups} groups): "
+            f"{'ok' if replay_identical and cold['identical'] else 'DIVERGED'}"
+            f" — identical to clean replay: {replay_identical}, "
+            f"bit-identical to cold solve: {cold['identical']}"
+        )
+    leaked = sorted(
+        set(glob.glob("/dev/shm/repro_cca_*")) - segments_before
+    )
+    orphans = [
+        p for p in multiprocessing.active_children()
+        if "resource_tracker" not in repr(p)
+    ]
+    if leaked:
+        failures += 1
+        print(f"LEAKED shm segments: {leaked}")
+    if orphans:
+        failures += 1
+        print(f"ORPHANED worker processes: {orphans}")
+    print(
+        f"chaos gates: bit-identity "
+        f"{'pass' if failures == 0 else 'FAIL'}, "
+        f"shm leaks {len(leaked)}, orphan workers {len(orphans)}"
+    )
+    return 1 if failures else 0
 
 
 def _cmd_index_info(args) -> int:
@@ -570,6 +701,83 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--stream-seed", type=int, default=0,
                      help="event-stream seed (independent of --seed)")
     srv.set_defaults(func=_cmd_serve)
+
+    cha = sub.add_parser(
+        "chaos",
+        help="sweep seeded fault plans through the supervised sharded "
+             "engine and gate on bit-identity / zero leaks / zero "
+             "orphans (reproducible chaos runs)",
+    )
+    cha.add_argument("--nq", type=int, default=30)
+    cha.add_argument("--np", type=int, default=600)
+    cha.add_argument("--k", type=int, default=40)
+    cha.add_argument(
+        "--shards", type=int, default=3,
+        help="requested shard count (default %(default)s)",
+    )
+    cha.add_argument(
+        "--workers", type=int, default=3,
+        help="worker processes — >1 exercises real crash/kill paths "
+             "(default %(default)s)",
+    )
+    cha.add_argument(
+        "--plans", type=int, default=5,
+        help="how many seeded FaultPlans to sweep (default %(default)s)",
+    )
+    cha.add_argument(
+        "--plan-seed", type=int, default=0,
+        help="first FaultPlan seed; plans use seed..seed+plans-1 "
+             "(default %(default)s)",
+    )
+    cha.add_argument(
+        "--max-retries", type=int, default=2,
+        help="supervisor retry budget per shard (default %(default)s)",
+    )
+    cha.add_argument(
+        "--task-timeout", type=float, default=30.0,
+        help="per-task deadline in seconds; hung workers are killed and "
+             "their shard retried (default %(default)s)",
+    )
+    cha.add_argument(
+        "--hang-s", type=float, default=60.0,
+        help="sleep injected by generated hang faults — keep it above "
+             "--task-timeout so hangs are killed, not waited out "
+             "(default %(default)s)",
+    )
+    cha.add_argument(
+        "--serve-groups", type=int, default=3,
+        help="also chaos the serving layer: kill the warm session on N "
+             "delta groups of a shards=1 replay and require bit-identity "
+             "(0 disables; default %(default)s)",
+    )
+    cha.add_argument(
+        "--serve-crash-every", type=int, default=4,
+        help="kill the warm session every Nth delta group during the "
+             "serve chaos replay (default %(default)s)",
+    )
+    cha.add_argument(
+        "--events", type=int, default=120,
+        help="serve chaos stream length (default %(default)s)",
+    )
+    cha.add_argument("--stream-seed", type=int, default=0)
+    cha.add_argument(
+        "--backend",
+        type=str,
+        default="array",
+        choices=sorted(BACKEND_CHOICES),
+        help="flow-kernel backend (default %(default)s)",
+    )
+    cha.add_argument(
+        "--index-backend",
+        type=str,
+        default="pointer",
+        choices=sorted(INDEX_BACKENDS),
+        help="spatial-index backend (default %(default)s)",
+    )
+    cha.add_argument("--dist-q", type=str, default="clustered")
+    cha.add_argument("--dist-p", type=str, default="clustered")
+    cha.add_argument("--seed", type=int, default=0)
+    cha.set_defaults(func=_cmd_chaos)
 
     idx = sub.add_parser(
         "index-info",

@@ -41,6 +41,11 @@ class SolverStats:
     io: IOStats = field(default_factory=IOStats)
     stage_s: Dict[str, float] = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
+    # Supervised (sharded) runs attach their FaultLedger here: every
+    # retry/requeue/timeout the run survived.  None for unsupervised
+    # solves; a JSON-able roll-up also lands in ``extra["faults"]``
+    # whenever the ledger is non-empty.
+    faults: Optional[object] = None
 
     def add_stage(self, stage: str, seconds: float) -> None:
         """Accumulate wall time into one pipeline stage."""

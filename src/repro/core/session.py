@@ -72,6 +72,12 @@ from repro.geometry.point import Point
 from repro.rtree.backend import IndexBackendLike, resolve_index_backend
 
 
+class SessionDeadError(RuntimeError):
+    """The session is marked dead: its residual state can no longer be
+    trusted and every further :meth:`Matcher.assign` refuses until the
+    owner rebuilds the session cold (the serving layer's quarantine)."""
+
+
 class Matcher:
     """A long-lived CCA assignment session with warm-started re-solves.
 
@@ -122,6 +128,8 @@ class Matcher:
         self.last_stats: Optional[SolverStats] = None
         self.last_was_warm = False
         self._last_matching: Optional[Matching] = None
+        self._dead = False
+        self.death_reason = ""
 
     @classmethod
     def from_solved(
@@ -159,6 +167,10 @@ class Matcher:
     # ------------------------------------------------------------------
     def assign(self) -> Matching:
         """Solve (or warm re-solve) the current instance to optimality."""
+        if self._dead:
+            raise SessionDeadError(
+                self.death_reason or "session marked dead"
+            )
         warm = self.net is not None and not self._needs_cold
         self.last_was_warm = warm
         try:
@@ -176,6 +188,13 @@ class Matcher:
             # re-solve from scratch.
             self.last_was_warm = False
             matching, solver = self._run_solver(False)
+        except Exception as exc:
+            # Anything else mid-solve may have left the residual network
+            # half-mutated: the state is no longer certifiable.  Mark the
+            # session dead so the owner quarantines and rebuilds instead
+            # of trusting a poisoned warm state on the next call.
+            self.mark_dead(f"{type(exc).__name__}: {exc}")
+            raise
         self.net = solver.net
         self._needs_cold = False
         self.assign_count += 1
@@ -212,6 +231,25 @@ class Matcher:
         residual state (False before the first solve, and after a delta
         whose hazard check scheduled a cold re-solve)."""
         return self.net is not None and not self._needs_cold
+
+    # ------------------------------------------------------------------
+    # death (quarantine support)
+    # ------------------------------------------------------------------
+    def mark_dead(self, reason: str = "") -> None:
+        """Declare the session's residual state untrustworthy.
+
+        Subsequent :meth:`assign` calls raise :class:`SessionDeadError`;
+        the serving engine reacts by quarantining the shard and
+        rebuilding it cold from the live global state.  Idempotent (the
+        first reason wins).
+        """
+        if not self._dead:
+            self._dead = True
+            self.death_reason = reason
+
+    @property
+    def is_dead(self) -> bool:
+        return self._dead
 
     @property
     def gamma(self) -> int:

@@ -56,14 +56,21 @@ that invariant on a separated-cluster workload in CI.
 
 from __future__ import annotations
 
-import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.faults import (
+    FAULT_ENV,
+    FaultLedger,
+    FaultPlan,
+    attach_fault,
+    poison_result,
+    resolve_fault_plan,
+    trigger,
+)
 from repro.core.ida import IDASolver
 from repro.core.matching import Matching, SolverStats
 from repro.core.nia import NIASolver
@@ -71,6 +78,7 @@ from repro.core.problem import CCAProblem
 from repro.core.ria import RIASolver
 from repro.core.session import Matcher
 from repro.core.shm import SharedColumnStore, StoreHandle, attach
+from repro.core.supervisor import RetryPolicy, run_supervised
 from repro.experiments.config import PAPER_DEFAULTS, default_theta
 from repro.flow.backend import BackendLike, DEFAULT_BACKEND, get_backend
 from repro.partitioning import (
@@ -289,10 +297,10 @@ def route_concise(
 # ----------------------------------------------------------------------
 # per-shard tasks (picklable; solved in worker processes)
 # ----------------------------------------------------------------------
-# Environment hook for the shared-memory lifecycle tests: a worker whose
-# shard index matches raises mid-solve.  Environment variables inherit
-# under both fork and spawn start methods, unlike monkeypatched globals.
-FAULT_ENV = "REPRO_SHARD_FAULT_INDEX"
+# FAULT_ENV (re-exported above) is the deprecated env hook; faults now
+# travel as a FaultPlan ON the task, resolved once by the coordinator —
+# workers never read the environment (see repro.core.faults).
+_ = FAULT_ENV
 
 
 @dataclass
@@ -316,6 +324,12 @@ class ShardTask:
     buffer_fraction: float
     need_net: bool
     store: Optional[StoreHandle] = None
+    # Supervision extras: the coordinator-resolved fault schedule (tests
+    # and chaos runs; None in production) and the retry attempt this
+    # execution represents — both travel WITH the task so workers need
+    # no ambient state.
+    faults: Optional[FaultPlan] = None
+    attempt: int = 0
 
 
 class _TaskColumns(NamedTuple):
@@ -422,12 +436,18 @@ def _build_solver(problem: CCAProblem, task: ShardTask):
 
 def solve_shard_task(task: ShardTask) -> ShardResult:
     """Solve one shard to optimality (runs inside a worker process)."""
-    fault = os.environ.get(FAULT_ENV)
-    if fault is not None and int(fault) == task.index:
-        raise RuntimeError(
-            f"injected shard worker fault (shard {task.index})"
-        )
-    cols = _task_columns(task)
+    where = f"shard {task.index}, attempt {task.attempt}"
+    poison = attach_spec = None
+    if task.faults is not None:
+        spec = task.faults.match("worker", task.index, task.attempt)
+        if spec is not None:
+            if spec.kind == "poison":
+                poison = spec  # corrupt the result after solving
+            else:
+                trigger(spec, where=where)
+        attach_spec = task.faults.match("attach", task.index, task.attempt)
+    with attach_fault(attach_spec, where=where):
+        cols = _task_columns(task)
     if cols.customer_ids.size == 0 or int(cols.capacities.sum()) == 0:
         # Nothing to solve (γ = 0) — but the shard still wants a
         # (trivially solved) network of the right shape so the
@@ -438,7 +458,8 @@ def solve_shard_task(task: ShardTask) -> ShardResult:
             net = get_backend(task.backend).network(
                 cols.capacities.tolist(), cols.customer_weights.tolist()
             )
-        return ShardResult(task.index, [], 0.0, 0, 0, 0, 0, 0, net=net)
+        result = ShardResult(task.index, [], 0.0, 0, 0, 0, 0, 0, net=net)
+        return poison_result(result) if poison is not None else result
     problem = _task_problem(task, cols)
     solver = _build_solver(problem, task)
     matching = solver.solve()
@@ -448,7 +469,7 @@ def solve_shard_task(task: ShardTask) -> ShardResult:
         (int(pids[i]), int(cids[j]), d) for i, j, d in matching.pairs
     ]
     stats = solver.stats
-    return ShardResult(
+    result = ShardResult(
         index=task.index,
         pairs=pairs,
         cpu_s=stats.cpu_s,
@@ -460,6 +481,7 @@ def solve_shard_task(task: ShardTask) -> ShardResult:
         net=solver.net if task.need_net else None,
         stage_s=dict(stats.stage_s),
     )
+    return poison_result(result) if poison is not None else result
 
 
 def _make_tasks(
@@ -530,17 +552,91 @@ def _make_tasks(
     return tasks, store
 
 
+def _requeue_cold(task: ShardTask) -> ShardResult:
+    """Re-solve a given-up shard in the coordinator, fault-free.
+
+    The per-shard solvers are deterministic, so this produces exactly the
+    result a healthy worker would have returned — the supervisor's
+    certify-or-fall-back guarantee rests on that.
+    """
+    return solve_shard_task(replace(task, faults=None, attempt=0))
+
+
+def _verify_shard_result(
+    task: ShardTask, result: ShardResult
+) -> Optional[str]:
+    """Cheap coordinator-side plausibility certificate for a worker's
+    answer; a lying (poisoned) result reads as a fault, not a matching.
+
+    Returns an error string, or None when the result certifies: pair ids
+    inside the shard's provider/routed-customer sets, stored distances
+    matching the shared coordinate columns, per-provider/per-customer
+    feasibility, and the claimed γ equal to the pair count.
+    """
+    if result.index != task.index:
+        return f"result for shard {result.index} answers task {task.index}"
+    cols = _task_columns(task)
+    if len(result.pairs) != result.gamma:
+        return (
+            f"claimed gamma {result.gamma} != {len(result.pairs)} pairs"
+        )
+    providers = {int(i) for i in cols.provider_ids}
+    capacity = {
+        int(i): int(c)
+        for i, c in zip(cols.provider_ids, cols.capacities)
+    }
+    weight = {
+        int(j): int(w)
+        for j, w in zip(cols.customer_ids, cols.customer_weights)
+    }
+    qxy = {
+        int(i): xy for i, xy in zip(cols.provider_ids, cols.provider_xy)
+    }
+    pxy = {
+        int(j): xy for j, xy in zip(cols.customer_ids, cols.customer_xy)
+    }
+    used: Dict[int, int] = {}
+    served: Dict[int, int] = {}
+    for i, j, d in result.pairs:
+        if i not in providers:
+            return f"pair provider {i} outside shard {task.index}"
+        if j not in weight:
+            return f"pair customer {j} not routed to shard {task.index}"
+        actual = float(
+            np.hypot(
+                qxy[i][0] - pxy[j][0], qxy[i][1] - pxy[j][1]
+            )
+        )
+        if abs(actual - d) > 1e-6:
+            return (
+                f"pair ({i},{j}) distance {d!r} != actual {actual!r}"
+            )
+        used[i] = used.get(i, 0) + 1
+        served[j] = served.get(j, 0) + 1
+        if used[i] > capacity[i]:
+            return f"provider {i} over capacity {capacity[i]}"
+        if served[j] > weight[j]:
+            return f"customer {j} over weight {weight[j]}"
+    return None
+
+
 def _run_tasks(
     tasks: List[ShardTask],
     workers: Optional[int],
     mp_context=None,
+    policy: Optional[RetryPolicy] = None,
+    ledger: Optional[FaultLedger] = None,
 ) -> List[ShardResult]:
-    if workers is None or workers <= 1 or len(tasks) <= 1:
-        return [solve_shard_task(task) for task in tasks]
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(tasks)), mp_context=mp_context
-    ) as pool:
-        return list(pool.map(solve_shard_task, tasks))
+    return run_supervised(
+        tasks,
+        solve=solve_shard_task,
+        fallback=_requeue_cold,
+        verify=_verify_shard_result,
+        workers=workers,
+        mp_context=mp_context,
+        policy=policy,
+        ledger=ledger,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -981,6 +1077,8 @@ def solve_sharded(
     mp_context=None,
     plan: Optional[ShardPlan] = None,
     validate: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> Matching:
     """Solve a CCA instance with the sharded parallel engine.
 
@@ -1016,6 +1114,20 @@ def solve_sharded(
     validate:
         Assert validity/maximality of the merged matching (cheap; on by
         default because reconciliation spans solver boundaries).
+    fault_plan:
+        A :class:`~repro.core.faults.FaultPlan` to inject at the worker
+        and shm-attach seams (chaos testing).  ``None`` falls back to the
+        deprecated ``REPRO_SHARD_FAULT_INDEX`` env alias, resolved once
+        here in the coordinator; pass :meth:`FaultPlan.none` to disable
+        even that.  The supervisor guarantees the returned matching is
+        bit-identical to the fault-free run regardless.  Not consulted by
+        the ``shards=1`` serial fall-through, which never leaves this
+        process.
+    retry_policy:
+        Supervision knobs (:class:`~repro.core.supervisor.RetryPolicy`):
+        retries, per-task deadline, backoff, requeue-cold.  The surviving
+        :class:`~repro.core.faults.FaultLedger` lands on
+        ``stats.faults`` (and ``stats.extra["faults"]`` when non-empty).
     """
     if shards < 1:
         raise ValueError("shards must be positive")
@@ -1030,6 +1142,9 @@ def solve_sharded(
         )
     if ann_group_size is None:
         ann_group_size = PAPER_DEFAULTS["ann_group_size"]
+    # The ONE place fault schedules are resolved (explicit plan beats the
+    # deprecated env alias) — workers only see what rides on their task.
+    fault_plan = resolve_fault_plan(fault_plan)
     index_backend_name = resolve_index_backend(problem, index_backend).name
     started = time.perf_counter()
     if shards == 1 and plan is None:
@@ -1087,10 +1202,19 @@ def solve_sharded(
         theta,
         need_net=reconcile,
     )
+    if fault_plan is not None:
+        tasks = [replace(task, faults=fault_plan) for task in tasks]
+    ledger = FaultLedger()
     # The segment must outlive reconciliation (sessions slice it) but is
     # gone before we return — even when a worker raises mid-solve.
     try:
-        results = _run_tasks(tasks, workers, mp_context=mp_context)
+        results = _run_tasks(
+            tasks,
+            workers,
+            mp_context=mp_context,
+            policy=retry_policy,
+            ledger=ledger,
+        )
         solve_done = time.perf_counter()
 
         moves = attempted = sessions_built = 0
@@ -1110,6 +1234,9 @@ def solve_sharded(
     pairs = pairs + residual
 
     stats = SolverStats(method=f"shard-{method}", gamma=problem.gamma)
+    stats.faults = ledger
+    if len(ledger):
+        stats.extra["faults"] = ledger.summary()
     stats.esub_edges = sum(r.esub_edges for r in results)
     stats.dijkstra_runs = sum(r.dijkstra_runs for r in results)
     stats.nn_requests = sum(r.nn_requests for r in results)

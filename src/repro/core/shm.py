@@ -32,9 +32,10 @@ plain slices do not).
 from __future__ import annotations
 
 import secrets
+import weakref
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
-from typing import Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -109,6 +110,14 @@ class SharedColumnStore:
             create=True, size=total, name=name
         )
         self.handle = StoreHandle(name, tuple(manifest), total)
+        # Last-resort lifecycle guard, registered the instant the segment
+        # exists: if anything raises between here and the owner's
+        # ``finally`` unlink — or the coordinator dies without reaching
+        # it — the finalizer (GC'd or interpreter-exit) still unlinks.
+        # ``weakref.finalize`` runs at exit by default, covering atexit.
+        self._finalizer = weakref.finalize(
+            self, close_and_unlink, self.handle
+        )
         views = _views(self._seg, self.handle)
         for key, arr in packed.items():
             view = views[key]
@@ -119,11 +128,29 @@ class SharedColumnStore:
         _ATTACHED[name] = (self._seg, views)
 
     def close_and_unlink(self) -> None:
-        close_and_unlink(self.handle)
+        # Through the finalizer so the explicit unlink also marks the
+        # guard dead (the callback itself is idempotent regardless).
+        self._finalizer()
+
+
+# Fault-injection seam: when set, every attach in THIS process raises
+# through the hook instead of mapping the segment.  Armed only by
+# :func:`repro.core.faults.attach_fault` around a worker's column
+# materialization — never ambient, never cross-process.
+_ATTACH_FAULT: Optional[Callable[[StoreHandle], None]] = None
+
+
+def set_attach_fault(
+    hook: Optional[Callable[[StoreHandle], None]],
+) -> None:
+    global _ATTACH_FAULT
+    _ATTACH_FAULT = hook
 
 
 def attach(handle: StoreHandle) -> Dict[str, np.ndarray]:
     """Zero-copy views onto the store's columns (cached per process)."""
+    if _ATTACH_FAULT is not None:
+        _ATTACH_FAULT(handle)
     cached = _ATTACHED.get(handle.name)
     if cached is not None:
         return cached[1]

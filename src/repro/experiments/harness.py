@@ -59,6 +59,11 @@ def run_method(
     if stats.stage_s:
         # Per-stage pipeline wall times (the `repro-cca profile` surface).
         result.extra["stage_s"] = dict(stats.stage_s)
+    ledger = getattr(stats, "faults", None)
+    if ledger is not None and len(ledger):
+        # Faults the supervised sharded run absorbed (retries, cold
+        # requeues, timeouts) on its way to the fault-free matching.
+        result.faults = ledger.summary()
     if optimal_cost is not None and optimal_cost > 0:
         result.quality = matching.cost / optimal_cost
     return result

@@ -28,6 +28,10 @@ class MethodResult:
     gamma: int = 0
     quality: Optional[float] = None
     extra: Dict = field(default_factory=dict)
+    # Supervised (sharded) runs only: the FaultLedger roll-up — every
+    # retry/requeue/timeout the run absorbed while still producing the
+    # fault-free matching.  None when the run saw no faults.
+    faults: Optional[Dict] = None
 
     @property
     def total_s(self) -> float:
@@ -49,4 +53,6 @@ class MethodResult:
         }
         if self.quality is not None:
             row["quality"] = round(self.quality, 4)
+        if self.faults is not None:
+            row["faults"] = self.faults
         return row

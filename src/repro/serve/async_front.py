@@ -36,6 +36,19 @@ from repro.serve.engine import (
 )
 
 
+class Overloaded(RuntimeError):
+    """The frontend shed this request: its in-flight backlog is at
+    ``max_queue``.  Carries a machine-usable ``retry_after_s`` hint (the
+    batching window plus the engine's latest group latency) and the
+    shedding ``reason`` — reject-with-reason, never unbounded buffering.
+    """
+
+    def __init__(self, reason: str, retry_after_s: float):
+        super().__init__(f"{reason} (retry after {retry_after_s:.3f}s)")
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
 class AsyncAssignmentFrontend:
     """Coalesce concurrent asyncio requests into engine delta groups.
 
@@ -49,6 +62,19 @@ class AsyncAssignmentFrontend:
         first pending event (0 flushes immediately after every submit).
     max_batch:
         Hard group-size cap; a full group flushes without waiting.
+    max_queue:
+        Load-shedding bound on *in-flight* requests (submitted, not yet
+        resolved — the honest backlog, counted across pending and
+        currently-flushing groups).  A request arriving at the bound is
+        rejected with :class:`Overloaded` instead of buffered without
+        limit; ``0`` disables shedding.  Shed requests are counted on
+        ``service.stats.shed``.
+    request_timeout_s:
+        Per-request deadline on the *caller's wait*.  A request that
+        blows it raises ``asyncio.TimeoutError`` (counted on
+        ``service.stats.timeouts``); its event is already enqueued and
+        will still be applied — the engine's state stays consistent, only
+        the caller stops waiting.  ``None`` disables deadlines.
     """
 
     def __init__(
@@ -57,14 +83,22 @@ class AsyncAssignmentFrontend:
         *,
         window_s: float = 0.005,
         max_batch: int = 256,
+        max_queue: int = 0,
+        request_timeout_s: Optional[float] = None,
     ):
         if window_s < 0:
             raise ValueError("window_s must be non-negative")
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
+        if max_queue < 0:
+            raise ValueError("max_queue must be non-negative (0 = off)")
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive (or None)")
         self.service = service
         self.window_s = float(window_s)
         self.max_batch = int(max_batch)
+        self.max_queue = int(max_queue)
+        self.request_timeout_s = request_timeout_s
         self._pending: List[Tuple[Event, asyncio.Future]] = []
         self._timer: Optional[asyncio.Task] = None
         self._flush_lock = asyncio.Lock()
@@ -74,8 +108,11 @@ class AsyncAssignmentFrontend:
         self._seq = 0
         self._t0: Optional[float] = None
         self._closed = False
+        self._backlog = 0  # in-flight: submitted, future not yet resolved
         self.requests = 0
         self.groups_flushed = 0
+        self.shed = 0
+        self.timeouts = 0
 
     # ------------------------------------------------------------------
     # request API
@@ -111,18 +148,55 @@ class AsyncAssignmentFrontend:
         )
 
     async def submit(self, event: Event) -> EventOutcome:
-        """Enqueue one event; resolves when its delta group is applied."""
+        """Enqueue one event; resolves when its delta group is applied.
+
+        Raises :class:`Overloaded` when the in-flight backlog is at
+        ``max_queue`` and ``asyncio.TimeoutError`` when the request's
+        ``request_timeout_s`` deadline passes first (the event itself
+        still lands — see the class docstring).
+        """
         if self._closed:
             raise RuntimeError("frontend is closed")
+        if self.max_queue and self._backlog >= self.max_queue:
+            self.shed += 1
+            self.service.stats.shed += 1
+            raise Overloaded(
+                f"in-flight backlog at max_queue={self.max_queue}",
+                self._retry_after_s(),
+            )
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._pending.append((event, future))
+        self._backlog += 1
         self.requests += 1
+        future.add_done_callback(self._on_resolved)
         if len(self._pending) >= self.max_batch or self.window_s == 0:
             await self._flush()
         elif self._timer is None or self._timer.done():
             self._timer = asyncio.create_task(self._flush_after())
-        return await future
+        if self.request_timeout_s is None:
+            return await future
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(future), self.request_timeout_s
+            )
+        except asyncio.TimeoutError:
+            # The caller stops waiting; the event is already queued (or
+            # applied) and the future will still resolve, keeping the
+            # backlog accounting straight via the done callback.
+            self.timeouts += 1
+            self.service.stats.timeouts += 1
+            raise
+
+    def _on_resolved(self, _future: asyncio.Future) -> None:
+        self._backlog -= 1
+
+    def _retry_after_s(self) -> float:
+        """Honest hint: one batching window plus the engine's latest
+        group latency (how long the current wave needs to drain)."""
+        latencies = self.service.stats.group_latencies_s
+        recent = latencies[-1] if latencies else 0.0
+        return self.window_s + recent
 
     async def aclose(self) -> None:
         """Flush anything pending and release the worker thread."""

@@ -57,6 +57,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.core.faults import FaultPlan
 from repro.core.matching import Matching
 from repro.core.problem import CCAProblem, Customer, Provider
 from repro.core.session import Matcher
@@ -122,6 +123,14 @@ class ServeStats:
     reconcile_moves: int = 0
     reconcile_rebalanced: int = 0
     reconcile_s: float = 0.0
+    # Degraded-operation counters (graceful degradation, not failure):
+    # quarantines = dead shard sessions rebuilt cold without touching the
+    # other shards' warm state; shed = requests rejected by the async
+    # frontend's bounded queue; timeouts = per-request deadlines blown.
+    quarantines: int = 0
+    quarantine_s: float = 0.0
+    shed: int = 0
+    timeouts: int = 0
     group_latencies_s: List[float] = field(default_factory=list)
 
     def latency_percentiles(
@@ -165,6 +174,10 @@ class ServeStats:
             "reconcile_moves": self.reconcile_moves,
             "reconcile_rebalanced": self.reconcile_rebalanced,
             "reconcile_s": self.reconcile_s,
+            "quarantines": self.quarantines,
+            "quarantine_s": self.quarantine_s,
+            "shed": self.shed,
+            "timeouts": self.timeouts,
             "latency_p50_ms": percentiles[50.0] * 1e3,
             "latency_p99_ms": percentiles[99.0] * 1e3,
             "events_per_sec": self.events_per_sec,
@@ -199,6 +212,13 @@ class OnlineAssignmentService:
     plan:
         A prebuilt :class:`~repro.core.shard.ShardPlan` (operator
         districts) overriding ``shards``/``delta``.
+    fault_plan:
+        A :class:`~repro.core.faults.FaultPlan` whose ``site="session"``
+        specs kill warm shard sessions deterministically (the occurrence
+        axis is the delta-group index) — chaos testing for the quarantine
+        path.  A killed shard is rebuilt cold from the live global state
+        without touching the other shards' warm sessions, so replay
+        results are unchanged; ``stats.quarantines`` counts the rebuilds.
     """
 
     def __init__(
@@ -215,6 +235,7 @@ class OnlineAssignmentService:
         use_pua: bool = True,
         ann_group_size: Optional[int] = None,
         plan: Optional[ShardPlan] = None,
+        fault_plan: Optional["FaultPlan"] = None,
     ):
         if shards < 1:
             raise ValueError("shards must be positive")
@@ -228,6 +249,7 @@ class OnlineAssignmentService:
         self.patience = int(patience)
         self.use_pua = use_pua
         self.ann_group_size = ann_group_size
+        self.fault_plan = fault_plan
 
         nq = len(problem.providers)
         if plan is None:
@@ -313,6 +335,19 @@ class OnlineAssignmentService:
                 self.stats.rejected += 1
             elif outcome.kind == "arrive":
                 arrivals.append((len(outcomes) - 1, outcome.customer_id))
+        # Chaos seam: session-site faults kill warm sessions on a fixed
+        # delta-group schedule; marking the shard touched routes it into
+        # the quarantine-and-rebuild path below.
+        if self.fault_plan is not None:
+            group_index = self.stats.groups
+            for index, session in self.sessions.items():
+                spec = self.fault_plan.match("session", index, group_index)
+                if spec is not None:
+                    session.mark_dead(
+                        f"injected session fault (shard {index}, "
+                        f"group {group_index})"
+                    )
+                    touched.add(index)
         for index in sorted(touched):
             self._assign_shard(index)
         if arrivals:
@@ -475,11 +510,24 @@ class OnlineAssignmentService:
 
     def _assign_shard(self, index: int) -> None:
         session = self.sessions[index]
+        if session.is_dead:
+            self._quarantine(index, session.death_reason)
+            return
         eligible = session.is_warm
+        try:
+            session.assign()
+        except Exception as exc:
+            # The session normally marks itself dead on the way out (see
+            # Matcher.assign); mark it here too (idempotent) so the
+            # abandoned object is dead no matter where the exception
+            # originated.  Degrade gracefully — rebuild this one shard
+            # cold; every other shard keeps its warm state.
+            session.mark_dead(f"{type(exc).__name__}: {exc}")
+            self._quarantine(index, session.death_reason)
+            return
+        self.stats.assigns += 1
         if not eligible:
             self.stats.hazard_colds += 1
-        session.assign()
-        self.stats.assigns += 1
         if session.last_was_warm:
             self.stats.warm_assigns += 1
         else:
@@ -488,6 +536,49 @@ class OnlineAssignmentService:
                 # The warm solve itself hit a NegativeReducedCostError and
                 # the session certified a restart-from-scratch.
                 self.stats.repair_fallbacks += 1
+
+    def _quarantine(self, index: int, reason: str) -> None:
+        """Rebuild one shard's session cold from the live global state.
+
+        The replacement sub-instance preserves the shard's *positional*
+        local ids exactly — every global id the shard ever held appears
+        at its historic local position, with its live weight iff the
+        customer registry still maps it here and weight 0 (tombstone)
+        otherwise — so ``_local_customers``/``_customer_loc`` stay valid
+        and a cold solve of the rebuilt instance is semantically
+        identical to the dead session's state.  Quarantine assigns are
+        counted separately (``quarantines``/``quarantine_s``), not as
+        service assigns: the warm-rate and fallback invariants describe
+        healthy operation.
+        """
+        started = time.perf_counter()
+        provider_ids = self._shard_providers[index]
+        xy: List[Tuple[float, float]] = []
+        weights: List[int] = []
+        for local, gid in enumerate(self._local_customers[index]):
+            customer = self.problem.customers[gid]
+            xy.append(customer.point.coords)
+            live = self._customer_loc.get(gid) == (index, local)
+            weights.append(customer.weight if live else 0)
+        sub = CCAProblem.from_arrays(
+            [self.problem.providers[i].point.coords for i in provider_ids],
+            [self.problem.providers[i].capacity for i in provider_ids],
+            xy,
+            customer_weights=weights,
+            page_size=self.problem.page_size,
+            buffer_fraction=self.problem.buffer_fraction,
+        )
+        session = Matcher(
+            sub,
+            backend=self.backend,
+            index_backend=self.index_backend.name,
+            use_pua=self.use_pua,
+            ann_group_size=self.ann_group_size,
+        )
+        session.assign()
+        self.sessions[index] = session
+        self.stats.quarantines += 1
+        self.stats.quarantine_s += time.perf_counter() - started
 
     def _resolve_arrivals(self, arrivals, outcomes, touched) -> None:
         """Fill each accepted arrival's (provider, distance) from the

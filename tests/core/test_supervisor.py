@@ -1,0 +1,191 @@
+"""Unit tests for the supervised shard-task runner."""
+
+import multiprocessing
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.faults import FaultInjected, FaultLedger, FaultSpec, trigger
+from repro.core.supervisor import RetryPolicy, run_supervised
+
+
+@dataclass(frozen=True)
+class Toy:
+    """Minimal task shape run_supervised needs: .index and .attempt."""
+
+    index: int
+    attempt: int = 0
+    fail_until: int = 0  # attempts below this misbehave
+    kind: str = "error"  # error | crash | hang | poison
+    delay_s: float = 0.0
+
+
+def _solve(task: Toy):
+    bad = task.attempt < task.fail_until
+    if bad and task.kind != "poison":
+        trigger(
+            FaultSpec(kind=task.kind, delay_s=task.delay_s),
+            where=f"shard {task.index}, attempt {task.attempt}",
+        )
+    payload = "bad" if (bad and task.kind == "poison") else "ok"
+    return (payload, task.index, task.attempt)
+
+
+def _fallback(task: Toy):
+    return ("ok", task.index, "cold")
+
+
+def _verify(task: Toy, result):
+    return None if result[0] == "ok" else "bad payload"
+
+
+def _fast_policy(**kw) -> RetryPolicy:
+    kw.setdefault("backoff_base_s", 0.001)
+    return RetryPolicy(**kw)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_and_grows(self):
+        a = RetryPolicy(seed=3)
+        b = RetryPolicy(seed=3)
+        assert a.backoff_s(1, 0) == b.backoff_s(1, 0)
+        base = a.backoff_base_s
+        assert base <= a.backoff_s(1, 0) <= base * (1 + a.backoff_jitter)
+        # Exponential growth dominates jitter at the default settings.
+        assert a.backoff_s(1, 1) > a.backoff_s(1, 0)
+        assert a.backoff_s(1, 2) > a.backoff_s(1, 1)
+
+    def test_zero_jitter_is_pure_exponential(self):
+        p = RetryPolicy(backoff_jitter=0.0, backoff_base_s=0.1)
+        assert p.backoff_s(0, 0) == pytest.approx(0.1)
+        assert p.backoff_s(0, 2) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="task_timeout_s"):
+            RetryPolicy(task_timeout_s=0.0)
+
+
+class TestInline:
+    def test_clean_run_keeps_order_and_empty_ledger(self):
+        tasks = [Toy(index=i) for i in range(3)]
+        ledger = FaultLedger()
+        out = run_supervised(
+            tasks, solve=_solve, fallback=_fallback, ledger=ledger
+        )
+        assert out == [("ok", 0, 0), ("ok", 1, 0), ("ok", 2, 0)]
+        assert len(ledger) == 0
+
+    def test_retry_recovers(self):
+        tasks = [Toy(index=0), Toy(index=1, fail_until=1)]
+        ledger = FaultLedger()
+        out = run_supervised(
+            tasks, solve=_solve, fallback=_fallback,
+            policy=_fast_policy(max_retries=2), ledger=ledger,
+        )
+        assert out == [("ok", 0, 0), ("ok", 1, 1)]
+        assert ledger.retries == 1
+        assert ledger.events[0].shard == 1
+
+    def test_requeue_cold_after_exhausted_retries(self):
+        tasks = [Toy(index=0, fail_until=99)]
+        ledger = FaultLedger()
+        out = run_supervised(
+            tasks, solve=_solve, fallback=_fallback,
+            policy=_fast_policy(max_retries=1), ledger=ledger,
+        )
+        assert out == [("ok", 0, "cold")]
+        assert ledger.retries == 1
+        assert ledger.requeues == 1
+
+    def test_raise_when_requeue_disabled(self):
+        tasks = [Toy(index=0, fail_until=99)]
+        ledger = FaultLedger()
+        with pytest.raises(FaultInjected, match="injected shard worker"):
+            run_supervised(
+                tasks, solve=_solve, fallback=_fallback,
+                policy=_fast_policy(max_retries=0, requeue_cold=False),
+                ledger=ledger,
+            )
+        assert ledger.count(action="raise") == 1
+
+    def test_poisoned_result_is_retried_via_verify(self):
+        tasks = [Toy(index=0, fail_until=1, kind="poison")]
+        ledger = FaultLedger()
+        out = run_supervised(
+            tasks, solve=_solve, fallback=_fallback, verify=_verify,
+            policy=_fast_policy(max_retries=2), ledger=ledger,
+        )
+        assert out == [("ok", 0, 1)]
+        assert ledger.poisoned == 1
+
+    def test_cold_fallback_failing_verify_is_a_real_bug(self):
+        def bad_fallback(task):
+            return ("bad", task.index, "cold")
+
+        tasks = [Toy(index=0, fail_until=99)]
+        with pytest.raises(RuntimeError, match="failed verification"):
+            run_supervised(
+                tasks, solve=_solve, fallback=bad_fallback, verify=_verify,
+                policy=_fast_policy(max_retries=0), ledger=FaultLedger(),
+            )
+
+    def test_crash_degrades_to_retryable_error_inline(self):
+        # Inline "crash" must not os._exit the test process.
+        tasks = [Toy(index=0, fail_until=1, kind="crash"), Toy(index=1)]
+        ledger = FaultLedger()
+        out = run_supervised(
+            tasks, solve=_solve, fallback=_fallback,
+            policy=_fast_policy(max_retries=1), ledger=ledger,
+        )
+        assert out == [("ok", 0, 1), ("ok", 1, 0)]
+        assert ledger.retries == 1
+
+
+class TestPool:
+    def test_worker_crash_is_retried(self):
+        tasks = [Toy(index=0), Toy(index=1, fail_until=1, kind="crash")]
+        ledger = FaultLedger()
+        out = run_supervised(
+            tasks, solve=_solve, fallback=_fallback, workers=2,
+            policy=_fast_policy(max_retries=2), ledger=ledger,
+        )
+        # A hard worker death breaks the whole pool, so the clean sibling
+        # may be swept up too (requeued as collateral, or retried if its
+        # future was poisoned first) — payloads must still be exact, but
+        # the sibling's attempt counter depends on that race.
+        assert [(r[0], r[1]) for r in out] == [("ok", 0), ("ok", 1)]
+        assert out[1][2] >= 1  # the crashing shard needed at least one retry
+        assert ledger.crashes >= 1
+        assert not multiprocessing.active_children()
+
+    def test_hung_worker_hits_deadline_and_recovers(self):
+        tasks = [
+            Toy(index=0, fail_until=1, kind="hang", delay_s=30.0),
+            Toy(index=1),
+        ]
+        ledger = FaultLedger()
+        out = run_supervised(
+            tasks, solve=_solve, fallback=_fallback, workers=2,
+            policy=_fast_policy(max_retries=2, task_timeout_s=0.75),
+            ledger=ledger,
+        )
+        assert out == [("ok", 0, 1), ("ok", 1, 0)]
+        assert ledger.timeouts >= 1
+        assert not multiprocessing.active_children()
+
+    def test_pool_poisoned_result_requeues_cold(self):
+        tasks = [
+            Toy(index=0, fail_until=99, kind="poison"),
+            Toy(index=1),
+        ]
+        ledger = FaultLedger()
+        out = run_supervised(
+            tasks, solve=_solve, fallback=_fallback, verify=_verify,
+            workers=2, policy=_fast_policy(max_retries=1), ledger=ledger,
+        )
+        assert out == [("ok", 0, "cold"), ("ok", 1, 0)]
+        assert ledger.poisoned >= 1
+        assert ledger.requeues == 1
+        assert not multiprocessing.active_children()

@@ -1,10 +1,27 @@
-"""Failure injection and hostile configurations."""
+"""Failure injection and hostile configurations.
+
+The fault matrix at the bottom is the PR's acceptance gate in test
+form: {crash, error, hang, attach, poison} × {inline, pool} ×
+{dict, array} flow backends, each run asserting the supervised solve is
+bit-identical to the fault-free one, the FaultLedger accounts for what
+happened, and the run leaves no orphan workers or leaked segments.
+"""
+
+import glob
+import multiprocessing
 
 import numpy as np
 import pytest
 
+from repro.core.faults import FaultPlan
 from repro.core.problem import CCAProblem
+from repro.core.shard import solve_sharded
+from repro.core.shm import SEGMENT_PREFIX
 from repro.core.solve import solve
+from repro.core.supervisor import RetryPolicy
+from repro.datagen.events import EventStreamSpec, generate_events
+from repro.datagen.workloads import make_problem
+from repro.serve.engine import OnlineAssignmentService
 from repro.storage.page import PageManager
 from tests.conftest import random_problem
 
@@ -116,3 +133,189 @@ class TestApproxCorners:
         )
         m = solve(prob, "sm")
         assert m.size == 10
+
+
+# ----------------------------------------------------------------------
+# Supervised shard runtime: the fault matrix
+# ----------------------------------------------------------------------
+BACKENDS = ("dict", "array")
+POOL_KINDS = ("crash", "error", "hang", "attach", "poison")
+# Inline (workers<=1) supervision has no deadline preemption, so "hang"
+# is exercised there as its recoverable cousin "slow".
+INLINE_KINDS = ("error", "attach", "poison", "slow")
+
+SHARDS = 3
+
+
+def _matrix_problem():
+    rng = np.random.default_rng(77)
+    return random_problem(rng, nq=8, np_=160, cap_hi=30)
+
+
+def _plan_for(kind: str, shard: int = 1) -> FaultPlan:
+    if kind == "hang":
+        return FaultPlan.single("hang", shard=shard, delay_s=30.0)
+    return FaultPlan.single(kind, shard=shard)
+
+
+def _policy_for(kind: str) -> RetryPolicy:
+    return RetryPolicy(
+        max_retries=2,
+        task_timeout_s=2.0 if kind == "hang" else None,
+        backoff_base_s=0.01,
+    )
+
+
+def _segments():
+    return sorted(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*"))
+
+
+def _assert_ledger_accounts_for(ledger, kind: str):
+    """The ledger must name the hazard it survived.  Counts are lower
+    bounds: a hard worker death breaks the whole pool, so siblings can
+    be retried as collateral crashes too."""
+    assert ledger is not None and len(ledger) >= 1
+    if kind == "crash":
+        assert ledger.crashes >= 1
+    elif kind == "hang":
+        assert ledger.timeouts >= 1
+    elif kind == "poison":
+        assert ledger.poisoned >= 1
+    else:  # error / attach / slow-that-misses-nothing
+        assert ledger.retries + ledger.requeues >= 1
+
+
+@pytest.fixture(scope="module")
+def clean_reference():
+    """Fault-free sharded matchings, one per flow backend.
+
+    Pool and inline supervised paths are bit-identical to each other
+    (pinned by tests/core/test_shard.py), so one reference serves both
+    halves of the matrix.
+    """
+    problem = _matrix_problem()
+    return problem, {
+        backend: solve_sharded(
+            problem, SHARDS, workers=2, backend=backend
+        ).pairs
+        for backend in BACKENDS
+    }
+
+
+class TestShardFaultMatrix:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("kind", POOL_KINDS)
+    def test_pool_recovers_bit_identical(
+        self, kind, backend, clean_reference
+    ):
+        problem, references = clean_reference
+        before = _segments()
+        matching = solve_sharded(
+            problem,
+            SHARDS,
+            workers=2,
+            backend=backend,
+            fault_plan=_plan_for(kind),
+            retry_policy=_policy_for(kind),
+        )
+        assert matching.pairs == references[backend]
+        if kind != "slow":  # slow completes normally: nothing to record
+            _assert_ledger_accounts_for(matching.stats.faults, kind)
+        assert _segments() == before
+        assert not multiprocessing.active_children()
+
+    @pytest.mark.parametrize("kind", INLINE_KINDS)
+    def test_inline_recovers_bit_identical(self, kind, clean_reference):
+        problem, references = clean_reference
+        before = _segments()
+        matching = solve_sharded(
+            problem,
+            SHARDS,
+            backend="array",
+            fault_plan=_plan_for(kind),
+            retry_policy=_policy_for(kind),
+        )
+        assert matching.pairs == references["array"]
+        if kind != "slow":
+            _assert_ledger_accounts_for(matching.stats.faults, kind)
+        assert _segments() == before
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_exhausted_retries_requeue_cold(self, backend, clean_reference):
+        """A shard that fails EVERY attempt is re-solved cold in the
+        coordinator — certify-or-fall-back, never silent degradation."""
+        problem, references = clean_reference
+        matching = solve_sharded(
+            problem,
+            SHARDS,
+            workers=2,
+            backend=backend,
+            fault_plan=FaultPlan.single("error", shard=1, at=None),
+            retry_policy=RetryPolicy(max_retries=1, backoff_base_s=0.01),
+        )
+        assert matching.pairs == references[backend]
+        ledger = matching.stats.faults
+        assert ledger.requeues >= 1
+        assert ledger.retries >= 1
+        assert matching.stats.extra["faults"]["requeues_cold"] >= 1
+
+    def test_seeded_plans_all_recover(self, clean_reference):
+        """FaultPlan.from_seed generates attempt-0 faults by design, so
+        every seeded chaos plan must recover bit-identically — the same
+        invariant `repro-cca chaos` sweeps at larger scale."""
+        problem, references = clean_reference
+        for seed in range(3):
+            plan = FaultPlan.from_seed(
+                seed, SHARDS, hang_s=30.0
+            )
+            matching = solve_sharded(
+                problem,
+                SHARDS,
+                workers=2,
+                backend="array",
+                fault_plan=plan,
+                retry_policy=_policy_for("hang"),
+            )
+            assert matching.pairs == references["array"], plan.describe()
+        assert not multiprocessing.active_children()
+
+
+class TestServeFaultMatrix:
+    """Session-site faults during replay: quarantined sessions must be
+    rebuilt cold without changing the final matching."""
+
+    KILL_GROUPS = (1, 3, 5)
+
+    def _events(self, problem):
+        spec = EventStreamSpec(n_events=80, rate=25.0)
+        return generate_events(problem, spec, seed=11)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_replay_with_session_kills_is_bit_identical(self, backend):
+        events = self._events(make_problem(nq=8, np_=50, k=10, seed=3))
+
+        clean = OnlineAssignmentService(
+            make_problem(nq=8, np_=50, k=10, seed=3), backend=backend
+        )
+        clean.run(events, window=0.2)
+        reference = sorted(clean.live_pairs())
+
+        plan = FaultPlan.session_faults(self.KILL_GROUPS, num_shards=1)
+        chaotic = OnlineAssignmentService(
+            make_problem(nq=8, np_=50, k=10, seed=3),
+            backend=backend,
+            fault_plan=plan,
+        )
+        chaotic.run(events, window=0.2)
+
+        assert sorted(chaotic.live_pairs()) == reference
+        assert chaotic.stats.quarantines == len(self.KILL_GROUPS)
+        assert chaotic.stats.quarantine_s > 0.0
+        report = chaotic.verify_against_cold()
+        assert report["identical"], report
+        # The certification taxonomy still covers every cold assign:
+        # quarantine rebuilds are counted separately, not smuggled in.
+        stats = chaotic.stats
+        assert stats.cold_assigns == (
+            stats.hazard_colds + stats.repair_fallbacks
+        )

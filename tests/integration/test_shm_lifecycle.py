@@ -7,12 +7,15 @@ pickles), attachments are zero-copy, and the segment is gone after the
 solve — whether it finished or a worker died mid-flight.
 """
 
+import gc
 import glob
 import pickle
+import warnings
 
 import numpy as np
 import pytest
 
+from repro.core.faults import FaultPlan
 from repro.core.shard import FAULT_ENV, ShardTask, solve_sharded
 from repro.core.shm import (
     SEGMENT_PREFIX,
@@ -20,7 +23,12 @@ from repro.core.shm import (
     attach,
     close_and_unlink,
 )
+from repro.core.supervisor import RetryPolicy
 from tests.conftest import random_problem
+
+# Pin the raise path: no retries, no cold requeue — the legacy
+# fail-fast behaviour the leak tests were written against.
+FAIL_FAST = RetryPolicy(max_retries=0, requeue_cold=False)
 
 
 def _segments():
@@ -95,21 +103,94 @@ class TestSolveShardedLifecycle:
         matching.validate(problem)
         assert _segments() == before
 
-    def test_no_leaked_segments_after_worker_fault(self, monkeypatch):
+    def test_no_leaked_segments_after_worker_fault(self):
         before = _segments()
-        monkeypatch.setenv(FAULT_ENV, "1")
         rng = np.random.default_rng(22)
         problem = random_problem(rng, nq=8, np_=160, cap_hi=30)
+        plan = FaultPlan.single("error", shard=1, at=None)
         with pytest.raises(RuntimeError, match="injected shard worker"):
-            solve_sharded(problem, 3, workers=2)
+            solve_sharded(
+                problem, 3, workers=2, fault_plan=plan,
+                retry_policy=FAIL_FAST,
+            )
         assert _segments() == before
 
-    def test_no_leaked_segments_after_serial_fault(self, monkeypatch):
+    def test_no_leaked_segments_after_serial_fault(self):
         """The inline (workers=None) path runs the same finally cleanup."""
         before = _segments()
-        monkeypatch.setenv(FAULT_ENV, "0")
         rng = np.random.default_rng(23)
         problem = random_problem(rng, nq=6, np_=120, cap_hi=30)
+        plan = FaultPlan.single("error", shard=0, at=None)
         with pytest.raises(RuntimeError, match="injected shard worker"):
-            solve_sharded(problem, 3)
+            solve_sharded(
+                problem, 3, fault_plan=plan, retry_policy=FAIL_FAST
+            )
+        assert _segments() == before
+
+    def test_no_leaked_segments_when_supervision_recovers(self):
+        """The default policy absorbs the fault — and still leaks
+        nothing, even though a worker died mid-attach."""
+        before = _segments()
+        rng = np.random.default_rng(24)
+        problem = random_problem(rng, nq=8, np_=160, cap_hi=30)
+        clean = solve_sharded(problem, 3, workers=2)
+        faulted = solve_sharded(
+            problem, 3, workers=2,
+            fault_plan=FaultPlan.single("crash", shard=0),
+        )
+        assert faulted.pairs == clean.pairs
+        assert _segments() == before
+
+
+@needs_dev_shm
+class TestEnvAlias:
+    """REPRO_SHARD_FAULT_INDEX survives as a deprecated, coordinator-
+    scoped alias: read once by resolve_fault_plan, never by workers."""
+
+    def test_env_alias_warns_and_recovers(self, monkeypatch):
+        before = _segments()
+        monkeypatch.setenv(FAULT_ENV, "1")
+        rng = np.random.default_rng(25)
+        problem = random_problem(rng, nq=8, np_=160, cap_hi=30)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            clean = solve_sharded(
+                problem, 3, workers=2, fault_plan=FaultPlan.none()
+            )
+        with pytest.warns(DeprecationWarning, match=FAULT_ENV):
+            faulted = solve_sharded(problem, 3, workers=2)
+        # The env spec faults EVERY attempt on shard 1, so recovery goes
+        # through the cold requeue — and is still bit-identical.
+        assert faulted.pairs == clean.pairs
+        assert faulted.stats.faults is not None
+        assert faulted.stats.faults.requeues >= 1
+        assert _segments() == before
+
+    def test_explicit_none_plan_shields_from_env(self, monkeypatch):
+        """A stray env var can no longer bleed into a run that opted out."""
+        monkeypatch.setenv(FAULT_ENV, "0")
+        rng = np.random.default_rng(26)
+        problem = random_problem(rng, nq=6, np_=120, cap_hi=30)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            matching = solve_sharded(
+                problem, 3, fault_plan=FaultPlan.none()
+            )
+        matching.validate(problem)
+        ledger = matching.stats.faults
+        assert ledger is None or len(ledger) == 0
+
+
+@needs_dev_shm
+class TestFinalizerGuard:
+    def test_dropped_store_is_unlinked_by_finalizer(self):
+        """An owner that never reaches close_and_unlink (bug, crash path)
+        must not leak: the weakref.finalize guard unlinks at GC."""
+        before = _segments()
+        store = SharedColumnStore({"a": np.ones(16)})
+        name = store.handle.name
+        assert f"/dev/shm/{name}" in _segments()
+        del store
+        gc.collect()
+        assert f"/dev/shm/{name}" not in _segments()
         assert _segments() == before

@@ -1,0 +1,207 @@
+"""Graceful degradation in the serving layer.
+
+Three survival properties: a dead warm session is quarantined and
+rebuilt cold without touching other shards' warm state; the async
+frontend sheds load with a reason and a retry-after hint instead of
+buffering without bound; per-request deadlines time out the *caller*
+while the engine still applies the event.  Degraded operation is always
+visible in ServeStats — never silent.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.faults import FaultPlan
+from repro.core.session import SessionDeadError
+from repro.datagen.events import Event
+from repro.datagen.workloads import make_problem
+from repro.serve.async_front import AsyncAssignmentFrontend, Overloaded
+from repro.serve.engine import OnlineAssignmentService
+
+
+def _service(**kwargs):
+    problem = make_problem(nq=8, np_=50, k=10, seed=3, network_grid=8)
+    kwargs.setdefault("backend", "array")
+    return OnlineAssignmentService(problem, **kwargs)
+
+
+def _arrive(seq, xy):
+    return Event(seq=seq, time=float(seq), kind="arrive", xy=xy)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestQuarantine:
+    def test_dead_session_is_rebuilt_and_state_stays_identical(self):
+        service = _service()
+        service.apply([_arrive(0, (40.0, 60.0))])
+        session = service.sessions[0]
+        session.mark_dead("simulated residual-state corruption")
+        assert session.is_dead
+        assert "corruption" in session.death_reason
+        with pytest.raises(SessionDeadError):
+            session.assign()
+        # The next group that touches the shard quarantines + rebuilds.
+        service.apply([_arrive(1, (60.0, 40.0))])
+        assert service.sessions[0] is not session
+        assert not service.sessions[0].is_dead
+        assert service.stats.quarantines == 1
+        assert service.stats.quarantine_s > 0.0
+        assert service.verify_against_cold()["identical"]
+
+    def test_session_exception_marks_dead_and_quarantines(self):
+        """A session that blows up mid-assign is marked dead (its
+        incremental state can no longer be trusted) and quarantined on
+        the spot — the group still completes correctly."""
+        service = _service()
+        service.apply([_arrive(0, (40.0, 60.0))])
+        session = service.sessions[0]
+        original = session.assign
+
+        calls = {"n": 0}
+
+        def explode(*args, **kwargs):
+            if calls["n"] == 0:
+                calls["n"] += 1
+                raise ValueError("simulated engine bug")
+            return original(*args, **kwargs)
+
+        session.assign = explode
+        service.apply([_arrive(1, (60.0, 40.0))])
+        assert session.is_dead
+        assert "ValueError" in session.death_reason
+        assert service.stats.quarantines == 1
+        assert service.verify_against_cold()["identical"]
+
+    def test_quarantine_preserves_other_shards_warm_state(self):
+        service = _service(
+            shards=2,
+            fault_plan=FaultPlan.session_faults([1], num_shards=2),
+        )
+        service.apply([_arrive(0, (40.0, 60.0))])  # group 0: clean
+        before = dict(service.sessions)
+        service.apply([_arrive(1, (60.0, 40.0))])  # group 1: shard 0 dies
+        assert service.stats.quarantines == 1
+        # Only the dead shard was rebuilt; the sibling keeps its warm
+        # session object (and with it, its incremental solver state).
+        assert service.sessions[0] is not before[0]
+        assert service.sessions[1] is before[1]
+
+    def test_degradation_counters_surface_in_summary(self):
+        service = _service()
+        summary = service.stats.summary()
+        for key in ("quarantines", "quarantine_s", "shed", "timeouts"):
+            assert key in summary
+
+
+class TestLoadShedding:
+    def test_overloaded_carries_reason_and_retry_after(self):
+        async def scenario():
+            service = _service()
+            front = AsyncAssignmentFrontend(
+                service, window_s=30.0, max_batch=100, max_queue=2
+            )
+            parked = [
+                asyncio.create_task(front.arrive((10.0 * i, 10.0)))
+                for i in range(2)
+            ]
+            await asyncio.sleep(0.01)  # both enqueued, window far away
+            with pytest.raises(Overloaded) as excinfo:
+                await front.arrive((99.0, 99.0))
+            shed_exc = excinfo.value
+            await front.aclose()  # flushes the parked pair
+            outcomes = await asyncio.gather(*parked)
+            return service, front, shed_exc, outcomes
+
+        service, front, exc, outcomes = _run(
+            asyncio.wait_for(scenario(), timeout=10.0)
+        )
+        assert "max_queue=2" in exc.reason
+        assert exc.retry_after_s >= 0.0
+        assert front.shed == 1
+        assert service.stats.shed == 1
+        # The shed request was never enqueued; the parked ones landed.
+        assert all(o.ok for o in outcomes)
+        assert service.stats.events == 2
+
+    def test_backlog_drains_after_flush(self):
+        async def scenario():
+            service = _service()
+            async with AsyncAssignmentFrontend(
+                service, window_s=0.0, max_queue=2
+            ) as front:
+                # Zero window: every request flushes before the next
+                # submit, so the backlog never accumulates and nothing
+                # is shed.
+                for i in range(6):
+                    await front.arrive((10.0 * i, 20.0))
+            return front
+
+        front = _run(scenario())
+        assert front.shed == 0
+        assert front.requests == 6
+
+    def test_zero_max_queue_disables_shedding(self):
+        async def scenario():
+            service = _service()
+            front = AsyncAssignmentFrontend(
+                service, window_s=30.0, max_batch=100, max_queue=0
+            )
+            parked = [
+                asyncio.create_task(front.arrive((10.0 * i, 10.0)))
+                for i in range(8)
+            ]
+            await asyncio.sleep(0.01)
+            await front.aclose()
+            await asyncio.gather(*parked)
+            return front
+
+        front = _run(asyncio.wait_for(scenario(), timeout=10.0))
+        assert front.shed == 0
+
+
+class TestRequestTimeouts:
+    def test_caller_times_out_but_event_still_lands(self):
+        async def scenario():
+            service = _service()
+            front = AsyncAssignmentFrontend(
+                service,
+                window_s=30.0,
+                max_batch=100,
+                request_timeout_s=0.05,
+            )
+            with pytest.raises(asyncio.TimeoutError):
+                await front.arrive((50.0, 50.0))
+            await front.aclose()  # the queued event flushes here
+            return service, front
+
+        service, front = _run(asyncio.wait_for(scenario(), timeout=10.0))
+        assert front.timeouts == 1
+        assert service.stats.timeouts == 1
+        # The engine applied the event after the caller stopped waiting:
+        # state stays consistent and certified.
+        assert service.stats.events == 1
+        assert service.verify_against_cold()["identical"]
+
+    def test_fast_requests_do_not_time_out(self):
+        async def scenario():
+            service = _service()
+            async with AsyncAssignmentFrontend(
+                service, window_s=0.0, request_timeout_s=5.0
+            ) as front:
+                outcome = await front.arrive((50.0, 50.0))
+            return front, outcome
+
+        front, outcome = _run(scenario())
+        assert outcome.ok
+        assert front.timeouts == 0
+
+    def test_rejects_bad_degradation_knobs(self):
+        service = _service()
+        with pytest.raises(ValueError):
+            AsyncAssignmentFrontend(service, max_queue=-1)
+        with pytest.raises(ValueError):
+            AsyncAssignmentFrontend(service, request_timeout_s=0.0)

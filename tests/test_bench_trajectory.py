@@ -74,6 +74,15 @@ def test_committed_reports_satisfy_schema_and_merge(tmp_path):
     assert set(metrics["per_profile"]) >= {"steady"}
     for row in metrics["per_profile"].values():
         assert row["latency_p99_ms"] >= row["latency_p50_ms"] > 0.0
+    # The degraded-mode point (ISSUE-9): serving under a fixed session
+    # crash rate stays bit-identical and records its recovery cost.
+    assert serve["gates"]["faulted_identity"] == "pass"
+    assert metrics["degraded_latency_p99_ms"] > 0.0
+    faulted = serve["faulted"]
+    assert faulted["quarantines"] >= 1
+    assert faulted["session_kills"] >= 1
+    assert faulted["recovery_overhead"] >= 0.0
+    assert faulted["p99_inflation"] > 0.0
 
 
 def test_schema_violations_fail(tmp_path):
