@@ -21,6 +21,4 @@ COMBOS = (
 @pytest.mark.parametrize("method", EXACT_TRIO)
 def bench_fig13(benchmark, method, combo):
     _, dist_q, dist_p = combo
-    solve_once(
-        benchmark, bench_problem(dist_q=dist_q, dist_p=dist_p), method
-    )
+    solve_once(benchmark, bench_problem(dist_q=dist_q, dist_p=dist_p), method)

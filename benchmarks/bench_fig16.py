@@ -15,6 +15,4 @@ NQ_SWEEP = (250, 500, 1000, 2500, 5000)
 @pytest.mark.parametrize("nq", NQ_SWEEP)
 @pytest.mark.parametrize("method", ("ida",) + APPROX_QUAD)
 def bench_fig16(benchmark, method, nq):
-    solve_once(
-        benchmark, bench_problem(nq_paper=nq), method, delta=DELTAS.get(method)
-    )
+    solve_once(benchmark, bench_problem(nq_paper=nq), method, delta=DELTAS.get(method))

@@ -131,9 +131,7 @@ def bench_end_to_end(problem_factory, flow_backend):
             out["esub"] = solver.stats.esub_edges
             out["io_faults"] = solver.stats.io.faults
         elif signature != reference:
-            raise AssertionError(
-                f"end-to-end divergence: {signature} != {reference}"
-            )
+            raise AssertionError(f"end-to-end divergence: {signature} != {reference}")
     out["speedup"] = out["seconds"]["pointer"] / out["seconds"]["packed"]
     return out
 
@@ -141,18 +139,32 @@ def bench_end_to_end(problem_factory, flow_backend):
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_index.json")
-    parser.add_argument("--scale", type=float, default=0.05,
-                        help="linear scale on |Q| and |P| (default 0.05)")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="linear scale on |Q| and |P| (default 0.05)",
+    )
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--draws", type=int, default=400,
-                        help="NNs drawn per provider per stream drain "
-                             "(default %(default)s)")
-    parser.add_argument("--repeats", type=int, default=3,
-                        help="timing repeats, best-of (default %(default)s)")
-    parser.add_argument("--flow-backend", default="array",
-                        help="flow kernel for the end-to-end solve "
-                             "(default %(default)s, so index work is not "
-                             "drowned by the dict kernel)")
+    parser.add_argument(
+        "--draws",
+        type=int,
+        default=400,
+        help="NNs drawn per provider per stream drain " "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats, best-of (default %(default)s)",
+    )
+    parser.add_argument(
+        "--flow-backend",
+        default="array",
+        help="flow kernel for the end-to-end solve "
+        "(default %(default)s, so index work is not "
+        "drowned by the dict kernel)",
+    )
     args = parser.parse_args(argv)
 
     nq = scaled(PAPER_DEFAULTS["nq"], args.scale, minimum=2)
@@ -164,34 +176,42 @@ def main(argv=None):
         return make_problem(nq=nq, np_=np_, k=k, seed=args.seed)
 
     problem = problem_factory()
-    print(f"[bench_index] fig10 paper-default point: |Q|={nq} |P|={np_} "
-          f"k={k} (scale {args.scale})")
+    print(
+        f"[bench_index] fig10 paper-default point: |Q|={nq} |P|={np_} "
+        f"k={k} (scale {args.scale})"
+    )
 
     build_s, structure = bench_build(problem, args.repeats)
-    print(f"[bench_index] build: pointer {build_s['pointer']:.3f}s, "
-          f"packed {build_s['packed']:.3f}s "
-          f"({build_s['pointer'] / build_s['packed']:.2f}x); "
-          f"pages={structure['pages']} height={structure['height']}")
+    print(
+        f"[bench_index] build: pointer {build_s['pointer']:.3f}s, "
+        f"packed {build_s['packed']:.3f}s "
+        f"({build_s['pointer'] / build_s['packed']:.2f}x); "
+        f"pages={structure['pages']} height={structure['height']}"
+    )
 
     stream_rows = []
     for group_size in GROUP_SIZES:
         row = bench_streams(problem, group_size, draws, args.repeats)
         stream_rows.append(row)
-        print(f"[bench_index] ann group_size={group_size}: "
-              f"{row['seconds']['pointer']:.3f}s -> "
-              f"{row['seconds']['packed']:.3f}s "
-              f"({row['speedup']:.2f}x, {row['nns']} NNs, "
-              f"{row['faults']} faults)")
+        print(
+            f"[bench_index] ann group_size={group_size}: "
+            f"{row['seconds']['pointer']:.3f}s -> "
+            f"{row['seconds']['packed']:.3f}s "
+            f"({row['speedup']:.2f}x, {row['nns']} NNs, "
+            f"{row['faults']} faults)"
+        )
 
     end_to_end = bench_end_to_end(problem_factory, args.flow_backend)
-    print(f"[bench_index] end-to-end ida/{args.flow_backend}: "
-          f"{end_to_end['seconds']['pointer']:.2f}s -> "
-          f"{end_to_end['seconds']['packed']:.2f}s "
-          f"({end_to_end['speedup']:.2f}x)")
+    print(
+        f"[bench_index] end-to-end ida/{args.flow_backend}: "
+        f"{end_to_end['seconds']['pointer']:.2f}s -> "
+        f"{end_to_end['seconds']['packed']:.2f}s "
+        f"({end_to_end['speedup']:.2f}x)"
+    )
 
     report = {
         "workload": "fig10 paper-default point (|Q|=1000, |P|=100K paper "
-                    "units, k=80)",
+        "units, k=80)",
         "backends": list(BACKEND_ORDER),
         "scale": args.scale,
         "seed": args.seed,
@@ -204,17 +224,17 @@ def main(argv=None):
         "build_s": build_s,
         "build_speedup": build_s["pointer"] / build_s["packed"],
         "ann_streams": stream_rows,
-        "ann_stream_speedup_geomean": geomean(
-            [row["speedup"] for row in stream_rows]
-        ),
+        "ann_stream_speedup_geomean": geomean([row["speedup"] for row in stream_rows]),
         "end_to_end": end_to_end,
         "flow_backend": args.flow_backend,
     }
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
-    print(f"[bench_index] NN-stream speedup geomean "
-          f"{report['ann_stream_speedup_geomean']:.2f}x over group sizes "
-          f"{list(GROUP_SIZES)} -> {args.out}")
+    print(
+        f"[bench_index] NN-stream speedup geomean "
+        f"{report['ann_stream_speedup_geomean']:.2f}x over group sizes "
+        f"{list(GROUP_SIZES)} -> {args.out}"
+    )
     return 0
 
 

@@ -116,9 +116,7 @@ def bench_point(nq_paper, scale, seed, repeats, stacks, kernel_backends):
     best = {label: math.inf for label, _, _ in stacks}
     for _ in range(max(1, repeats)):
         for label, flow, index in stacks:
-            elapsed, matching, solver = _end_to_end_once(
-                nq, np_, k, seed, flow, index
-            )
+            elapsed, matching, solver = _end_to_end_once(nq, np_, k, seed, flow, index)
             best[label] = min(best[label], elapsed)
             signature = (matching.cost, solver.stats.esub_edges)
             if reference is None:
@@ -173,32 +171,54 @@ def geomean(values):
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_kernel.json")
-    parser.add_argument("--scale", type=float, default=0.05,
-                        help="linear scale on |Q| and |P| (default 0.05)")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="linear scale on |Q| and |P| (default 0.05)",
+    )
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--points", type=int, default=3,
-                        help="how many Fig. 10 sweep points to run "
-                             "(default 3 = up to the paper-default |Q|)")
-    parser.add_argument("--repeats", type=int, default=2,
-                        help="end-to-end repetitions per stack; the best "
-                             "run is reported (default %(default)s)")
-    parser.add_argument("--min-end-to-end-geomean", type=float, default=None,
-                        help="fail (exit 1) when the end-to-end geomean "
-                             "falls below this bound — the CI regression "
-                             "gate for the fused columnar pipeline")
-    parser.add_argument("--backend", choices=("dict", "array", "numba"),
-                        default=None,
-                        help="request one extra backend explicitly; "
-                             "'numba' is attempted and recorded as "
-                             "skipped (with the reason) when the optional "
-                             "dependency is absent — dict/array are "
-                             "always measured")
-    parser.add_argument("--min-numba-vs-array-geomean", type=float,
-                        default=None,
-                        help="fail (exit 1) when the numba/array "
-                             "end-to-end geomean falls below this bound "
-                             "(only evaluated when numba is available) — "
-                             "the perf-leg regression gate")
+    parser.add_argument(
+        "--points",
+        type=int,
+        default=3,
+        help="how many Fig. 10 sweep points to run "
+        "(default 3 = up to the paper-default |Q|)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="end-to-end repetitions per stack; the best "
+        "run is reported (default %(default)s)",
+    )
+    parser.add_argument(
+        "--min-end-to-end-geomean",
+        type=float,
+        default=None,
+        help="fail (exit 1) when the end-to-end geomean "
+        "falls below this bound — the CI regression "
+        "gate for the fused columnar pipeline",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("dict", "array", "numba"),
+        default=None,
+        help="request one extra backend explicitly; "
+        "'numba' is attempted and recorded as "
+        "skipped (with the reason) when the optional "
+        "dependency is absent — dict/array are "
+        "always measured",
+    )
+    parser.add_argument(
+        "--min-numba-vs-array-geomean",
+        type=float,
+        default=None,
+        help="fail (exit 1) when the numba/array "
+        "end-to-end geomean falls below this bound "
+        "(only evaluated when numba is available) — "
+        "the perf-leg regression gate",
+    )
     args = parser.parse_args(argv)
 
     stacks = list(STACKS)
@@ -220,8 +240,8 @@ def main(argv=None):
         numba_block = {
             "status": "skipped",
             "reason": "numba not importable; install the 'perf' extra "
-                      "(pip install repro-cca[perf]) to measure the "
-                      "compiled stack",
+            "(pip install repro-cca[perf]) to measure the "
+            "compiled stack",
         }
         if args.backend == "numba":
             print(f"[bench_kernel] numba skipped: {numba_block['reason']}")
@@ -238,13 +258,19 @@ def main(argv=None):
         for nq_paper in NQ_SWEEP_PAPER[len(sweep):]
     ]
     for item in dropped:
-        print(f"[bench_kernel] dropping paper |Q|={item['nq_paper']}: "
-              f"{item['reason']}")
+        print(
+            f"[bench_kernel] dropping paper |Q|={item['nq_paper']}: "
+            f"{item['reason']}"
+        )
     points = []
     for nq_paper in sweep:
         row = bench_point(
-            nq_paper, args.scale, args.seed, args.repeats,
-            stacks, kernel_backends,
+            nq_paper,
+            args.scale,
+            args.seed,
+            args.repeats,
+            stacks,
+            kernel_backends,
         )
         points.append(row)
         print(
@@ -271,12 +297,8 @@ def main(argv=None):
         numba_block["end_to_end_geomean"] = geomean(
             [p["numba_end_to_end_speedup"] for p in points]
         )
-        numba_block["vs_array_geomean"] = geomean(
-            [p["numba_vs_array"] for p in points]
-        )
-        numba_block["vs_array_min"] = min(
-            p["numba_vs_array"] for p in points
-        )
+        numba_block["vs_array_geomean"] = geomean([p["numba_vs_array"] for p in points])
+        numba_block["vs_array_min"] = min(p["numba_vs_array"] for p in points)
         numba_block["kernel_speedup_geomean"] = geomean(
             [p["numba_kernel_speedup"] for p in points]
         )

@@ -51,16 +51,12 @@ from repro.serve.engine import OnlineAssignmentService
 def _build_problem(scale, seed):
     nq = scaled(PAPER_DEFAULTS["nq"], scale, minimum=4)
     np_ = scaled(PAPER_DEFAULTS["np"], scale, minimum=40)
-    return make_problem(
-        nq=nq, np_=np_, k=PAPER_DEFAULTS["k"], seed=seed
-    )
+    return make_problem(nq=nq, np_=np_, k=PAPER_DEFAULTS["k"], seed=seed)
 
 
 def bench_profile(profile, args):
     problem = _build_problem(args.scale, args.seed)
-    spec = EventStreamSpec(
-        n_events=args.events, profile=profile, rate=args.rate
-    )
+    spec = EventStreamSpec(n_events=args.events, profile=profile, rate=args.rate)
     events = generate_events(problem, spec, seed=args.seed)
     stream = summarize_events(events)
     service = OnlineAssignmentService(
@@ -90,9 +86,7 @@ def identity_gate(profile, args):
     """Single-shard replay must be bit-identical to a cold solve of the
     final state.  Raises on violation."""
     problem = _build_problem(args.scale, args.seed)
-    spec = EventStreamSpec(
-        n_events=args.events, profile=profile, rate=args.rate
-    )
+    spec = EventStreamSpec(n_events=args.events, profile=profile, rate=args.rate)
     events = generate_events(problem, spec, seed=args.seed)
     service = OnlineAssignmentService(problem, shards=1, backend="array")
     service.run(events, window=args.window)
@@ -120,9 +114,7 @@ def bench_faulted(args):
     must be bit-identical to the clean replay's *and* to a cold solve.
     """
     profile = "steady"
-    spec = EventStreamSpec(
-        n_events=args.events, profile=profile, rate=args.rate
-    )
+    spec = EventStreamSpec(n_events=args.events, profile=profile, rate=args.rate)
 
     clean = OnlineAssignmentService(
         _build_problem(args.scale, args.seed), shards=1, backend="array"
@@ -132,9 +124,7 @@ def bench_faulted(args):
     reference = sorted(clean.live_pairs())
     clean_summary = clean_stats.summary()
 
-    kill_groups = list(
-        range(1, max(2, clean_stats.groups), max(1, args.fault_every))
-    )
+    kill_groups = list(range(1, max(2, clean_stats.groups), max(1, args.fault_every)))
     plan = FaultPlan.session_faults(kill_groups, num_shards=1)
     faulted = OnlineAssignmentService(
         _build_problem(args.scale, args.seed),
@@ -176,31 +166,59 @@ def bench_faulted(args):
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_serve.json")
-    parser.add_argument("--scale", type=float, default=0.05,
-                        help="linear scale on |Q| and |P| (default 0.05)")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="linear scale on |Q| and |P| (default 0.05)",
+    )
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--events", type=int, default=400,
-                        help="events per profile stream (default 400)")
-    parser.add_argument("--window", type=float, default=0.25,
-                        help="batching window in stream-time units "
-                             "(default 0.25; ~rate*window events/group)")
-    parser.add_argument("--rate", type=float, default=40.0,
-                        help="mean stream intensity, events per "
-                             "stream-time unit (default 40)")
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=400,
+        help="events per profile stream (default 400)",
+    )
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=0.25,
+        help="batching window in stream-time units "
+        "(default 0.25; ~rate*window events/group)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=40.0,
+        help="mean stream intensity, events per " "stream-time unit (default 40)",
+    )
     parser.add_argument("--shards", type=int, default=1)
-    parser.add_argument("--reconcile-every", type=int, default=8,
-                        help="reconcile after every N groups when "
-                             "sharded (default 8)")
-    parser.add_argument("--profiles", nargs="+", default=list(PROFILES),
-                        choices=list(PROFILES))
-    parser.add_argument("--skip-identity-gate", action="store_true",
-                        help="skip the cold-solve bit-identity gate "
-                             "(latency-only runs)")
-    parser.add_argument("--fault-every", type=int, default=4,
-                        help="faulted replay: kill the warm session "
-                             "every N delta groups (default 4)")
-    parser.add_argument("--skip-faulted", action="store_true",
-                        help="skip the faulted-replay degradation point")
+    parser.add_argument(
+        "--reconcile-every",
+        type=int,
+        default=8,
+        help="reconcile after every N groups when " "sharded (default 8)",
+    )
+    parser.add_argument(
+        "--profiles", nargs="+", default=list(PROFILES), choices=list(PROFILES)
+    )
+    parser.add_argument(
+        "--skip-identity-gate",
+        action="store_true",
+        help="skip the cold-solve bit-identity gate " "(latency-only runs)",
+    )
+    parser.add_argument(
+        "--fault-every",
+        type=int,
+        default=4,
+        help="faulted replay: kill the warm session "
+        "every N delta groups (default 4)",
+    )
+    parser.add_argument(
+        "--skip-faulted",
+        action="store_true",
+        help="skip the faulted-replay degradation point",
+    )
     args = parser.parse_args(argv)
 
     rows = []

@@ -63,9 +63,7 @@ def bench_point(nq_paper, scale, seed, shards, workers):
 
     problem = make_problem(nq=nq, np_=np_, k=k, seed=seed)
     started = time.perf_counter()
-    sharded = solve_sharded(
-        problem, shards, workers=workers, backend="array"
-    )
+    sharded = solve_sharded(problem, shards, workers=workers, backend="array")
     sharded_s = time.perf_counter() - started
 
     extra = sharded.stats.extra
@@ -112,9 +110,7 @@ def exactness_gate(scale, seed, workers):
             clusters=4, nq_per=nq_per, np_per=np_per, k=k, seed=seed
         )
     serial = solve(build(), "ida", backend="array")
-    sharded = solve_sharded(
-        build(), 4, workers=workers, delta=200.0, backend="array"
-    )
+    sharded = solve_sharded(build(), 4, workers=workers, delta=200.0, backend="array")
     diff = abs(sharded.cost - serial.cost)
     if diff > 1e-6 * max(1.0, serial.cost):
         raise AssertionError(
@@ -171,33 +167,45 @@ def geomean(values):
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_shard.json")
-    parser.add_argument("--scale", type=float, default=0.05,
-                        help="linear scale on |Q| and |P| (default 0.05)")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="linear scale on |Q| and |P| (default 0.05)",
+    )
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--points", type=int, default=3,
-                        help="how many Fig. 10 sweep points to run "
-                             "(default 3 = up to the paper-default |Q|)")
+    parser.add_argument(
+        "--points",
+        type=int,
+        default=3,
+        help="how many Fig. 10 sweep points to run "
+        "(default 3 = up to the paper-default |Q|)",
+    )
     parser.add_argument("--shards", type=int, default=4)
     parser.add_argument("--workers", type=int, default=4)
-    parser.add_argument("--min-scaling-efficiency", type=float, default=None,
-                        help="fail (exit 1) when the geomean of "
-                             "speedup / min(workers, cores) falls below "
-                             "this bound — the nightly gate (efficiency, "
-                             "not raw speedup, so it reads the same on "
-                             "1-core and 8-core runners)")
+    parser.add_argument(
+        "--min-scaling-efficiency",
+        type=float,
+        default=None,
+        help="fail (exit 1) when the geomean of "
+        "speedup / min(workers, cores) falls below "
+        "this bound — the nightly gate (efficiency, "
+        "not raw speedup, so it reads the same on "
+        "1-core and 8-core runners)",
+    )
     args = parser.parse_args(argv)
 
     sweep = NQ_SWEEP_PAPER[: max(1, args.points)]
     dropped = NQ_SWEEP_PAPER[len(sweep):]
     if dropped:
-        print(f"[bench_shard] sweep truncated for runtime: skipping "
-              f"paper |Q| in {list(dropped)} (re-run with --points 5)")
+        print(
+            f"[bench_shard] sweep truncated for runtime: skipping "
+            f"paper |Q| in {list(dropped)} (re-run with --points 5)"
+        )
 
     points = []
     for nq_paper in sweep:
-        row = bench_point(
-            nq_paper, args.scale, args.seed, args.shards, args.workers
-        )
+        row = bench_point(nq_paper, args.scale, args.seed, args.shards, args.workers)
         points.append(row)
         print(
             f"[bench_shard] |Q|={row['nq']} |P|={row['np']}: serial "
@@ -206,11 +214,9 @@ def main(argv=None):
         )
 
     exactness = exactness_gate(args.scale, args.seed, args.workers)
-    print(f"[bench_shard] provider-disjoint exactness: "
-          f"{exactness['status']}")
+    print(f"[bench_shard] provider-disjoint exactness: " f"{exactness['status']}")
     concise = concise_gate(args.scale, args.seed)
-    print(f"[bench_shard] concise router <= serial SA: "
-          f"{concise['status']}")
+    print(f"[bench_shard] concise router <= serial SA: " f"{concise['status']}")
 
     headline = points[-1]  # largest sweep point run
     report = {

@@ -145,8 +145,7 @@ def fold(name: str, path: str, report: dict) -> dict:
     }
     if name == "kernel":
         entry["metrics"]["end_to_end_per_point"] = {
-            str(p["nq_paper"]): p["end_to_end_speedup"]
-            for p in report["points"]
+            str(p["nq_paper"]): p["end_to_end_speedup"] for p in report["points"]
         }
         entry["sweep_dropped"] = report["sweep_dropped"]
         numba = report["numba"]
@@ -169,9 +168,7 @@ def fold(name: str, path: str, report: dict) -> dict:
         else:
             entry["numba"]["reason"] = numba.get("reason", "unknown")
     if name == "index":
-        entry["metrics"]["end_to_end_speedup"] = (
-            report["end_to_end"]["speedup"]
-        )
+        entry["metrics"]["end_to_end_speedup"] = (report["end_to_end"]["speedup"])
     if name == "shard":
         entry["cpu_count"] = report["cpu_count"]
         entry["gates"] = {
@@ -260,8 +257,7 @@ def main(argv=None):
         joined = "/".join(f"{metrics[m]:.2f}" for m in HEADLINES[name])
         parts.append(f"{name}:{joined}")
     summary = ", ".join(parts)
-    print(f"[bench_trajectory] {len(benches)} benches -> {args.out} "
-          f"({summary})")
+    print(f"[bench_trajectory] {len(benches)} benches -> {args.out} " f"({summary})")
     return 0
 
 

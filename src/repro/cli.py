@@ -51,8 +51,10 @@ def _cmd_figure(args) -> int:
     results = run_figure(args.figure_id, scale=args.scale, seed=args.seed)
     report = format_figure_report(args.figure_id, results)
     print(report)
-    print(f"(regenerated in {time.perf_counter() - started:.1f}s wall, "
-          f"scale={args.scale}, seed={args.seed})")
+    print(
+        f"(regenerated in {time.perf_counter() - started:.1f}s wall, "
+        f"scale={args.scale}, seed={args.seed})"
+    )
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(report + "\n")
@@ -216,8 +218,7 @@ def _cmd_profile(args) -> int:
             seconds = stage_s[stage]
             share = 100.0 * seconds / total_s if total_s else 0.0
             print(f"  {stage:<{width}}  {seconds:8.3f}s  {share:5.1f}%")
-    for stage in sorted(set(stage_s) - {"supply", "insert", "dijkstra",
-                                        "augment"}):
+    for stage in sorted(set(stage_s) - {"supply", "insert", "dijkstra", "augment"}):
         seconds = stage_s[stage]
         share = 100.0 * seconds / total_s if total_s else 0.0
         print(f"  {stage:<{width}}  {seconds:8.3f}s  {share:5.1f}%")
@@ -244,9 +245,7 @@ def _cmd_serve(args) -> int:
         dist_p=args.dist_p,
         seed=args.seed,
     )
-    spec = EventStreamSpec(
-        n_events=args.events, profile=args.profile, rate=args.rate
-    )
+    spec = EventStreamSpec(n_events=args.events, profile=args.profile, rate=args.rate)
     events = generate_events(problem, spec, seed=args.stream_seed)
     stream = summarize_events(events)
     service = OnlineAssignmentService(
@@ -345,9 +344,7 @@ def _cmd_chaos(args) -> int:
         seed=args.seed,
     )
     num_shards = plan_shards(problem, args.shards).num_shards
-    policy = RetryPolicy(
-        max_retries=args.max_retries, task_timeout_s=args.task_timeout
-    )
+    policy = RetryPolicy(max_retries=args.max_retries, task_timeout_s=args.task_timeout)
     solve_kwargs = dict(
         workers=args.workers,
         backend=args.backend,
@@ -365,18 +362,11 @@ def _cmd_chaos(args) -> int:
         f"backend={args.backend} retries={policy.max_retries} "
         f"timeout={policy.task_timeout_s}s"
     )
-    print(
-        f"fault-free baseline: {len(reference)} pairs, "
-        f"cost {baseline.cost:.2f}"
-    )
+    print(f"fault-free baseline: {len(reference)} pairs, " f"cost {baseline.cost:.2f}")
     failures = 0
     for plan_seed in range(args.plan_seed, args.plan_seed + args.plans):
-        plan = FaultPlan.from_seed(
-            plan_seed, num_shards, hang_s=args.hang_s
-        )
-        matching = solve_sharded(
-            problem, args.shards, fault_plan=plan, **solve_kwargs
-        )
+        plan = FaultPlan.from_seed(plan_seed, num_shards, hang_s=args.hang_s)
+        matching = solve_sharded(problem, args.shards, fault_plan=plan, **solve_kwargs)
         identical = sorted(matching.pairs) == reference
         ledger = matching.stats.faults
         verdict = "ok" if identical else "DIVERGED"
@@ -391,8 +381,12 @@ def _cmd_chaos(args) -> int:
 
         def service(fault_plan=None):
             instance = make_problem(
-                nq=args.nq, np_=args.np, k=args.k,
-                dist_q=args.dist_q, dist_p=args.dist_p, seed=args.seed,
+                nq=args.nq,
+                np_=args.np,
+                k=args.k,
+                dist_q=args.dist_q,
+                dist_p=args.dist_p,
+                seed=args.seed,
             )
             return OnlineAssignmentService(
                 instance,
@@ -414,9 +408,7 @@ def _cmd_chaos(args) -> int:
             fault_plan=FaultPlan.session_faults(kill_groups, num_shards=1)
         )
         chaotic.run(events, window=0.25)
-        replay_identical = sorted(chaotic.live_pairs()) == sorted(
-            clean.live_pairs()
-        )
+        replay_identical = sorted(chaotic.live_pairs()) == sorted(clean.live_pairs())
         cold = chaotic.verify_against_cold()
         if not (replay_identical and cold["identical"]):
             failures += 1
@@ -427,9 +419,7 @@ def _cmd_chaos(args) -> int:
             f" — identical to clean replay: {replay_identical}, "
             f"bit-identical to cold solve: {cold['identical']}"
         )
-    leaked = sorted(
-        set(glob.glob("/dev/shm/repro_cca_*")) - segments_before
-    )
+    leaked = sorted(set(glob.glob("/dev/shm/repro_cca_*")) - segments_before)
     orphans = [
         p for p in multiprocessing.active_children()
         if "resource_tracker" not in repr(p)
@@ -476,21 +466,14 @@ def _cmd_index_info(args) -> int:
         f"height={info['height']} pages={info['pages']} "
         f"(leaves={info['leaves']}, dir={info['dir_nodes']})"
     )
-    print(
-        f"capacity: leaf={info['leaf_capacity']} dir={info['dir_capacity']}"
-    )
-    print(
-        f"fill factor: leaf={info['leaf_fill']:.3f} "
-        f"dir={info['dir_fill']:.3f}"
-    )
+    print(f"capacity: leaf={info['leaf_capacity']} dir={info['dir_capacity']}")
+    print(f"fill factor: leaf={info['leaf_fill']:.3f} " f"dir={info['dir_fill']:.3f}")
     return 0
 
 
 def _cmd_generate(args) -> int:
     network = build_road_network(seed=args.network_seed)
-    points = generate_points(
-        network, args.n, args.distribution, seed=args.seed
-    )
+    points = generate_points(network, args.n, args.distribution, seed=args.seed)
     header = "x,y"
     if args.out:
         np.savetxt(args.out, points, delimiter=",", header=header, comments="")
@@ -514,17 +497,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list reproducible figures").set_defaults(
         func=_cmd_list
     )
-    sub.add_parser("table2", help="print Table 2").set_defaults(
-        func=_cmd_table2
-    )
+    sub.add_parser("table2", help="print Table 2").set_defaults(func=_cmd_table2)
 
     fig = sub.add_parser("figure", help="regenerate a figure's data series")
     fig.add_argument("figure_id", choices=sorted(FIGURES))
-    fig.add_argument("--scale", type=float, default=DEFAULT_SCALE,
-                     help="linear scale on |Q| and |P| (default %(default)s)")
+    fig.add_argument(
+        "--scale",
+        type=float,
+        default=DEFAULT_SCALE,
+        help="linear scale on |Q| and |P| (default %(default)s)",
+    )
     fig.add_argument("--seed", type=int, default=0)
-    fig.add_argument("--out", type=str, default=None,
-                     help="also write the report to this file")
+    fig.add_argument(
+        "--out", type=str, default=None, help="also write the report to this file"
+    )
     fig.set_defaults(func=_cmd_figure)
 
     allf = sub.add_parser("all", help="regenerate every figure")
@@ -544,11 +530,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="dict",
         choices=sorted(BACKEND_CHOICES),
         help="flow-kernel backend: 'dict' is the readable reference "
-             "implementation, 'array' the columnar NumPy kernel, "
-             "'numba' the JIT-compiled kernel (requires the optional "
-             "perf extra; falls back to 'array' with a warning when "
-             "numba is absent) — identical results on all of them; "
-             "default %(default)s",
+        "implementation, 'array' the columnar NumPy kernel, "
+        "'numba' the JIT-compiled kernel (requires the optional "
+        "perf extra; falls back to 'array' with a warning when "
+        "numba is absent) — identical results on all of them; "
+        "default %(default)s",
     )
     slv.add_argument(
         "--index-backend",
@@ -556,31 +542,31 @@ def build_parser() -> argparse.ArgumentParser:
         default="pointer",
         choices=sorted(INDEX_BACKENDS),
         help="spatial-index backend: 'pointer' is the node-object "
-             "reference R-tree, 'packed' the columnar array tree with "
-             "vectorized NN streams (bit-identical matchings and page "
-             "accounting; default %(default)s)",
+        "reference R-tree, 'packed' the columnar array tree with "
+        "vectorized NN streams (bit-identical matchings and page "
+        "accounting; default %(default)s)",
     )
     slv.add_argument(
         "--ann-group-size",
         type=int,
         default=PAPER_DEFAULTS["ann_group_size"],
         help="Algorithm 6 provider-group size for the shared NN streams "
-             "(paper default %(default)s)",
+        "(paper default %(default)s)",
     )
     slv.add_argument(
         "--shards",
         type=int,
         default=1,
         help="split the instance into N provider-disjoint spatial shards "
-             "solved independently and reconciled (default %(default)s = "
-             "plain serial solve; exact methods only)",
+        "solved independently and reconciled (default %(default)s = "
+        "plain serial solve; exact methods only)",
     )
     slv.add_argument(
         "--workers",
         type=int,
         default=None,
         help="worker processes for the per-shard solves (default: solve "
-             "shards inline in one process)",
+        "shards inline in one process)",
     )
     slv.add_argument(
         "--router",
@@ -588,9 +574,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="nearest",
         choices=sorted(ROUTERS),
         help="customer->shard routing: 'nearest' follows the nearest "
-             "provider, 'concise' follows SA's concise matching at the "
-             "planning delta (capacity-respecting; objective provably <= "
-             "serial SA)",
+        "provider, 'concise' follows SA's concise matching at the "
+        "planning delta (capacity-respecting; objective provably <= "
+        "serial SA)",
     )
     slv.add_argument("--dist-q", type=str, default="clustered")
     slv.add_argument("--dist-p", type=str, default="clustered")
@@ -600,7 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
     prof = sub.add_parser(
         "profile",
         help="per-stage wall-time breakdown of one solve "
-             "(supply/insert/dijkstra/augment)",
+        "(supply/insert/dijkstra/augment)",
     )
     prof.add_argument("--nq", type=int, default=50)
     prof.add_argument("--np", type=int, default=5000)
@@ -612,8 +598,8 @@ def build_parser() -> argparse.ArgumentParser:
         default="dict",
         choices=sorted(BACKEND_CHOICES),
         help="flow-kernel backend to profile ('numba' needs the perf "
-             "extra and falls back to 'array' otherwise; default "
-             "%(default)s)",
+        "extra and falls back to 'array' otherwise; default "
+        "%(default)s)",
     )
     prof.add_argument(
         "--index-backend",
@@ -636,13 +622,15 @@ def build_parser() -> argparse.ArgumentParser:
     srv = sub.add_parser(
         "serve",
         help="replay a seeded event stream against warm shard sessions "
-             "(online assignment service)",
+        "(online assignment service)",
     )
     srv.add_argument("--nq", type=int, default=50)
     srv.add_argument("--np", type=int, default=5000)
     srv.add_argument("--k", type=int, default=80)
     srv.add_argument(
-        "--events", type=int, default=200,
+        "--events",
+        type=int,
+        default=200,
         help="stream length (default %(default)s)",
     )
     srv.add_argument(
@@ -651,35 +639,42 @@ def build_parser() -> argparse.ArgumentParser:
         default="steady",
         choices=sorted(EVENT_PROFILES),
         help="arrival-rate profile: constant-rate 'steady', on/off "
-             "'burst', sinusoidal 'diurnal' (default %(default)s)",
+        "'burst', sinusoidal 'diurnal' (default %(default)s)",
     )
     srv.add_argument(
-        "--rate", type=float, default=40.0,
+        "--rate",
+        type=float,
+        default=40.0,
         help="mean stream intensity, events per stream-time unit "
-             "(default %(default)s)",
+        "(default %(default)s)",
     )
     srv.add_argument(
-        "--window", type=float, default=0.25,
+        "--window",
+        type=float,
+        default=0.25,
         help="batching window in stream-time units; events closer "
-             "together land in one delta group (default %(default)s)",
+        "together land in one delta group (default %(default)s)",
     )
     srv.add_argument(
-        "--shards", type=int, default=1,
+        "--shards",
+        type=int,
+        default=1,
         help="provider-disjoint shards, each holding one warm session "
-             "(default %(default)s; >1 adds periodic reconciliation)",
+        "(default %(default)s; >1 adds periodic reconciliation)",
     )
     srv.add_argument(
-        "--reconcile-every", type=int, default=8,
+        "--reconcile-every",
+        type=int,
+        default=8,
         help="reconcile boundaries after every N delta groups when "
-             "sharded (default %(default)s)",
+        "sharded (default %(default)s)",
     )
     srv.add_argument(
         "--backend",
         type=str,
         default="array",
         choices=sorted(BACKEND_CHOICES),
-        help="flow-kernel backend for the warm sessions (default "
-             "%(default)s)",
+        help="flow-kernel backend for the warm sessions (default " "%(default)s)",
     )
     srv.add_argument(
         "--index-backend",
@@ -692,71 +687,94 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="after replay, check the live matching is bit-identical to "
-             "a cold solve of the final state (exit 1 on divergence)",
+        "a cold solve of the final state (exit 1 on divergence)",
     )
     srv.add_argument("--dist-q", type=str, default="clustered")
     srv.add_argument("--dist-p", type=str, default="clustered")
-    srv.add_argument("--seed", type=int, default=0,
-                     help="problem-instance seed")
-    srv.add_argument("--stream-seed", type=int, default=0,
-                     help="event-stream seed (independent of --seed)")
+    srv.add_argument("--seed", type=int, default=0, help="problem-instance seed")
+    srv.add_argument(
+        "--stream-seed",
+        type=int,
+        default=0,
+        help="event-stream seed (independent of --seed)",
+    )
     srv.set_defaults(func=_cmd_serve)
 
     cha = sub.add_parser(
         "chaos",
         help="sweep seeded fault plans through the supervised sharded "
-             "engine and gate on bit-identity / zero leaks / zero "
-             "orphans (reproducible chaos runs)",
+        "engine and gate on bit-identity / zero leaks / zero "
+        "orphans (reproducible chaos runs)",
     )
     cha.add_argument("--nq", type=int, default=30)
     cha.add_argument("--np", type=int, default=600)
     cha.add_argument("--k", type=int, default=40)
     cha.add_argument(
-        "--shards", type=int, default=3,
+        "--shards",
+        type=int,
+        default=3,
         help="requested shard count (default %(default)s)",
     )
     cha.add_argument(
-        "--workers", type=int, default=3,
+        "--workers",
+        type=int,
+        default=3,
         help="worker processes — >1 exercises real crash/kill paths "
-             "(default %(default)s)",
+        "(default %(default)s)",
     )
     cha.add_argument(
-        "--plans", type=int, default=5,
+        "--plans",
+        type=int,
+        default=5,
         help="how many seeded FaultPlans to sweep (default %(default)s)",
     )
     cha.add_argument(
-        "--plan-seed", type=int, default=0,
+        "--plan-seed",
+        type=int,
+        default=0,
         help="first FaultPlan seed; plans use seed..seed+plans-1 "
-             "(default %(default)s)",
+        "(default %(default)s)",
     )
     cha.add_argument(
-        "--max-retries", type=int, default=2,
+        "--max-retries",
+        type=int,
+        default=2,
         help="supervisor retry budget per shard (default %(default)s)",
     )
     cha.add_argument(
-        "--task-timeout", type=float, default=30.0,
+        "--task-timeout",
+        type=float,
+        default=30.0,
         help="per-task deadline in seconds; hung workers are killed and "
-             "their shard retried (default %(default)s)",
+        "their shard retried (default %(default)s)",
     )
     cha.add_argument(
-        "--hang-s", type=float, default=60.0,
+        "--hang-s",
+        type=float,
+        default=60.0,
         help="sleep injected by generated hang faults — keep it above "
-             "--task-timeout so hangs are killed, not waited out "
-             "(default %(default)s)",
+        "--task-timeout so hangs are killed, not waited out "
+        "(default %(default)s)",
     )
     cha.add_argument(
-        "--serve-groups", type=int, default=3,
+        "--serve-groups",
+        type=int,
+        default=3,
         help="also chaos the serving layer: kill the warm session on N "
-             "delta groups of a shards=1 replay and require bit-identity "
-             "(0 disables; default %(default)s)",
+        "delta groups of a shards=1 replay and require bit-identity "
+        "(0 disables; default %(default)s)",
     )
     cha.add_argument(
-        "--serve-crash-every", type=int, default=4,
+        "--serve-crash-every",
+        type=int,
+        default=4,
         help="kill the warm session every Nth delta group during the "
-             "serve chaos replay (default %(default)s)",
+        "serve chaos replay (default %(default)s)",
     )
     cha.add_argument(
-        "--events", type=int, default=120,
+        "--events",
+        type=int,
+        default=120,
         help="serve chaos stream length (default %(default)s)",
     )
     cha.add_argument("--stream-seed", type=int, default=0)
@@ -792,7 +810,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="dict",
         choices=sorted(BACKEND_CHOICES),
         help="flow-kernel backend to resolve and report (checks the "
-             "optional 'numba' install; default %(default)s)",
+        "optional 'numba' install; default %(default)s)",
     )
     idx.add_argument(
         "--index-backend",

@@ -87,9 +87,7 @@ class CAApproxSolver:
             buffer_fraction=1.0,
             index_backend=resolve_index_backend(problem, self.index_backend),
         )
-        concise_solver = IDASolver(
-            concise_problem, use_pua=True, backend=self.backend
-        )
+        concise_solver = IDASolver(concise_problem, use_pua=True, backend=self.backend)
         concise_solver.solve()
         self.stats.extra["concise"] = concise_solver.stats
         self.stats.esub_edges = concise_solver.stats.esub_edges
@@ -98,17 +96,14 @@ class CAApproxSolver:
         # Phase 3: per-group refinement using the member points collected
         # during partitioning (no further I/O).
         flows: Dict[int, List[Tuple[int, int]]] = {}
-        for provider_id, rep_id, _, units in (
-            concise_solver.net.matching_flows()
-        ):
+        for provider_id, rep_id, _, units in (concise_solver.net.matching_flows()):
             flows.setdefault(rep_id, []).append((provider_id, units))
         refine = _REFINERS[self.refinement]
         pairs: List[Tuple[int, int, float]] = []
         for rep_id, provider_units in flows.items():
             group = groups[rep_id]
             quotas = [
-                (problem.providers[i].point, units)
-                for i, units in provider_units
+                (problem.providers[i].point, units) for i, units in provider_units
             ]
             pairs.extend(refine(quotas, group.members))
 

@@ -128,9 +128,7 @@ def _merge_groups(
     merged MBR diagonal stays within δ (reduces |S| without violating δ)."""
     order = sorted(
         range(len(groups)),
-        key=lambda idx: hilbert_key(
-            groups[idx].mbr.center, world.lo, world.hi
-        ),
+        key=lambda idx: hilbert_key(groups[idx].mbr.center, world.lo, world.hi),
     )
     merged: List[CustomerGroup] = []
     for idx in order:

@@ -106,8 +106,7 @@ class SAApproxSolver:
         for rep_id, customer_ids in assigned.items():
             members = groups[rep_id]
             quotas = [
-                (point, problem.providers[point.pid].capacity)
-                for point in members
+                (point, problem.providers[point.pid].capacity) for point in members
             ]
             customers = [problem.customers[j].point for j in customer_ids]
             pairs.extend(refine(quotas, customers))
@@ -121,8 +120,6 @@ class SAApproxSolver:
     # ------------------------------------------------------------------
     def _representative(self, rep_id: int, members: List[Point]) -> Provider:
         """Capacity-weighted centroid with the group's summed capacity."""
-        capacities = [
-            self.problem.providers[p.pid].capacity for p in members
-        ]
+        capacities = [self.problem.providers[p.pid].capacity for p in members]
         x, y = capacity_weighted_centroid(members, capacities)
         return Provider(Point(rep_id, (x, y)), sum(capacities))

@@ -20,8 +20,7 @@ class SSPASolver:
 
     method = "sspa"
 
-    def __init__(self, problem: CCAProblem, backend="dict",
-                 index_backend=None):
+    def __init__(self, problem: CCAProblem, backend="dict", index_backend=None):
         # SSPA is index-free; ``index_backend`` is accepted for API
         # uniformity and validated, but selects nothing.
         from repro.rtree.backend import get_index_backend

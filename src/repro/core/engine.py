@@ -60,14 +60,10 @@ class IncrementalCCASolver:
         self.backend = get_backend(backend)
         self.index = resolve_index_backend(problem, index_backend)
         if net is None:
-            self.net = self.backend.network(
-                problem.capacities, problem.weights
-            )
+            self.net = self.backend.network(problem.capacities, problem.weights)
             self.warm_start = False
         else:
-            if net.nq != len(problem.providers) or net.np != len(
-                problem.customers
-            ):
+            if net.nq != len(problem.providers) or net.np != len(problem.customers):
                 raise ValueError(
                     "seeded network shape does not match the problem "
                     f"({net.nq}x{net.np} vs {len(problem.providers)}x"
@@ -131,9 +127,7 @@ class IncrementalCCASolver:
     def _augment(self, state: DijkstraState) -> None:
         """Reverse the certified path and advance the potentials."""
         started = time.perf_counter()
-        self.net.augment_with_state(
-            state.path_nodes(), state.sp_cost, state
-        )
+        self.net.augment_with_state(state.path_nodes(), state.sp_cost, state)
         self.stats.add_stage("augment", time.perf_counter() - started)
         self.stats.dijkstra_pops += state.pops
 

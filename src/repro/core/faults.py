@@ -96,13 +96,11 @@ class FaultSpec:
     def __post_init__(self):
         if self.site not in FAULT_SITES:
             raise ValueError(
-                f"unknown fault site {self.site!r}; expected one of "
-                f"{FAULT_SITES}"
+                f"unknown fault site {self.site!r}; expected one of " f"{FAULT_SITES}"
             )
         if self.kind not in FAULT_KINDS:
             raise ValueError(
-                f"unknown fault kind {self.kind!r}; expected one of "
-                f"{FAULT_KINDS}"
+                f"unknown fault kind {self.kind!r}; expected one of " f"{FAULT_KINDS}"
             )
         if self.period is not None and self.period < 1:
             raise ValueError("fault period must be >= 1")
@@ -154,9 +152,7 @@ class FaultPlan:
     def __or__(self, other: "FaultPlan") -> "FaultPlan":
         return FaultPlan(specs=self.specs + tuple(other.specs))
 
-    def match(
-        self, site: str, shard: int, occurrence: int
-    ) -> Optional[FaultSpec]:
+    def match(self, site: str, shard: int, occurrence: int) -> Optional[FaultSpec]:
         """The first spec firing at (site, shard, occurrence), if any."""
         for spec in self.specs:
             if spec.matches(site, shard, int(occurrence)):
@@ -247,13 +243,7 @@ class FaultPlan:
                 DEFAULT_SLOW_S if kind == "slow" else 0.0
             )
             specs.append(
-                FaultSpec(
-                    kind=kind,
-                    site=site,
-                    shard=shard,
-                    at=(0,),
-                    delay_s=delay_s,
-                )
+                FaultSpec(kind=kind, site=site, shard=shard, at=(0,), delay_s=delay_s,)
             )
         return cls(specs=tuple(specs), seed=int(seed))
 
@@ -300,9 +290,7 @@ def resolve_fault_plan(
         stacklevel=3,
     )
     return FaultPlan(
-        specs=(
-            FaultSpec(kind="error", site="worker", shard=int(raw), at=None),
-        )
+        specs=(FaultSpec(kind="error", site="worker", shard=int(raw), at=None),)
     )
 
 
@@ -323,9 +311,7 @@ def trigger(spec: FaultSpec, *, where: str = "") -> None:
         if spec.kind == "hang" and spec.delay_s >= DEFAULT_HANG_S:
             # An unsupervised hang that slept its full budget still
             # surfaces loudly rather than pretending nothing happened.
-            raise FaultInjected(
-                f"injected shard worker fault{label}: hang expired"
-            )
+            raise FaultInjected(f"injected shard worker fault{label}: hang expired")
         return
     if spec.kind == "poison":
         return  # the caller corrupts its result after solving
@@ -412,8 +398,7 @@ class FaultLedger:
     def __len__(self) -> int:
         return len(self.events)
 
-    def count(self, *, kind: Optional[str] = None,
-              action: Optional[str] = None) -> int:
+    def count(self, *, kind: Optional[str] = None, action: Optional[str] = None) -> int:
         return sum(
             1
             for e in self.events

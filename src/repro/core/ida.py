@@ -227,9 +227,7 @@ class IDASolver(NIASolver):
             if alpha_min < -1e-6:
                 raise AssertionError("fast path produced a negative cost")
             alpha_min = max(alpha_min, 0.0)
-            net.apply_path(
-                [S_NODE, provider, net.customer_node(customer), T_NODE]
-            )
+            net.apply_path([S_NODE, provider, net.customer_node(customer), T_NODE])
             new_offset = self._offset + alpha_min
             # Settle every full customer whose label would have beaten
             # alpha_min (its static min in-edge length < new offset).

@@ -100,15 +100,11 @@ class Matching:
         for i, count in provider_load.items():
             cap = problem.providers[i].capacity
             if count > cap:
-                raise AssertionError(
-                    f"provider {i} assigned {count} > capacity {cap}"
-                )
+                raise AssertionError(f"provider {i} assigned {count} > capacity {cap}")
         for j, count in customer_load.items():
             weight = problem.customers[j].weight
             if count > weight:
-                raise AssertionError(
-                    f"customer {j} assigned {count} > weight {weight}"
-                )
+                raise AssertionError(f"customer {j} assigned {count} > weight {weight}")
         if len(self.pairs) != problem.gamma:
             raise AssertionError(
                 f"matching size {len(self.pairs)} != gamma {problem.gamma}"

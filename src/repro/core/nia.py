@@ -196,6 +196,4 @@ class NIASolver(IncrementalCCASolver):
                 return
             self.stats.invalid_paths += 1
             if popped is None and not reachable:
-                raise RuntimeError(
-                    "edge supply exhausted but the sink is unreachable"
-                )
+                raise RuntimeError("edge supply exhausted but the sink is unreachable")

@@ -172,8 +172,7 @@ class CCAProblem:
             ps = self._customer_ps
             weights = self._weight_col
             self._customers = [
-                Customer(ps.point(j), int(weights[j]))
-                for j in range(len(ps))
+                Customer(ps.point(j), int(weights[j])) for j in range(len(ps))
             ]
         return self._customers
 
@@ -184,22 +183,16 @@ class CCAProblem:
     # ------------------------------------------------------------------
     def provider_points(self) -> PointSet:
         if self._providers is not None and (
-            self._provider_ps is None
-            or len(self._provider_ps) != len(self._providers)
+            self._provider_ps is None or len(self._provider_ps) != len(self._providers)
         ):
-            self._provider_ps = PointSet.from_points(
-                q.point for q in self._providers
-            )
+            self._provider_ps = PointSet.from_points(q.point for q in self._providers)
         return self._provider_ps
 
     def customer_points(self) -> PointSet:
         if self._customers is not None and (
-            self._customer_ps is None
-            or len(self._customer_ps) != len(self._customers)
+            self._customer_ps is None or len(self._customer_ps) != len(self._customers)
         ):
-            self._customer_ps = PointSet.from_points(
-                p.point for p in self._customers
-            )
+            self._customer_ps = PointSet.from_points(p.point for p in self._customers)
         return self._customer_ps
 
     # ------------------------------------------------------------------

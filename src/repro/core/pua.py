@@ -49,6 +49,4 @@ def path_update(
         # naturally if it ever labels q (the adjacency is read live).
         return False
     reduced = net.reduced_cost_qp(provider, customer, distance)
-    return state.improve(
-        net.customer_node(customer), base + reduced, provider
-    )
+    return state.improve(net.customer_node(customer), base + reduced, provider)

@@ -119,9 +119,7 @@ class RIASolver(IncrementalCCASolver):
             self.stats.invalid_paths += 1
             if self._bound() == INF:
                 # Esub is complete; an uncertified path here is a bug.
-                raise RuntimeError(
-                    "no augmenting path in the complete flow graph"
-                )
+                raise RuntimeError("no augmenting path in the complete flow graph")
             self._expand()
 
     # ------------------------------------------------------------------

@@ -149,9 +149,7 @@ class Matcher:
         on the same ``backend``.  Deltas and warm re-assigns then work as
         if the session had performed the solve itself.
         """
-        if net.nq != len(problem.providers) or net.np != len(
-            problem.customers
-        ):
+        if net.nq != len(problem.providers) or net.np != len(problem.customers):
             raise ValueError(
                 "solved network shape does not match the problem "
                 f"({net.nq}x{net.np} vs {len(problem.providers)}x"
@@ -168,9 +166,7 @@ class Matcher:
     def assign(self) -> Matching:
         """Solve (or warm re-solve) the current instance to optimality."""
         if self._dead:
-            raise SessionDeadError(
-                self.death_reason or "session marked dead"
-            )
+            raise SessionDeadError(self.death_reason or "session marked dead")
         warm = self.net is not None and not self._needs_cold
         self.last_was_warm = warm
         try:
@@ -258,9 +254,7 @@ class Matcher:
     # ------------------------------------------------------------------
     # deltas
     # ------------------------------------------------------------------
-    def add_customer(
-        self, xy: Sequence[float], weight: int = 1
-    ) -> int:
+    def add_customer(self, xy: Sequence[float], weight: int = 1) -> int:
         """A customer arrives; returns its id (valid after next assign)."""
         if weight < 0:
             raise ValueError("customer weight must be non-negative")
@@ -276,9 +270,7 @@ class Matcher:
             # columns (bit-identical to the per-provider scalar dist) —
             # the warm admit's feasibility sweep is O(|Q|) arithmetic,
             # so the Point-object loop was pure overhead.
-            distances = self.problem.provider_points().dists_to(
-                point.coords
-            )
+            distances = self.problem.provider_points().dists_to(point.coords)
             if self.net.admit_customer(int(weight), distances) is None:
                 # The arrival invalidates the current matching (see
                 # module docstring); re-solve from scratch next time.
@@ -313,9 +305,7 @@ class Matcher:
         if capacity < 0:
             raise ValueError("provider capacity must be non-negative")
         old = self.problem.providers[provider_id]
-        self.problem.providers[provider_id] = Provider(
-            old.point, int(capacity)
-        )
+        self.problem.providers[provider_id] = Provider(old.point, int(capacity))
         if self.net is None or self._needs_cold:
             return
         if capacity >= int(

@@ -171,8 +171,7 @@ def plan_shards(
     )
     groups = [[p.pid for p in members] for members in point_groups]
     group_caps = [
-        sum(problem.providers[i].capacity for i in members)
-        for members in groups
+        sum(problem.providers[i].capacity for i in members) for members in groups
     ]
     ranges = balanced_bundles(group_caps, num_shards)
     shards: List[ShardSpec] = []
@@ -183,11 +182,7 @@ def plan_shards(
             provider_ids.extend(groups[g])
             group_to_shard[g] = index
         shards.append(
-            ShardSpec(
-                index,
-                tuple(provider_ids),
-                sum(group_caps[start:end]),
-            )
+            ShardSpec(index, tuple(provider_ids), sum(group_caps[start:end]),)
         )
     return ShardPlan(
         shards=shards,
@@ -233,9 +228,7 @@ def nearest_providers(problem: CCAProblem) -> Tuple[np.ndarray, np.ndarray]:
     return nearest, distance
 
 
-def route_nearest(
-    problem: CCAProblem, plan: ShardPlan
-) -> List[Dict[int, int]]:
+def route_nearest(problem: CCAProblem, plan: ShardPlan) -> List[Dict[int, int]]:
     """Each customer (with its full weight) follows its nearest provider's
     shard.  Over-subscription is allowed — the residual pass mops it up."""
     nearest, _ = nearest_providers(problem)
@@ -270,9 +263,7 @@ def route_concise(
         points = [problem.providers[i].point for i in members]
         capacities = [problem.providers[i].capacity for i in members]
         x, y = capacity_weighted_centroid(points, capacities)
-        representatives.append(
-            Provider(Point(rep_id, (x, y)), sum(capacities))
-        )
+        representatives.append(Provider(Point(rep_id, (x, y)), sum(capacities)))
     concise_problem = CCAProblem(
         representatives,
         problem.customers,
@@ -282,9 +273,7 @@ def route_concise(
     # attach_rtree adopts the shared tree's backend, so the concise
     # routing solve streams neighbors on the selected index kernel.
     concise_problem.attach_rtree(problem.rtree(index_backend=index_backend))
-    solver = IDASolver(
-        concise_problem, use_pua=True, cold_start=False, backend=backend
-    )
+    solver = IDASolver(concise_problem, use_pua=True, cold_start=False, backend=backend)
     solver.solve()
     routed: List[Dict[int, int]] = [dict() for _ in plan.shards]
     for rep_id, customer_id, _, units in solver.net.matching_flows():
@@ -385,9 +374,7 @@ class ShardResult:
     stage_s: Dict[str, float] = field(default_factory=dict)
 
 
-def _task_problem(
-    task: ShardTask, cols: Optional[_TaskColumns] = None
-) -> CCAProblem:
+def _task_problem(task: ShardTask, cols: Optional[_TaskColumns] = None) -> CCAProblem:
     if cols is None:
         cols = _task_columns(task)
     return CCAProblem.from_arrays(
@@ -429,8 +416,7 @@ def _build_solver(problem: CCAProblem, task: ShardTask):
             index_backend=task.index_backend,
         )
     raise ValueError(
-        f"unknown shard method {task.method!r}; expected one of "
-        f"{SHARD_METHODS}"
+        f"unknown shard method {task.method!r}; expected one of " f"{SHARD_METHODS}"
     )
 
 
@@ -465,9 +451,7 @@ def solve_shard_task(task: ShardTask) -> ShardResult:
     matching = solver.solve()
     pids = cols.provider_ids
     cids = cols.customer_ids
-    pairs = [
-        (int(pids[i]), int(cids[j]), d) for i, j, d in matching.pairs
-    ]
+    pairs = [(int(pids[i]), int(cids[j]), d) for i, j, d in matching.pairs]
     stats = solver.stats
     result = ShardResult(
         index=task.index,
@@ -514,9 +498,7 @@ def _make_tasks(
         bucket = routed[spec.index]
         customer_ids = sorted(bucket)
         pid_parts.append(np.asarray(customer_ids, dtype=np.int64))
-        pw_parts.append(
-            np.asarray([bucket[j] for j in customer_ids], dtype=np.int64)
-        )
+        pw_parts.append(np.asarray([bucket[j] for j in customer_ids], dtype=np.int64))
         pptr.append(pptr[-1] + len(customer_ids))
     store = SharedColumnStore(
         {
@@ -562,9 +544,7 @@ def _requeue_cold(task: ShardTask) -> ShardResult:
     return solve_shard_task(replace(task, faults=None, attempt=0))
 
 
-def _verify_shard_result(
-    task: ShardTask, result: ShardResult
-) -> Optional[str]:
+def _verify_shard_result(task: ShardTask, result: ShardResult) -> Optional[str]:
     """Cheap coordinator-side plausibility certificate for a worker's
     answer; a lying (poisoned) result reads as a fault, not a matching.
 
@@ -577,24 +557,12 @@ def _verify_shard_result(
         return f"result for shard {result.index} answers task {task.index}"
     cols = _task_columns(task)
     if len(result.pairs) != result.gamma:
-        return (
-            f"claimed gamma {result.gamma} != {len(result.pairs)} pairs"
-        )
+        return (f"claimed gamma {result.gamma} != {len(result.pairs)} pairs")
     providers = {int(i) for i in cols.provider_ids}
-    capacity = {
-        int(i): int(c)
-        for i, c in zip(cols.provider_ids, cols.capacities)
-    }
-    weight = {
-        int(j): int(w)
-        for j, w in zip(cols.customer_ids, cols.customer_weights)
-    }
-    qxy = {
-        int(i): xy for i, xy in zip(cols.provider_ids, cols.provider_xy)
-    }
-    pxy = {
-        int(j): xy for j, xy in zip(cols.customer_ids, cols.customer_xy)
-    }
+    capacity = {int(i): int(c) for i, c in zip(cols.provider_ids, cols.capacities)}
+    weight = {int(j): int(w) for j, w in zip(cols.customer_ids, cols.customer_weights)}
+    qxy = {int(i): xy for i, xy in zip(cols.provider_ids, cols.provider_xy)}
+    pxy = {int(j): xy for j, xy in zip(cols.customer_ids, cols.customer_xy)}
     used: Dict[int, int] = {}
     served: Dict[int, int] = {}
     for i, j, d in result.pairs:
@@ -602,15 +570,9 @@ def _verify_shard_result(
             return f"pair provider {i} outside shard {task.index}"
         if j not in weight:
             return f"pair customer {j} not routed to shard {task.index}"
-        actual = float(
-            np.hypot(
-                qxy[i][0] - pxy[j][0], qxy[i][1] - pxy[j][1]
-            )
-        )
+        actual = float(np.hypot(qxy[i][0] - pxy[j][0], qxy[i][1] - pxy[j][1]))
         if abs(actual - d) > 1e-6:
-            return (
-                f"pair ({i},{j}) distance {d!r} != actual {actual!r}"
-            )
+            return (f"pair ({i},{j}) distance {d!r} != actual {actual!r}")
         used[i] = used.get(i, 0) + 1
         served[j] = served.get(j, 0) + 1
         if used[i] > capacity[i]:
@@ -693,9 +655,7 @@ def _reconcile_boundaries(
         for i, j, d in result.pairs:
             if problem.customers[j].weight == 1:
                 assigned[j] = (i, d)
-            worst_matched[result.index] = max(
-                worst_matched.get(result.index, 0.0), d
-            )
+            worst_matched[result.index] = max(worst_matched.get(result.index, 0.0), d)
     unmatched: Dict[int, int] = {}
     for task in tasks:
         if task.index not in has_net:
@@ -737,9 +697,7 @@ def _reconcile_boundaries(
         for local_j, global_j in enumerate(ids):
             global_to_local[global_j] = (index, local_j)
 
-    mover = _SessionMover(
-        problem, sessions, local_to_global, global_to_local, assigned
-    )
+    mover = _SessionMover(problem, sessions, local_to_global, global_to_local, assigned)
     moves, attempted = mover.run(candidates, patience)
 
     pairs: List[Tuple[int, int, float]] = []
@@ -769,9 +727,7 @@ class _SessionMover:
     the matching size exactly.
     """
 
-    def __init__(
-        self, problem, sessions, local_to_global, global_to_local, assigned
-    ):
+    def __init__(self, problem, sessions, local_to_global, global_to_local, assigned):
         self.problem = problem
         self.sessions = sessions
         self.local_to_global = local_to_global
@@ -780,9 +736,7 @@ class _SessionMover:
 
     # -- session-state helpers -----------------------------------------
     def _totals(self) -> Tuple[float, int]:
-        cost = sum(
-            m.net.matching_cost() for m in self.sessions.values()
-        )
+        cost = sum(m.net.matching_cost() for m in self.sessions.values())
         matched = sum(m.net.matched for m in self.sessions.values())
         return cost, matched
 
@@ -799,9 +753,7 @@ class _SessionMover:
         """
         target_spare = target.net.spare_capacity() > 0
         if j in self.assigned:
-            source_surplus = (
-                sum(source.net.p_cap) - source.net.matched >= 1
-            )
+            source_surplus = (sum(source.net.p_cap) - source.net.matched >= 1)
             return target_spare or source_surplus
         return not target_spare
 
@@ -871,10 +823,7 @@ class _SessionMover:
             touched.add(target_shard)
         self._assign(touched)
         after_cost, after_matched = self._totals()
-        if (
-            after_matched == before_matched
-            and after_cost < before_cost - 1e-12
-        ):
+        if (after_matched == before_matched and after_cost < before_cost - 1e-12):
             return True
         for token in reversed(tokens):
             self._undo(token)
@@ -895,10 +844,7 @@ class _SessionMover:
             token = self._apply(j, target_shard)
             self._assign({source_shard, target_shard})
             after_cost, after_matched = self._totals()
-            if (
-                after_matched == before_matched
-                and after_cost < before_cost - 1e-12
-            ):
+            if (after_matched == before_matched and after_cost < before_cost - 1e-12):
                 moves += 1
                 consecutive_rejects = 0
             else:
@@ -933,12 +879,8 @@ def _move_candidates(
     shard_of = np.array(
         [plan.shard_of_provider[i] for i in range(len(qxy))], dtype=np.int64
     )
-    shard_cols = [
-        np.flatnonzero(shard_of == s) for s in range(num_shards)
-    ]
-    worst = np.array(
-        [worst_matched.get(s, 0.0) for s in range(num_shards)]
-    )
+    shard_cols = [np.flatnonzero(shard_of == s) for s in range(num_shards)]
+    worst = np.array([worst_matched.get(s, 0.0) for s in range(num_shards)])
 
     matched_items = sorted(assigned.items())
     unmatched_items = sorted(unmatched.items())
@@ -1006,16 +948,8 @@ def _residual_pairs(
     for i, j, _ in pairs:
         used[i] += 1
         matched[j] += 1
-    spare_ids = [
-        i
-        for i, q in enumerate(problem.providers)
-        if q.capacity - used[i] > 0
-    ]
-    open_ids = [
-        j
-        for j, p in enumerate(problem.customers)
-        if p.weight - matched[j] > 0
-    ]
+    spare_ids = [i for i, q in enumerate(problem.providers) if q.capacity - used[i] > 0]
+    open_ids = [j for j, p in enumerate(problem.customers) if p.weight - matched[j] > 0]
     info = {"providers": len(spare_ids), "customers": len(open_ids)}
     if not spare_ids or not open_ids:
         info["matched"] = 0
@@ -1024,17 +958,13 @@ def _residual_pairs(
         [problem.providers[i].point.coords for i in spare_ids],
         [problem.providers[i].capacity - used[i] for i in spare_ids],
         [problem.customers[j].point.coords for j in open_ids],
-        customer_weights=[
-            problem.customers[j].weight - matched[j] for j in open_ids
-        ],
+        customer_weights=[problem.customers[j].weight - matched[j] for j in open_ids],
         page_size=problem.page_size,
         buffer_fraction=problem.buffer_fraction,
     )
     solver = IDASolver(residual, backend=backend, index_backend=index_backend)
     matching = solver.solve()
-    extra = [
-        (spare_ids[i], open_ids[j], d) for i, j, d in matching.pairs
-    ]
+    extra = [(spare_ids[i], open_ids[j], d) for i, j, d in matching.pairs]
     info["matched"] = len(extra)
     return extra, info
 
@@ -1132,9 +1062,7 @@ def solve_sharded(
     if shards < 1:
         raise ValueError("shards must be positive")
     if router not in ROUTERS:
-        raise ValueError(
-            f"unknown router {router!r}; expected one of {ROUTERS}"
-        )
+        raise ValueError(f"unknown router {router!r}; expected one of {ROUTERS}")
     if method not in SHARD_METHODS:
         raise ValueError(
             f"sharded solve supports per-shard methods {SHARD_METHODS}, "
@@ -1166,9 +1094,7 @@ def solve_sharded(
         )
         solver = _build_solver(problem, task)
         matching = solver.solve()
-        matching.stats.extra.update(
-            {"shards": 1, "workers": 1, "router": "serial"}
-        )
+        matching.stats.extra.update({"shards": 1, "workers": 1, "router": "serial"})
         return matching
 
     if plan is None:

@@ -71,8 +71,7 @@ def _views(
 ) -> Dict[str, np.ndarray]:
     out = {}
     for key, offset, shape, dtype in handle.manifest:
-        arr = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf,
-                         offset=offset)
+        arr = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf, offset=offset)
         arr.flags.writeable = False  # one writer (the packer), many readers
         out[key] = arr
     return out
@@ -106,18 +105,14 @@ class SharedColumnStore:
             offset += (-offset) % _ALIGN
         total = max(offset, 1)  # zero-size segments are not allocatable
         name = SEGMENT_PREFIX + secrets.token_hex(8)
-        self._seg = shared_memory.SharedMemory(
-            create=True, size=total, name=name
-        )
+        self._seg = shared_memory.SharedMemory(create=True, size=total, name=name)
         self.handle = StoreHandle(name, tuple(manifest), total)
         # Last-resort lifecycle guard, registered the instant the segment
         # exists: if anything raises between here and the owner's
         # ``finally`` unlink — or the coordinator dies without reaching
         # it — the finalizer (GC'd or interpreter-exit) still unlinks.
         # ``weakref.finalize`` runs at exit by default, covering atexit.
-        self._finalizer = weakref.finalize(
-            self, close_and_unlink, self.handle
-        )
+        self._finalizer = weakref.finalize(self, close_and_unlink, self.handle)
         views = _views(self._seg, self.handle)
         for key, arr in packed.items():
             view = views[key]

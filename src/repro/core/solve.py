@@ -101,12 +101,12 @@ def solve(
             theta=theta,
         )
     if method == "sspa":
-        return SSPASolver(
-            problem, backend=backend, index_backend=index_backend
-        ).solve()
+        return SSPASolver(problem, backend=backend, index_backend=index_backend).solve()
     if method == "ria":
         return RIASolver(
-            problem, theta=theta, backend=backend,
+            problem,
+            theta=theta,
+            backend=backend,
             index_backend=index_backend,
         ).solve()
     if method == "nia":

@@ -72,14 +72,10 @@ class RetryPolicy:
     def backoff_s(self, shard: int, attempt: int) -> float:
         """Deterministic exponential backoff with per-(shard, attempt)
         jitter — a pure function, so replays schedule identically."""
-        base = self.backoff_base_s * (
-            self.backoff_multiplier ** max(0, attempt)
-        )
+        base = self.backoff_base_s * (self.backoff_multiplier ** max(0, attempt))
         if self.backoff_jitter <= 0:
             return base
-        digest = hashlib.sha256(
-            f"{self.seed}:{shard}:{attempt}".encode()
-        ).digest()
+        digest = hashlib.sha256(f"{self.seed}:{shard}:{attempt}".encode()).digest()
         unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
         return base * (1.0 + self.backoff_jitter * unit)
 
@@ -150,8 +146,14 @@ def run_supervised(
     if workers is None or workers <= 1 or len(tasks) <= 1:
         return _run_inline(tasks, solve, fallback, verify, policy, ledger)
     return _run_pool(
-        tasks, solve, fallback, verify, policy, ledger,
-        min(workers, len(tasks)), mp_context,
+        tasks,
+        solve,
+        fallback,
+        verify,
+        policy,
+        ledger,
+        min(workers, len(tasks)),
+        mp_context,
     )
 
 
@@ -166,8 +168,7 @@ def _verified(task, result, verify, *, cold: bool):
         # produces that still fails verification is a real solver bug,
         # not an injected hazard — surface it, never mask it.
         raise RuntimeError(
-            f"cold requeue of shard {task.index} failed verification: "
-            f"{problem}"
+            f"cold requeue of shard {task.index} failed verification: " f"{problem}"
         )
     raise FaultInjected(
         f"injected shard worker fault (shard {task.index}): poisoned "
@@ -176,8 +177,19 @@ def _verified(task, result, verify, *, cold: bool):
 
 
 def _fail(
-    task, attempt, exc, kind, *, policy, ledger, now, pending, pos,
-    results, fallback, verify,
+    task,
+    attempt,
+    exc,
+    kind,
+    *,
+    policy,
+    ledger,
+    now,
+    pending,
+    pos,
+    results,
+    fallback,
+    verify,
 ):
     """Shared failure policy: retry → requeue-cold → raise."""
     detail = f"{type(exc).__name__}: {exc}"
@@ -188,9 +200,7 @@ def _fail(
         return
     if policy.requeue_cold:
         ledger.record(task.index, attempt, kind, "requeue_cold", detail)
-        results[pos] = _verified(
-            task, fallback(task), verify, cold=True
-        )
+        results[pos] = _verified(task, fallback(task), verify, cold=True)
         return
     ledger.record(task.index, attempt, kind, "raise", detail)
     raise exc
@@ -213,46 +223,48 @@ def _run_inline(tasks, solve, fallback, verify, policy, ledger):
                 )
                 break
             except Exception as exc:
-                kind = "poison" if "poisoned result" in str(exc) else (
-                    _classify(exc)
-                )
+                kind = "poison" if "poisoned result" in str(exc) else (_classify(exc))
                 if attempt < policy.max_retries:
                     backoff = policy.backoff_s(task.index, attempt)
                     ledger.record(
-                        task.index, attempt, kind, "retry",
-                        f"{type(exc).__name__}: {exc}", backoff,
+                        task.index,
+                        attempt,
+                        kind,
+                        "retry",
+                        f"{type(exc).__name__}: {exc}",
+                        backoff,
                     )
                     time.sleep(min(backoff, 0.25))  # bounded: same process
                     attempt += 1
                     continue
                 if policy.requeue_cold:
                     ledger.record(
-                        task.index, attempt, kind, "requeue_cold",
+                        task.index,
+                        attempt,
+                        kind,
+                        "requeue_cold",
                         f"{type(exc).__name__}: {exc}",
                     )
-                    results[pos] = _verified(
-                        task, fallback(task), verify, cold=True
-                    )
+                    results[pos] = _verified(task, fallback(task), verify, cold=True)
                     break
                 ledger.record(
-                    task.index, attempt, kind, "raise",
+                    task.index,
+                    attempt,
+                    kind,
+                    "raise",
                     f"{type(exc).__name__}: {exc}",
                 )
                 raise
     return results
 
 
-def _run_pool(
-    tasks, solve, fallback, verify, policy, ledger, max_workers, mp_context
-):
+def _run_pool(tasks, solve, fallback, verify, policy, ledger, max_workers, mp_context):
     results = [None] * len(tasks)
     done = [False] * len(tasks)
     # (pos, attempt, ready_at): ready_at gates backoff re-submission.
-    pending = [(pos, getattr(t, "attempt", 0), 0.0)
-               for pos, t in enumerate(tasks)]
+    pending = [(pos, getattr(t, "attempt", 0), 0.0) for pos, t in enumerate(tasks)]
     in_flight = {}  # future -> (pos, attempt, deadline)
-    pool = ProcessPoolExecutor(max_workers=max_workers,
-                               mp_context=mp_context)
+    pool = ProcessPoolExecutor(max_workers=max_workers, mp_context=mp_context)
     pool_broken = False
     try:
         while pending or in_flight:
@@ -269,9 +281,7 @@ def _run_pool(
             still_waiting = []
             for pos, attempt, ready_at in sorted(pending):
                 if (
-                    ready_at <= now
-                    and len(in_flight) < max_workers
-                    and not pool_broken
+                    ready_at <= now and len(in_flight) < max_workers and not pool_broken
                 ):
                     try:
                         future = pool.submit(
@@ -299,7 +309,8 @@ def _run_pool(
             timeout = max(0.0, min(wake_at) - now) if wake_at else None
             if in_flight:
                 finished, _ = wait(
-                    in_flight, timeout=timeout,
+                    in_flight,
+                    timeout=timeout,
                     return_when=FIRST_COMPLETED,
                 )
             else:
@@ -323,19 +334,35 @@ def _run_pool(
                         continue
                     except FaultInjected as poisoned:
                         _fail(
-                            task, attempt, poisoned, "poison",
-                            policy=policy, ledger=ledger, now=now,
-                            pending=pending, pos=pos, results=results,
-                            fallback=fallback, verify=verify,
+                            task,
+                            attempt,
+                            poisoned,
+                            "poison",
+                            policy=policy,
+                            ledger=ledger,
+                            now=now,
+                            pending=pending,
+                            pos=pos,
+                            results=results,
+                            fallback=fallback,
+                            verify=verify,
                         )
                         if results[pos] is not None:
                             done[pos] = True
                         continue
                 _fail(
-                    task, attempt, exc, _classify(exc),
-                    policy=policy, ledger=ledger, now=now,
-                    pending=pending, pos=pos, results=results,
-                    fallback=fallback, verify=verify,
+                    task,
+                    attempt,
+                    exc,
+                    _classify(exc),
+                    policy=policy,
+                    ledger=ledger,
+                    now=now,
+                    pending=pending,
+                    pos=pos,
+                    results=results,
+                    fallback=fallback,
+                    verify=verify,
                 )
                 if results[pos] is not None:
                     done[pos] = True
@@ -366,10 +393,18 @@ def _run_pool(
                         f"{policy.task_timeout_s:.3f}s deadline"
                     )
                     _fail(
-                        task, attempt, exc, "timeout",
-                        policy=policy, ledger=ledger, now=now,
-                        pending=pending, pos=pos, results=results,
-                        fallback=fallback, verify=verify,
+                        task,
+                        attempt,
+                        exc,
+                        "timeout",
+                        policy=policy,
+                        ledger=ledger,
+                        now=now,
+                        pending=pending,
+                        pos=pos,
+                        results=results,
+                        fallback=fallback,
+                        verify=verify,
                     )
                     if results[pos] is not None:
                         done[pos] = True
@@ -377,7 +412,10 @@ def _run_pool(
                     # Killed alongside the offender through no fault of
                     # its own: requeue at the SAME attempt, no penalty.
                     ledger.record(
-                        tasks[pos].index, attempt, "collateral", "requeue",
+                        tasks[pos].index,
+                        attempt,
+                        "collateral",
+                        "requeue",
                         "worker pool killed by a sibling's deadline",
                     )
                     pending.append((pos, attempt, now))
@@ -385,9 +423,7 @@ def _run_pool(
         _kill_pool(pool)
     missing = [pos for pos, ok in enumerate(done) if not ok]
     if missing:  # unreachable by construction; guard against None results
-        raise RuntimeError(
-            f"supervised run lost results for task positions {missing}"
-        )
+        raise RuntimeError(f"supervised run lost results for task positions {missing}")
     return results
 
 

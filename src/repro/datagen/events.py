@@ -106,8 +106,7 @@ class EventStreamSpec:
             raise ValueError("n_events must be non-negative")
         if self.profile not in PROFILES:
             raise ValueError(
-                f"unknown profile {self.profile!r}; expected one of "
-                f"{PROFILES}"
+                f"unknown profile {self.profile!r}; expected one of " f"{PROFILES}"
             )
         if self.rate <= 0:
             raise ValueError("rate must be positive")
@@ -115,15 +114,12 @@ class EventStreamSpec:
             self.p_depart + self.p_capacity > 1.0
         ):
             raise ValueError(
-                "p_depart and p_capacity must be non-negative and sum "
-                "to at most 1"
+                "p_depart and p_capacity must be non-negative and sum " "to at most 1"
             )
         if not 0.0 <= self.cluster_fraction <= 1.0:
             raise ValueError("cluster_fraction must lie in [0, 1]")
         if self.cap_lo_factor < 0 or self.cap_hi_factor < self.cap_lo_factor:
-            raise ValueError(
-                "capacity factors must satisfy 0 <= lo <= hi"
-            )
+            raise ValueError("capacity factors must satisfy 0 <= lo <= hi")
 
 
 def rate_at(spec: EventStreamSpec, t: float) -> float:
@@ -176,9 +172,7 @@ def generate_events(
     # Live customer refs: base customers first, arrivals appended.  A
     # Python list keeps the uniform "pick a live customer" draw stable
     # (index into the list) and removal cheap via swap-with-last.
-    live: List[int] = [
-        j for j, p in enumerate(problem.customers) if p.weight > 0
-    ]
+    live: List[int] = [j for j, p in enumerate(problem.customers) if p.weight > 0]
     next_ref = len(problem.customers)
 
     lam_max = _rate_ceiling(spec)
@@ -233,9 +227,7 @@ def generate_events(
     return events
 
 
-def group_events(
-    events: List[Event], window: float
-) -> List[List[Event]]:
+def group_events(events: List[Event], window: float) -> List[List[Event]]:
     """Coalesce a stream into delta groups under a batching window.
 
     Events within ``window`` time units of the group's first event join

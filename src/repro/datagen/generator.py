@@ -35,9 +35,7 @@ DEFAULT_CLUSTER_SIGMA = 30.0
 # parent, regardless of fork/spawn start method or scheduling order.
 
 
-def derive_rng(
-    seed: int, *key: Union[int, str]
-) -> np.random.Generator:
+def derive_rng(seed: int, *key: Union[int, str]) -> np.random.Generator:
     """A deterministic, collision-resistant generator for ``(seed, *key)``.
 
     Distinct keys give statistically independent streams (SeedSequence
@@ -119,9 +117,7 @@ def clustered_points(
             centers = np.asarray(centers, dtype=float)
             clusters = len(centers)
         assignment = rng.integers(0, clusters, size=n_clustered)
-        targets = centers[assignment] + rng.normal(
-            0.0, sigma, (n_clustered, 2)
-        )
+        targets = centers[assignment] + rng.normal(0.0, sigma, (n_clustered, 2))
         # Snap each Gaussian draw onto the road skeleton: nearest edge
         # midpoint, then a uniform position on that edge.
         tree = cKDTree(network.edge_midpoints)

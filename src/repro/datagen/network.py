@@ -99,9 +99,7 @@ def build_road_network(
                 edge_set.append((node_id(col, row), node_id(col, row + 1)))
 
     # Random deletions, keeping connectivity via a spanning-tree check.
-    edges = _drop_edges_keep_connected(
-        edge_set, grid * grid, drop_fraction, rng
-    )
+    edges = _drop_edges_keep_connected(edge_set, grid * grid, drop_fraction, rng)
 
     # Diagonal shortcuts.
     num_shortcuts = int(len(edge_set) * shortcut_fraction)
@@ -153,8 +151,6 @@ def _drop_edges_keep_connected(
     deletable = [i for i in range(len(edge_set)) if i not in skeleton]
     num_drop = min(int(len(edge_set) * drop_fraction), len(deletable))
     drop = set(
-        rng.choice(deletable, size=num_drop, replace=False).tolist()
-        if num_drop
-        else []
+        rng.choice(deletable, size=num_drop, replace=False).tolist() if num_drop else []
     )
     return [e for i, e in enumerate(edge_set) if i not in drop]

@@ -23,9 +23,7 @@ def _shared_network(grid: int, seed: int) -> RoadNetwork:
     return build_road_network(grid=grid, seed=seed)
 
 
-def make_capacities(
-    nq: int, k: KSpec, rng: np.random.Generator
-) -> Sequence[int]:
+def make_capacities(nq: int, k: KSpec, rng: np.random.Generator) -> Sequence[int]:
     """Fixed capacity ``k`` or per-provider uniform draw from ``(lo, hi)``
     (the Figure 12 "mixed k" setting)."""
     if isinstance(k, tuple):
@@ -139,12 +137,8 @@ def make_separated_problem(
         )
         q_rng = derive_rng(seed, "separated-providers", c)
         p_rng = derive_rng(seed, "separated-customers", c)
-        provider_parts.append(
-            center + q_rng.normal(0.0, spread, (nq_per, 2))
-        )
-        customer_parts.append(
-            center + p_rng.normal(0.0, spread, (np_per, 2))
-        )
+        provider_parts.append(center + q_rng.normal(0.0, spread, (nq_per, 2)))
+        customer_parts.append(center + p_rng.normal(0.0, spread, (np_per, 2)))
     return CCAProblem.from_arrays(
         np.concatenate(provider_parts, axis=0),
         [int(k)] * (clusters * nq_per),

@@ -55,9 +55,7 @@ class FigureSpec:
     expected_shape: str
     runner: Callable[[float, int], List[MethodResult]]
 
-    def run(
-        self, scale: float = DEFAULT_SCALE, seed: int = 0
-    ) -> List[MethodResult]:
+    def run(self, scale: float = DEFAULT_SCALE, seed: int = 0) -> List[MethodResult]:
         return self.runner(scale, seed)
 
 
@@ -76,10 +74,7 @@ def _default_problem(scale: float, seed: int, **overrides) -> CCAProblem:
 
 
 def _k_sweep_problems(scale: float, seed: int, **overrides):
-    return {
-        f"k={k}": _default_problem(scale, seed, k=k, **overrides)
-        for k in K_SWEEP
-    }
+    return {f"k={k}": _default_problem(scale, seed, k=k, **overrides) for k in K_SWEEP}
 
 
 # ----------------------------------------------------------------------
@@ -299,7 +294,5 @@ def run_figure(
     """Regenerate one figure's data series at the given scale."""
     key = fig_id.lower()
     if key not in FIGURES:
-        raise KeyError(
-            f"unknown figure {fig_id!r}; available: {sorted(FIGURES)}"
-        )
+        raise KeyError(f"unknown figure {fig_id!r}; available: {sorted(FIGURES)}")
     return FIGURES[key].run(scale=scale, seed=seed)

@@ -37,10 +37,18 @@ def run_method(
 
     if theta is None:
         theta = default_theta(len(problem.customers))
-    matching = solve(problem, method, theta=theta, delta=delta,
-                     backend=backend, index_backend=index_backend,
-                     ann_group_size=ann_group_size, shards=shards,
-                     workers=workers, router=router)
+    matching = solve(
+        problem,
+        method,
+        theta=theta,
+        delta=delta,
+        backend=backend,
+        index_backend=index_backend,
+        ann_group_size=ann_group_size,
+        shards=shards,
+        workers=workers,
+        router=router,
+    )
     stats = matching.stats
     stats.io.io_penalty_s = io_penalty_s
     result = MethodResult(

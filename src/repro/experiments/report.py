@@ -16,9 +16,7 @@ def _unique_in_order(values: Sequence[str]) -> List[str]:
     return list(seen)
 
 
-def _pivot(
-    results: List[MethodResult], metric: str
-) -> Dict[str, Dict[str, str]]:
+def _pivot(results: List[MethodResult], metric: str) -> Dict[str, Dict[str, str]]:
     """sweep label -> method -> formatted metric."""
     table: Dict[str, Dict[str, str]] = {}
     for r in results:
@@ -35,9 +33,7 @@ def _pivot(
     return table
 
 
-def _render_pivot(
-    title: str, results: List[MethodResult], metric: str
-) -> str:
+def _render_pivot(title: str, results: List[MethodResult], metric: str) -> str:
     table = _pivot(results, metric)
     sweeps = _unique_in_order([r.sweep_label for r in results])
     methods = _unique_in_order([r.method for r in results])
@@ -115,9 +111,7 @@ def figure_to_markdown(fig_id: str, results: List[MethodResult]) -> str:
     return "\n".join(parts)
 
 
-def results_to_markdown(
-    fig_id: str, results: List[MethodResult], metric: str
-) -> str:
+def results_to_markdown(fig_id: str, results: List[MethodResult], metric: str) -> str:
     """One metric as a GitHub-markdown table (EXPERIMENTS.md fodder)."""
     table = _pivot(results, metric)
     sweeps = _unique_in_order([r.sweep_label for r in results])

@@ -425,9 +425,7 @@ class ArrayFlowNetwork(CCAFlowNetwork):
         scalar traffic in either direction.
         """
         if not isinstance(state, ArrayDijkstraState):
-            self.augment(
-                path_nodes, alpha_min, state.settled_alpha_for_update()
-            )
+            self.augment(path_nodes, alpha_min, state.settled_alpha_for_update())
             return
         self.apply_path(path_nodes)
         alpha = state._alpha
@@ -572,9 +570,7 @@ class ArrayFlowNetwork(CCAFlowNetwork):
         capacity = int(capacity)
         if capacity <= self.q_cap[i]:
             return True  # shrinking closes edges; never breaks feasibility
-        if self.q_used[i] >= self.q_cap[i] and float(
-            self.q_tau[i]
-        ) < self.tau_s - 1e-9:
+        if self.q_used[i] >= self.q_cap[i] and float(self.q_tau[i]) < self.tau_s - 1e-9:
             return False
         q_tau_i = float(self.q_tau[i])
         for eid, src in enumerate(self.e_src):

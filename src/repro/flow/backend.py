@@ -82,9 +82,7 @@ def _build_registry() -> Dict[str, FlowBackend]:
     )
 
     if NUMBA_AVAILABLE:
-        registry["numba"] = FlowBackend(
-            "numba", NumbaFlowNetwork, NumbaDijkstraState
-        )
+        registry["numba"] = FlowBackend("numba", NumbaFlowNetwork, NumbaDijkstraState)
     return registry
 
 

@@ -75,9 +75,7 @@ class CCAFlowNetwork:
         # forward[i]: {j: dist} — edges with spare capacity.
         # backward[j]: {i: dist} — edges carrying flow (matched units).
         self.forward: List[Dict[int, float]] = [dict() for _ in range(self.nq)]
-        self.backward: List[Dict[int, float]] = [
-            dict() for _ in range(self.np)
-        ]
+        self.backward: List[Dict[int, float]] = [dict() for _ in range(self.np)]
         # Canonical edge registry: (i, j) -> [distance, capacity, flow].
         self.edges: Dict[Tuple[int, int], List] = {}
         self.matched = 0
@@ -416,11 +414,7 @@ class CCAFlowNetwork:
         """
         if weight < 0:
             raise ValueError("customer weight must be non-negative")
-        need = [
-            i
-            for i in range(self.nq)
-            if self.q_tau[i] > provider_distances[i]
-        ]
+        need = [i for i in range(self.nq) if self.q_tau[i] > provider_distances[i]]
         if need:
             floors = self.provider_potential_floors()
             for i in need:
@@ -465,10 +459,7 @@ class CCAFlowNetwork:
         for (i, _j), entry in self.edges.items():
             if _j != j or entry[2] <= 0:
                 continue
-            if (
-                self.q_used[i] >= self.q_cap[i]
-                and self.q_tau[i] < self.tau_s - 1e-9
-            ):
+            if (self.q_used[i] >= self.q_cap[i] and self.q_tau[i] < self.tau_s - 1e-9):
                 return False
         return True
 
@@ -517,10 +508,7 @@ class CCAFlowNetwork:
         """
         if capacity <= self.q_cap[i]:
             return True  # shrinking closes edges; never breaks feasibility
-        if (
-            self.q_used[i] >= self.q_cap[i]
-            and self.q_tau[i] < self.tau_s - 1e-9
-        ):
+        if (self.q_used[i] >= self.q_cap[i] and self.q_tau[i] < self.tau_s - 1e-9):
             return False
         for (qi, j), entry in self.edges.items():
             if qi != i:
@@ -595,9 +583,7 @@ class CCAFlowNetwork:
 
     def matching_cost(self) -> float:
         """Ψ(M): summed distances of matched units (Equation 1)."""
-        return sum(
-            entry[0] * entry[2] for entry in self.edges.values()
-        )
+        return sum(entry[0] * entry[2] for entry in self.edges.values())
 
     def spare_capacity(self) -> int:
         """Total unused provider capacity Σ (q.k − used) — the headroom the

@@ -299,7 +299,15 @@ def _run_kernel(
 
 @_maybe_njit
 def _augment_kernel(
-    order, order_n, alpha, settled, scratch, q_tau, p_tau, alpha_min, nq,
+    order,
+    order_n,
+    alpha,
+    settled,
+    scratch,
+    q_tau,
+    p_tau,
+    alpha_min,
+    nq,
     tau_max,
 ):
     """Algorithm-1 potential update over the settled order, compiled.
@@ -405,12 +413,8 @@ class NumbaFlowNetwork(ArrayFlowNetwork):
             self._pool_dist = nd
         old = self._fw_start[i]
         if valid:
-            self._pool_tgt[start : start + valid] = self._pool_tgt[
-                old : old + valid
-            ]
-            self._pool_dist[start : start + valid] = self._pool_dist[
-                old : old + valid
-            ]
+            self._pool_tgt[start : start + valid] = self._pool_tgt[old : old + valid]
+            self._pool_dist[start : start + valid] = self._pool_dist[old : old + valid]
         self._fw_start[i] = start
         self._fw_cap[i] = cap
         self._pool_n = start + cap
@@ -430,9 +434,7 @@ class NumbaFlowNetwork(ArrayFlowNetwork):
             self._bpool_dist = nd
         old = self._bw_start[j]
         if valid:
-            self._bpool_src[start : start + valid] = self._bpool_src[
-                old : old + valid
-            ]
+            self._bpool_src[start : start + valid] = self._bpool_src[old : old + valid]
             self._bpool_dist[start : start + valid] = self._bpool_dist[
                 old : old + valid
             ]

@@ -32,12 +32,8 @@ def oracle_lsa(
     """
     from scipy.optimize import linear_sum_assignment
 
-    q_slots = [
-        i for i, k in enumerate(provider_capacities) for _ in range(k)
-    ]
-    p_slots = [
-        j for j, w in enumerate(customer_weights) for _ in range(w)
-    ]
+    q_slots = [i for i, k in enumerate(provider_capacities) for _ in range(k)]
+    p_slots = [j for j, w in enumerate(customer_weights) for _ in range(w)]
     if not q_slots or not p_slots:
         return []
     if len(q_slots) * len(p_slots) > MAX_ORACLE_CELLS:
@@ -53,10 +49,7 @@ def oracle_lsa(
                 distances[(i, j)] = distance_fn(i, j)
             cost[r, c] = distances[(i, j)]
     rows, cols = linear_sum_assignment(cost)
-    return [
-        (q_slots[r], p_slots[c], float(cost[r, c]))
-        for r, c in zip(rows, cols)
-    ]
+    return [(q_slots[r], p_slots[c], float(cost[r, c])) for r, c in zip(rows, cols)]
 
 
 def oracle_networkx(

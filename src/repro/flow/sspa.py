@@ -73,18 +73,14 @@ def sspa_solve(
             for j in range(net.np):
                 net.add_edge(i, j, distance_fn(i, j))
     if stage_s is not None:
-        stage_s["insert"] = (
-            stage_s.get("insert", 0.0) + time.perf_counter() - started
-        )
+        stage_s["insert"] = (stage_s.get("insert", 0.0) + time.perf_counter() - started)
 
     gamma = net.gamma
     for loop in range(gamma):
         state = kernel.dijkstra(net)
         started = time.perf_counter()
         if not state.run():
-            raise UnsolvableError(
-                f"no augmenting path at iteration {loop + 1}/{gamma}"
-            )
+            raise UnsolvableError(f"no augmenting path at iteration {loop + 1}/{gamma}")
         mid = time.perf_counter()
         net.augment_with_state(state.path_nodes(), state.sp_cost, state)
         if stage_s is not None:

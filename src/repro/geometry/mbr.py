@@ -72,9 +72,7 @@ class MBR:
     @property
     def diagonal(self) -> float:
         """Length of the main diagonal (the δ criterion of Section 4)."""
-        return math.sqrt(
-            sum((h - low) ** 2 for low, h in zip(self.lo, self.hi))
-        )
+        return math.sqrt(sum((h - low) ** 2 for low, h in zip(self.lo, self.hi)))
 
     @property
     def center(self) -> Tuple[float, ...]:
@@ -103,9 +101,7 @@ class MBR:
     # predicates and combinators
     # ------------------------------------------------------------------
     def contains_point(self, point: Point) -> bool:
-        return all(
-            low <= c <= h for low, c, h in zip(self.lo, point.coords, self.hi)
-        )
+        return all(low <= c <= h for low, c, h in zip(self.lo, point.coords, self.hi))
 
     def contains_mbr(self, other: "MBR") -> bool:
         return all(

@@ -94,9 +94,7 @@ class ANNGroup:
                     p,
                 )
         else:
-            for child_id, child_mbr in zip(
-                node.children_ids, node.child_mbrs
-            ):
+            for child_id, child_mbr in zip(node.children_ids, node.child_mbrs):
                 self._push_entry(
                     mindist_mbr_mbr(self.mbr, child_mbr),
                     self._NODE,
@@ -155,10 +153,7 @@ def group_providers_by_hilbert(
         providers,
         key=lambda q: (hilbert_key(q.coords, world_lo, world_hi), q.pid),
     )
-    return [
-        ordered[i : i + group_size]
-        for i in range(0, len(ordered), group_size)
-    ]
+    return [ordered[i : i + group_size] for i in range(0, len(ordered), group_size)]
 
 
 class _GroupedANNBase:
@@ -181,9 +176,7 @@ class _GroupedANNBase:
             world = MBR.from_points(list(providers))
         else:
             world = MBR((0.0, 0.0), (1.0, 1.0))
-        groups = group_providers_by_hilbert(
-            providers, world.lo, world.hi, group_size
-        )
+        groups = group_providers_by_hilbert(providers, world.lo, world.hi, group_size)
         self._group_of: Dict[int, object] = {}
         self.groups: List[object] = []
         for member_points in groups:
@@ -244,9 +237,7 @@ class PackedANNGroup:
         # point; the unique tiebreak guarantees columns never compare.
         self._heap: list = []
         self._res_heaps: List[list] = [[] for _ in self.member_pids]
-        self._res: Dict[int, list] = dict(
-            zip(self.member_pids, self._res_heaps)
-        )
+        self._res: Dict[int, list] = dict(zip(self.member_pids, self._res_heaps))
         if tree.root_id is not None:
             # The pointer ANNGroup reads the root MBR through the buffer;
             # charge the same access before keying the root entry.
@@ -259,8 +250,7 @@ class PackedANNGroup:
             )[0]
             heapq.heappush(
                 self._heap,
-                (float(key), self._NODE, next(self._counter), tree.root_id,
-                 None),
+                (float(key), self._NODE, next(self._counter), tree.root_id, None),
             )
 
     def _expand_once(self) -> None:
@@ -283,8 +273,7 @@ class PackedANNGroup:
             for offset, point_key in enumerate(keys):
                 heapq.heappush(
                     heap,
-                    (point_key, point, next(counter), start + offset,
-                     columns[offset]),
+                    (point_key, point, next(counter), start + offset, columns[offset]),
                 )
         else:
             kids = tree.child_ids[start:end]
@@ -293,9 +282,7 @@ class PackedANNGroup:
             ).tolist()
             node = self._NODE
             for child, child_key in zip(kids.tolist(), keys):
-                heapq.heappush(
-                    heap, (child_key, node, next(counter), child, None)
-                )
+                heapq.heappush(heap, (child_key, node, next(counter), child, None))
 
     def _settle_top(self, provider_pid: int) -> list:
         """Expand Hm until the member's best candidate is certainly its

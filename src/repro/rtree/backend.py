@@ -148,10 +148,6 @@ def index_info(tree) -> Dict:
                     stack.extend(node.children_ids)
     info["leaves"] = leaves
     info["dir_nodes"] = dir_nodes
-    info["leaf_fill"] = (
-        leaf_entries / (leaves * tree.leaf_cap) if leaves else 0.0
-    )
-    info["dir_fill"] = (
-        dir_entries / (dir_nodes * tree.dir_cap) if dir_nodes else 0.0
-    )
+    info["leaf_fill"] = (leaf_entries / (leaves * tree.leaf_cap) if leaves else 0.0)
+    info["dir_fill"] = (dir_entries / (dir_nodes * tree.dir_cap) if dir_nodes else 0.0)
     return info

@@ -106,8 +106,7 @@ class PackedNodeView:
     def __repr__(self) -> str:
         kind = "leaf" if self.is_leaf else "dir"
         return (
-            f"PackedNodeView(page={self.page_id}, {kind}, "
-            f"n={self.entry_count})"
+            f"PackedNodeView(page={self.page_id}, {kind}, " f"n={self.entry_count})"
         )
 
 
@@ -483,9 +482,7 @@ class PackedRTree:
         return row_blocks, dist_blocks
 
     def _scan_points(self, row_blocks) -> List[Point]:
-        return [
-            self.point(int(row)) for block in row_blocks for row in block
-        ]
+        return [self.point(int(row)) for block in row_blocks for row in block]
 
     def _scan_columns(self, row_blocks, dist_blocks):
         if not row_blocks:

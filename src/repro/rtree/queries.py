@@ -54,9 +54,7 @@ def _range_scan(tree: RTree, query: Point, inner: float, outer: float):
                     points.append(p)
                     dists.append(d)
         else:
-            for child_id, child_mbr in zip(
-                node.children_ids, node.child_mbrs
-            ):
+            for child_id, child_mbr in zip(node.children_ids, node.child_mbrs):
                 if mindist_point_mbr(query, child_mbr) > outer:
                     continue
                 if annular and maxdist_point_mbr(query, child_mbr) <= inner:
@@ -189,9 +187,7 @@ class IncrementalNN:
                 for p in node.points:
                     self._push(dist(self.query, p), self._POINT, p)
             else:
-                for child_id, child_mbr in zip(
-                    node.children_ids, node.child_mbrs
-                ):
+                for child_id, child_mbr in zip(node.children_ids, node.child_mbrs):
                     self._push(
                         mindist_point_mbr(self.query, child_mbr),
                         self._NODE,

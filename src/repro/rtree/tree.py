@@ -133,9 +133,7 @@ class RTree:
         self.size += 1
         self._handle_overflow_and_adjust(path)
 
-    def _descend_for_insert(
-        self, point: Point
-    ) -> List[Tuple[RTreeNode, int]]:
+    def _descend_for_insert(self, point: Point) -> List[Tuple[RTreeNode, int]]:
         """Path of (node, child-index-taken); leaf has child index -1."""
         path: List[Tuple[RTreeNode, int]] = []
         node = self.node(self.root_id)
@@ -159,9 +157,7 @@ class RTree:
                 best_idx = i
         return best_idx
 
-    def _handle_overflow_and_adjust(
-        self, path: List[Tuple[RTreeNode, int]]
-    ) -> None:
+    def _handle_overflow_and_adjust(self, path: List[Tuple[RTreeNode, int]]) -> None:
         """Split overflowing nodes bottom-up and refresh ancestor MBRs."""
         split_result: Optional[Tuple[int, MBR]] = None
         for depth in range(len(path) - 1, -1, -1):
@@ -318,9 +314,7 @@ class RTree:
                 raise AssertionError("empty tree with non-zero size")
             return
         leaf_depths = set()
-        count = self._check_node(
-            self.root_id, None, 1, leaf_depths, True, strict_fill
-        )
+        count = self._check_node(self.root_id, None, 1, leaf_depths, True, strict_fill)
         if count != self.size:
             raise AssertionError(f"size mismatch: {count} vs {self.size}")
         if len(leaf_depths) != 1:
@@ -352,7 +346,11 @@ class RTree:
         total = 0
         for child_id, child_mbr in zip(node.children_ids, node.child_mbrs):
             total += self._check_node(
-                child_id, child_mbr, depth + 1, leaf_depths, False,
+                child_id,
+                child_mbr,
+                depth + 1,
+                leaf_depths,
+                False,
                 strict_fill,
             )
         return total
@@ -391,9 +389,7 @@ def _quadratic_split(entries, min_fill: int):
     group_b = [entries[seed_b]]
     mbr_a = entries[seed_a][0]
     mbr_b = entries[seed_b][0]
-    remaining = [
-        e for idx, e in enumerate(entries) if idx not in (seed_a, seed_b)
-    ]
+    remaining = [e for idx, e in enumerate(entries) if idx not in (seed_a, seed_b)]
 
     while remaining:
         # Force-assign to satisfy minimum fill.

@@ -117,27 +117,19 @@ class AsyncAssignmentFrontend:
     # ------------------------------------------------------------------
     # request API
     # ------------------------------------------------------------------
-    async def arrive(
-        self, xy: Sequence[float], weight: int = 1
-    ) -> EventOutcome:
+    async def arrive(self, xy: Sequence[float], weight: int = 1) -> EventOutcome:
         """A customer arrives; resolves with its assignment (provider and
         distance when matched, ``provider_id=None`` when capacity ran
         out)."""
         return await self.submit(
-            self._event(
-                "arrive",
-                xy=(float(xy[0]), float(xy[1])),
-                weight=int(weight),
-            )
+            self._event("arrive", xy=(float(xy[0]), float(xy[1])), weight=int(weight),)
         )
 
     async def depart(self, customer_id: int) -> EventOutcome:
         """A customer leaves; their matched units are released."""
         return await self.submit(self._event("depart", ref=int(customer_id)))
 
-    async def set_capacity(
-        self, provider_id: int, capacity: int
-    ) -> EventOutcome:
+    async def set_capacity(self, provider_id: int, capacity: int) -> EventOutcome:
         """A provider's capacity changes."""
         return await self.submit(
             self._event(
@@ -221,9 +213,7 @@ class AsyncAssignmentFrontend:
             self._t0 = loop.time()
         seq = self._seq
         self._seq += 1
-        return Event(
-            seq=seq, time=loop.time() - self._t0, kind=kind, **fields
-        )
+        return Event(seq=seq, time=loop.time() - self._t0, kind=kind, **fields)
 
     async def _flush_after(self) -> None:
         try:

@@ -167,9 +167,7 @@ class ServeStats:
             "cold_assigns": self.cold_assigns,
             "hazard_colds": self.hazard_colds,
             "repair_fallbacks": self.repair_fallbacks,
-            "warm_rate": (
-                self.warm_assigns / self.assigns if self.assigns else 0.0
-            ),
+            "warm_rate": (self.warm_assigns / self.assigns if self.assigns else 0.0),
             "reconcile_passes": self.reconcile_passes,
             "reconcile_moves": self.reconcile_moves,
             "reconcile_rebalanced": self.reconcile_rebalanced,
@@ -256,9 +254,7 @@ class OnlineAssignmentService:
             if shards == 1:
                 # Identity single-shard plan: local ids == global ids, so
                 # the reference serving mode adds zero translation noise.
-                plan = ShardPlan.from_provider_lists(
-                    [list(range(nq))], problem
-                )
+                plan = ShardPlan.from_provider_lists([list(range(nq))], problem)
             else:
                 plan = plan_shards(problem, shards, delta=delta)
         self.plan = plan
@@ -374,9 +370,7 @@ class OnlineAssignmentService:
             reconciled=reconciled,
         )
 
-    def run(
-        self, events: Sequence[Event], *, window: float = 0.0
-    ) -> ServeStats:
+    def run(self, events: Sequence[Event], *, window: float = 0.0) -> ServeStats:
         """Replay a whole stream, grouped under ``window`` (stream time
         units); returns the lifetime stats for convenience."""
         for group in group_events(list(events), window):
@@ -404,7 +398,9 @@ class OnlineAssignmentService:
     ) -> EventOutcome:
         if event.xy is None:
             return EventOutcome(
-                seq=event.seq, kind="arrive", ok=False,
+                seq=event.seq,
+                kind="arrive",
+                ok=False,
                 detail="arrival without coordinates",
             )
         gid = len(self.problem.customers)
@@ -419,7 +415,9 @@ class OnlineAssignmentService:
         weight = int(event.weight)
         if weight <= 0:
             return EventOutcome(
-                seq=event.seq, kind="arrive", ok=False,
+                seq=event.seq,
+                kind="arrive",
+                ok=False,
                 detail="arrival weight must be positive",
             )
         shard = self._route_arrival(event.xy, spare)
@@ -427,30 +425,33 @@ class OnlineAssignmentService:
         self._local_customers[shard].append(gid)
         self._customer_loc[gid] = (shard, local)
         # Mirror into the live global instance (positional id = gid).
-        self.problem.customers.append(
-            _global_customer(gid, event.xy, weight)
-        )
+        self.problem.customers.append(_global_customer(gid, event.xy, weight))
         touched.add(shard)
         spare[shard] = max(0, spare.get(shard, 0) - weight)
         self.stats.arrivals += 1
         return EventOutcome(
-            seq=event.seq, kind="arrive", ok=True,
-            customer_id=gid, shard=shard,
+            seq=event.seq,
+            kind="arrive",
+            ok=True,
+            customer_id=gid,
+            shard=shard,
         )
 
-    def _apply_departure(
-        self, event: Event, touched: Set[int]
-    ) -> EventOutcome:
+    def _apply_departure(self, event: Event, touched: Set[int]) -> EventOutcome:
         ref = event.ref
         if ref is None or not 0 <= ref < len(self.problem.customers):
             return EventOutcome(
-                seq=event.seq, kind="depart", ok=False,
+                seq=event.seq,
+                kind="depart",
+                ok=False,
                 detail=f"unknown customer {ref}",
             )
         location = self._customer_loc.get(ref)
         if location is None or self.problem.customers[ref].weight == 0:
             return EventOutcome(
-                seq=event.seq, kind="depart", ok=False,
+                seq=event.seq,
+                kind="depart",
+                ok=False,
                 detail=f"customer {ref} is not live",
             )
         shard, local = location
@@ -461,22 +462,27 @@ class OnlineAssignmentService:
         touched.add(shard)
         self.stats.departures += 1
         return EventOutcome(
-            seq=event.seq, kind="depart", ok=True,
-            customer_id=ref, shard=shard,
+            seq=event.seq,
+            kind="depart",
+            ok=True,
+            customer_id=ref,
+            shard=shard,
         )
 
-    def _apply_capacity(
-        self, event: Event, touched: Set[int]
-    ) -> EventOutcome:
+    def _apply_capacity(self, event: Event, touched: Set[int]) -> EventOutcome:
         pid = event.provider_id
         if pid is None or not 0 <= pid < len(self.problem.providers):
             return EventOutcome(
-                seq=event.seq, kind="capacity", ok=False,
+                seq=event.seq,
+                kind="capacity",
+                ok=False,
                 detail=f"unknown provider {pid}",
             )
         if event.capacity is None or event.capacity < 0:
             return EventOutcome(
-                seq=event.seq, kind="capacity", ok=False,
+                seq=event.seq,
+                kind="capacity",
+                ok=False,
                 detail="capacity must be non-negative",
             )
         capacity = int(event.capacity)
@@ -487,20 +493,19 @@ class OnlineAssignmentService:
         touched.add(shard)
         self.stats.capacity_changes += 1
         return EventOutcome(
-            seq=event.seq, kind="capacity", ok=True,
-            provider_id=pid, shard=shard,
+            seq=event.seq,
+            kind="capacity",
+            ok=True,
+            provider_id=pid,
+            shard=shard,
         )
 
-    def _route_arrival(
-        self, xy: Sequence[float], spare: Dict[int, int]
-    ) -> int:
+    def _route_arrival(self, xy: Sequence[float], spare: Dict[int, int]) -> int:
         """Shard of the nearest provider whose shard still has (estimated)
         spare capacity; falls back to the globally nearest provider's
         shard when everything is full (ties break to the lowest provider
         id, matching :func:`~repro.core.shard.route_nearest`)."""
-        d = np.hypot(
-            self._qxy[:, 0] - float(xy[0]), self._qxy[:, 1] - float(xy[1])
-        )
+        d = np.hypot(self._qxy[:, 0] - float(xy[0]), self._qxy[:, 1] - float(xy[1]))
         order = np.argsort(d, kind="stable")
         for idx in order:
             shard = int(self._shard_of_provider[idx])
@@ -587,9 +592,7 @@ class OnlineAssignmentService:
         for index in sorted(touched):
             provider_ids = self._shard_providers[index]
             mapping = self._local_customers[index]
-            for i_local, j_local, dist in self.sessions[
-                index
-            ].current_pairs():
+            for i_local, j_local, dist in self.sessions[index].current_pairs():
                 pair_of[mapping[j_local]] = (provider_ids[i_local], dist)
         for outcome_index, gid in arrivals:
             hit = pair_of.get(gid)
@@ -691,9 +694,7 @@ class OnlineAssignmentService:
                 break
             source = unmatched[gid]
             xy = self.problem.customers[gid].point.coords
-            d = np.hypot(
-                self._qxy[:, 0] - xy[0], self._qxy[:, 1] - xy[1]
-            )
+            d = np.hypot(self._qxy[:, 0] - xy[0], self._qxy[:, 1] - xy[1])
             target = None
             for idx in np.argsort(d, kind="stable"):
                 shard = int(self._shard_of_provider[idx])
@@ -738,10 +739,7 @@ class OnlineAssignmentService:
         return Matching(sorted(self.live_pairs()))
 
     def live_cost(self) -> float:
-        return sum(
-            session.net.matching_cost()
-            for session in self.sessions.values()
-        )
+        return sum(session.net.matching_cost() for session in self.sessions.values())
 
     def final_problem(self) -> CCAProblem:
         """A fresh instance of the live global state (tombstones kept as
@@ -797,6 +795,4 @@ class OnlineAssignmentService:
 
 
 def _global_customer(gid: int, xy: Sequence[float], weight: int) -> Customer:
-    return Customer(
-        Point(gid, (float(xy[0]), float(xy[1]))), int(weight)
-    )
+    return Customer(Point(gid, (float(xy[0]), float(xy[1]))), int(weight))

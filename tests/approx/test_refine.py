@@ -10,9 +10,7 @@ from repro.geometry.point import Point
 
 def setup_case(nq=3, np_=10, seed=0, quota=3):
     rng = np.random.default_rng(seed)
-    providers = [
-        (Point(100 + i, rng.random(2) * 100), quota) for i in range(nq)
-    ]
+    providers = [(Point(100 + i, rng.random(2) * 100), quota) for i in range(nq)]
     customers = [Point(j, rng.random(2) * 100) for j in range(np_)]
     return providers, customers
 
@@ -59,9 +57,7 @@ class TestDifferences:
     def test_exclusive_first_pair_is_globally_closest(self):
         providers, customers = setup_case(seed=3)
         pairs = exclusive_nn_refine(providers, customers)
-        best = min(
-            dist(q, p) for q, _ in providers for p in customers
-        )
+        best = min(dist(q, p) for q, _ in providers for p in customers)
         assert min(d for _, _, d in pairs) == pytest.approx(best)
 
     def test_nn_round_robin_spreads_assignments(self):

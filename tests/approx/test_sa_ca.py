@@ -56,9 +56,7 @@ class TestCA:
         assert err <= ca_error_bound(prob.gamma, delta) + 1e-6
 
     def test_ca_bound_tighter_than_sa(self):
-        assert ca_error_bound(10, 5.0) == pytest.approx(
-            sa_error_bound(10, 5.0) / 2
-        )
+        assert ca_error_bound(10, 5.0) == pytest.approx(sa_error_bound(10, 5.0) / 2)
 
     def test_concise_stats_captured(self):
         rng = np.random.default_rng(21)

@@ -26,9 +26,7 @@ def random_problem(
     if sum(caps) == 0:
         caps[0] = 1
     weights = (
-        [1] * np_
-        if weights_hi <= 1
-        else rng.integers(1, weights_hi + 1, np_).tolist()
+        [1] * np_ if weights_hi <= 1 else rng.integers(1, weights_hi + 1, np_).tolist()
     )
     qxy = rng.random((nq, 2)) * world
     pxy = rng.random((np_, 2)) * world
@@ -57,9 +55,18 @@ def small_problem():
     provider_xy = [(20.0, 70.0), (50.0, 35.0), (80.0, 75.0)]
     capacities = [3, 5, 3]
     customer_xy = [
-        (5.0, 95.0), (15.0, 75.0), (25.0, 80.0), (22.0, 62.0),
-        (40.0, 40.0), (45.0, 25.0), (55.0, 30.0), (60.0, 42.0),
-        (52.0, 48.0), (75.0, 70.0), (85.0, 68.0), (82.0, 85.0),
+        (5.0, 95.0),
+        (15.0, 75.0),
+        (25.0, 80.0),
+        (22.0, 62.0),
+        (40.0, 40.0),
+        (45.0, 25.0),
+        (55.0, 30.0),
+        (60.0, 42.0),
+        (52.0, 48.0),
+        (75.0, 70.0),
+        (85.0, 68.0),
+        (82.0, 85.0),
     ]
     return CCAProblem.from_arrays(provider_xy, capacities, customer_xy)
 

@@ -137,8 +137,7 @@ class TestTrigger:
         with attach_fault(spec, where="shard 0"):
             with pytest.raises(FaultInjected, match="attach failure"):
                 shm.attach(
-                    shm.StoreHandle(name="repro_cca_none", manifest=(),
-                                    nbytes=0)
+                    shm.StoreHandle(name="repro_cca_none", manifest=(), nbytes=0)
                 )
         assert shm._ATTACH_FAULT is None
         with attach_fault(None):

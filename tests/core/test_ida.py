@@ -11,9 +11,7 @@ from tests.conftest import random_problem
 
 
 def oracle(prob):
-    return oracle_cost(
-        oracle_lsa(prob.capacities, prob.weights, prob.distance)
-    )
+    return oracle_cost(oracle_lsa(prob.capacities, prob.weights, prob.distance))
 
 
 class TestCorrectness:

@@ -9,7 +9,8 @@ from repro.core.problem import CCAProblem
 @pytest.fixture
 def prob():
     return CCAProblem.from_arrays(
-        [(0.0, 0.0), (10.0, 0.0)], [1, 2],
+        [(0.0, 0.0), (10.0, 0.0)],
+        [1, 2],
         [(1.0, 0.0), (9.0, 0.0), (11.0, 0.0)],
     )
 

@@ -9,9 +9,7 @@ from tests.conftest import random_problem
 
 
 def oracle(prob):
-    return oracle_cost(
-        oracle_lsa(prob.capacities, prob.weights, prob.distance)
-    )
+    return oracle_cost(oracle_lsa(prob.capacities, prob.weights, prob.distance))
 
 
 class TestCorrectness:
@@ -60,9 +58,7 @@ class TestMechanics:
     def test_pua_reduces_dijkstra_restarts(self, rng):
         prob = random_problem(rng, nq=6, np_=200, cap_hi=10)
         with_pua = NIASolver(prob).solve()
-        prob2 = random_problem(
-            np.random.default_rng(12345), nq=6, np_=200, cap_hi=10
-        )
+        prob2 = random_problem(np.random.default_rng(12345), nq=6, np_=200, cap_hi=10)
         without = NIASolver(prob2, use_pua=False).solve()
         assert with_pua.stats.dijkstra_runs < without.stats.dijkstra_runs
 

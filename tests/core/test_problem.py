@@ -44,18 +44,12 @@ class TestProblem:
         with pytest.raises(ValueError):
             CCAProblem.from_arrays([(0, 0)], [1, 2], [(1, 1)])
         with pytest.raises(ValueError):
-            CCAProblem.from_arrays(
-                [(0, 0)], [1], [(1, 1)], customer_weights=[1, 1]
-            )
+            CCAProblem.from_arrays([(0, 0)], [1], [(1, 1)], customer_weights=[1, 1])
 
     def test_gamma(self):
-        prob = CCAProblem.from_arrays(
-            [(0, 0)], [3], [(1, 1), (2, 2)]
-        )
+        prob = CCAProblem.from_arrays([(0, 0)], [3], [(1, 1), (2, 2)])
         assert prob.gamma == 2  # min(2 customers, capacity 3)
-        prob2 = CCAProblem.from_arrays(
-            [(0, 0)], [1], [(1, 1), (2, 2)]
-        )
+        prob2 = CCAProblem.from_arrays([(0, 0)], [1], [(1, 1), (2, 2)])
         assert prob2.gamma == 1
 
     def test_gamma_with_weights(self):
@@ -69,18 +63,14 @@ class TestProblem:
         assert prob.distance(0, 0) == pytest.approx(5.0)
 
     def test_world_mbr(self):
-        prob = CCAProblem.from_arrays(
-            [(-5.0, 0.0)], [1], [(10.0, 20.0), (0.0, -1.0)]
-        )
+        prob = CCAProblem.from_arrays([(-5.0, 0.0)], [1], [(10.0, 20.0), (0.0, -1.0)])
         world = prob.world_mbr()
         assert world.lo == (-5.0, -1.0)
         assert world.hi == (10.0, 20.0)
 
     def test_rtree_cached_and_rebuilt(self):
         rng = np.random.default_rng(0)
-        prob = CCAProblem.from_arrays(
-            [(0, 0)], [1], rng.random((50, 2)) * 100
-        )
+        prob = CCAProblem.from_arrays([(0, 0)], [1], rng.random((50, 2)) * 100)
         t1 = prob.rtree()
         assert prob.rtree() is t1
         t2 = prob.rtree(rebuild=True)

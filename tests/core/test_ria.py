@@ -39,9 +39,7 @@ class TestCorrectness:
         prob = random_problem(rng)
         m = RIASolver(prob, theta=7.0).solve()
         m.validate(prob)
-        expected = oracle_cost(
-            oracle_lsa(prob.capacities, prob.weights, prob.distance)
-        )
+        expected = oracle_cost(oracle_lsa(prob.capacities, prob.weights, prob.distance))
         assert m.cost == pytest.approx(expected, abs=1e-6)
 
     def test_invalid_theta_rejected(self, small_problem):

@@ -47,9 +47,7 @@ class TestColdAssign:
         matching = matcher.assign()
         assert not matcher.last_was_warm
         matching.validate(prob)
-        expected = oracle_cost(
-            oracle_lsa(prob.capacities, prob.weights, prob.distance)
-        )
+        expected = oracle_cost(oracle_lsa(prob.capacities, prob.weights, prob.distance))
         assert matching.cost == pytest.approx(expected, abs=1e-6)
 
     def test_assign_without_deltas_reuses_network(self):
@@ -112,9 +110,7 @@ class TestCustomerArrival:
         res = matcher.assign()
         assert matcher.last_was_warm
         assert matcher.last_stats.dijkstra_pops == 0
-        cold_cost, _ = cold_reference(
-            qxy, caps, np.vstack([pxy, [[150.0, 150.0]]])
-        )
+        cold_cost, _ = cold_reference(qxy, caps, np.vstack([pxy, [[150.0, 150.0]]]))
         assert res.cost == pytest.approx(cold_cost, abs=1e-9)
 
 
@@ -162,9 +158,7 @@ class TestOtherDeltas:
         assert 0 < warm_pops < cold_pops
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_capacity_increase_on_stale_provider_falls_back_cold(
-        self, backend
-    ):
+    def test_capacity_increase_on_stale_provider_falls_back_cold(self, backend):
         """Regression (code review): widening an early-saturated provider
         reopens its (s, q) edge with τ_q < τ_s; the old matching is no
         longer provably optimal and the session must re-solve cold
@@ -181,9 +175,7 @@ class TestOtherDeltas:
         assert res.cost < first.cost  # A now serves both: cheaper
 
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_remove_customer_of_stale_provider_falls_back_cold(
-        self, backend
-    ):
+    def test_remove_customer_of_stale_provider_falls_back_cold(self, backend):
         """Regression (code review): releasing an early-saturated
         provider's flow reopens its (s, q) edge with τ_q < τ_s; a warm
         continuation would keep the now-suboptimal remainder, so the
@@ -195,9 +187,7 @@ class TestOtherDeltas:
         matcher.remove_customer(0)  # frees A, whose potential is stale
         res = matcher.assign()
         assert not matcher.last_was_warm
-        cold_cost, _ = cold_reference(
-            qxy, [1, 1], pxy[1:], backend=backend
-        )
+        cold_cost, _ = cold_reference(qxy, [1, 1], pxy[1:], backend=backend)
         assert res.cost == pytest.approx(cold_cost, abs=1e-9)  # {A-p1}
 
     def test_capacity_decrease_below_usage_falls_back_cold(self):

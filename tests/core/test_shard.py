@@ -24,9 +24,7 @@ class TestPlanShards:
     def test_provider_disjoint_cover(self):
         problem = fresh_problem()
         plan = plan_shards(problem, 3)
-        seen = [
-            pid for spec in plan.shards for pid in spec.provider_ids
-        ]
+        seen = [pid for spec in plan.shards for pid in spec.provider_ids]
         assert sorted(seen) == list(range(len(problem.providers)))
 
     def test_capacity_recorded(self):
@@ -39,9 +37,7 @@ class TestPlanShards:
         problem = fresh_problem()
         assert plan_shards(problem, 4).num_shards <= 4
         # More shards than providers collapses to one per provider.
-        assert plan_shards(problem, 99).num_shards <= len(
-            problem.providers
-        )
+        assert plan_shards(problem, 99).num_shards <= len(problem.providers)
 
     def test_rejects_nonpositive(self):
         with pytest.raises(ValueError):
@@ -83,32 +79,22 @@ class TestSolveSharded:
 
     def test_pool_matches_inline(self):
         inline = solve_sharded(fresh_problem(), 3, backend="array")
-        pooled = solve_sharded(
-            fresh_problem(), 3, workers=2, backend="array"
-        )
+        pooled = solve_sharded(fresh_problem(), 3, workers=2, backend="array")
         assert pooled.pairs == inline.pairs
 
     def test_per_shard_backend_selection(self):
         problem = fresh_problem()
         plan = plan_shards(problem, 2)
         backends = ["dict", "array"][: plan.num_shards]
-        mixed = solve_sharded(
-            fresh_problem(), plan.num_shards, backend=backends
-        )
-        uniform = solve_sharded(
-            fresh_problem(), plan.num_shards, backend="dict"
-        )
+        mixed = solve_sharded(fresh_problem(), plan.num_shards, backend=backends)
+        uniform = solve_sharded(fresh_problem(), plan.num_shards, backend="dict")
         assert mixed.cost == pytest.approx(uniform.cost, abs=1e-9)
 
     def test_separated_clusters_exact(self):
-        problem = make_separated_problem(
-            clusters=4, nq_per=5, np_per=60, k=12, seed=1
-        )
+        problem = make_separated_problem(clusters=4, nq_per=5, np_per=60, k=12, seed=1)
         serial = solve(problem, "ida", backend="array")
         sharded = solve_sharded(
-            make_separated_problem(
-                clusters=4, nq_per=5, np_per=60, k=12, seed=1
-            ),
+            make_separated_problem(clusters=4, nq_per=5, np_per=60, k=12, seed=1),
             4,
             delta=200.0,
             backend="array",
@@ -117,9 +103,7 @@ class TestSolveSharded:
 
     def test_concise_router_not_worse_than_sa(self):
         delta = 40.0
-        sharded = solve_sharded(
-            fresh_problem(), 3, router="concise", delta=delta
-        )
+        sharded = solve_sharded(fresh_problem(), 3, router="concise", delta=delta)
         sa = solve(fresh_problem(), "san", delta=delta)
         assert sharded.cost <= sa.cost * (1 + 1e-9) + 1e-9
 
@@ -143,9 +127,7 @@ class TestSolveSharded:
             solve_sharded(problem, 2, backend=["dict"] * 7)
 
     def test_rejects_overlapping_plan(self):
-        problem = CCAProblem.from_arrays(
-            [(0.0, 0.0), (5.0, 0.0)], [1, 1], [(1.0, 0.0)]
-        )
+        problem = CCAProblem.from_arrays([(0.0, 0.0), (5.0, 0.0)], [1, 1], [(1.0, 0.0)])
         plan = ShardPlan.from_provider_lists([[0, 1], [1]], problem)
         with pytest.raises(ValueError):
             solve_sharded(problem, 2, plan=plan)

@@ -71,9 +71,7 @@ class TestInline:
     def test_clean_run_keeps_order_and_empty_ledger(self):
         tasks = [Toy(index=i) for i in range(3)]
         ledger = FaultLedger()
-        out = run_supervised(
-            tasks, solve=_solve, fallback=_fallback, ledger=ledger
-        )
+        out = run_supervised(tasks, solve=_solve, fallback=_fallback, ledger=ledger)
         assert out == [("ok", 0, 0), ("ok", 1, 0), ("ok", 2, 0)]
         assert len(ledger) == 0
 
@@ -81,8 +79,11 @@ class TestInline:
         tasks = [Toy(index=0), Toy(index=1, fail_until=1)]
         ledger = FaultLedger()
         out = run_supervised(
-            tasks, solve=_solve, fallback=_fallback,
-            policy=_fast_policy(max_retries=2), ledger=ledger,
+            tasks,
+            solve=_solve,
+            fallback=_fallback,
+            policy=_fast_policy(max_retries=2),
+            ledger=ledger,
         )
         assert out == [("ok", 0, 0), ("ok", 1, 1)]
         assert ledger.retries == 1
@@ -92,8 +93,11 @@ class TestInline:
         tasks = [Toy(index=0, fail_until=99)]
         ledger = FaultLedger()
         out = run_supervised(
-            tasks, solve=_solve, fallback=_fallback,
-            policy=_fast_policy(max_retries=1), ledger=ledger,
+            tasks,
+            solve=_solve,
+            fallback=_fallback,
+            policy=_fast_policy(max_retries=1),
+            ledger=ledger,
         )
         assert out == [("ok", 0, "cold")]
         assert ledger.retries == 1
@@ -104,7 +108,9 @@ class TestInline:
         ledger = FaultLedger()
         with pytest.raises(FaultInjected, match="injected shard worker"):
             run_supervised(
-                tasks, solve=_solve, fallback=_fallback,
+                tasks,
+                solve=_solve,
+                fallback=_fallback,
                 policy=_fast_policy(max_retries=0, requeue_cold=False),
                 ledger=ledger,
             )
@@ -114,8 +120,12 @@ class TestInline:
         tasks = [Toy(index=0, fail_until=1, kind="poison")]
         ledger = FaultLedger()
         out = run_supervised(
-            tasks, solve=_solve, fallback=_fallback, verify=_verify,
-            policy=_fast_policy(max_retries=2), ledger=ledger,
+            tasks,
+            solve=_solve,
+            fallback=_fallback,
+            verify=_verify,
+            policy=_fast_policy(max_retries=2),
+            ledger=ledger,
         )
         assert out == [("ok", 0, 1)]
         assert ledger.poisoned == 1
@@ -127,8 +137,12 @@ class TestInline:
         tasks = [Toy(index=0, fail_until=99)]
         with pytest.raises(RuntimeError, match="failed verification"):
             run_supervised(
-                tasks, solve=_solve, fallback=bad_fallback, verify=_verify,
-                policy=_fast_policy(max_retries=0), ledger=FaultLedger(),
+                tasks,
+                solve=_solve,
+                fallback=bad_fallback,
+                verify=_verify,
+                policy=_fast_policy(max_retries=0),
+                ledger=FaultLedger(),
             )
 
     def test_crash_degrades_to_retryable_error_inline(self):
@@ -136,8 +150,11 @@ class TestInline:
         tasks = [Toy(index=0, fail_until=1, kind="crash"), Toy(index=1)]
         ledger = FaultLedger()
         out = run_supervised(
-            tasks, solve=_solve, fallback=_fallback,
-            policy=_fast_policy(max_retries=1), ledger=ledger,
+            tasks,
+            solve=_solve,
+            fallback=_fallback,
+            policy=_fast_policy(max_retries=1),
+            ledger=ledger,
         )
         assert out == [("ok", 0, 1), ("ok", 1, 0)]
         assert ledger.retries == 1
@@ -148,8 +165,12 @@ class TestPool:
         tasks = [Toy(index=0), Toy(index=1, fail_until=1, kind="crash")]
         ledger = FaultLedger()
         out = run_supervised(
-            tasks, solve=_solve, fallback=_fallback, workers=2,
-            policy=_fast_policy(max_retries=2), ledger=ledger,
+            tasks,
+            solve=_solve,
+            fallback=_fallback,
+            workers=2,
+            policy=_fast_policy(max_retries=2),
+            ledger=ledger,
         )
         # A hard worker death breaks the whole pool, so the clean sibling
         # may be swept up too (requeued as collateral, or retried if its
@@ -167,7 +188,10 @@ class TestPool:
         ]
         ledger = FaultLedger()
         out = run_supervised(
-            tasks, solve=_solve, fallback=_fallback, workers=2,
+            tasks,
+            solve=_solve,
+            fallback=_fallback,
+            workers=2,
             policy=_fast_policy(max_retries=2, task_timeout_s=0.75),
             ledger=ledger,
         )
@@ -182,8 +206,13 @@ class TestPool:
         ]
         ledger = FaultLedger()
         out = run_supervised(
-            tasks, solve=_solve, fallback=_fallback, verify=_verify,
-            workers=2, policy=_fast_policy(max_retries=1), ledger=ledger,
+            tasks,
+            solve=_solve,
+            fallback=_fallback,
+            verify=_verify,
+            workers=2,
+            policy=_fast_policy(max_retries=1),
+            ledger=ledger,
         )
         assert out == [("ok", 0, "cold"), ("ok", 1, 0)]
         assert ledger.poisoned >= 1

@@ -55,13 +55,8 @@ class TestDeterminism:
         )
 
     def test_profiles_draw_distinct_streams(self, problem):
-        spec = {
-            p: EventStreamSpec(n_events=40, profile=p)
-            for p in PROFILES
-        }
-        streams = {
-            p: generate_events(problem, spec[p], seed=1) for p in PROFILES
-        }
+        spec = {p: EventStreamSpec(n_events=40, profile=p) for p in PROFILES}
+        streams = {p: generate_events(problem, spec[p], seed=1) for p in PROFILES}
         assert streams["steady"] != streams["burst"]
         assert streams["steady"] != streams["diurnal"]
 
@@ -81,13 +76,9 @@ class TestWellFormedness:
     def test_replays_cleanly(self, problem, profile):
         """Departures only ever name live customers; arrival refs are the
         positional ids a replay assigns."""
-        spec = EventStreamSpec(
-            n_events=150, profile=profile, rate=30.0, p_depart=0.4
-        )
+        spec = EventStreamSpec(n_events=150, profile=profile, rate=30.0, p_depart=0.4)
         events = generate_events(problem, spec, seed=9)
-        live = {
-            j for j, p in enumerate(problem.customers) if p.weight > 0
-        }
+        live = {j for j, p in enumerate(problem.customers) if p.weight > 0}
         next_ref = len(problem.customers)
         for event in events:
             assert event.kind in EVENT_KINDS
@@ -104,9 +95,7 @@ class TestWellFormedness:
                 assert event.capacity >= 0
 
     def test_times_strictly_increase(self, problem):
-        events = generate_events(
-            problem, EventStreamSpec(n_events=100), seed=0
-        )
+        events = generate_events(problem, EventStreamSpec(n_events=100), seed=0)
         times = [e.time for e in events]
         assert times == sorted(times)
         assert all(b > a for a, b in zip(times, times[1:]))
@@ -117,33 +106,27 @@ class TestWellFormedness:
             assert len(generate_events(problem, spec, seed=0)) == n
 
     def test_summary_counts(self, problem):
-        events = generate_events(
-            problem, EventStreamSpec(n_events=90), seed=3
-        )
+        events = generate_events(problem, EventStreamSpec(n_events=90), seed=3)
         summary = summarize_events(events)
-        assert (
-            summary.arrivals
-            + summary.departures
-            + summary.capacity_changes
-            == 90
-        )
+        assert (summary.arrivals + summary.departures + summary.capacity_changes == 90)
         assert summary.duration >= 0
 
 
 class TestRateProfiles:
     def test_burst_rate_alternates(self):
         spec = EventStreamSpec(
-            profile="burst", rate=10.0, burst_factor=3.0,
-            burst_period=10.0, burst_width=2.0,
+            profile="burst",
+            rate=10.0,
+            burst_factor=3.0,
+            burst_period=10.0,
+            burst_width=2.0,
         )
         assert rate_at(spec, 1.0) == 30.0  # inside the burst window
         assert rate_at(spec, 5.0) == 10.0  # outside
         assert rate_at(spec, 11.0) == 30.0  # periodic
 
     def test_diurnal_stays_positive(self):
-        spec = EventStreamSpec(
-            profile="diurnal", rate=10.0, diurnal_amplitude=2.0
-        )
+        spec = EventStreamSpec(profile="diurnal", rate=10.0, diurnal_amplitude=2.0)
         lows = [rate_at(spec, t / 10.0) for t in range(400)]
         assert min(lows) >= 10.0 * 0.05
 
@@ -151,9 +134,7 @@ class TestRateProfiles:
     def test_ceiling_dominates(self, profile):
         spec = EventStreamSpec(profile=profile, rate=12.0)
         ceiling = _rate_ceiling(spec)
-        assert all(
-            rate_at(spec, t / 7.0) <= ceiling + 1e-12 for t in range(500)
-        )
+        assert all(rate_at(spec, t / 7.0) <= ceiling + 1e-12 for t in range(500))
 
 
 class TestGrouping:

@@ -56,9 +56,7 @@ class TestUniform:
         pts = uniform_points(NET, 400, rng)
         qx = pts[:, 0] > 500
         qy = pts[:, 1] > 500
-        counts = [
-            ((qx == a) & (qy == b)).sum() for a in (0, 1) for b in (0, 1)
-        ]
+        counts = [((qx == a) & (qy == b)).sum() for a in (0, 1) for b in (0, 1)]
         assert min(counts) > 30
 
 
@@ -91,8 +89,7 @@ class TestClustered:
 
     def test_invalid_fraction_rejected(self):
         with pytest.raises(ValueError):
-            clustered_points(NET, 10, np.random.default_rng(0),
-                             cluster_fraction=1.5)
+            clustered_points(NET, 10, np.random.default_rng(0), cluster_fraction=1.5)
 
 
 class TestDispatch:

@@ -45,10 +45,12 @@ class TestConnectivity:
         assert nx.is_connected(graph)
 
     def test_drop_fraction_reduces_edges(self):
-        dense = build_road_network(grid=10, seed=5, drop_fraction=0.0,
-                                   shortcut_fraction=0.0)
-        sparse = build_road_network(grid=10, seed=5, drop_fraction=0.25,
-                                    shortcut_fraction=0.0)
+        dense = build_road_network(
+            grid=10, seed=5, drop_fraction=0.0, shortcut_fraction=0.0
+        )
+        sparse = build_road_network(
+            grid=10, seed=5, drop_fraction=0.25, shortcut_fraction=0.0
+        )
         assert sparse.num_edges < dense.num_edges
 
 

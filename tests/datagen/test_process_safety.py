@@ -27,9 +27,7 @@ def _points_fingerprint(seed):
 
 
 def _separated_fingerprint(seed):
-    problem = make_separated_problem(
-        clusters=2, nq_per=3, np_per=20, k=8, seed=seed
-    )
+    problem = make_separated_problem(clusters=2, nq_per=3, np_per=20, k=8, seed=seed)
     return (
         [tuple(q.point.coords) for q in problem.providers],
         [tuple(p.point.coords) for p in problem.customers],
@@ -100,17 +98,20 @@ class TestSeparatedWorkload:
             make_separated_problem(clusters=2, nq_per=2, np_per=50, k=10)
 
     def test_shapes_and_capacities(self):
-        problem = make_separated_problem(
-            clusters=3, nq_per=4, np_per=30, k=10, seed=2
-        )
+        problem = make_separated_problem(clusters=3, nq_per=4, np_per=30, k=10, seed=2)
         assert len(problem.providers) == 12
         assert len(problem.customers) == 90
         assert all(q.capacity == 10 for q in problem.providers)
 
     def test_clusters_are_separated(self):
         problem = make_separated_problem(
-            clusters=2, nq_per=3, np_per=20, k=8, spread=10.0,
-            separation=400.0, seed=0,
+            clusters=2,
+            nq_per=3,
+            np_per=20,
+            k=8,
+            spread=10.0,
+            separation=400.0,
+            seed=0,
         )
         xs = np.array([q.point.x for q in problem.providers])
         # Two tight blobs around x=200 and x=600.

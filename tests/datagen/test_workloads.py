@@ -46,9 +46,7 @@ class TestMakeProblem:
     def test_distribution_combinations(self):
         for dq in ("uniform", "clustered"):
             for dp in ("uniform", "clustered"):
-                prob = make_problem(
-                    nq=4, np_=30, k=2, dist_q=dq, dist_p=dp, seed=2
-                )
+                prob = make_problem(nq=4, np_=30, k=2, dist_q=dq, dist_p=dp, seed=2)
                 assert len(prob.customers) == 30
 
     def test_world_is_normalized(self):

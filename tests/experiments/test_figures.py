@@ -10,7 +10,8 @@ MICRO = 0.002  # |Q|=2, |P|=200 — just exercises the machinery
 class TestCatalog:
     def test_all_eleven_figures_present(self):
         assert sorted(FIGURES) == [f"fig{i}" for i in range(10, 19)] + [
-            "fig8", "fig9",
+            "fig8",
+            "fig9",
         ]
 
     def test_specs_documented(self):

@@ -22,9 +22,7 @@ class TestRunMethod:
 
     def test_quality_computed_against_reference(self, tiny_problem):
         ref = run_method(tiny_problem, "ida")
-        approx = run_method(
-            tiny_problem, "can", optimal_cost=ref.cost, delta=20.0
-        )
+        approx = run_method(tiny_problem, "can", optimal_cost=ref.cost, delta=20.0)
         assert approx.quality is not None
         assert approx.quality >= 1.0 - 1e-9
 
@@ -51,7 +49,10 @@ class TestRunSweep:
     def test_quality_reference_inserted_once(self):
         problems = {"a": make_problem(nq=2, np_=40, k=4, seed=2)}
         results = run_sweep(
-            problems, ("ida", "can"), figure="t", quality_reference="ida",
+            problems,
+            ("ida", "can"),
+            figure="t",
+            quality_reference="ida",
             deltas={"can": 30.0},
         )
         methods = [r.method for r in results]

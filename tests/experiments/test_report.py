@@ -39,8 +39,9 @@ class TestTextReport:
     def test_figure_report_contains_metrics_and_methods(self):
         text = format_figure_report("fig9", sample_results())
         assert "fig9" in text
-        for token in ("esub", "cpu_s", "io_s", "total_s", "ria", "nia",
-                      "ida", "k=20", "k=40"):
+        for token in (
+            "esub", "cpu_s", "io_s", "total_s", "ria", "nia", "ida", "k=20", "k=40"
+        ):
             assert token in text
 
     def test_quality_metric_included_when_present(self):

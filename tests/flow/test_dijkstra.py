@@ -54,19 +54,20 @@ class TestBasicSearch:
 
     def test_reassignment_through_reverse_edge(self):
         # q0 matched to p0; q1 can only reach p0; path must reassign.
-        net = net_with_edges(
-            [1, 1], [1, 1], [(0, 0, 1.0), (0, 1, 10.0), (1, 0, 2.0)]
-        )
+        net = net_with_edges([1, 1], [1, 1], [(0, 0, 1.0), (0, 1, 10.0), (1, 0, 2.0)])
         state = DijkstraState(net)
         state.run()
-        net.augment(
-            state.path_nodes(), state.sp_cost, state.settled_alpha_for_update()
-        )
+        net.augment(state.path_nodes(), state.sp_cost, state.settled_alpha_for_update())
         state2 = DijkstraState(net)
         assert state2.run()
         path = state2.path_nodes()
         assert path == [
-            S_NODE, 1, net.customer_node(0), 0, net.customer_node(1), T_NODE,
+            S_NODE,
+            1,
+            net.customer_node(0),
+            0,
+            net.customer_node(1),
+            T_NODE,
         ]
 
 
@@ -128,9 +129,7 @@ class TestResumption:
 
 class TestAccounting:
     def test_settled_items_unique(self):
-        net = net_with_edges(
-            [1, 1], [1, 1], [(0, 0, 1.0), (1, 0, 1.5), (1, 1, 2.0)]
-        )
+        net = net_with_edges([1, 1], [1, 1], [(0, 0, 1.0), (1, 0, 1.5), (1, 1, 2.0)])
         state = DijkstraState(net)
         state.run()
         nodes = [n for n, _ in state.settled_items()]
@@ -146,7 +145,8 @@ class TestAccounting:
 
     def test_settled_alphas_bounded_by_sp_cost(self):
         net = net_with_edges(
-            [2, 2], [1, 1, 1],
+            [2, 2],
+            [1, 1, 1],
             [(0, 0, 3.0), (0, 1, 8.0), (1, 1, 2.0), (1, 2, 9.0)],
         )
         state = DijkstraState(net)

@@ -137,9 +137,7 @@ class TestPotentials:
         net = simple_net()
         net.add_edge(0, 0, 5.0)
         settled = {S_NODE: 0.0, 0: 0.0, 1: 0.0, net.customer_node(0): 5.0}
-        net.augment(
-            [S_NODE, 0, net.customer_node(0), T_NODE], 5.0, settled
-        )
+        net.augment([S_NODE, 0, net.customer_node(0), T_NODE], 5.0, settled)
         assert net.tau_s == pytest.approx(5.0)
         assert net.q_tau == pytest.approx([5.0, 5.0])
         # Settled exactly at alpha_min: customer potential unchanged.

@@ -30,9 +30,7 @@ def _assert_slabs_match(net):
         n = net._fwd_n[i]
         assert int(net._np_fwd_n[i]) == n
         base = int(net._fw_start[i])
-        assert net._pool_tgt[base : base + n].tolist() == (
-            net._fwd_tgt[i][:n].tolist()
-        )
+        assert net._pool_tgt[base : base + n].tolist() == (net._fwd_tgt[i][:n].tolist())
         assert net._pool_dist[base : base + n].tolist() == (
             net._fwd_dist[i][:n].tolist()
         )
@@ -78,9 +76,7 @@ def test_get_backend_numba_falls_back_with_warning():
             backend = get_backend("numba")
         assert backend.network_cls is NumbaFlowNetwork
     else:
-        with pytest.warns(
-            RuntimeWarning, match=r"pip install .*\[perf\]"
-        ) as caught:
+        with pytest.warns(RuntimeWarning, match=r"pip install .*\[perf\]") as caught:
             backend = get_backend("numba")
         assert backend is BACKENDS["array"]
         # The warning must say what to install AND what actually runs.
@@ -183,9 +179,7 @@ def test_ssp_trace_matches_dict_reference():
                     state.path_nodes(),
                 )
             )
-            net.augment_with_state(
-                state.path_nodes(), state.sp_cost, state
-            )
+            net.augment_with_state(state.path_nodes(), state.sp_cost, state)
         return out, sorted(net.matching_flows()), net.matching_cost()
 
     assert trace(interpreted_backend()) == trace(BACKENDS["dict"])

@@ -66,10 +66,7 @@ class TestRealValuedKeys:
         pts = rng.random((200, 2)) * 1000
         keys = [hilbert_key(p, (0, 0), (1000, 1000), order=8) for p in pts]
         ordered = np.argsort(keys)
-        jumps = [
-            np.hypot(*(pts[a] - pts[b]))
-            for a, b in zip(ordered, ordered[1:])
-        ]
+        jumps = [np.hypot(*(pts[a] - pts[b])) for a, b in zip(ordered, ordered[1:])]
         assert np.median(jumps) < 200.0
 
 

@@ -18,9 +18,7 @@ EXACT = ("sspa", "ria", "nia", "ida")
 
 
 def assert_all_exact_agree(prob):
-    expected = oracle_cost(
-        oracle_lsa(prob.capacities, prob.weights, prob.distance)
-    )
+    expected = oracle_cost(oracle_lsa(prob.capacities, prob.weights, prob.distance))
     for method in EXACT:
         m = solve(prob, method)
         m.validate(prob)
@@ -69,9 +67,7 @@ class TestDistributions:
     @pytest.mark.parametrize("dq", ["uniform", "clustered"])
     @pytest.mark.parametrize("dp", ["uniform", "clustered"])
     def test_distribution_grid(self, dq, dp):
-        prob = make_problem(
-            nq=4, np_=120, k=8, dist_q=dq, dist_p=dp, seed=11
-        )
+        prob = make_problem(nq=4, np_=120, k=8, dist_q=dq, dist_p=dp, seed=11)
         assert_all_exact_agree(prob)
 
 
@@ -97,9 +93,7 @@ class TestDegenerate:
         assert all(q == 1 for q, _, _ in m.pairs)
 
     def test_all_zero_capacity_gives_empty_matching(self):
-        prob = CCAProblem.from_arrays(
-            [(0.0, 0.0)], [0], [(1.0, 1.0), (2.0, 2.0)]
-        )
+        prob = CCAProblem.from_arrays([(0.0, 0.0)], [0], [(1.0, 1.0), (2.0, 2.0)])
         for method in EXACT:
             m = solve(prob, method)
             assert m.size == 0

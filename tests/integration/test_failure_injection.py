@@ -66,9 +66,7 @@ class TestHostileProblems:
             assert m.size == 0
 
     def test_empty_providers(self):
-        prob = CCAProblem.from_arrays(
-            np.empty((0, 2)), [], [(1.0, 1.0), (2.0, 2.0)]
-        )
+        prob = CCAProblem.from_arrays(np.empty((0, 2)), [], [(1.0, 1.0), (2.0, 2.0)])
         for method in ("sspa", "nia", "ida", "sm"):
             m = solve(prob, method)
             assert m.size == 0
@@ -205,9 +203,7 @@ def clean_reference():
 class TestShardFaultMatrix:
     @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("kind", POOL_KINDS)
-    def test_pool_recovers_bit_identical(
-        self, kind, backend, clean_reference
-    ):
+    def test_pool_recovers_bit_identical(self, kind, backend, clean_reference):
         problem, references = clean_reference
         before = _segments()
         matching = solve_sharded(
@@ -265,9 +261,7 @@ class TestShardFaultMatrix:
         invariant `repro-cca chaos` sweeps at larger scale."""
         problem, references = clean_reference
         for seed in range(3):
-            plan = FaultPlan.from_seed(
-                seed, SHARDS, hang_s=30.0
-            )
+            plan = FaultPlan.from_seed(seed, SHARDS, hang_s=30.0)
             matching = solve_sharded(
                 problem,
                 SHARDS,
@@ -316,6 +310,4 @@ class TestServeFaultMatrix:
         # The certification taxonomy still covers every cold assign:
         # quarantine rebuilds are counted separately, not smuggled in.
         stats = chaotic.stats
-        assert stats.cold_assigns == (
-            stats.hazard_colds + stats.repair_fallbacks
-        )
+        assert stats.cold_assigns == (stats.hazard_colds + stats.repair_fallbacks)

@@ -70,9 +70,7 @@ class TestSharedColumnStore:
         close_and_unlink(store.handle)  # module-level form too
 
     def test_handle_pickles_small(self):
-        store = SharedColumnStore(
-            {"xy": np.zeros((100_000, 2)), "w": np.ones(100_000)}
-        )
+        store = SharedColumnStore({"xy": np.zeros((100_000, 2)), "w": np.ones(100_000)})
         try:
             # The whole point: the payload does not scale with the data.
             assert len(pickle.dumps(store.handle)) < 1024
@@ -86,8 +84,12 @@ class TestShardTaskTransport:
         coordinate, capacity, or weight payloads."""
         fields = set(ShardTask.__dataclass_fields__)
         for leaky in (
-            "provider_ids", "provider_xy", "capacities",
-            "customer_ids", "customer_xy", "customer_weights",
+            "provider_ids",
+            "provider_xy",
+            "capacities",
+            "customer_ids",
+            "customer_xy",
+            "customer_weights",
         ):
             assert leaky not in fields
         assert "store" in fields
@@ -110,7 +112,10 @@ class TestSolveShardedLifecycle:
         plan = FaultPlan.single("error", shard=1, at=None)
         with pytest.raises(RuntimeError, match="injected shard worker"):
             solve_sharded(
-                problem, 3, workers=2, fault_plan=plan,
+                problem,
+                3,
+                workers=2,
+                fault_plan=plan,
                 retry_policy=FAIL_FAST,
             )
         assert _segments() == before
@@ -122,9 +127,7 @@ class TestSolveShardedLifecycle:
         problem = random_problem(rng, nq=6, np_=120, cap_hi=30)
         plan = FaultPlan.single("error", shard=0, at=None)
         with pytest.raises(RuntimeError, match="injected shard worker"):
-            solve_sharded(
-                problem, 3, fault_plan=plan, retry_policy=FAIL_FAST
-            )
+            solve_sharded(problem, 3, fault_plan=plan, retry_policy=FAIL_FAST)
         assert _segments() == before
 
     def test_no_leaked_segments_when_supervision_recovers(self):
@@ -135,7 +138,9 @@ class TestSolveShardedLifecycle:
         problem = random_problem(rng, nq=8, np_=160, cap_hi=30)
         clean = solve_sharded(problem, 3, workers=2)
         faulted = solve_sharded(
-            problem, 3, workers=2,
+            problem,
+            3,
+            workers=2,
             fault_plan=FaultPlan.single("crash", shard=0),
         )
         assert faulted.pairs == clean.pairs
@@ -154,9 +159,7 @@ class TestEnvAlias:
         problem = random_problem(rng, nq=8, np_=160, cap_hi=30)
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
-            clean = solve_sharded(
-                problem, 3, workers=2, fault_plan=FaultPlan.none()
-            )
+            clean = solve_sharded(problem, 3, workers=2, fault_plan=FaultPlan.none())
         with pytest.warns(DeprecationWarning, match=FAULT_ENV):
             faulted = solve_sharded(problem, 3, workers=2)
         # The env spec faults EVERY attempt on shard 1, so recovery goes
@@ -173,9 +176,7 @@ class TestEnvAlias:
         problem = random_problem(rng, nq=6, np_=120, cap_hi=30)
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            matching = solve_sharded(
-                problem, 3, fault_plan=FaultPlan.none()
-            )
+            matching = solve_sharded(problem, 3, fault_plan=FaultPlan.none())
         matching.validate(problem)
         ledger = matching.stats.faults
         assert ledger is None or len(ledger) == 0

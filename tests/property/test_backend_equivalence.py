@@ -39,13 +39,10 @@ def _problem(q_xy, caps, p_xy, weights=None):
     caps = (caps * len(q_xy))[: len(q_xy)]
     if sum(caps) == 0:
         caps[0] = 1
-    return CCAProblem.from_arrays(
-        q_xy, caps, p_xy, customer_weights=weights
-    )
+    return CCAProblem.from_arrays(q_xy, caps, p_xy, customer_weights=weights)
 
 
-@settings(max_examples=20, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(data=instance, method=st.sampled_from(["sspa", "ria", "nia", "ida"]))
 def test_backends_bit_identical_all_exact_methods(data, method):
     q_xy, caps, p_xy = data
@@ -58,8 +55,7 @@ def test_backends_bit_identical_all_exact_methods(data, method):
         assert sorted(m.pairs) == sorted(dict_m.pairs)
 
 
-@settings(max_examples=12, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(
     data=instance,
     weights=st.lists(st.integers(1, 3), min_size=1, max_size=18),
@@ -85,8 +81,7 @@ def test_backends_bit_identical_weighted_customers(data, weights):
         assert sorted(m.pairs) == sorted(dict_m.pairs)
 
 
-@settings(max_examples=10, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(data=instance, method=st.sampled_from(["san", "cae", "sm"]))
 def test_backends_identical_through_approx_solvers(data, method):
     """SA/CA run IDA on the seam internally; SM validates the selector."""

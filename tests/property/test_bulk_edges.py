@@ -24,8 +24,9 @@ from repro.flow.numbakernel import interpreted_backend
 ALL_BACKENDS = dict(BACKENDS)
 ALL_BACKENDS.setdefault("numba", interpreted_backend())
 
-dist_f = st.floats(min_value=0.0, max_value=100.0,
-                   allow_nan=False, allow_infinity=False)
+dist_f = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
 
 # (provider, customer, distance) triples over small node ranges, with
 # plenty of collisions so duplicate masking is actually exercised.
@@ -87,8 +88,11 @@ def _build_bulk_columns(backend, caps, weights, triples):
 
 
 @settings(max_examples=60, deadline=None)
-@given(data=caps_weights, triples=edge_batches,
-       backend=st.sampled_from(sorted(ALL_BACKENDS)))
+@given(
+    data=caps_weights,
+    triples=edge_batches,
+    backend=st.sampled_from(sorted(ALL_BACKENDS)),
+)
 def test_bulk_add_edges_bit_identical_networks(data, triples, backend):
     caps, weights = data
     loop_net, loop_n = _build_loop(backend, caps, weights, triples)
@@ -98,8 +102,11 @@ def test_bulk_add_edges_bit_identical_networks(data, triples, backend):
 
 
 @settings(max_examples=40, deadline=None)
-@given(data=caps_weights, triples=edge_batches,
-       backend=st.sampled_from(sorted(ALL_BACKENDS)))
+@given(
+    data=caps_weights,
+    triples=edge_batches,
+    backend=st.sampled_from(sorted(ALL_BACKENDS)),
+)
 def test_bulk_row_shape_matches_per_provider_loops(data, triples, backend):
     """The scalar-provider broadcast form (RIA/SSPA rows) == the loop
     restricted to that provider, per provider."""
@@ -107,12 +114,7 @@ def test_bulk_row_shape_matches_per_provider_loops(data, triples, backend):
     rows_net, rows_n = _build_bulk_rows(backend, caps, weights, triples)
     # The loop equivalent of per-provider grouping: same triples,
     # reordered provider-by-provider (order within a provider is kept).
-    grouped = [
-        (i, j, d)
-        for i in range(len(caps))
-        for (qi, j, d) in triples
-        if qi == i
-    ]
+    grouped = [(i, j, d) for i in range(len(caps)) for (qi, j, d) in triples if qi == i]
     loop_net, loop_n = _build_loop(backend, caps, weights, grouped)
     assert rows_n == loop_n
     assert _net_signature(rows_net) == _net_signature(loop_net)
@@ -128,12 +130,7 @@ def _ssp_trace(net, backend):
         if not state.run():
             break  # Esub may not support a full matching; fine
         trace.append(
-            (
-                list(state._settled_order),
-                state.pops,
-                state.sp_cost,
-                state.path_nodes(),
-            )
+            (list(state._settled_order), state.pops, state.sp_cost, state.path_nodes(),)
         )
         net.augment_with_state(state.path_nodes(), state.sp_cost, state)
         guard += 1
@@ -141,8 +138,7 @@ def _ssp_trace(net, backend):
     return trace, sorted(net.matching_flows()), net.matching_cost()
 
 
-@settings(max_examples=30, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(data=caps_weights, triples=edge_batches)
 def test_bulk_vs_loop_heap_sequences_and_matchings(data, triples):
     """Networks built bulk vs loop drive *bit-identical* searches: same
@@ -174,8 +170,9 @@ def test_ragged_columns_raise_on_both_backends():
         assert net.edge_count == 0
 
 
-coord = st.floats(min_value=0.0, max_value=1000.0,
-                  allow_nan=False, allow_infinity=False)
+coord = st.floats(
+    min_value=0.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
 xy = st.tuples(coord, coord)
 instance = st.tuples(
     st.lists(xy, min_size=1, max_size=4),
@@ -184,10 +181,8 @@ instance = st.tuples(
 )
 
 
-@settings(max_examples=12, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
-@given(data=instance,
-       method=st.sampled_from(["ria", "nia", "ida", "sspa", "sm"]))
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=instance, method=st.sampled_from(["ria", "nia", "ida", "sspa", "sm"]))
 def test_fused_supply_identical_across_backend_axes(data, method):
     """End to end through the fused supply (column range searches, ANN id
     streaming, SSPA row oracle): every flow x index backend combination

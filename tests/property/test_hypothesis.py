@@ -57,8 +57,7 @@ def test_mindist_maxdist_bracket_members(q, pts):
 
 
 @FAST
-@given(a=st.lists(xy, min_size=1, max_size=10),
-       b=st.lists(xy, min_size=1, max_size=10))
+@given(a=st.lists(xy, min_size=1, max_size=10), b=st.lists(xy, min_size=1, max_size=10))
 def test_mbr_mindist_lower_bounds_cross_pairs(a, b):
     pa = [Point(i, p) for i, p in enumerate(a)]
     pb = [Point(i, p) for i, p in enumerate(b)]
@@ -89,23 +88,19 @@ instance = st.tuples(
 )
 
 
-@settings(max_examples=20, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(data=instance, method=st.sampled_from(["ria", "nia", "ida"]))
 def test_exact_solvers_match_oracle(data, method):
     q_xy, caps, p_xy = data
     caps = (caps * len(q_xy))[: len(q_xy)]
     prob = CCAProblem.from_arrays(q_xy, caps, p_xy)
-    expected = oracle_cost(
-        oracle_lsa(prob.capacities, prob.weights, prob.distance)
-    )
+    expected = oracle_cost(oracle_lsa(prob.capacities, prob.weights, prob.distance))
     m = solve(prob, method)
     m.validate(prob)
     assert math.isclose(m.cost, expected, abs_tol=1e-6)
 
 
-@settings(max_examples=12, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(
     data=instance,
     weights=st.lists(st.integers(1, 3), min_size=1, max_size=18),
@@ -115,9 +110,7 @@ def test_weighted_instances_match_oracle(data, weights):
     caps = [max(c, 1) for c in (caps * len(q_xy))[: len(q_xy)]]
     w = (weights * len(p_xy))[: len(p_xy)]
     prob = CCAProblem.from_arrays(q_xy, caps, p_xy, customer_weights=w)
-    expected = oracle_cost(
-        oracle_lsa(prob.capacities, prob.weights, prob.distance)
-    )
+    expected = oracle_cost(oracle_lsa(prob.capacities, prob.weights, prob.distance))
     m = solve(prob, "ida")
     m.validate(prob)
     assert math.isclose(m.cost, expected, abs_tol=1e-6)
@@ -126,8 +119,7 @@ def test_weighted_instances_match_oracle(data, weights):
 # ----------------------------------------------------------------------
 # approximation guarantees
 # ----------------------------------------------------------------------
-@settings(max_examples=12, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(
     data=instance,
     delta=st.floats(min_value=1.0, max_value=300.0),
@@ -148,8 +140,10 @@ def test_approx_error_bounds_hold(data, delta, method):
 # partitioning
 # ----------------------------------------------------------------------
 @FAST
-@given(pts=st.lists(xy, min_size=1, max_size=40),
-       delta=st.floats(min_value=0.0, max_value=500.0))
+@given(
+    pts=st.lists(xy, min_size=1, max_size=40),
+    delta=st.floats(min_value=0.0, max_value=500.0),
+)
 def test_hilbert_groups_respect_delta(pts, delta):
     points = [Point(i, p) for i, p in enumerate(pts)]
     groups = hilbert_greedy_groups(points, delta, (0, 0), (1000, 1000))

@@ -58,9 +58,7 @@ def _replay(shape, backend, index_backend):
 
 
 @pytest.mark.parametrize("index_backend", INDEX_AXES)
-@pytest.mark.parametrize(
-    "backend", FLOW_AXES, ids=("dict", "array", "numba")
-)
+@pytest.mark.parametrize("backend", FLOW_AXES, ids=("dict", "array", "numba"))
 @settings(
     max_examples=8,
     deadline=None,
@@ -83,10 +81,6 @@ def test_replay_bit_identical_to_cold(shape, backend, index_backend):
 def test_backends_agree_with_each_other(shape):
     """All kernel combinations must also agree pairwise on the *live*
     pairs (not just each against its own cold reference)."""
-    reference = sorted(
-        _replay(shape, "dict", "pointer").live_pairs()
-    )
+    reference = sorted(_replay(shape, "dict", "pointer").live_pairs())
     for backend, ids in (("array", "packed"), (NUMBA_BACKEND, "pointer")):
-        assert (
-            sorted(_replay(shape, backend, ids).live_pairs()) == reference
-        )
+        assert (sorted(_replay(shape, backend, ids).live_pairs()) == reference)

@@ -48,9 +48,7 @@ def test_single_shard_bit_identical_to_serial(seed):
 )
 def test_k_shard_valid_feasible_maximal(seed, shards, router):
     problem = build_instance(seed)
-    matching = solve_sharded(
-        problem, shards, router=router, backend="array"
-    )
+    matching = solve_sharded(problem, shards, router=router, backend="array")
     # validate() inside solve_sharded already asserted capacity
     # feasibility and pair distances; pin the headline invariants here.
     assert matching.size == problem.gamma

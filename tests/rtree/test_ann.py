@@ -62,9 +62,7 @@ class TestStreamCorrectness:
     def test_interleaved_requests_stay_correct(self):
         customers, providers, tree = make_world(n_customers=150, seed=3)
         ann = GroupedANN(tree, providers, group_size=6)
-        brute = {
-            q.pid: sorted(dist(q, c) for c in customers) for q in providers
-        }
+        brute = {q.pid: sorted(dist(q, c) for c in customers) for q in providers}
         cursors = {q.pid: 0 for q in providers}
         rng = np.random.default_rng(4)
         for _ in range(300):

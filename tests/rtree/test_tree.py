@@ -83,9 +83,7 @@ class TestDelete:
                 victim = live.pop(int(rng.integers(0, len(live))))
                 assert tree.delete(victim)
         tree.check_integrity(strict_fill=True)
-        assert sorted(p.pid for p in tree.all_points()) == sorted(
-            p.pid for p in live
-        )
+        assert sorted(p.pid for p in tree.all_points()) == sorted(p.pid for p in live)
 
 
 class TestColdAndIO:
@@ -110,7 +108,5 @@ class TestColdAndIO:
         assert tree.stats.faults <= tree.num_pages + tree.stats.reads
 
     def test_fixed_buffer_capacity_override(self):
-        tree = RTree.from_points(
-            random_points(500, seed=11), buffer_capacity=7
-        )
+        tree = RTree.from_points(random_points(500, seed=11), buffer_capacity=7)
         assert tree.buffer.capacity == 7

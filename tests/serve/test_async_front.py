@@ -37,9 +37,7 @@ class TestCoalescing:
         # one warm re-assign, eight individual answers.
         assert front.groups_flushed == 1
         assert service.stats.groups == 1
-        assert [o.customer_id for o in outcomes] == list(
-            range(50, 58)
-        )
+        assert [o.customer_id for o in outcomes] == list(range(50, 58))
         assert all(o.ok for o in outcomes)
 
     def test_max_batch_flushes_early(self):
@@ -59,9 +57,7 @@ class TestCoalescing:
     def test_zero_window_flushes_per_request(self):
         async def scenario():
             service = _service()
-            async with AsyncAssignmentFrontend(
-                service, window_s=0.0
-            ) as front:
+            async with AsyncAssignmentFrontend(service, window_s=0.0) as front:
                 for i in range(3):
                     await front.arrive((10.0 * i, 20.0))
             return service
@@ -72,9 +68,7 @@ class TestCoalescing:
     def test_requests_after_window_start_new_group(self):
         async def scenario():
             service = _service()
-            async with AsyncAssignmentFrontend(
-                service, window_s=0.01
-            ) as front:
+            async with AsyncAssignmentFrontend(service, window_s=0.01) as front:
                 await front.arrive((10.0, 10.0))
                 await asyncio.sleep(0.05)  # first window long gone
                 await front.arrive((20.0, 20.0))
@@ -110,9 +104,7 @@ class TestPerRequestResults:
         async def scenario():
             service = _service()
             q0 = service.problem.providers[0].point.coords
-            async with AsyncAssignmentFrontend(
-                service, window_s=0.0
-            ) as front:
+            async with AsyncAssignmentFrontend(service, window_s=0.0) as front:
                 return await front.arrive((q0[0] + 1.0, q0[1] + 1.0))
 
         outcome = _run(scenario())
@@ -124,9 +116,7 @@ class TestLifecycle:
     def test_close_flushes_pending(self):
         async def scenario():
             service = _service()
-            front = AsyncAssignmentFrontend(
-                service, window_s=30.0, max_batch=100
-            )
+            front = AsyncAssignmentFrontend(service, window_s=30.0, max_batch=100)
             task = asyncio.create_task(front.arrive((50.0, 50.0)))
             await asyncio.sleep(0.01)  # parked, window far away
             await front.aclose()

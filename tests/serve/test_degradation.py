@@ -105,8 +105,7 @@ class TestLoadShedding:
                 service, window_s=30.0, max_batch=100, max_queue=2
             )
             parked = [
-                asyncio.create_task(front.arrive((10.0 * i, 10.0)))
-                for i in range(2)
+                asyncio.create_task(front.arrive((10.0 * i, 10.0))) for i in range(2)
             ]
             await asyncio.sleep(0.01)  # both enqueued, window far away
             with pytest.raises(Overloaded) as excinfo:
@@ -116,9 +115,7 @@ class TestLoadShedding:
             outcomes = await asyncio.gather(*parked)
             return service, front, shed_exc, outcomes
 
-        service, front, exc, outcomes = _run(
-            asyncio.wait_for(scenario(), timeout=10.0)
-        )
+        service, front, exc, outcomes = _run(asyncio.wait_for(scenario(), timeout=10.0))
         assert "max_queue=2" in exc.reason
         assert exc.retry_after_s >= 0.0
         assert front.shed == 1
@@ -151,8 +148,7 @@ class TestLoadShedding:
                 service, window_s=30.0, max_batch=100, max_queue=0
             )
             parked = [
-                asyncio.create_task(front.arrive((10.0 * i, 10.0)))
-                for i in range(8)
+                asyncio.create_task(front.arrive((10.0 * i, 10.0))) for i in range(8)
             ]
             await asyncio.sleep(0.01)
             await front.aclose()

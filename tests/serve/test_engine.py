@@ -70,8 +70,11 @@ class TestAdversarialFallbacks:
 
     def _capacity(self, seq, pid, k):
         return Event(
-            seq=seq, time=float(seq), kind="capacity",
-            provider_id=pid, capacity=k,
+            seq=seq,
+            time=float(seq),
+            kind="capacity",
+            provider_id=pid,
+            capacity=k,
         )
 
     def test_capacity_cut_below_usage_certifies_cold(self):
@@ -80,10 +83,7 @@ class TestAdversarialFallbacks:
         matching must still be bit-identical to a cold solve."""
         problem = _make(k=10)
         service = _service(problem)
-        events = [
-            self._capacity(i, i, 1)
-            for i in range(len(problem.providers))
-        ]
+        events = [self._capacity(i, i, 1) for i in range(len(problem.providers))]
         before = service.stats.hazard_colds
         service.apply(events)
         assert service.stats.hazard_colds > before
@@ -118,9 +118,7 @@ class TestAdversarialFallbacks:
         for start in range(0, len(events), 4):
             service.apply(events[start : start + 4])
         stats = service.stats
-        assert stats.cold_assigns == (
-            stats.hazard_colds + stats.repair_fallbacks
-        )
+        assert stats.cold_assigns == (stats.hazard_colds + stats.repair_fallbacks)
         assert stats.arrivals == 4 and stats.departures == 4
         assert len(service.problem.customers) == base + 4
         _assert_bit_identical(service)
@@ -128,13 +126,9 @@ class TestAdversarialFallbacks:
     def test_depart_everyone_then_refill(self):
         problem = _make(np_=20, k=5)
         service = _service(problem)
-        service.apply(
-            [self._depart(j, j) for j in range(len(problem.customers))]
-        )
+        service.apply([self._depart(j, j) for j in range(len(problem.customers))])
         assert service.live_pairs() == []
-        service.apply(
-            [self._arrive(100 + i, (100.0 * i, 50.0)) for i in range(6)]
-        )
+        service.apply([self._arrive(100 + i, (100.0 * i, 50.0)) for i in range(6)])
         _assert_bit_identical(service)
 
 
@@ -160,23 +154,17 @@ class TestEventHandling:
     def test_misaligned_arrival_ref_raises(self):
         service = _service(_make())
         with pytest.raises(ValueError, match="stream and service state"):
-            service.apply(
-                [Event(seq=0, time=0.0, kind="arrive",
-                       xy=(1.0, 1.0), ref=0)]
-            )
+            service.apply([Event(seq=0, time=0.0, kind="arrive", xy=(1.0, 1.0), ref=0)])
 
     def test_arrival_outcome_reports_assignment(self):
         problem = _make(k=10)
         service = _service(problem)
         q0 = problem.providers[0].point.coords
         result = service.apply(
-            [Event(seq=0, time=0.0, kind="arrive",
-                   xy=(q0[0] + 1.0, q0[1]))]
+            [Event(seq=0, time=0.0, kind="arrive", xy=(q0[0] + 1.0, q0[1]))]
         )
         outcome = result.outcomes[0]
-        assert outcome.ok and outcome.customer_id == len(
-            problem.customers
-        ) - 1
+        assert outcome.ok and outcome.customer_id == len(problem.customers) - 1
         # Capacity is slack, so the arrival must be matched somewhere.
         assert outcome.provider_id is not None
         assert outcome.distance is not None
@@ -184,14 +172,11 @@ class TestEventHandling:
     def test_latency_and_throughput_surface(self):
         service = _service(_make())
         spec = EventStreamSpec(n_events=30, rate=30.0)
-        service.run(generate_events(service.problem, spec, seed=1),
-                    window=0.2)
+        service.run(generate_events(service.problem, spec, seed=1), window=0.2)
         summary = service.stats.summary()
         assert summary["latency_p99_ms"] >= summary["latency_p50_ms"] > 0
         assert summary["events_per_sec"] > 0
-        assert summary["groups"] == len(
-            service.stats.group_latencies_s
-        )
+        assert summary["groups"] == len(service.stats.group_latencies_s)
 
 
 class TestShardedService:
@@ -234,8 +219,7 @@ class TestShardedService:
     def test_single_shard_never_reconciles(self):
         service = _service(_make(), shards=1, reconcile_every=1)
         spec = EventStreamSpec(n_events=20, rate=30.0)
-        service.run(generate_events(service.problem, spec, seed=4),
-                    window=0.0)
+        service.run(generate_events(service.problem, spec, seed=4), window=0.0)
         assert service.stats.reconcile_passes == 0
 
 
@@ -249,7 +233,9 @@ class TestAgainstSolveFacade:
         service.run(generate_events(problem, spec, seed=6), window=0.2)
         report = _assert_bit_identical(service)
         independent = solve(
-            service.final_problem(), "ida", backend="array",
+            service.final_problem(),
+            "ida",
+            backend="array",
             use_fast_path=False,
         )
         assert sorted(independent.pairs) == sorted(service.live_pairs())

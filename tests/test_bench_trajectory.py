@@ -41,16 +41,17 @@ def test_committed_reports_satisfy_schema_and_merge(tmp_path):
     trajectory = json.loads(out.read_text())
     assert trajectory["schema_version"] == bench_trajectory.SCHEMA_VERSION
     assert set(trajectory["benches"]) == {
-        "kernel", "index", "shard", "serve",
+        "kernel",
+        "index",
+        "shard",
+        "serve",
     }
     kernel = trajectory["benches"]["kernel"]["metrics"]
     # The fused-pipeline floor the ISSUE-4 tentpole establishes: the
     # committed columnar stack wins end to end at every sweep point.
     assert kernel["end_to_end_geomean"] >= 1.0
     assert kernel["end_to_end_speedup_min"] >= 1.0
-    assert all(
-        v >= 1.0 for v in kernel["end_to_end_per_point"].values()
-    )
+    assert all(v >= 1.0 for v in kernel["end_to_end_per_point"].values())
     # The numba block is always folded — either measured metrics or a
     # recorded skip reason, so the trajectory shows *why* the compiled
     # column is absent on a numba-free runner.
@@ -87,30 +88,24 @@ def test_committed_reports_satisfy_schema_and_merge(tmp_path):
 
 def test_schema_violations_fail(tmp_path):
     broken = tmp_path / "BENCH_kernel.json"
-    report = json.load(
-        open(os.path.join(REPO_ROOT, "BENCH_kernel.json"))
-    )
+    report = json.load(open(os.path.join(REPO_ROOT, "BENCH_kernel.json")))
     del report["end_to_end_geomean"]
     report["kernel_speedup_geomean"] = True  # bool is not a metric
     broken.write_text(json.dumps(report))
     rc = bench_trajectory.main(
-        _committed_args(kernel=broken)
-        + ["--out", str(tmp_path / "out.json")]
+        _committed_args(kernel=broken) + ["--out", str(tmp_path / "out.json")]
     )
     assert rc == 1
 
 
 def test_serve_schema_violations_fail(tmp_path):
     broken = tmp_path / "BENCH_serve.json"
-    report = json.load(
-        open(os.path.join(REPO_ROOT, "BENCH_serve.json"))
-    )
+    report = json.load(open(os.path.join(REPO_ROOT, "BENCH_serve.json")))
     del report["latency_p99_ms"]
     report["events_per_sec"] = "fast"  # not a number
     broken.write_text(json.dumps(report))
     rc = bench_trajectory.main(
-        _committed_args(serve=broken)
-        + ["--out", str(tmp_path / "out.json")]
+        _committed_args(serve=broken) + ["--out", str(tmp_path / "out.json")]
     )
     assert rc == 1
 
