@@ -6,13 +6,7 @@ fixed-δ grouping error stays put); CA more robust than SA.
 
 import pytest
 
-from benchmarks.helpers import (
-    APPROX_QUAD,
-    DELTAS,
-    K_SWEEP,
-    bench_problem,
-    solve_once,
-)
+from benchmarks.helpers import APPROX_QUAD, DELTAS, K_SWEEP, bench_problem, solve_once
 
 
 @pytest.mark.benchmark(group="fig15-approx-vs-k")

@@ -29,11 +29,7 @@ from repro.core.shard import ShardPlan, plan_shards, solve_sharded
 from repro.core.solve import APPROX_METHODS, EXACT_METHODS, solve
 from repro.flow.backend import BACKENDS, DEFAULT_BACKEND, get_backend
 from repro.geometry.pointset import PointSet
-from repro.rtree.backend import (
-    DEFAULT_INDEX_BACKEND,
-    INDEX_BACKENDS,
-    get_index_backend,
-)
+from repro.rtree.backend import DEFAULT_INDEX_BACKEND, INDEX_BACKENDS, get_index_backend
 
 __version__ = "1.2.0"
 

@@ -9,19 +9,15 @@
 * :mod:`~repro.core.approx.bounds` — the Theorems 3/4 error guarantees.
 """
 
+from repro.core.approx.bounds import ca_error_bound, quality_ratio, sa_error_bound
+from repro.core.approx.ca import CAApproxSolver
 from repro.core.approx.partition import (
+    CustomerGroup,
     hilbert_greedy_groups,
     rtree_customer_partition,
-    CustomerGroup,
 )
+from repro.core.approx.refine import exclusive_nn_refine, nn_refine
 from repro.core.approx.sa import SAApproxSolver
-from repro.core.approx.ca import CAApproxSolver
-from repro.core.approx.refine import nn_refine, exclusive_nn_refine
-from repro.core.approx.bounds import (
-    sa_error_bound,
-    ca_error_bound,
-    quality_ratio,
-)
 
 __all__ = [
     "hilbert_greedy_groups",

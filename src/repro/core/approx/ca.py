@@ -20,13 +20,13 @@ import time
 from typing import Dict, List, Tuple
 
 from repro.core.approx.partition import rtree_customer_partition
-from repro.rtree.backend import resolve_index_backend
 from repro.core.approx.refine import exclusive_nn_refine, nn_refine
 from repro.core.ida import IDASolver
 from repro.core.matching import Matching, SolverStats
 from repro.core.problem import CCAProblem, Customer
 from repro.experiments.config import PAPER_DEFAULTS
 from repro.geometry.point import Point
+from repro.rtree.backend import resolve_index_backend
 
 DEFAULT_CA_DELTA = PAPER_DEFAULTS["ca_delta"]
 

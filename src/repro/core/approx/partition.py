@@ -87,7 +87,7 @@ def _collect(
     if node.is_leaf:
         _split_leaf(node.points, entry_mbr, delta, out)
         return
-    for child_id, child_mbr in zip(node.children_ids, node.child_mbrs):
+    for child_id, child_mbr in zip(node.children_ids, node.child_mbrs, strict=False):
         _collect(tree, child_id, child_mbr, delta, out)
 
 

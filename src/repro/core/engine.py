@@ -20,8 +20,8 @@ from typing import List, Optional, Tuple
 
 from repro.core.matching import Matching, SolverStats
 from repro.core.problem import CCAProblem
-from repro.flow.backend import BackendLike, DEFAULT_BACKEND, get_backend
-from repro.flow.dijkstra import DijkstraState, INF
+from repro.flow.backend import DEFAULT_BACKEND, BackendLike, get_backend
+from repro.flow.dijkstra import INF, DijkstraState
 from repro.flow.graph import CCAFlowNetwork
 from repro.rtree.backend import IndexBackendLike, resolve_index_backend
 

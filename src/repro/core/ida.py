@@ -48,9 +48,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.engine import CERT_EPS
 from repro.core.nia import DEFAULT_ANN_GROUP_SIZE, NIASolver
-from repro.core.pua import path_update
 from repro.core.problem import CCAProblem
-from repro.flow.dijkstra import DijkstraState, INF
+from repro.core.pua import path_update
+from repro.flow.dijkstra import INF, DijkstraState
 from repro.flow.graph import S_NODE, T_NODE
 
 

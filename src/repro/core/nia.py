@@ -16,10 +16,10 @@ import time
 from typing import List, Optional, Tuple
 
 from repro.core.engine import IncrementalCCASolver
-from repro.core.pua import path_update
 from repro.core.problem import CCAProblem
+from repro.core.pua import path_update
 from repro.experiments.config import PAPER_DEFAULTS
-from repro.flow.dijkstra import DijkstraState, INF
+from repro.flow.dijkstra import INF, DijkstraState
 
 # The paper's Section 5.1 grouping default, shared with every consumer
 # (solve(), IDA, SM, sessions, the CLI) via experiments.config.

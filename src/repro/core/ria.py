@@ -18,10 +18,7 @@ from repro.core.engine import IncrementalCCASolver
 from repro.core.problem import CCAProblem
 from repro.flow.dijkstra import INF
 from repro.hilbert.curve import hilbert_key
-from repro.rtree.queries import (
-    annular_range_search_columns,
-    range_search_columns,
-)
+from repro.rtree.queries import annular_range_search_columns, range_search_columns
 
 DEFAULT_THETA = 0.8
 

@@ -66,7 +66,7 @@ from repro.core.ida import IDASolver
 from repro.core.matching import Matching, SolverStats
 from repro.core.nia import DEFAULT_ANN_GROUP_SIZE
 from repro.core.problem import CCAProblem, Customer, Provider
-from repro.flow.backend import BackendLike, DEFAULT_BACKEND, get_backend
+from repro.flow.backend import DEFAULT_BACKEND, BackendLike, get_backend
 from repro.flow.graph import NegativeReducedCostError
 from repro.geometry.point import Point
 from repro.rtree.backend import IndexBackendLike, resolve_index_backend

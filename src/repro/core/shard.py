@@ -80,7 +80,7 @@ from repro.core.session import Matcher
 from repro.core.shm import SharedColumnStore, StoreHandle, attach
 from repro.core.supervisor import RetryPolicy, run_supervised
 from repro.experiments.config import PAPER_DEFAULTS, default_theta
-from repro.flow.backend import BackendLike, DEFAULT_BACKEND, get_backend
+from repro.flow.backend import DEFAULT_BACKEND, BackendLike, get_backend
 from repro.partitioning import (
     balanced_bundles,
     capacity_weighted_centroid,
@@ -559,10 +559,19 @@ def _verify_shard_result(task: ShardTask, result: ShardResult) -> Optional[str]:
     if len(result.pairs) != result.gamma:
         return (f"claimed gamma {result.gamma} != {len(result.pairs)} pairs")
     providers = {int(i) for i in cols.provider_ids}
-    capacity = {int(i): int(c) for i, c in zip(cols.provider_ids, cols.capacities)}
-    weight = {int(j): int(w) for j, w in zip(cols.customer_ids, cols.customer_weights)}
-    qxy = {int(i): xy for i, xy in zip(cols.provider_ids, cols.provider_xy)}
-    pxy = {int(j): xy for j, xy in zip(cols.customer_ids, cols.customer_xy)}
+    capacity = {
+        int(i): int(c) for i, c in zip(cols.provider_ids, cols.capacities, strict=False)
+    }
+    weight = {
+        int(j): int(w)
+        for j, w in zip(cols.customer_ids, cols.customer_weights, strict=False)
+    }
+    qxy = {
+        int(i): xy for i, xy in zip(cols.provider_ids, cols.provider_xy, strict=False)
+    }
+    pxy = {
+        int(j): xy for j, xy in zip(cols.customer_ids, cols.customer_xy, strict=False)
+    }
     used: Dict[int, int] = {}
     served: Dict[int, int] = {}
     for i, j, d in result.pairs:
@@ -916,7 +925,7 @@ def _move_candidates(
         if len(m_rows):
             best = np.argmin(per_shard[m_rows], axis=1)
             gains = d_cur[start + m_rows] - per_shard[m_rows, best]
-            for row, shard, gain in zip(m_rows, best, gains):
+            for row, shard, gain in zip(m_rows, best, gains, strict=False):
                 if gain > _EPS:
                     out.append((all_j[start + row], int(shard), float(gain)))
         # Unmatched rows: gain = target's worst matched unit − entry cost
@@ -926,7 +935,7 @@ def _move_candidates(
             swap_gains = worst[None, :] - per_shard[u_rows]
             best = np.argmax(swap_gains, axis=1)
             gains = swap_gains[np.arange(len(u_rows)), best]
-            for row, shard, gain in zip(u_rows, best, gains):
+            for row, shard, gain in zip(u_rows, best, gains, strict=False):
                 if gain > _EPS:
                     out.append((all_j[start + row], int(shard), float(gain)))
     out.sort(key=lambda item: (-item[2], item[0]))

@@ -63,7 +63,7 @@ class SMSolver:
 
         # One pending candidate per provider, globally ordered by distance.
         heap: List[Tuple[float, int, int]] = []  # (dist, provider, customer)
-        for i, q in enumerate(problem.providers):
+        for i, _q in enumerate(problem.providers):
             if remaining_cap[i] > 0:
                 self._refill(heap, ann, i)
 

@@ -15,7 +15,7 @@ from repro.core.ria import RIASolver
 from repro.core.shard import SHARD_METHODS, solve_sharded
 from repro.core.sm import SMSolver
 from repro.experiments.config import PAPER_DEFAULTS
-from repro.flow.backend import BackendLike, DEFAULT_BACKEND
+from repro.flow.backend import DEFAULT_BACKEND, BackendLike
 from repro.rtree.backend import IndexBackendLike
 
 EXACT_METHODS = ("sspa", "ria", "nia", "ida")

@@ -386,7 +386,7 @@ def _run_pool(tasks, solve, fallback, verify, policy, ledger, max_workers, mp_co
                     max_workers=max_workers, mp_context=mp_context
                 )
                 pool_broken = False
-                for _future, (pos, attempt, deadline) in expired:
+                for _future, (pos, attempt, _deadline) in expired:
                     task = tasks[pos]
                     exc = ShardTimeoutError(
                         f"shard {task.index} attempt {attempt} exceeded "

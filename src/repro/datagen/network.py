@@ -51,7 +51,7 @@ class RoadNetwork:
         graph = nx.Graph()
         for idx, (x, y) in enumerate(self.node_xy):
             graph.add_node(idx, x=float(x), y=float(y))
-        for (a, b), length in zip(self.edges, self.edge_lengths):
+        for (a, b), length in zip(self.edges, self.edge_lengths, strict=False):
             graph.add_edge(int(a), int(b), weight=float(length))
         return graph
 

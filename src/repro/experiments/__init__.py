@@ -10,15 +10,15 @@ so specs are evaluated at a documented linear ``scale`` that preserves the
 """
 
 from repro.experiments.config import (
+    BENCH_SCALE,
+    DEFAULT_SCALE,
     PAPER_DEFAULTS,
     PARAMETER_TABLE,
-    DEFAULT_SCALE,
-    BENCH_SCALE,
     default_theta,
 )
-from repro.experiments.metrics import MethodResult
-from repro.experiments.harness import run_method, run_sweep
 from repro.experiments.figures import FIGURES, FigureSpec, run_figure
+from repro.experiments.harness import run_method, run_sweep
+from repro.experiments.metrics import MethodResult
 from repro.experiments.report import format_figure_report, format_table2
 
 __all__ = [

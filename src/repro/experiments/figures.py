@@ -12,11 +12,7 @@ from typing import Callable, Dict, List
 
 from repro.core.problem import CCAProblem
 from repro.datagen.workloads import make_problem
-from repro.experiments.config import (
-    DEFAULT_SCALE,
-    PAPER_DEFAULTS,
-    scaled,
-)
+from repro.experiments.config import DEFAULT_SCALE, PAPER_DEFAULTS, scaled
 from repro.experiments.harness import run_method, run_sweep
 from repro.experiments.metrics import MethodResult
 

@@ -44,10 +44,12 @@ def _render_pivot(title: str, results: List[MethodResult], metric: str) -> str:
         for c in range(len(header))
     ]
     lines = [title]
-    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths, strict=False)))
     lines.append("  ".join("-" * w for w in widths))
     for row in rows:
-        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths, strict=False))
+        )
     return "\n".join(lines)
 
 
@@ -82,7 +84,9 @@ def format_table2() -> str:
     widths = [max(len(r[c]) for r in rows) for c in range(3)]
     lines = ["== Table 2: system parameters =="]
     for i, row in enumerate(rows):
-        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths, strict=False))
+        )
         if i == 0:
             lines.append("  ".join("-" * w for w in widths))
     return "\n".join(lines)

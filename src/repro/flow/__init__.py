@@ -10,26 +10,12 @@ the dict-based reference implementation and the array-backed performance
 kernel (:mod:`repro.flow.arraykernel`).
 """
 
-from repro.flow.graph import (
-    CCAFlowNetwork,
-    NegativeReducedCostError,
-    S_NODE,
-    T_NODE,
-)
-from repro.flow.dijkstra import DijkstraState
 from repro.flow.arraykernel import ArrayDijkstraState, ArrayFlowNetwork
-from repro.flow.backend import (
-    BACKENDS,
-    DEFAULT_BACKEND,
-    FlowBackend,
-    get_backend,
-)
+from repro.flow.backend import BACKENDS, DEFAULT_BACKEND, FlowBackend, get_backend
+from repro.flow.dijkstra import DijkstraState
+from repro.flow.graph import S_NODE, T_NODE, CCAFlowNetwork, NegativeReducedCostError
+from repro.flow.reference import oracle_cost, oracle_lsa, oracle_networkx
 from repro.flow.sspa import sspa_solve
-from repro.flow.reference import (
-    oracle_lsa,
-    oracle_networkx,
-    oracle_cost,
-)
 
 __all__ = [
     "CCAFlowNetwork",

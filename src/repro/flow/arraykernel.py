@@ -60,11 +60,11 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.flow.dijkstra import DijkstraState, INF, _OFF
+from repro.flow.dijkstra import _OFF, INF, DijkstraState
 from repro.flow.graph import (
+    S_NODE,
     CCAFlowNetwork,
     NegativeReducedCostError,
-    S_NODE,
     _is_scalar,
     _nonneg,
 )
@@ -278,7 +278,7 @@ class ArrayFlowNetwork(CCAFlowNetwork):
                 j_arr = j_arr[mask]
                 d_arr = d_arr[mask]
                 caps = caps[mask]
-                keys = [k for k, f in zip(keys, fresh) if f]
+                keys = [k for k, f in zip(keys, fresh, strict=False) if f]
         n = j_arr.size
         if not n:
             return 0
@@ -293,7 +293,7 @@ class ArrayFlowNetwork(CCAFlowNetwork):
         self.e_cap.extend(caps.tolist())
         self.e_flow.extend([0] * n)
         self.e_dead.extend([False] * n)
-        for key, eid in zip(keys, eids):
+        for key, eid in zip(keys, eids, strict=False):
             eid_map[key] = eid
         self._live += n
         # ...and the CSR-style block append into provider i's compact
@@ -305,7 +305,9 @@ class ArrayFlowNetwork(CCAFlowNetwork):
         tgt_arr = j_arr + (self.nq + _OFF)
         self._fwd_tgt[i][n0 : n0 + n] = tgt_arr
         self._fwd_dist[i][n0 : n0 + n] = d_arr
-        self._fwd_py[i].extend(zip(tgt_arr.tolist(), j_list, d_list, eids))
+        self._fwd_py[
+            i
+        ].extend(zip(tgt_arr.tolist(), j_list, d_list, eids, strict=False))
         self._e_pos.extend(range(n0, n0 + n))
         self._fwd_n[i] = n0 + n
         return n
@@ -827,7 +829,7 @@ class ArrayDijkstraState(DijkstraState):
                 targets = upd + _OFF
                 values = w[upd]
                 np_alpha[targets] = values
-                for av, tv in zip(values.tolist(), targets.tolist()):
+                for av, tv in zip(values.tolist(), targets.tolist(), strict=False):
                     # Re-check against the true labels: the shadow is an
                     # upper bound, so the mask can admit false positives.
                     if av < alpha[tv]:
@@ -867,7 +869,7 @@ class ArrayDijkstraState(DijkstraState):
             if upd_t.size:
                 upd_a = w[ok]
                 np_alpha[upd_t] = upd_a
-                for av, tv in zip(upd_a.tolist(), upd_t.tolist()):
+                for av, tv in zip(upd_a.tolist(), upd_t.tolist(), strict=False):
                     # Re-check against the true labels: the shadow is an
                     # upper bound, so the mask can admit false positives.
                     if av < alpha[tv]:

@@ -36,12 +36,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.flow.graph import (
-    CCAFlowNetwork,
-    NegativeReducedCostError,
-    S_NODE,
-    T_NODE,
-)
+from repro.flow.graph import S_NODE, T_NODE, CCAFlowNetwork, NegativeReducedCostError
 
 INF = float("inf")
 _OFF = 2  # node id -> array index offset

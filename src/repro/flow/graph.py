@@ -171,12 +171,12 @@ class CCAFlowNetwork:
             if len(customers) != len(distances):
                 raise ValueError("edge column lengths differ")
             i = int(providers)
-            for j, d in zip(customers, distances):
+            for j, d in zip(customers, distances, strict=False):
                 inserted += self.add_edge(i, int(j), float(d))
             return inserted
         if not (len(providers) == len(customers) == len(distances)):
             raise ValueError("edge column lengths differ")
-        for i, j, d in zip(providers, customers, distances):
+        for i, j, d in zip(providers, customers, distances, strict=False):
             inserted += self.add_edge(int(i), int(j), float(d))
         return inserted
 
@@ -256,7 +256,7 @@ class CCAFlowNetwork:
         """
         if path_nodes[0] != S_NODE or path_nodes[-1] != T_NODE:
             raise ValueError("augmenting path must run from s to t")
-        for u, v in zip(path_nodes, path_nodes[1:]):
+        for u, v in zip(path_nodes, path_nodes[1:], strict=False):
             if u == S_NODE:
                 self.q_used[v] += 1
                 if self.q_used[v] > self.q_cap[v]:

@@ -52,7 +52,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.flow.arraykernel import ArrayDijkstraState, ArrayFlowNetwork
-from repro.flow.dijkstra import INF, _OFF
+from repro.flow.dijkstra import _OFF, INF
 from repro.flow.graph import NegativeReducedCostError, _is_scalar
 
 try:  # pragma: no cover - exercised only where numba is installed

@@ -49,7 +49,10 @@ def oracle_lsa(
                 distances[(i, j)] = distance_fn(i, j)
             cost[r, c] = distances[(i, j)]
     rows, cols = linear_sum_assignment(cost)
-    return [(q_slots[r], p_slots[c], float(cost[r, c])) for r, c in zip(rows, cols)]
+    return [
+        (q_slots[r], p_slots[c], float(cost[r, c]))
+        for r, c in zip(rows, cols, strict=False)
+    ]
 
 
 def oracle_networkx(

@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.flow.backend import BackendLike, DEFAULT_BACKEND, get_backend
+from repro.flow.backend import DEFAULT_BACKEND, BackendLike, get_backend
 from repro.flow.graph import CCAFlowNetwork
 
 

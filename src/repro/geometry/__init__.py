@@ -7,15 +7,15 @@ rectangle-rectangle ``mindist``).  Everything here is dimension-generic but
 optimized for the 2-D case the paper evaluates.
 """
 
-from repro.geometry.point import Point
-from repro.geometry.mbr import MBR
 from repro.geometry.distance import (
     dist,
     dist_squared,
-    mindist_point_mbr,
     maxdist_point_mbr,
     mindist_mbr_mbr,
+    mindist_point_mbr,
 )
+from repro.geometry.mbr import MBR
+from repro.geometry.point import Point
 from repro.geometry.pointset import (
     PointSet,
     batch_dists,

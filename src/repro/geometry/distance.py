@@ -22,7 +22,7 @@ def dist(a: Point, b: Point) -> float:
     to this scalar reference.
     """
     total = 0.0
-    for x, y in zip(a.coords, b.coords):
+    for x, y in zip(a.coords, b.coords, strict=False):
         diff = x - y
         total += diff * diff
     return math.sqrt(total)
@@ -31,7 +31,7 @@ def dist(a: Point, b: Point) -> float:
 def dist_squared(a: Point, b: Point) -> float:
     """Squared Euclidean distance (cheaper comparator for ties/sorting)."""
     total = 0.0
-    for x, y in zip(a.coords, b.coords):
+    for x, y in zip(a.coords, b.coords, strict=False):
         diff = x - y
         total += diff * diff
     return total
@@ -40,7 +40,7 @@ def dist_squared(a: Point, b: Point) -> float:
 def mindist_point_mbr(point: Point, mbr: MBR) -> float:
     """Smallest possible distance from ``point`` to any point inside ``mbr``."""
     total = 0.0
-    for c, lo, hi in zip(point.coords, mbr.lo, mbr.hi):
+    for c, lo, hi in zip(point.coords, mbr.lo, mbr.hi, strict=False):
         if c < lo:
             d = lo - c
         elif c > hi:
@@ -58,7 +58,7 @@ def maxdist_point_mbr(point: Point, mbr: MBR) -> float:
     entirely inside the inner radius.
     """
     total = 0.0
-    for c, lo, hi in zip(point.coords, mbr.lo, mbr.hi):
+    for c, lo, hi in zip(point.coords, mbr.lo, mbr.hi, strict=False):
         d = max(abs(c - lo), abs(c - hi))
         total += d * d
     return math.sqrt(total)
@@ -71,7 +71,7 @@ def mindist_mbr_point(mbr: MBR, point: Point) -> float:
     accumulation order as :func:`mindist_mbr_mbr` — bit-identical keys.
     """
     total = 0.0
-    for lo, hi, c in zip(mbr.lo, mbr.hi, point.coords):
+    for lo, hi, c in zip(mbr.lo, mbr.hi, point.coords, strict=False):
         if hi < c:
             d = c - hi
         elif c < lo:
@@ -85,7 +85,7 @@ def mindist_mbr_point(mbr: MBR, point: Point) -> float:
 def mindist_mbr_mbr(a: MBR, b: MBR) -> float:
     """Smallest distance between any two points of two MBRs (Algorithm 6)."""
     total = 0.0
-    for alo, ahi, blo, bhi in zip(a.lo, a.hi, b.lo, b.hi):
+    for alo, ahi, blo, bhi in zip(a.lo, a.hi, b.lo, b.hi, strict=False):
         if ahi < blo:
             d = blo - ahi
         elif bhi < alo:

@@ -27,7 +27,7 @@ class MBR:
         hi_t = tuple(float(c) for c in hi)
         if len(lo_t) != len(hi_t):
             raise ValueError("lo/hi dimensionality mismatch")
-        if any(low > high for low, high in zip(lo_t, hi_t)):
+        if any(low > high for low, high in zip(lo_t, hi_t, strict=False)):
             raise ValueError(f"inverted MBR bounds: lo={lo_t} hi={hi_t}")
         self.lo: Tuple[float, ...] = lo_t
         self.hi: Tuple[float, ...] = hi_t
@@ -72,23 +72,25 @@ class MBR:
     @property
     def diagonal(self) -> float:
         """Length of the main diagonal (the δ criterion of Section 4)."""
-        return math.sqrt(sum((h - low) ** 2 for low, h in zip(self.lo, self.hi)))
+        return math.sqrt(
+            sum((h - low) ** 2 for low, h in zip(self.lo, self.hi, strict=False))
+        )
 
     @property
     def center(self) -> Tuple[float, ...]:
-        return tuple((low + h) / 2.0 for low, h in zip(self.lo, self.hi))
+        return tuple((low + h) / 2.0 for low, h in zip(self.lo, self.hi, strict=False))
 
     @property
     def area(self) -> float:
         product = 1.0
-        for low, h in zip(self.lo, self.hi):
+        for low, h in zip(self.lo, self.hi, strict=False):
             product *= h - low
         return product
 
     @property
     def margin(self) -> float:
         """Sum of side lengths (used by split heuristics)."""
-        return sum(h - low for low, h in zip(self.lo, self.hi))
+        return sum(h - low for low, h in zip(self.lo, self.hi, strict=False))
 
     def side(self, axis: int) -> float:
         return self.hi[axis] - self.lo[axis]
@@ -101,24 +103,31 @@ class MBR:
     # predicates and combinators
     # ------------------------------------------------------------------
     def contains_point(self, point: Point) -> bool:
-        return all(low <= c <= h for low, c, h in zip(self.lo, point.coords, self.hi))
+        return all(
+            low <= c <= h
+            for low, c, h in zip(self.lo, point.coords, self.hi, strict=False)
+        )
 
     def contains_mbr(self, other: "MBR") -> bool:
         return all(
             sl <= ol and oh <= sh
-            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+            for sl, sh, ol, oh in zip(
+                self.lo, self.hi, other.lo, other.hi, strict=False
+            )
         )
 
     def intersects(self, other: "MBR") -> bool:
         return all(
             sl <= oh and ol <= sh
-            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+            for sl, sh, ol, oh in zip(
+                self.lo, self.hi, other.lo, other.hi, strict=False
+            )
         )
 
     def union(self, other: "MBR") -> "MBR":
         return MBR(
-            tuple(min(a, b) for a, b in zip(self.lo, other.lo)),
-            tuple(max(a, b) for a, b in zip(self.hi, other.hi)),
+            tuple(min(a, b) for a, b in zip(self.lo, other.lo, strict=False)),
+            tuple(max(a, b) for a, b in zip(self.hi, other.hi, strict=False)),
         )
 
     def enlargement(self, other: "MBR") -> float:

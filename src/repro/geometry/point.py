@@ -49,7 +49,7 @@ class Point:
         """Euclidean distance to ``other`` (same float ops as
         :func:`repro.geometry.distance.dist`)."""
         total = 0.0
-        for a, b in zip(self.coords, other.coords):
+        for a, b in zip(self.coords, other.coords, strict=False):
             diff = a - b
             total += diff * diff
         return math.sqrt(total)

@@ -5,11 +5,6 @@ incremental all-nearest-neighbor search (Section 3.4.2) and to order
 providers in SA partitioning (Section 4.1).
 """
 
-from repro.hilbert.curve import (
-    hilbert_d2xy,
-    hilbert_xy2d,
-    hilbert_key,
-    hilbert_sort,
-)
+from repro.hilbert.curve import hilbert_d2xy, hilbert_key, hilbert_sort, hilbert_xy2d
 
 __all__ = ["hilbert_d2xy", "hilbert_xy2d", "hilbert_key", "hilbert_sort"]

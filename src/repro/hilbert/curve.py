@@ -74,7 +74,7 @@ def hilbert_key(
         raise ValueError("hilbert_key requires 2-D coordinates")
     n = 1 << order
     cells = []
-    for c, lo, hi in zip(coords[:2], world_lo[:2], world_hi[:2]):
+    for c, lo, hi in zip(coords[:2], world_lo[:2], world_hi[:2], strict=False):
         span = hi - lo
         if span <= 0:
             cells.append(0)

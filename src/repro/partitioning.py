@@ -115,8 +115,8 @@ def capacity_weighted_centroid(
         raise ValueError("centroid of an empty group is undefined")
     total = sum(capacities)
     if total > 0:
-        x = sum(p.x * k for p, k in zip(points, capacities)) / total
-        y = sum(p.y * k for p, k in zip(points, capacities)) / total
+        x = sum(p.x * k for p, k in zip(points, capacities, strict=False)) / total
+        y = sum(p.y * k for p, k in zip(points, capacities, strict=False)) / total
     else:
         x = sum(p.x for p in points) / len(points)
         y = sum(p.y for p in points) / len(points)

@@ -11,21 +11,7 @@ with 1 KB pages behind an LRU buffer.  This package provides:
 * the grouped incremental all-nearest-neighbor search of Algorithm 6.
 """
 
-from repro.rtree.node import RTreeNode
-from repro.rtree.tree import RTree
-from repro.rtree.packed import PackedNodeView, PackedRTree
-from repro.rtree.queries import (
-    range_search,
-    annular_range_search,
-    knn_search,
-    IncrementalNN,
-)
-from repro.rtree.ann import (
-    ANNGroup,
-    GroupedANN,
-    PackedANNGroup,
-    PackedGroupedANN,
-)
+from repro.rtree.ann import ANNGroup, GroupedANN, PackedANNGroup, PackedGroupedANN
 from repro.rtree.backend import (
     DEFAULT_INDEX_BACKEND,
     INDEX_BACKENDS,
@@ -33,6 +19,15 @@ from repro.rtree.backend import (
     get_index_backend,
     index_info,
 )
+from repro.rtree.node import RTreeNode
+from repro.rtree.packed import PackedNodeView, PackedRTree
+from repro.rtree.queries import (
+    IncrementalNN,
+    annular_range_search,
+    knn_search,
+    range_search,
+)
+from repro.rtree.tree import RTree
 
 __all__ = [
     "RTreeNode",

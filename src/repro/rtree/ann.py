@@ -94,7 +94,9 @@ class ANNGroup:
                     p,
                 )
         else:
-            for child_id, child_mbr in zip(node.children_ids, node.child_mbrs):
+            for child_id, child_mbr in zip(
+                node.children_ids, node.child_mbrs, strict=False
+            ):
                 self._push_entry(
                     mindist_mbr_mbr(self.mbr, child_mbr),
                     self._NODE,
@@ -237,7 +239,9 @@ class PackedANNGroup:
         # point; the unique tiebreak guarantees columns never compare.
         self._heap: list = []
         self._res_heaps: List[list] = [[] for _ in self.member_pids]
-        self._res: Dict[int, list] = dict(zip(self.member_pids, self._res_heaps))
+        self._res: Dict[
+            int, list
+        ] = dict(zip(self.member_pids, self._res_heaps, strict=False))
         if tree.root_id is not None:
             # The pointer ANNGroup reads the root MBR through the buffer;
             # charge the same access before keying the root entry.
@@ -281,7 +285,7 @@ class PackedANNGroup:
                 self._lo, self._hi, tree.node_lo[kids], tree.node_hi[kids]
             ).tolist()
             node = self._NODE
-            for child, child_key in zip(kids.tolist(), keys):
+            for child, child_key in zip(kids.tolist(), keys, strict=False):
                 heapq.heappush(heap, (child_key, node, next(counter), child, None))
 
     def _settle_top(self, provider_pid: int) -> list:

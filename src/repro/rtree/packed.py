@@ -401,7 +401,7 @@ class PackedRTree:
         if not self.size:
             return False
         coords = tuple(point.coords)
-        pending = zip(self._pending_ids, self._pending_coords)
+        pending = zip(self._pending_ids, self._pending_coords, strict=False)
         for slot, (pid, xy) in enumerate(pending):
             if pid == point.pid and tuple(xy) == coords:
                 del self._pending_ids[slot]

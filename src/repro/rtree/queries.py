@@ -20,11 +20,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.geometry.distance import (
-    dist,
-    maxdist_point_mbr,
-    mindist_point_mbr,
-)
+from repro.geometry.distance import dist, maxdist_point_mbr, mindist_point_mbr
 from repro.geometry.point import Point
 from repro.rtree.tree import RTree
 
@@ -54,7 +50,9 @@ def _range_scan(tree: RTree, query: Point, inner: float, outer: float):
                     points.append(p)
                     dists.append(d)
         else:
-            for child_id, child_mbr in zip(node.children_ids, node.child_mbrs):
+            for child_id, child_mbr in zip(
+                node.children_ids, node.child_mbrs, strict=False
+            ):
                 if mindist_point_mbr(query, child_mbr) > outer:
                     continue
                 if annular and maxdist_point_mbr(query, child_mbr) <= inner:
@@ -187,7 +185,9 @@ class IncrementalNN:
                 for p in node.points:
                     self._push(dist(self.query, p), self._POINT, p)
             else:
-                for child_id, child_mbr in zip(node.children_ids, node.child_mbrs):
+                for child_id, child_mbr in zip(
+                    node.children_ids, node.child_mbrs, strict=False
+                ):
                     self._push(
                         mindist_point_mbr(self.query, child_mbr),
                         self._NODE,

@@ -189,7 +189,7 @@ class RTree:
         if node.is_leaf:
             entries = [(MBR.from_point(p), p) for p in node.points]
         else:
-            entries = list(zip(node.child_mbrs, node.children_ids))
+            entries = list(zip(node.child_mbrs, node.children_ids, strict=False))
         group_a, group_b = _quadratic_split(
             entries, self.min_leaf if node.is_leaf else self.min_dir
         )
@@ -238,7 +238,9 @@ class RTree:
                     return path
             return None
         point_mbr = MBR.from_point(point)
-        for child_id, child_mbr in zip(node.children_ids, node.child_mbrs):
+        for child_id, child_mbr in zip(
+            node.children_ids, node.child_mbrs, strict=False
+        ):
             if child_mbr.contains_mbr(point_mbr):
                 found = self._find_leaf(child_id, point, path)
                 if found is not None:
@@ -344,7 +346,9 @@ class RTree:
             leaf_depths.add(depth)
             return len(node.points)
         total = 0
-        for child_id, child_mbr in zip(node.children_ids, node.child_mbrs):
+        for child_id, child_mbr in zip(
+            node.children_ids, node.child_mbrs, strict=False
+        ):
             total += self._check_node(
                 child_id,
                 child_mbr,

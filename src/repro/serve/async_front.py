@@ -29,11 +29,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
 from repro.datagen.events import Event
-from repro.serve.engine import (
-    EventOutcome,
-    GroupResult,
-    OnlineAssignmentService,
-)
+from repro.serve.engine import EventOutcome, GroupResult, OnlineAssignmentService
 
 
 class Overloaded(RuntimeError):
@@ -246,6 +242,6 @@ class AsyncAssignmentFrontend:
                         future.set_exception(exc)
                 return
             self.groups_flushed += 1
-            for (_, future), outcome in zip(batch, result.outcomes):
+            for (_, future), outcome in zip(batch, result.outcomes, strict=False):
                 if not future.done():
                     future.set_result(outcome)

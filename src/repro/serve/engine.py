@@ -71,7 +71,7 @@ from repro.core.shard import (
 from repro.core.solve import solve
 from repro.datagen.events import Event, group_events
 from repro.experiments.config import PAPER_DEFAULTS
-from repro.flow.backend import BackendLike, DEFAULT_BACKEND, get_backend
+from repro.flow.backend import DEFAULT_BACKEND, BackendLike, get_backend
 from repro.geometry.point import Point
 from repro.rtree.backend import IndexBackendLike, resolve_index_backend
 
@@ -142,7 +142,7 @@ class ServeStats:
         values = np.percentile(
             np.asarray(self.group_latencies_s, dtype=float), list(qs)
         )
-        return {float(q): float(v) for q, v in zip(qs, values)}
+        return {float(q): float(v) for q, v in zip(qs, values, strict=False)}
 
     @property
     def events_per_sec(self) -> float:

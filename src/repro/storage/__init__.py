@@ -7,9 +7,9 @@ node, with real serialization for persistence) and an LRU buffer pool that
 counts hits and faults.
 """
 
-from repro.storage.iostats import IOStats, DEFAULT_IO_PENALTY_S
-from repro.storage.page import Page, PageManager, DEFAULT_PAGE_SIZE
 from repro.storage.buffer import LRUBufferPool
+from repro.storage.iostats import DEFAULT_IO_PENALTY_S, IOStats
+from repro.storage.page import DEFAULT_PAGE_SIZE, Page, PageManager
 
 __all__ = [
     "IOStats",

@@ -133,7 +133,7 @@ class PageManager:
             ids = node.children_ids
             mbrs = node.child_mbrs
             parts.append(_HEADER.pack(page.page_id, 0, len(ids)))
-            for cid, m in zip(ids, mbrs):
+            for cid, m in zip(ids, mbrs, strict=False):
                 parts.append(_DIR_ENTRY.pack(cid, m.lo[0], m.lo[1], m.hi[0], m.hi[1]))
         raw = b"".join(parts)
         if len(raw) > self.page_size:

@@ -3,10 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.approx.partition import (
-    hilbert_greedy_groups,
-    rtree_customer_partition,
-)
+from repro.core.approx.partition import hilbert_greedy_groups, rtree_customer_partition
 from repro.geometry.mbr import MBR
 from repro.geometry.point import Point
 from repro.rtree.tree import RTree

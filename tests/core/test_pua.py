@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.pua import path_update
-from repro.flow.dijkstra import DijkstraState, INF
+from repro.flow.dijkstra import INF, DijkstraState
 from repro.flow.graph import CCAFlowNetwork
 
 

@@ -57,7 +57,7 @@ class TestRouting:
         problem = fresh_problem()
         plan = plan_shards(problem, 3, delta=40.0)
         routed = route_concise(problem, plan)
-        for spec, bucket in zip(plan.shards, routed):
+        for spec, bucket in zip(plan.shards, routed, strict=False):
             assert sum(bucket.values()) <= spec.capacity
         # Routed demand equals the concise matching size γ.
         total = sum(sum(bucket.values()) for bucket in routed)

@@ -98,7 +98,7 @@ class TestWellFormedness:
         events = generate_events(problem, EventStreamSpec(n_events=100), seed=0)
         times = [e.time for e in events]
         assert times == sorted(times)
-        assert all(b > a for a, b in zip(times, times[1:]))
+        assert all(b > a for a, b in zip(times, times[1:], strict=False))
 
     def test_requested_length(self, problem):
         for n in (0, 1, 17):

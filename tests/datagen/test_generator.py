@@ -3,11 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datagen.generator import (
-    clustered_points,
-    generate_points,
-    uniform_points,
-)
+from repro.datagen.generator import clustered_points, generate_points, uniform_points
 from repro.datagen.network import build_road_network
 
 NET = build_road_network(grid=12, seed=0)

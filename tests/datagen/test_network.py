@@ -57,7 +57,7 @@ class TestConnectivity:
 class TestGeometry:
     def test_edge_lengths_match_coordinates(self):
         net = build_road_network(grid=6, seed=6)
-        for (a, b), length in zip(net.edges, net.edge_lengths):
+        for (a, b), length in zip(net.edges, net.edge_lengths, strict=False):
             expected = np.hypot(*(net.node_xy[a] - net.node_xy[b]))
             assert length == pytest.approx(expected)
 

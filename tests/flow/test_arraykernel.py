@@ -3,16 +3,16 @@
 import pytest
 
 from repro.flow import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    S_NODE,
+    T_NODE,
     ArrayDijkstraState,
     ArrayFlowNetwork,
-    BACKENDS,
     CCAFlowNetwork,
-    DEFAULT_BACKEND,
     DijkstraState,
     FlowBackend,
     NegativeReducedCostError,
-    S_NODE,
-    T_NODE,
     get_backend,
     sspa_solve,
 )

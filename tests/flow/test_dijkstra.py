@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.flow.dijkstra import DijkstraState, INF
-from repro.flow.graph import CCAFlowNetwork, S_NODE, T_NODE
+from repro.flow.dijkstra import INF, DijkstraState
+from repro.flow.graph import S_NODE, T_NODE, CCAFlowNetwork
 
 
 def net_with_edges(caps, weights, edges):
@@ -112,7 +112,7 @@ class TestResumption:
         state = DijkstraState(net)
         edges = [(i, j) for i in range(nq) for j in range(np_)]
         rng.shuffle(edges)
-        for idx, (i, j) in enumerate(edges):
+        for _idx, (i, j) in enumerate(edges):
             net.add_edge(i, j, float(dists[i, j]))
             base = state.alpha_of(i)
             if base < INF:
@@ -151,5 +151,5 @@ class TestAccounting:
         )
         state = DijkstraState(net)
         state.run()
-        for node, alpha in state.settled_items():
+        for _node, alpha in state.settled_items():
             assert alpha <= state.sp_cost + 1e-9

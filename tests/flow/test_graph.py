@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.flow.graph import CCAFlowNetwork, S_NODE, T_NODE
+from repro.flow.graph import S_NODE, T_NODE, CCAFlowNetwork
 
 
 def simple_net():

@@ -88,7 +88,7 @@ def test_slabs_track_random_mutation_sequences():
     """Adds (scalar + bulk), augments, and removals in a random order
     keep the slab mirrors identical to the parent adjacency."""
     rng = np.random.default_rng(7)
-    for trial in range(8):
+    for _trial in range(8):
         nq = int(rng.integers(1, 5))
         np_ = int(rng.integers(1, 12))
         caps = [int(c) for c in rng.integers(0, 4, nq)]
@@ -159,7 +159,7 @@ def test_ssp_trace_matches_dict_reference():
             rng.integers(0, 3, 25),
             rng.integers(0, 9, 25),
             rng.random(25) * 40,
-        )
+         strict=False)
     ]
 
     def trace(backend):

@@ -4,12 +4,7 @@ import numpy as np
 import pytest
 
 from repro.geometry.point import Point
-from repro.hilbert.curve import (
-    hilbert_d2xy,
-    hilbert_key,
-    hilbert_sort,
-    hilbert_xy2d,
-)
+from repro.hilbert.curve import hilbert_d2xy, hilbert_key, hilbert_sort, hilbert_xy2d
 
 
 class TestBijection:
@@ -66,7 +61,10 @@ class TestRealValuedKeys:
         pts = rng.random((200, 2)) * 1000
         keys = [hilbert_key(p, (0, 0), (1000, 1000), order=8) for p in pts]
         ordered = np.argsort(keys)
-        jumps = [np.hypot(*(pts[a] - pts[b])) for a, b in zip(ordered, ordered[1:])]
+        jumps = [
+            np.hypot(*(pts[a] - pts[b]))
+            for a, b in zip(ordered, ordered[1:], strict=False)
+        ]
         assert np.median(jumps) < 200.0
 
 

@@ -8,8 +8,8 @@ across capacity regimes, distributions, and degenerate corners.
 import numpy as np
 import pytest
 
-from repro.core.solve import solve
 from repro.core.problem import CCAProblem
+from repro.core.solve import solve
 from repro.datagen.workloads import make_problem
 from repro.flow.reference import oracle_cost, oracle_lsa
 from tests.conftest import random_problem

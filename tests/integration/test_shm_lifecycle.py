@@ -17,12 +17,7 @@ import pytest
 
 from repro.core.faults import FaultPlan
 from repro.core.shard import FAULT_ENV, ShardTask, solve_sharded
-from repro.core.shm import (
-    SEGMENT_PREFIX,
-    SharedColumnStore,
-    attach,
-    close_and_unlink,
-)
+from repro.core.shm import SEGMENT_PREFIX, SharedColumnStore, attach, close_and_unlink
 from repro.core.supervisor import RetryPolicy
 from tests.conftest import random_problem
 

@@ -76,7 +76,7 @@ class TestKNN:
         got = knn_search(TREE, q, k)
         assert len(got) == min(k, len(PTS))
         # Distances must agree position by position (ids may tie-swap).
-        for e, g in zip(expected, got):
+        for e, g in zip(expected, got, strict=False):
             assert dist(q, g) == pytest.approx(dist(q, e))
 
     def test_negative_k_rejected(self):

@@ -1,6 +1,7 @@
 """Unit tests for R-tree maintenance (insert / delete / integrity)."""
 
 import numpy as np
+
 from repro.geometry.point import Point
 from repro.rtree.tree import RTree
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.storage.buffer import LRUBufferPool, MIN_BUFFER_PAGES
+from repro.storage.buffer import MIN_BUFFER_PAGES, LRUBufferPool
 from repro.storage.page import PageManager
 
 

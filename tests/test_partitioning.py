@@ -51,7 +51,7 @@ class TestBalancedBundles:
         ranges = balanced_bundles([1, 2, 3, 4, 5], 3)
         assert ranges[0][0] == 0
         assert ranges[-1][1] == 5
-        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+        for (_, end), (start, _) in zip(ranges, ranges[1:], strict=False):
             assert end == start
 
     def test_bundle_count_capped_by_items(self):
