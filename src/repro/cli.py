@@ -33,6 +33,28 @@ from repro.flow.backend import BACKEND_CHOICES, get_backend
 from repro.rtree.backend import INDEX_BACKENDS, index_info
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import all_rules, lint_paths
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.title}")
+            print(f"        {rule.rationale}")
+        return 0
+    try:
+        diags = lint_paths(args.paths, strict=args.strict)
+    except OSError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    for diag in diags:
+        print(diag.render())
+    if diags:
+        files = len({d.path for d in diags})
+        print(f"repro-lint: {len(diags)} finding(s) in {files} file(s)")
+        return 1
+    return 0
+
+
 def _cmd_list(_args) -> int:
     print("Available figures (run with: repro-cca figure <id>):")
     for fig_id, spec in sorted(FIGURES.items()):
@@ -831,6 +853,28 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--network-seed", type=int, default=7)
     gen.add_argument("--out", type=str, default=None)
     gen.set_defaults(func=_cmd_generate)
+
+    lnt = sub.add_parser(
+        "lint",
+        help="run the repro-lint determinism/reliability checks (RPR001-8)",
+    )
+    lnt.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lnt.add_argument(
+        "--strict",
+        action="store_true",
+        help="also report unused suppressions (nightly sweep mode)",
+    )
+    lnt.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lnt.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -307,6 +307,8 @@ def trigger(spec: FaultSpec, *, where: str = "") -> None:
     if spec.kind == "error":
         raise FaultInjected(f"injected shard worker fault{label}")
     if spec.kind in ("hang", "slow"):
+        # repro-lint: disable=RPR006 -- the sleep IS the injected fault
+        # (latency/hang simulation); its duration comes from the seeded plan
         time.sleep(spec.delay_s)
         if spec.kind == "hang" and spec.delay_s >= DEFAULT_HANG_S:
             # An unsupervised hang that slept its full budget still

@@ -110,7 +110,7 @@ class ShardSpec:
     capacity: int
 
 
-@dataclass
+@dataclass(frozen=True)
 class ShardPlan:
     """A provider-disjoint decomposition of the instance.
 
@@ -292,7 +292,7 @@ def route_concise(
 _ = FAULT_ENV
 
 
-@dataclass
+@dataclass(frozen=True)
 class ShardTask:
     """Everything a worker needs to solve one shard.
 

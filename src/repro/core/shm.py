@@ -85,6 +85,8 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
         seg = shared_memory.SharedMemory(name=name)
         try:
             resource_tracker.unregister(seg._name, "shared_memory")
+        # repro-lint: disable=RPR008 -- best-effort unregister of a private
+        # tracker API; on failure the segment is merely double-tracked
         except Exception:
             pass  # tracker may be absent (fork server quirks); harmless
         return seg

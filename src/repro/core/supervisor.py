@@ -33,6 +33,12 @@ Every observed failure and the action taken is recorded on a
 on ``SolverStats.faults``.
 """
 
+# repro-lint: disable-file=RPR006 -- the supervision loop IS the scheduling
+# layer: deadlines, retry backoff and wakeups are wall-clock by nature.
+# Result determinism is preserved independently of timing: the ledger
+# drains completed futures in task-position order and every retry is
+# replayed from an immutable ShardTask.
+
 from __future__ import annotations
 
 import hashlib
@@ -107,6 +113,8 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
     for proc in procs:
         try:
             proc.terminate()
+        # repro-lint: disable=RPR008 -- last-resort teardown of an already
+        # condemned worker; the solve outcome was decided before this point
         except Exception:
             pass
     pool.shutdown(wait=False, cancel_futures=True)
@@ -116,6 +124,8 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
             if proc.is_alive():
                 proc.kill()
                 proc.join(timeout=2.0)
+        # repro-lint: disable=RPR008 -- ditto: join/kill on a dying process
+        # may race process exit; there is nothing left to signal
         except Exception:
             pass
 
@@ -258,6 +268,16 @@ def _run_inline(tasks, solve, fallback, verify, policy, ledger):
     return results
 
 
+def _drain_order(finished, in_flight):
+    """Completed futures in task-position order.
+
+    ``wait()`` hands back a *set* of futures; iterating it directly
+    would drain in heap-address order, making ledger event order (and
+    retry budgets under racing deadlines) differ run to run.
+    """
+    return sorted(finished, key=lambda future: in_flight[future][0])
+
+
 def _run_pool(tasks, solve, fallback, verify, policy, ledger, max_workers, mp_context):
     results = [None] * len(tasks)
     done = [False] * len(tasks)
@@ -319,7 +339,7 @@ def _run_pool(tasks, solve, fallback, verify, policy, ledger, max_workers, mp_co
                     time.sleep(min(timeout, 0.05))
             now = time.monotonic()
 
-            for future in finished:
+            for future in _drain_order(finished, in_flight):
                 pos, attempt, _deadline = in_flight.pop(future)
                 task = tasks[pos]
                 exc = future.exception()

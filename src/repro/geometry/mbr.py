@@ -72,8 +72,11 @@ class MBR:
     @property
     def diagonal(self) -> float:
         """Length of the main diagonal (the δ criterion of Section 4)."""
+        # Explicit product, not `** 2`: CPython lowers float ** 2 to libm
+        # pow, which may be 1 ulp off the exact multiply — enough to flip
+        # a δ-threshold tie against the packed backend's arithmetic.
         return math.sqrt(
-            sum((h - low) ** 2 for low, h in zip(self.lo, self.hi, strict=False))
+            sum((h - low) * (h - low) for low, h in zip(self.lo, self.hi, strict=False))
         )
 
     @property

@@ -1,0 +1,21 @@
+"""repro-lint: determinism & reliability static analysis for this repo.
+
+The solver's headline contract is *bit-identity*: every backend, every
+shard count, every warm/cold path must produce results identical to the
+reference dict solver down to the last float bit.  Most regressions
+against that contract in this repo's history were not algorithmic — they
+were ambient-state leaks (libm ``pow``, set iteration order, unseeded
+RNGs, wall-clock control flow) that survive review because each one
+looks idiomatic in isolation.
+
+This package encodes those lessons as AST rules (``RPR001``-``RPR008``)
+over the repo's own layout, built on nothing but the stdlib ``ast``
+module.  It ships as ``repro-cca lint`` and runs as a CI gate; see
+``docs/LINTING.md`` for the rule catalogue and suppression policy.
+"""
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import lint_paths, lint_source
+from repro.lint.rules import all_rules
+
+__all__ = ["Diagnostic", "all_rules", "lint_paths", "lint_source"]

@@ -1,0 +1,75 @@
+"""Per-module analysis context shared by all rules.
+
+Built once per file: the parsed tree, parent pointers, and an
+import-alias table so rules match *resolved* dotted names (``np.random``
+and ``from numpy import random as nr`` both resolve to
+``numpy.random``) instead of guessing from surface spelling.
+"""
+
+from __future__ import annotations
+
+import ast
+
+_SCOPE_NODES = (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+class ModuleContext:
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source_lines = source.splitlines()
+        self.tree = tree
+        # Package-relative location: parts after the last 'repro' dir
+        # component, e.g. src/repro/core/shard.py -> ('core', 'shard.py').
+        # Files outside the package (tests/, benchmarks/) get () — only
+        # globally-scoped rules apply to them.
+        parts = path.replace("\\", "/").split("/")
+        self.domain: tuple[str, ...] = ()
+        if "repro" in parts:
+            self.domain = tuple(
+                parts[len(parts) - 1 - parts[::-1].index("repro") :][1:]
+            )
+        self.parents: dict[int, ast.AST] = {}
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[id(child)] = node
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    # `import a.b` binds `a`; `import a.b as c` binds c=a.b
+                    self.aliases[bound] = alias.name if alias.asname else (
+                        alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                base = ("." * node.level) + (node.module or "")
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.aliases[alias.asname or alias.name] = f"{base}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted path of a Name/Attribute via the import table, or None
+        for anything bound locally (parameters, assignments, builtins)."""
+        if isinstance(node, ast.Name):
+            return self.aliases.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is not None:
+                return f"{base}.{node.attr}"
+        return None
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(id(node))
+
+    def enclosing_scope(self, node: ast.AST) -> ast.AST:
+        cur = self.parent(node)
+        while cur is not None and not isinstance(cur, _SCOPE_NODES):
+            cur = self.parent(cur)
+        return cur if cur is not None else self.tree
+
+    def in_subpackage(self, *names: str) -> bool:
+        return bool(self.domain) and self.domain[0] in names
+
+    def is_module(self, *rel: str) -> bool:
+        """True when this file is exactly src/repro/<rel...>."""
+        return self.domain == rel

@@ -1,0 +1,25 @@
+"""Diagnostic records emitted by repro-lint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Engine-level code: suppression hygiene (missing reason, unknown code,
+# unused suppression under --strict) and unparsable files.  RPR000 is
+# itself never suppressible — otherwise a bad suppression could hide
+# the report about the bad suppression.
+ENGINE_RULE = "RPR000"
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding, anchored to a precise source position."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

@@ -1,0 +1,21 @@
+"""Rule registry: importing this package registers every RPR rule."""
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    rpr001_pow,
+    rpr002_randomness,
+    rpr003_set_order,
+    rpr004_env,
+    rpr005_executor,
+    rpr006_wallclock,
+    rpr007_shm,
+    rpr008_except,
+)
+from repro.lint.rules.base import Rule, register, registered_rules
+
+
+def all_rules() -> list[Rule]:
+    """Fresh rule instances (rules hold per-module prepass state)."""
+    return [cls() for cls in registered_rules()]
+
+
+__all__ = ["Rule", "all_rules", "register", "registered_rules"]

@@ -1,0 +1,55 @@
+"""Rule protocol and registry for repro-lint."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.diagnostics import Diagnostic
+
+
+class Rule:
+    """One determinism/reliability invariant.
+
+    Subclasses set ``id``/``title``/``rationale`` and declare the AST
+    node types they inspect; the engine calls ``visit`` for each
+    matching node of a single shared walk.  ``applies`` scopes the rule
+    to the subpackages where its invariant is load-bearing, so e.g. the
+    pow rule never fires on the Hilbert curve's genuine ``2 ** order``.
+    """
+
+    id: str = "RPR???"
+    title: str = ""
+    rationale: str = ""
+    node_types: tuple[type, ...] = ()
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return True
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        """Optional per-module prepass (alias/type harvesting)."""
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(self, ctx: ModuleContext, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            ctx.path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            self.id,
+            message,
+        )
+
+
+_REGISTRY: list[type[Rule]] = []
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    _REGISTRY.append(cls)
+    return cls
+
+
+def registered_rules() -> list[type[Rule]]:
+    return sorted(_REGISTRY, key=lambda c: c.id)

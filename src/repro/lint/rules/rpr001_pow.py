@@ -1,0 +1,61 @@
+"""RPR001: no ``** 2`` / ``math.pow`` in distance or potential arithmetic.
+
+History: the packed R-tree's MINDIST once used ``(dx) ** 2 + (dy) ** 2``
+while the pointer tree used ``dx * dx + dy * dy``.  CPython lowers
+``float ** 2`` to libm ``pow``, which is allowed to be 1 ulp off the
+exact product — enough to flip a heap tie and desynchronize the two
+index backends' visit orders.  Distance/potential code must spell the
+product out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules.base import Rule, register
+
+_POW_FUNCS = {"math.pow", "numpy.power"}
+_BAD_EXPONENTS = {2, 2.0, 0.5}
+
+
+@register
+class PowRule(Rule):
+    id = "RPR001"
+    title = "no '** 2' / math.pow in distance/potential arithmetic"
+    rationale = (
+        "float ** 2 and math.pow go through libm pow (1 ulp off an exact "
+        "product); a single ulp flips heap ties and breaks backend "
+        "bit-identity. Write dx * dx, and math.sqrt for roots."
+    )
+    node_types = (ast.BinOp, ast.Call)
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.in_subpackage("geometry", "flow", "rtree")
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Pow):
+            exp = node.right
+            if (
+                isinstance(exp, ast.Constant)
+                and not isinstance(exp.value, bool)
+                and exp.value in _BAD_EXPONENTS
+            ):
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"'** {exp.value}' goes through libm pow (1 ulp off an "
+                    "exact multiply); write the explicit product "
+                    "(x * x) or math.sqrt",
+                )
+        elif isinstance(node, ast.Call):
+            resolved = ctx.resolve(node.func)
+            if resolved in _POW_FUNCS:
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"{resolved}() in distance/potential arithmetic is not "
+                    "bit-reproducible across libms; use explicit products",
+                )

@@ -1,0 +1,78 @@
+"""RPR002: no ambient or unseeded randomness outside ``datagen/``.
+
+Every random draw in this repo must flow from an explicitly seeded
+``numpy`` Generator (``default_rng(seed)`` / ``derive_rng`` /
+``FaultPlan``'s seeded streams).  The stdlib ``random`` module and the
+legacy ``np.random.*`` module-level API share hidden global state, and
+``default_rng()`` with no argument seeds from the OS — all three make a
+run unreproducible in a way no test can pin.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules.base import Rule, register
+
+# Seeded constructors / types on numpy.random that are fine to touch.
+_NP_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+@register
+class RandomnessRule(Rule):
+    id = "RPR002"
+    title = "no unseeded/ambient randomness outside datagen/"
+    rationale = (
+        "stdlib random and module-level np.random.* draw from hidden "
+        "global state; default_rng() with no seed draws from the OS. "
+        "Either one silently breaks run-to-run reproducibility."
+    )
+    node_types = (ast.Call,)
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return not ctx.in_subpackage("datagen")
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        assert isinstance(node, ast.Call)
+        resolved = ctx.resolve(node.func)
+        if resolved is None:
+            return
+        if resolved == "random" or resolved.startswith("random."):
+            yield self.diag(
+                ctx,
+                node,
+                f"{resolved}() uses the stdlib's hidden global RNG state; "
+                "thread a seeded numpy Generator instead",
+            )
+            return
+        if not resolved.startswith("numpy.random."):
+            return
+        leaf = resolved.rsplit(".", 1)[1]
+        if leaf == "default_rng":
+            if not node.args and not node.keywords:
+                yield self.diag(
+                    ctx,
+                    node,
+                    "default_rng() without a seed draws entropy from the OS; "
+                    "pass an explicit seed or SeedSequence",
+                )
+        elif leaf not in _NP_ALLOWED:
+            yield self.diag(
+                ctx,
+                node,
+                f"numpy.random.{leaf}() is the legacy global-state API; "
+                "use a seeded Generator (default_rng(seed))",
+            )

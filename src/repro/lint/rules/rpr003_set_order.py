@@ -1,0 +1,137 @@
+"""RPR003: no iteration over sets in ordered solver paths.
+
+Set iteration order depends on insertion history and hash seeds (and,
+for object elements like futures, on heap addresses), so any ordered
+output derived from it differs run to run.  In ``core/``, ``flow/`` and
+``serve/`` — the subpackages whose outputs feed the bit-identity gates —
+a set may be *tested* or *sorted*, never walked directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules.base import Rule, register
+
+# Wrapping a set in one of these preserves its arbitrary order.
+_ORDER_PRESERVING = {"list", "tuple", "iter", "enumerate", "reversed"}
+
+_SCOPES = (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_set_display(node: ast.AST) -> bool:
+    return isinstance(node, (ast.Set, ast.SetComp))
+
+
+def _is_set_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+@register
+class SetOrderRule(Rule):
+    id = "RPR003"
+    title = "no direct set iteration in ordered solver paths"
+    rationale = (
+        "set order varies with hash seed and element identity; walking "
+        "one feeds nondeterministic order into solver output. Sort it "
+        "(with an explicit key) or keep an ordered container."
+    )
+    node_types = (ast.For, ast.AsyncFor, ast.comprehension, ast.Call)
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.in_subpackage("core", "flow", "serve")
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        # Per-scope harvest of names that are ever bound to a set-valued
+        # expression.  Deliberately sticky: rebinding from an unknown
+        # call does NOT clear the mark (`finished, _ = wait(...)` keeps
+        # `finished = set()`'s mark — and wait() does return a set).
+        self._setish: dict[int, set[str]] = {}
+        for scope in ast.walk(ctx.tree):
+            if not isinstance(scope, _SCOPES):
+                continue
+            names: set[str] = set()
+            for node in ast.walk(scope):
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets, value = [node.target], node.value
+                else:
+                    continue
+                if value is None or not self._setish_expr(value, names):
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            self._setish[id(scope)] = names
+
+    def _setish_expr(self, node: ast.AST, names: set[str]) -> bool:
+        if _is_set_display(node) or _is_set_call(node):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in names
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._setish_expr(node.left, names) or self._setish_expr(
+                node.right, names
+            )
+        return False
+
+    def _names_for(self, node: ast.AST, ctx: ModuleContext) -> set[str]:
+        scope = ctx.enclosing_scope(node)
+        return self._setish.get(id(scope), set())
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if self._setish_expr(node.iter, self._names_for(node, ctx)):
+                yield self.diag(
+                    ctx,
+                    node.iter,
+                    "iterating a set directly: order is arbitrary; iterate "
+                    "sorted(...) with an explicit key instead",
+                )
+        elif isinstance(node, ast.comprehension):
+            if self._setish_expr(node.iter, self._names_for(node.iter, ctx)):
+                yield self.diag(
+                    ctx,
+                    node.iter,
+                    "comprehension over a set: order is arbitrary; wrap the "
+                    "source in sorted(...)",
+                )
+        elif isinstance(node, ast.Call):
+            names = self._names_for(node, ctx)
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _ORDER_PRESERVING
+                and node.args
+                and self._setish_expr(node.args[0], names)
+            ):
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"{func.id}() over a set materializes its arbitrary "
+                    "order; use sorted(...) with an explicit key",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "fromkeys"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "dict"
+                and node.args
+                and self._setish_expr(node.args[0], names)
+            ):
+                yield self.diag(
+                    ctx,
+                    node,
+                    "dict.fromkeys(<set>) freezes the set's arbitrary order "
+                    "into the dict; sort the keys first",
+                )

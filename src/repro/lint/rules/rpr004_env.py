@@ -1,0 +1,59 @@
+"""RPR004: no ambient ``os.environ`` reads outside the config seam.
+
+Configuration must arrive through explicit parameters so a solve is a
+pure function of its arguments.  The single sanctioned exception is
+``core/faults.py``'s ``resolve_fault_plan`` — the documented seam where
+the deprecated chaos-injection env alias is read and immediately turned
+into an explicit ``FaultPlan`` value.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules.base import Rule, register
+
+_ALLOWLIST = (("core", "faults.py"),)
+
+
+@register
+class EnvRule(Rule):
+    id = "RPR004"
+    title = "no os.environ outside the config seam"
+    rationale = (
+        "env reads make a solve depend on ambient process state that "
+        "no caller passed and no test pins; route configuration "
+        "through explicit parameters (core/faults.py is the one "
+        "documented exception)."
+    )
+    node_types = (ast.Attribute, ast.Name, ast.Call)
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.domain not in _ALLOWLIST
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if isinstance(node, ast.Call):
+            if ctx.resolve(node.func) == "os.getenv":
+                yield self.diag(
+                    ctx,
+                    node,
+                    "os.getenv() outside the config seam; thread the value "
+                    "through an explicit parameter",
+                )
+            return
+        if ctx.resolve(node) != "os.environ":
+            return
+        # Flag `os.environ` itself once, not again for `os.environ.get`.
+        parent = ctx.parent(node)
+        if isinstance(parent, ast.Attribute) and parent.value is node:
+            node = parent  # anchor the finding on the full access
+        yield self.diag(
+            ctx,
+            node,
+            "os.environ access outside the config seam "
+            "(core/faults.resolve_fault_plan); thread configuration "
+            "through explicit parameters",
+        )

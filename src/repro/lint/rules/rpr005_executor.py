@@ -1,0 +1,124 @@
+"""RPR005: executor submissions must be picklable module functions, and
+cross-process payload dataclasses must be frozen.
+
+Lambdas, closures and bound methods either fail to pickle outright or —
+worse — drag an entire enclosing object graph across the process
+boundary, where mutation after submit races the pickle.  Payload types
+(``*Task``/``*Spec``/``*Plan``/``*Handle``) are frozen so a task cannot
+be mutated between submission and execution; retries go through
+``dataclasses.replace``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules.base import Rule, register
+
+_PAYLOAD_SUFFIXES = ("Task", "Spec", "Plan", "Handle")
+
+
+def _dataclass_decorator(dec: ast.AST, ctx: ModuleContext) -> ast.Call | bool | None:
+    """Return the decorator Call (to inspect kwargs), True for a bare
+    @dataclass, or None when the decorator is something else."""
+    target = dec.func if isinstance(dec, ast.Call) else dec
+    is_dc = (isinstance(target, ast.Name) and target.id == "dataclass") or (
+        ctx.resolve(target) in ("dataclasses.dataclass",)
+    )
+    if not is_dc:
+        return None
+    return dec if isinstance(dec, ast.Call) else True
+
+
+@register
+class ExecutorPayloadRule(Rule):
+    id = "RPR005"
+    title = "picklable submissions, frozen cross-process payloads"
+    rationale = (
+        "lambdas/closures/bound methods don't pickle cleanly across the "
+        "ProcessPoolExecutor boundary, and a mutable task object can be "
+        "changed between submit and execution; submit module-level "
+        "functions carrying frozen dataclasses."
+    )
+    node_types = (ast.Call, ast.ClassDef)
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.in_subpackage("core")
+
+    def begin_module(self, ctx: ModuleContext) -> None:
+        # Names of functions defined inside another function: submitting
+        # one ships a closure.
+        self._nested_defs: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cur = ctx.parent(node)
+                while cur is not None:
+                    if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._nested_defs.add(node.name)
+                        break
+                    cur = ctx.parent(cur)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if isinstance(node, ast.ClassDef):
+            yield from self._visit_class(node, ctx)
+            return
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr == "submit" and node.args:
+            target = node.args[0]
+        elif func.attr == "run_in_executor" and len(node.args) >= 2:
+            target = node.args[1]
+        else:
+            return
+        if isinstance(target, ast.Lambda):
+            yield self.diag(
+                ctx,
+                target,
+                "lambda submitted across the executor boundary does not "
+                "pickle; submit a module-level function",
+            )
+        elif isinstance(target, ast.Attribute) and ctx.resolve(target) is None:
+            yield self.diag(
+                ctx,
+                target,
+                "bound method submitted across the executor boundary drags "
+                "its whole object through pickle; submit a module-level "
+                "function taking an explicit payload",
+            )
+        elif isinstance(target, ast.Name) and target.id in self._nested_defs:
+            yield self.diag(
+                ctx,
+                target,
+                f"nested function '{target.id}' submitted across the "
+                "executor boundary captures a closure that cannot pickle; "
+                "hoist it to module level",
+            )
+
+    def _visit_class(
+        self, node: ast.ClassDef, ctx: ModuleContext
+    ) -> Iterator[Diagnostic]:
+        if not node.name.endswith(_PAYLOAD_SUFFIXES):
+            return
+        for dec in node.decorator_list:
+            found = _dataclass_decorator(dec, ctx)
+            if found is None:
+                continue
+            frozen = isinstance(found, ast.Call) and any(
+                kw.arg == "frozen"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in found.keywords
+            )
+            if not frozen:
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"payload dataclass {node.name} is not frozen; "
+                    "cross-process payloads must be @dataclass(frozen=True) "
+                    "(retries use dataclasses.replace)",
+                )

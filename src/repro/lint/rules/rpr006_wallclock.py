@@ -1,0 +1,59 @@
+"""RPR006: no wall-clock calls in solver decision paths.
+
+Timers that feed ``SolveStats`` use ``time.perf_counter`` and never
+influence control flow; any other clock read inside the solver
+subpackages is a smell that elapsed time is about to steer a decision
+(early exit, adaptive batch size), which no fixed seed can reproduce.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules.base import Rule, register
+
+_BANNED = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.sleep",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "time.strftime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+
+@register
+class WallClockRule(Rule):
+    id = "RPR006"
+    title = "no wall-clock in solver decision paths"
+    rationale = (
+        "elapsed-time-dependent control flow cannot be reproduced by "
+        "any seed; solver code may read time.perf_counter for stats "
+        "only. Scheduling layers that genuinely need clocks carry a "
+        "file-level suppression with a written reason."
+    )
+    node_types = (ast.Call,)
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.in_subpackage("core", "flow", "rtree", "geometry", "hilbert")
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        assert isinstance(node, ast.Call)
+        resolved = ctx.resolve(node.func)
+        if resolved in _BANNED:
+            yield self.diag(
+                ctx,
+                node,
+                f"{resolved}() in a solver path: wall-clock-dependent "
+                "behavior defeats bit-reproducibility; stats timers use "
+                "time.perf_counter",
+            )

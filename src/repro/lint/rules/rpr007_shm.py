@@ -1,0 +1,50 @@
+"""RPR007: SharedMemory segments are created only via ``core/shm.py``.
+
+The guarded constructor there pairs every segment with a
+``weakref.finalize`` unlink guard and resource-tracker bookkeeping; a
+raw ``SharedMemory(create=True)`` anywhere else leaks segments on the
+failure paths the chaos suite exercises.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules.base import Rule, register
+
+_SHM_TYPES = {
+    "multiprocessing.shared_memory.SharedMemory",
+    "multiprocessing.shared_memory.ShareableList",
+}
+
+
+@register
+class SharedMemoryRule(Rule):
+    id = "RPR007"
+    title = "SharedMemory only via core/shm.py"
+    rationale = (
+        "raw SharedMemory construction skips the finalizer and "
+        "resource-tracker guards in core/shm.py, leaking segments when "
+        "a worker dies mid-attach; go through SharedColumnStore or its "
+        "attach helpers."
+    )
+    node_types = (ast.Call,)
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return not ctx.is_module("core", "shm.py")
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        assert isinstance(node, ast.Call)
+        resolved = ctx.resolve(node.func)
+        if resolved in _SHM_TYPES:
+            leaf = resolved.rsplit(".", 1)[1]
+            yield self.diag(
+                ctx,
+                node,
+                f"direct {leaf}() bypasses core/shm.py's guarded "
+                "constructor (leak tracking + finalizers); use "
+                "SharedColumnStore / attach helpers",
+            )

@@ -1,0 +1,62 @@
+"""RPR008: no broad ``except`` that can swallow invariant violations.
+
+``NegativeReducedCostError`` and ``SessionDeadError`` are how the
+supervised runtime *finds out* that a shard diverged or a session is
+unusable.  A bare ``except`` / ``except Exception`` in ``core/`` or
+``serve/`` that neither re-raises nor narrows its type converts those
+signals into silent wrong answers.  Handlers that genuinely must
+quarantine everything (last-resort pool teardown, per-shard serving
+degradation) carry a written suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules.base import Rule, register
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _is_broad(expr: ast.AST | None) -> bool:
+    if expr is None:
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.id in _BROAD
+    if isinstance(expr, ast.Tuple):
+        return any(_is_broad(el) for el in expr.elts)
+    return False
+
+
+@register
+class BroadExceptRule(Rule):
+    id = "RPR008"
+    title = "no broad except swallowing invariant errors"
+    rationale = (
+        "except Exception without a re-raise can eat "
+        "NegativeReducedCostError/SessionDeadError — the signals the "
+        "supervised runtime uses to detect divergence — turning a loud "
+        "failure into a silent wrong answer."
+    )
+    node_types = (ast.ExceptHandler,)
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.in_subpackage("core", "serve")
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        assert isinstance(node, ast.ExceptHandler)
+        if not _is_broad(node.type):
+            return
+        for stmt in node.body:
+            if any(isinstance(sub, ast.Raise) for sub in ast.walk(stmt)):
+                return  # re-raises (possibly conditionally): signal survives
+        what = "bare except:" if node.type is None else "except Exception"
+        yield self.diag(
+            ctx,
+            node,
+            f"{what} without re-raise can swallow NegativeReducedCostError/"
+            "SessionDeadError; narrow the type or re-raise",
+        )

@@ -1,0 +1,171 @@
+"""Inline suppression parsing.
+
+Grammar (one comment per line, reason mandatory)::
+
+    # repro-lint: disable=RPR003 -- drain order restored by sort below
+    # repro-lint: disable=RPR006,RPR008 -- <reason>
+    # repro-lint: disable-file=RPR006 -- <reason>
+
+A ``disable`` comment on a code line covers that line; on a line of its
+own it covers the next line.  ``disable-file`` covers the whole file.
+A suppression without a ``--  <reason>`` tail does not suppress anything
+— it *is* a finding (RPR000): the reason string is the reviewable
+artifact that makes the escape hatch auditable.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.diagnostics import ENGINE_RULE, Diagnostic
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable-file|disable)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\s]*?)\s*(?P<tail>--.*)?$"
+)
+_CODE = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass
+class Suppression:
+    line: int
+    codes: tuple[str, ...]
+    file_level: bool
+    target_line: int  # the code line this pragma covers
+    reason: str
+    used: bool = field(default=False, compare=False)
+
+    def covers(self, diag: Diagnostic) -> bool:
+        if diag.rule == ENGINE_RULE:
+            return False
+        if diag.rule not in self.codes:
+            return False
+        return self.file_level or diag.line == self.target_line
+
+
+def _comments(source: str) -> list[tuple[int, int, str, bool]]:
+    """(line, col, text, standalone) for every real comment token.
+
+    Tokenizing — rather than regexing raw lines — keeps pragma examples
+    inside string literals and docstrings from parsing as pragmas.
+    """
+    out = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                standalone = not tok.line[: tok.start[1]].strip()
+                out.append((tok.start[0], tok.start[1], tok.string, standalone))
+    except (tokenize.TokenError, IndentationError):
+        pass  # ast.parse already vetted the file; be permissive here
+    return out
+
+
+def parse_suppressions(
+    path: str, source: str
+) -> tuple[list[Suppression], list[Diagnostic]]:
+    """Return (suppressions, hygiene diagnostics) for one file."""
+    supps: list[Suppression] = []
+    problems: list[Diagnostic] = []
+    for lineno, col, text, standalone in _comments(source):
+        if "repro-lint:" not in text:
+            continue
+        match = _PRAGMA.search(text)
+        if match is None:
+            problems.append(
+                Diagnostic(
+                    path,
+                    lineno,
+                    col,
+                    ENGINE_RULE,
+                    "malformed repro-lint pragma; expected "
+                    "'# repro-lint: disable=RPR00x -- <reason>'",
+                )
+            )
+            continue
+        codes = tuple(c.strip() for c in match.group("codes").split(",") if c.strip())
+        bad = [c for c in codes if not _CODE.match(c)]
+        if not codes or bad:
+            problems.append(
+                Diagnostic(
+                    path,
+                    lineno,
+                    col,
+                    ENGINE_RULE,
+                    f"suppression names no valid rule code ({bad or 'empty'}); "
+                    "expected RPR001..RPR008",
+                )
+            )
+            continue
+        tail = match.group("tail") or ""
+        reason = tail[2:].strip() if tail.startswith("--") else ""
+        if not reason:
+            problems.append(
+                Diagnostic(
+                    path,
+                    lineno,
+                    col,
+                    ENGINE_RULE,
+                    f"suppression for {','.join(codes)} carries no reason; "
+                    "append ' -- <why this occurrence is safe>'",
+                )
+            )
+            continue
+        # A trailing pragma covers its own line; a standalone one covers
+        # the next code line, skipping the rest of its comment block so
+        # multi-line reasons stay legal.
+        target = lineno
+        if standalone:
+            lines = source.splitlines()
+            target = len(lines) + 1  # dangling pragma at EOF covers nothing
+            for off in range(lineno, len(lines)):
+                stripped = lines[off].strip()
+                if stripped and not stripped.startswith("#"):
+                    target = off + 1
+                    break
+        supps.append(
+            Suppression(
+                line=lineno,
+                codes=codes,
+                file_level=match.group("kind") == "disable-file",
+                target_line=target,
+                reason=reason,
+            )
+        )
+    return supps, problems
+
+
+def apply_suppressions(
+    diags: list[Diagnostic],
+    supps: list[Suppression],
+    *,
+    strict: bool,
+    path: str,
+) -> list[Diagnostic]:
+    """Filter suppressed findings; under strict, flag unused suppressions."""
+    kept: list[Diagnostic] = []
+    for diag in diags:
+        hit = False
+        for supp in supps:
+            if supp.covers(diag):
+                supp.used = True
+                hit = True
+        if not hit:
+            kept.append(diag)
+    if strict:
+        for supp in supps:
+            if not supp.used:
+                kept.append(
+                    Diagnostic(
+                        path,
+                        supp.line,
+                        0,
+                        ENGINE_RULE,
+                        f"unused suppression for {','.join(supp.codes)}; "
+                        "remove it (the finding it silenced is gone)",
+                    )
+                )
+    return kept

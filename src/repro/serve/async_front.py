@@ -236,6 +236,8 @@ class AsyncAssignmentFrontend:
                 result: GroupResult = await loop.run_in_executor(
                     self._executor, self.service.apply, events
                 )
+            # repro-lint: disable=RPR008 -- not swallowed: the exception is
+            # re-delivered to every waiter through future.set_exception
             except Exception as exc:  # engine refused the group
                 for _, future in batch:
                     if not future.done():

@@ -521,6 +521,9 @@ class OnlineAssignmentService:
         eligible = session.is_warm
         try:
             session.assign()
+        # repro-lint: disable=RPR008 -- deliberate quarantine seam: the
+        # failure is recorded on the session and surfaced via degradation
+        # stats; serving must outlive any single shard's divergence
         except Exception as exc:
             # The session normally marks itself dead on the way out (see
             # Matcher.assign); mark it here too (idempotent) so the

@@ -1,0 +1,93 @@
+"""Pinned regressions for the true positives repro-lint found on its
+own tree (each was fixed, not suppressed — these keep them fixed)."""
+
+import math
+from concurrent.futures import Future
+from dataclasses import FrozenInstanceError, replace
+
+import pytest
+
+from repro.core.shard import ShardPlan, ShardSpec, ShardTask
+from repro.core.supervisor import _drain_order
+from repro.geometry.mbr import MBR
+
+
+def _task(index: int, attempt: int = 0) -> ShardTask:
+    return ShardTask(
+        index=index,
+        method="ida",
+        backend="dict",
+        index_backend="pointer",
+        use_pua=False,
+        ann_group_size=8,
+        use_fast_path=False,
+        theta=None,
+        page_size=4096,
+        buffer_fraction=0.1,
+        need_net=False,
+        attempt=attempt,
+    )
+
+
+class TestMBRDiagonalExplicitProduct:
+    def test_diagonal_is_bit_identical_to_explicit_product(self):
+        # RPR001 regression: `(h - l) ** 2` routed through libm pow and
+        # could be 1 ulp off the explicit product, flipping δ-threshold
+        # ties between index backends.  Pin exact float equality.
+        lo, hi = (0.1, 0.2, 0.3), (10.7, 20.11, 30.13)
+        box = MBR(lo, hi)
+        acc = 0.0
+        for low, high in zip(lo, hi, strict=True):
+            d = high - low
+            acc += d * d
+        assert box.diagonal == math.sqrt(acc)
+
+    def test_degenerate_box_has_zero_diagonal(self):
+        assert MBR((3.0, 4.0), (3.0, 4.0)).diagonal == 0.0
+
+
+class TestFrozenPayloads:
+    def test_shard_task_is_immutable(self):
+        task = _task(0)
+        with pytest.raises(FrozenInstanceError):
+            task.attempt = 5
+
+    def test_retry_restamps_via_replace(self):
+        task = _task(3)
+        retry = replace(task, attempt=2)
+        assert (retry.index, retry.attempt) == (3, 2)
+        assert task.attempt == 0  # original untouched
+
+    def test_shard_plan_is_immutable_but_post_init_still_fills_map(self):
+        plan = ShardPlan(
+            shards=[
+                ShardSpec(index=0, provider_ids=(1, 2), capacity=4),
+                ShardSpec(index=1, provider_ids=(3,), capacity=2),
+            ],
+            groups=[[1, 2], [3]],
+            group_to_shard=[0, 1],
+            delta=1.0,
+        )
+        assert plan.shard_of_provider == {1: 0, 2: 0, 3: 1}
+        with pytest.raises(FrozenInstanceError):
+            plan.delta = 2.0
+
+
+class TestSupervisorDrainOrder:
+    def test_completed_futures_drain_in_task_position_order(self):
+        # RPR003 regression: `wait()` returns a *set* of futures, whose
+        # iteration order follows heap addresses; draining it directly
+        # made ledger event order differ run to run.
+        futures = [Future() for _ in range(8)]
+        in_flight = {f: (pos, 0, None) for pos, f in enumerate(futures)}
+        finished = {futures[6], futures[1], futures[4]}
+        assert [in_flight[f][0] for f in _drain_order(finished, in_flight)] == [
+            1,
+            4,
+            6,
+        ]
+
+    def test_drain_order_ignores_attempt_and_deadline(self):
+        a, b = Future(), Future()
+        in_flight = {a: (5, 9, 0.0), b: (2, 0, 99.0)}
+        assert _drain_order({a, b}, in_flight) == [b, a]

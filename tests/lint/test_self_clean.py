@@ -1,0 +1,50 @@
+"""The tree gates on itself: ``src/repro`` must produce zero
+undisclosed diagnostics, in lenient *and* strict mode, and the CLI
+wiring must exit with the codes CI keys on."""
+
+from pathlib import Path
+
+from repro.cli import main
+from repro.lint import lint_paths
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_is_clean():
+    diags = lint_paths([str(REPO / "src")])
+    assert diags == [], "\n".join(d.render() for d in diags)
+
+
+def test_src_tree_is_clean_under_strict():
+    # Strict additionally proves every suppression in the tree is
+    # load-bearing: none of them silences a finding that no longer fires.
+    diags = lint_paths([str(REPO / "src")], strict=True)
+    assert diags == [], "\n".join(d.render() for d in diags)
+
+
+def test_tests_and_benchmarks_pass_the_global_rules():
+    diags = lint_paths([str(REPO / "tests"), str(REPO / "benchmarks")], strict=True)
+    assert diags == [], "\n".join(d.render() for d in diags)
+
+
+def test_cli_exits_zero_on_clean_tree(capsys):
+    assert main(["lint", str(REPO / "src")]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_cli_exits_one_and_reports_on_dirty_tree(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "rtree" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def d(ax, bx):\n    return (ax - bx) ** 2\n")
+    assert main(["lint", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR001" in out
+    assert f"{bad}:2:" in out  # precise line anchoring survives the CLI
+    assert "1 finding(s) in 1 file(s)" in out
+
+
+def test_cli_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for i in range(1, 9):
+        assert f"RPR00{i}" in out

@@ -1,0 +1,104 @@
+"""Suppression machinery: reasons are mandatory, coverage is precise,
+and the escape hatch cannot hide its own misuse."""
+
+import textwrap
+
+from repro.lint import lint_source
+
+PATH = "src/repro/rtree/dist.py"
+
+
+def run(src: str, *, strict: bool = False):
+    return lint_source(textwrap.dedent(src), PATH, strict=strict)
+
+
+BUG_LINE = "d = (ax - bx) ** 2\n"
+
+
+def test_trailing_suppression_with_reason_silences():
+    src = "d = (ax - bx) ** 2  # repro-lint: disable=RPR001 -- fixture\n"
+    assert run(src) == []
+
+
+def test_standalone_suppression_covers_next_code_line():
+    src = """\
+        # repro-lint: disable=RPR001 -- reproduces the seed layout,
+        # which predates the explicit-product rule
+        d = (ax - bx) ** 2
+    """
+    assert run(src) == []
+
+
+def test_suppression_without_reason_is_itself_a_finding():
+    src = "d = (ax - bx) ** 2  # repro-lint: disable=RPR001\n"
+    diags = run(src)
+    # The original finding survives AND the naked pragma is flagged.
+    assert sorted(d.rule for d in diags) == ["RPR000", "RPR001"]
+    reasonless = next(d for d in diags if d.rule == "RPR000")
+    assert "no reason" in reasonless.message
+
+
+def test_suppression_does_not_cover_other_rules_or_lines():
+    src = """\
+        # repro-lint: disable=RPR004 -- wrong rule on purpose
+        d = (ax - bx) ** 2
+        e = (ay - by) ** 2  # line not covered by anything
+    """
+    assert [d.rule for d in run(src)] == ["RPR001", "RPR001"]
+
+
+def test_file_level_suppression_covers_all_occurrences():
+    src = """\
+        # repro-lint: disable-file=RPR001 -- generated lookup table,
+        # the exponents are integer powers evaluated once at import
+        a = x ** 2
+        b = y ** 2
+    """
+    assert run(src) == []
+
+
+def test_strict_flags_unused_suppression():
+    src = "d = ax * ax  # repro-lint: disable=RPR001 -- stale\n"
+    assert run(src) == []  # lenient mode: silent
+    diags = run(src, strict=True)
+    assert [d.rule for d in diags] == ["RPR000"]
+    assert "unused" in diags[0].message
+
+
+def test_unknown_code_is_rejected():
+    src = "d = (ax - bx) ** 2  # repro-lint: disable=SPAM -- nope\n"
+    assert sorted(d.rule for d in run(src)) == ["RPR000", "RPR001"]
+
+
+def test_rpr000_cannot_be_suppressed():
+    src = """\
+        # repro-lint: disable-file=RPR000 -- trying to gag the referee
+        d = (ax - bx) ** 2  # repro-lint: disable=RPR001
+    """
+    diags = run(src, strict=True)
+    # The reasonless pragma is still reported (and the RPR001 it failed
+    # to suppress), plus the gag attempt shows up as unused.
+    assert sorted(d.rule for d in diags) == ["RPR000", "RPR000", "RPR001"]
+
+
+def test_pragma_examples_inside_strings_are_ignored():
+    src = '''\
+        DOC = """
+        # repro-lint: disable=RPR001 -- this is documentation, not a pragma
+        """
+        HELP = "# repro-lint: disable=RPR9"
+    '''
+    assert run(src, strict=True) == []
+
+
+def test_malformed_pragma_is_flagged():
+    src = "d = ax * ax  # repro-lint: disable RPR001 -- missing equals\n"
+    diags = run(src)
+    assert [d.rule for d in diags] == ["RPR000"]
+    assert "malformed" in diags[0].message
+
+
+def test_syntax_error_reports_instead_of_crashing():
+    diags = lint_source("def broken(:\n", PATH)
+    assert [d.rule for d in diags] == ["RPR000"]
+    assert "does not parse" in diags[0].message
